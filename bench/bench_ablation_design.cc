@@ -1,0 +1,78 @@
+// Design-choice ablations beyond the paper's Figure 3 — one sweep per
+// design decision DESIGN.md calls out:
+//   * action group size (how many pool tuples one action bundles),
+//   * pool size (the action-space reduction of Section 4.2),
+//   * the per-query coverage quota in pool selection (our addition on top
+//     of plain variational subsampling),
+//   * number of parallel actor-learners,
+//   * the diversity regularizer of Section 5.1.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "util/random.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Design ablations",
+              "Score impact of the pipeline's design choices (IMDB)");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("imdb", setup);
+  util::Rng rng(setup.seed);
+  const metric::Workload usable =
+      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+  auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+
+  auto run_with = [&](core::AsqpConfig config) {
+    AsqpRun run = RunAsqp(bundle, train, test, config);
+    return std::pair<double, double>(run.eval.score, run.setup_seconds);
+  };
+
+  std::printf("action group size (tuples bundled per action):\n");
+  PrintRow({"group", "score", "setup(s)"}, {8, 10, 10});
+  for (size_t group : {1u, 2u, 4u, 8u}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.action_group_size = group;
+    auto [score, time] = run_with(config);
+    PrintRow({std::to_string(group), Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+  }
+
+  std::printf("\npool target (action-space size before grouping):\n");
+  PrintRow({"pool", "score", "setup(s)"}, {8, 10, 10});
+  for (size_t pool : {400u, 800u, 1500u, 3000u}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.pool_target = pool;
+    auto [score, time] = run_with(config);
+    PrintRow({std::to_string(pool), Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+  }
+
+  std::printf("\nper-query coverage quota in pool selection:\n");
+  PrintRow({"quota", "score", "setup(s)"}, {8, 10, 10});
+  for (bool quota : {true, false}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.reserve_query_quota = quota;
+    auto [score, time] = run_with(config);
+    PrintRow({quota ? "on" : "off", Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+  }
+
+  std::printf("\nparallel actor-learners (rollout workers):\n");
+  PrintRow({"workers", "score", "setup(s)"}, {8, 10, 10});
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.trainer.num_workers = workers;
+    auto [score, time] = run_with(config);
+    PrintRow({std::to_string(workers), Fmt(score), Fmt(time, 1)},
+             {8, 10, 10});
+  }
+
+  std::printf("\ndiversity regularizer coefficient (Section 5.1):\n");
+  PrintRow({"coef", "score", "setup(s)"}, {8, 10, 10});
+  for (double coef : {0.0, 0.01, 0.05, 0.2}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.trainer.diversity_coef = coef;
+    auto [score, time] = run_with(config);
+    PrintRow({Fmt(coef, 2), Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+  }
+  return 0;
+}

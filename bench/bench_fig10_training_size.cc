@@ -1,0 +1,45 @@
+// Figure 10 (a/b): effect of the executed training-set size on quality
+// and on setup time. Expected shape (paper): quality decays gently as
+// fewer representatives are executed while setup time falls sharply —
+// the trade-off ASQP-Light and the adaptive configuration exploit.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "util/random.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Figure 10",
+              "Quality (a) and training time (b) vs executed training size");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("imdb", setup);
+  util::Rng rng(setup.seed);
+  const metric::Workload usable =
+      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+  auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+
+  PrintRow({"train-frac", "score", "setup(s)"}, {12, 10, 10});
+  for (double fraction : {1.0, 0.75, 0.5, 0.25}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.representative_fraction = fraction;
+    AsqpRun run = RunAsqp(bundle, train, test, config);
+    PrintRow({Fmt(fraction, 2), Fmt(run.eval.score), Fmt(run.setup_seconds, 1)},
+             {12, 10, 10});
+  }
+
+  std::printf("\nadaptive configuration (Section 4.5) at time budgets:\n");
+  PrintRow({"budget", "score", "setup(s)"}, {12, 10, 10});
+  for (double budget : {1.0, 0.6, 0.2}) {
+    core::AsqpConfig config = core::AsqpConfig::FromTimeBudget(budget);
+    config.k = setup.k;
+    config.frame_size = setup.frame_size;
+    config.trainer.num_workers = 2;
+    config.seed = setup.seed;
+    AsqpRun run = RunAsqp(bundle, train, test, config);
+    PrintRow({Fmt(budget, 2), Fmt(run.eval.score), Fmt(run.setup_seconds, 1)},
+             {12, 10, 10});
+  }
+  return 0;
+}

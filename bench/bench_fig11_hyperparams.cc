@@ -1,0 +1,52 @@
+// Figure 11: RL hyper-parameter sweeps — entropy coefficient, learning
+// rate, and KL coefficient. Expected shape (paper): the entropy
+// coefficient is the most sensitive knob (a small positive value is
+// crucial; too much exploration hurts); a mid-range learning rate wins;
+// the KL coefficient is comparatively flat.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "util/random.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Figure 11",
+              "Hyper-parameter sweeps: entropy coef, learning rate, KL coef");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("imdb", setup);
+  util::Rng rng(setup.seed);
+  const metric::Workload usable =
+      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+  auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+
+  auto run_with = [&](const core::AsqpConfig& config) {
+    return RunAsqp(bundle, train, test, config).eval.score;
+  };
+
+  std::printf("entropy coefficient sweep:\n");
+  PrintRow({"entropy", "score"}, {10, 10});
+  for (double entropy : {0.0, 0.001, 0.0015, 0.01, 0.015, 0.02}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.trainer.entropy_coef = entropy;
+    PrintRow({Fmt(entropy, 4), Fmt(run_with(config))}, {10, 10});
+  }
+
+  std::printf("\nlearning rate sweep:\n");
+  PrintRow({"lr", "score"}, {10, 10});
+  for (double lr : {5e-5, 5e-4, 5e-3, 5e-2}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.trainer.learning_rate = lr;
+    PrintRow({Fmt(lr, 5), Fmt(run_with(config))}, {10, 10});
+  }
+
+  std::printf("\nKL coefficient sweep:\n");
+  PrintRow({"kl", "score"}, {10, 10});
+  for (double kl : {0.2, 0.3, 0.5, 0.7, 0.9}) {
+    core::AsqpConfig config = MakeAsqpConfig(setup, false);
+    config.trainer.kl_coef = kl;
+    PrintRow({Fmt(kl, 2), Fmt(run_with(config))}, {10, 10});
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Figure 2: "Quality and Running time" — Score / setup / QueryAvg for
+// ASQP-RL, ASQP-Light, VAE, CACH, RAN, QUIK, VERD, SKY, BRT, QRD, TOP, GRE
+// on the IMDB and MAS bundles. Expected shape (paper): ASQP-RL leads both
+// datasets (0.64 IMDB / 0.75 MAS); ASQP-Light trails it by ~10-15% at half
+// the setup time; the VAE scores near zero; search baselines (BRT, GRE)
+// burn their whole time cap.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "aqp/vae.h"
+#include "baselines/selector.h"
+#include "common/bench_common.h"
+#include "sql/binder.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+namespace {
+
+/// VAE "subset": per-table generative models; queries run on synthetic
+/// data; only generated rows that coincide with true result rows count
+/// (false tuples score nothing — the Figure 2 phenomenon).
+struct VaeEval {
+  double score = 0.0;
+  double setup_seconds = 0.0;
+  double query_avg_seconds = 0.0;
+};
+
+VaeEval RunVaeBaseline(const data::DatasetBundle& bundle,
+                       const metric::Workload& test, size_t k, int frame_size,
+                       uint64_t seed) {
+  VaeEval out;
+  util::Stopwatch setup_watch;
+  storage::Database synth_db;
+  const size_t total = bundle.db->TotalRows();
+  for (const std::string& name : bundle.db->TableNames()) {
+    auto table = bundle.db->GetTable(name).value();
+    aqp::VaeOptions options;
+    options.epochs = 6;
+    options.seed = seed ^ util::Fnv1a(name);
+    auto vae = aqp::TabularVae::Fit(*table, options);
+    if (!vae.ok()) continue;
+    const size_t share =
+        std::max<size_t>(1, k * table->num_rows() / std::max<size_t>(1, total));
+    auto synth = vae->Generate(share, seed + 1);
+    if (synth.ok()) (void)synth_db.AddTable(synth.value());
+  }
+  out.setup_seconds = setup_watch.ElapsedSeconds();
+
+  exec::QueryEngine engine;
+  storage::DatabaseView synth_view(&synth_db);
+  storage::DatabaseView full_view(bundle.db.get());
+  double total_score = 0.0;
+  util::Stopwatch query_watch;
+  size_t timed = 0;
+  for (const auto& wq : test.queries()) {
+    auto truth_bound = sql::Bind(wq.stmt, *bundle.db);
+    if (!truth_bound.ok()) continue;
+    auto truth = engine.Execute(truth_bound.value(), full_view);
+    if (!truth.ok()) continue;
+    auto synth_bound = sql::Bind(wq.stmt, synth_db);
+    size_t real_hits = 0;
+    if (synth_bound.ok()) {
+      auto fake = engine.Execute(synth_bound.value(), synth_view);
+      if (fake.ok()) {
+        ++timed;
+        auto truth_keys = truth.value().RowKeySet();
+        for (size_t r = 0; r < fake.value().num_rows(); ++r) {
+          if (truth_keys.count(fake.value().RowKey(r))) ++real_hits;
+        }
+      }
+    }
+    const double denom = std::max<size_t>(
+        1, std::min<size_t>(static_cast<size_t>(frame_size),
+                            truth.value().num_rows() == 0
+                                ? 1
+                                : truth.value().num_rows()));
+    total_score += wq.weight *
+                   std::min(1.0, static_cast<double>(real_hits) / denom);
+  }
+  out.score = total_score;
+  out.query_avg_seconds =
+      timed == 0 ? 0.0 : query_watch.ElapsedSeconds() / static_cast<double>(timed);
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Mean +- stddev over partitions (the paper's presentation).
+struct Agg {
+  double sum = 0.0, sumsq = 0.0;
+  size_t n = 0;
+  void Add(double v) {
+    sum += v;
+    sumsq += v * v;
+    ++n;
+  }
+  double mean() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+  double stddev() const {
+    if (n < 2) return 0.0;
+    const double m = mean();
+    return std::sqrt(std::max(0.0, sumsq / static_cast<double>(n) - m * m));
+  }
+  std::string Show() const {
+    return Fmt(mean()) + "±" + Fmt(stddev(), 2);
+  }
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 2", "Quality and running time: ASQP-RL and ASQP-Light "
+              "vs all baselines on IMDB and MAS (mean±std over 3 "
+              "train/test partitions)");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const size_t kPartitions = BenchScale() == 0 ? 1 : 3;
+
+  const std::vector<int> widths = {10, 14, 10, 14};
+  for (const std::string& dataset : {std::string("imdb"), std::string("mas")}) {
+    const data::DatasetBundle bundle = LoadDataset(dataset, setup);
+    const metric::Workload usable =
+        FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+
+    // Row label -> aggregated columns across partitions.
+    std::vector<std::string> row_order = {"ASQP-RL", "ASQP-Light", "VAE"};
+    for (const auto& s : baselines::AllBaselines()) row_order.push_back(s->name());
+    std::map<std::string, Agg> score, setup_time, query_avg;
+
+    for (size_t part = 0; part < kPartitions; ++part) {
+      util::Rng rng(setup.seed + part * 1000);
+      auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+      if (part == 0) {
+        std::printf("--- dataset %s: %zu tuples, %zu train / %zu test "
+                    "queries, k=%zu F=%d ---\n",
+                    dataset.c_str(), bundle.db->TotalRows(), train.size(),
+                    test.size(), setup.k, setup.frame_size);
+      }
+
+      {
+        core::AsqpConfig config = MakeAsqpConfig(setup, false);
+        config.seed = setup.seed + part;
+        AsqpRun full = RunAsqp(bundle, train, test, config);
+        score["ASQP-RL"].Add(full.eval.score);
+        setup_time["ASQP-RL"].Add(full.setup_seconds);
+        query_avg["ASQP-RL"].Add(full.eval.query_avg_seconds * 1e3);
+
+        core::AsqpConfig light = MakeAsqpConfig(setup, true);
+        light.seed = setup.seed + part;
+        AsqpRun light_run = RunAsqp(bundle, train, test, light);
+        score["ASQP-Light"].Add(light_run.eval.score);
+        setup_time["ASQP-Light"].Add(light_run.setup_seconds);
+        query_avg["ASQP-Light"].Add(light_run.eval.query_avg_seconds * 1e3);
+      }
+      {
+        const VaeEval vae = RunVaeBaseline(bundle, test, setup.k,
+                                           setup.frame_size,
+                                           setup.seed + part);
+        score["VAE"].Add(vae.score);
+        setup_time["VAE"].Add(vae.setup_seconds);
+        query_avg["VAE"].Add(vae.query_avg_seconds * 1e3);
+      }
+      baselines::SelectorContext context;
+      context.db = bundle.db.get();
+      context.workload = &train;
+      context.k = setup.k;
+      context.frame_size = setup.frame_size;
+      context.seed = setup.seed + part;
+      for (const auto& selector : baselines::AllBaselines()) {
+        context.deadline =
+            util::Deadline::AfterSeconds(setup.baseline_deadline_s);
+        util::Stopwatch watch;
+        auto set = selector->Select(context);
+        const double setup_s = watch.ElapsedSeconds();
+        if (!set.ok()) continue;
+        const SubsetEval eval =
+            EvaluateSubset(*bundle.db, test, set.value(), setup.frame_size);
+        score[selector->name()].Add(eval.score);
+        setup_time[selector->name()].Add(setup_s);
+        query_avg[selector->name()].Add(eval.query_avg_seconds * 1e3);
+      }
+    }
+
+    PrintRow({"Baseline", "Score", "setup(s)", "QueryAvg(ms)"}, widths);
+    for (const std::string& name : row_order) {
+      if (score[name].n == 0) {
+        PrintRow({name, "N/A", "N/A", "N/A"}, widths);
+        continue;
+      }
+      PrintRow({name, score[name].Show(), Fmt(setup_time[name].mean(), 1),
+                Fmt(query_avg[name].mean(), 2)},
+               widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 3: RL ablation — environments {GSL, DRP, DRP+GSL} x agents
+// {ASQP-RL (PPO+actor-critic), -ppo (A2C), -ppo-ac (REINFORCE)} on IMDB
+// and MAS. Expected shape (paper): GSL dominates DRP and the hybrid;
+// within each environment the full PPO agent leads and stripping PPO and
+// then the critic costs quality; DRP also takes the longest wall-clock.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Figure 3",
+              "RL ablation: environment x agent (score / total time)");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+
+  const std::vector<int> widths = {10, 14, 8, 12};
+  for (const std::string& dataset : {std::string("imdb"), std::string("mas")}) {
+    const data::DatasetBundle bundle = LoadDataset(dataset, setup);
+    util::Rng rng(setup.seed);
+    const metric::Workload usable =
+        FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+    auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+    std::printf("--- dataset %s ---\n", dataset.c_str());
+    PrintRow({"Env", "Agent", "Score", "Time(s)"}, widths);
+
+    const struct {
+      core::EnvKind env;
+      const char* env_name;
+    } kEnvs[] = {{core::EnvKind::kGsl, "GSL"},
+                 {core::EnvKind::kDrp, "DRP"},
+                 {core::EnvKind::kHybrid, "DRP+GSL"}};
+    const struct {
+      rl::Algorithm algo;
+      const char* agent_name;
+    } kAgents[] = {{rl::Algorithm::kPpo, "ASQP-RL"},
+                   {rl::Algorithm::kA2c, "-ppo"},
+                   {rl::Algorithm::kReinforce, "-ppo-ac"}};
+
+    for (const auto& env : kEnvs) {
+      for (const auto& agent : kAgents) {
+        core::AsqpConfig config = MakeAsqpConfig(setup, false);
+        config.env = env.env;
+        config.trainer.algorithm = agent.algo;
+        // DRP needs a horizon proportional to the budget to have a chance
+        // to swap most of its random initialization.
+        config.drp_horizon = setup.k / 4;
+        config.hybrid_refine_horizon = setup.k / 8;
+        util::Stopwatch watch;
+        AsqpRun run = RunAsqp(bundle, train, test, config);
+        PrintRow({env.env_name, agent.agent_name, Fmt(run.eval.score),
+                  Fmt(watch.ElapsedSeconds(), 1)},
+                 widths);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 4: problem justification — cumulative average query time as a
+// data-exploration session progresses, for increasingly blown-up copies
+// of the IMDB database. Expected shape (paper): per-query cost grows with
+// database size; after a handful of complex queries the accumulated wait
+// on the larger copies becomes impractical, motivating approximation.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "sql/binder.h"
+#include "util/stopwatch.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Figure 4",
+              "Cumulative avg query time vs #queries for scaled IMDB copies");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+
+  const double kBlowups[] = {1.0, 2.0, 4.0, 8.0};
+  std::printf("%-8s", "queries");
+  for (double blow : kBlowups) std::printf("x%-11.0f", blow);
+  std::printf("   (cumulative avg ms per query)\n");
+
+  // Per-size cumulative series.
+  std::vector<std::vector<double>> cumavg(std::size(kBlowups));
+  size_t num_queries = 0;
+  for (size_t b = 0; b < std::size(kBlowups); ++b) {
+    data::DatasetOptions options;
+    options.scale = setup.data_scale * kBlowups[b];
+    options.workload_size = std::min<size_t>(setup.workload_size, 12);
+    options.seed = setup.seed;
+    const data::DatasetBundle bundle = data::MakeImdbJob(options);
+    num_queries = bundle.workload.size();
+
+    exec::QueryEngine engine;
+    storage::DatabaseView view(bundle.db.get());
+    double total = 0.0;
+    for (size_t i = 0; i < bundle.workload.size(); ++i) {
+      util::Stopwatch watch;
+      auto bound = sql::Bind(bundle.workload.query(i).stmt, *bundle.db);
+      if (bound.ok()) (void)engine.Execute(bound.value(), view);
+      total += watch.ElapsedSeconds() * 1e3;
+      cumavg[b].push_back(total / static_cast<double>(i + 1));
+    }
+  }
+
+  for (size_t i = 0; i < num_queries; ++i) {
+    std::printf("%-8zu", i + 1);
+    for (size_t b = 0; b < std::size(kBlowups); ++b) {
+      std::printf("%-12.2f", i < cumavg[b].size() ? cumavg[b][i] : 0.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 5: answerability-estimator quality — precision and recall of
+// "this query is answerable from the approximation set" predictions on
+// held-out queries, as the estimator's training exposure shrinks (100% ->
+// 50% of training queries). Also the two full-system variants of Section
+// 6.2: fall back to the database below estimate thresholds 0.6 / 0.8 and
+// report the resulting end-to-end score. Expected shape (paper): ~0.90
+// precision / 0.95 recall with full exposure, degrading gracefully to
+// ~0.75 / 0.85 at 50%; higher fallback thresholds raise the score at the
+// cost of more database queries.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "metric/score.h"
+#include "util/random.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Figure 5", "Answerability estimator precision/recall and "
+              "full-system fallback variants");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("imdb", setup);
+  util::Rng rng(setup.seed);
+  const metric::Workload usable =
+      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+  auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+
+  metric::ScoreEvaluator evaluator(
+      bundle.db.get(), metric::ScoreOptions{.frame_size = setup.frame_size});
+
+  PrintRow({"train-frac", "precision", "recall", "accuracy"},
+           {12, 10, 10, 10});
+  std::unique_ptr<core::AsqpModel> full_model;
+  for (double fraction : {1.0, 0.75, 0.5}) {
+    const metric::Workload reduced = train.Truncate(
+        std::max<size_t>(1, static_cast<size_t>(fraction * train.size())));
+    AsqpRun run = RunAsqp(bundle, reduced, test, MakeAsqpConfig(setup, false));
+    if (run.model == nullptr) continue;
+
+    // Ground truth per test query: actual coverage >= 0.5 == answerable.
+    size_t tp = 0, fp = 0, fn = 0, tn = 0;
+    for (const auto& wq : test.queries()) {
+      auto actual =
+          evaluator.QueryScore(wq.stmt, run.model->approximation_set());
+      if (!actual.ok()) continue;
+      const bool truly_answerable = actual.value() >= 0.5;
+      const bool predicted =
+          run.model->EstimateAnswerability(wq.stmt) >= 0.5;
+      if (predicted && truly_answerable) ++tp;
+      else if (predicted && !truly_answerable) ++fp;
+      else if (!predicted && truly_answerable) ++fn;
+      else ++tn;
+    }
+    const double precision =
+        tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+    const double recall =
+        tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+    const double accuracy =
+        static_cast<double>(tp + tn) / std::max<size_t>(1, tp + fp + fn + tn);
+    PrintRow({Fmt(fraction, 2), Fmt(precision, 2), Fmt(recall, 2),
+              Fmt(accuracy, 2)},
+             {12, 10, 10, 10});
+    if (fraction == 1.0) full_model = std::move(run.model);
+  }
+
+  // Full-system variants: query the database whenever the estimate falls
+  // below the threshold; report blended score and average latency.
+  if (full_model != nullptr) {
+    std::printf("\nfull system with database fallback:\n");
+    PrintRow({"threshold", "score", "db-fallbacks"}, {12, 10, 14});
+    for (double threshold : {0.0, 0.6, 0.8}) {
+      double score = 0.0;
+      size_t fallbacks = 0;
+      for (const auto& wq : test.queries()) {
+        const double estimate = full_model->EstimateAnswerability(wq.stmt);
+        if (estimate < threshold) {
+          ++fallbacks;
+          score += wq.weight * 1.0;  // exact answer from the database
+        } else {
+          auto actual = evaluator.QueryScore(
+              wq.stmt, full_model->approximation_set());
+          score += wq.weight * actual.ValueOr(0.0);
+        }
+      }
+      PrintRow({Fmt(threshold, 1), Fmt(score), std::to_string(fallbacks)},
+               {12, 10, 14});
+    }
+  }
+  return 0;
+}

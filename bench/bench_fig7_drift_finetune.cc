@@ -1,0 +1,117 @@
+// Figure 7: interest-drift fine-tuning — the session's interest moves
+// through three genuinely distinct clusters (MAS research areas:
+// databases -> ml -> systems). The system trains on the first cluster,
+// is then queried with the next cluster's queries (the estimator flags
+// them and the drift trigger fires), and fine-tunes. Expected shape
+// (paper): quality on each new interest is poor before and jumps sharply
+// after its fine-tune.
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "metric/score.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+namespace {
+
+/// Template-built interest cluster over one research area: every query
+/// filters venues to the area, so coverage demands area-specific tuples.
+metric::Workload AreaCluster(const std::string& area) {
+  std::vector<std::string> sqls = {
+      util::Format("SELECT p.title, p.citations FROM publication p, venue v "
+                   "WHERE p.venue_id = v.id AND v.area = '%s' AND "
+                   "p.citations > 10",
+                   area.c_str()),
+      util::Format("SELECT p.title, p.year FROM publication p, venue v WHERE "
+                   "p.venue_id = v.id AND v.area = '%s' AND p.year >= 2010",
+                   area.c_str()),
+      util::Format("SELECT v.name, p.title FROM publication p, venue v WHERE "
+                   "p.venue_id = v.id AND v.area = '%s' AND "
+                   "v.type = 'conference'",
+                   area.c_str()),
+      util::Format("SELECT p.title FROM publication p, venue v WHERE "
+                   "p.venue_id = v.id AND v.area = '%s' AND "
+                   "p.citations BETWEEN 5 AND 60",
+                   area.c_str()),
+      util::Format("SELECT a.name, p.title FROM author a, writes w, "
+                   "publication p, venue v WHERE w.author_id = a.id AND "
+                   "w.pub_id = p.id AND p.venue_id = v.id AND v.area = '%s'",
+                   area.c_str()),
+      util::Format("SELECT p.title, p.citations FROM publication p, venue v "
+                   "WHERE p.venue_id = v.id AND v.area = '%s' AND "
+                   "p.year <= 2005",
+                   area.c_str()),
+  };
+  return metric::Workload::FromSql(sqls).ValueOr(metric::Workload{});
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7",
+              "Interest drift: quality before/after fine-tuning per cluster");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("mas", setup);
+
+  const std::vector<std::string> areas = {"databases", "ml", "systems"};
+  std::vector<metric::Workload> cluster_train;
+  std::vector<metric::Workload> cluster_test;
+  for (const std::string& area : areas) {
+    metric::Workload cluster =
+        FilterNonEmpty(*bundle.db, AreaCluster(area), setup.frame_size);
+    util::Rng rng(setup.seed + util::Fnv1a(area));
+    auto [train, test] = cluster.TrainTestSplit(0.6, &rng);
+    cluster_train.push_back(std::move(train));
+    cluster_test.push_back(std::move(test));
+  }
+
+  metric::ScoreEvaluator evaluator(
+      bundle.db.get(), metric::ScoreOptions{.frame_size = setup.frame_size});
+
+  core::AsqpConfig config = MakeAsqpConfig(setup, false);
+  core::AsqpTrainer trainer(config);
+  auto report = trainer.Train(*bundle.db, cluster_train[0]);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  core::AsqpModel& model = *report->model;
+
+  auto print_state = [&](const std::string& stage) {
+    std::vector<std::string> row = {stage};
+    for (size_t c = 0; c < areas.size(); ++c) {
+      row.push_back(Fmt(evaluator
+                            .Score(cluster_test[c], model.approximation_set())
+                            .ValueOr(0.0)));
+    }
+    PrintRow(row, {26, 10, 10, 10});
+  };
+
+  PrintRow({"stage", "databases", "ml", "systems"}, {26, 10, 10, 10});
+  print_state("trained on databases");
+
+  for (size_t c = 1; c < areas.size(); ++c) {
+    // The whole drifted session arrives through the mediator (train and
+    // test queries alike) so the 3-query drift trigger can accumulate.
+    size_t to_db = 0;
+    size_t arrived = 0;
+    for (const auto* part : {&cluster_train[c], &cluster_test[c]}) {
+      for (const auto& wq : part->queries()) {
+        auto answer = model.Answer(wq.stmt);
+        ++arrived;
+        if (answer.ok() && !answer->used_approximation) ++to_db;
+      }
+    }
+    std::printf("  %s queries arrive: %zu/%zu routed to the database, drift "
+                "trigger %s\n",
+                areas[c].c_str(), to_db, arrived,
+                model.NeedsFineTuning() ? "FIRED" : "not fired");
+    if (!model.FineTune(cluster_train[c]).ok()) continue;
+    print_state("fine-tuned on " + areas[c]);
+  }
+  return 0;
+}

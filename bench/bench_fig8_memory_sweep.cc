@@ -1,0 +1,63 @@
+// Figure 8: effect of the memory budget k on quality, for ASQP-RL and all
+// baselines. Expected shape (paper): every method improves with k;
+// ASQP-RL dominates at every budget and reaches ~0.8 at the largest k
+// while the best baselines plateau ~0.2 lower.
+#include <cstdio>
+
+#include "baselines/selector.h"
+#include "common/bench_common.h"
+#include "util/random.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Figure 8", "Quality vs memory budget k (IMDB)");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("imdb", setup);
+  util::Rng rng(setup.seed);
+  const metric::Workload usable =
+      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+  auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+
+  // Paper sweep is {1k, 5k, 10k, 15k} on 34M tuples; scale the sweep to
+  // the same fractions of our database.
+  std::vector<size_t> ks = {setup.k / 4, setup.k / 2, setup.k, setup.k * 2};
+
+  std::vector<std::string> header = {"Baseline"};
+  for (size_t k : ks) header.push_back("k=" + std::to_string(k));
+  const std::vector<int> widths(header.size(), 10);
+  PrintRow(header, widths);
+
+  {
+    std::vector<std::string> row = {"ASQP-RL"};
+    for (size_t k : ks) {
+      core::AsqpConfig config = MakeAsqpConfig(setup, false);
+      config.k = k;
+      AsqpRun run = RunAsqp(bundle, train, test, config);
+      row.push_back(Fmt(run.eval.score));
+    }
+    PrintRow(row, widths);
+  }
+  for (const auto& selector : baselines::AllBaselines()) {
+    std::vector<std::string> row = {selector->name()};
+    for (size_t k : ks) {
+      baselines::SelectorContext context;
+      context.db = bundle.db.get();
+      context.workload = &train;
+      context.k = k;
+      context.frame_size = setup.frame_size;
+      context.seed = setup.seed;
+      context.deadline =
+          util::Deadline::AfterSeconds(setup.baseline_deadline_s);
+      auto set = selector->Select(context);
+      row.push_back(set.ok()
+                        ? Fmt(EvaluateSubset(*bundle.db, test, set.value(),
+                                             setup.frame_size)
+                                  .score)
+                        : "N/A");
+    }
+    PrintRow(row, widths);
+  }
+  return 0;
+}

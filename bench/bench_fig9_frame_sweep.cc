@@ -1,0 +1,59 @@
+// Figure 9: effect of the frame size F on quality at a fixed memory
+// budget. Expected shape (paper): larger F makes the problem harder (more
+// tuples needed per query), so every method degrades; ASQP-RL degrades
+// most gracefully and stays on top across the sweep.
+#include <cstdio>
+
+#include "baselines/selector.h"
+#include "common/bench_common.h"
+#include "util/random.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+int main() {
+  PrintHeader("Figure 9", "Quality vs frame size F (IMDB, fixed k)");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("imdb", setup);
+  util::Rng rng(setup.seed);
+  const metric::Workload usable =
+      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+  auto [train, test] = usable.TrainTestSplit(0.7, &rng);
+
+  const std::vector<int> frames = {25, 50, 75, 100};
+  std::vector<std::string> header = {"Baseline"};
+  for (int f : frames) header.push_back("F=" + std::to_string(f));
+  const std::vector<int> widths(header.size(), 10);
+  PrintRow(header, widths);
+
+  {
+    std::vector<std::string> row = {"ASQP-RL"};
+    for (int f : frames) {
+      core::AsqpConfig config = MakeAsqpConfig(setup, false);
+      config.frame_size = f;
+      AsqpRun run = RunAsqp(bundle, train, test, config);
+      row.push_back(Fmt(run.eval.score));
+    }
+    PrintRow(row, widths);
+  }
+  for (const auto& selector : baselines::AllBaselines()) {
+    std::vector<std::string> row = {selector->name()};
+    for (int f : frames) {
+      baselines::SelectorContext context;
+      context.db = bundle.db.get();
+      context.workload = &train;
+      context.k = setup.k;
+      context.frame_size = f;
+      context.seed = setup.seed;
+      context.deadline =
+          util::Deadline::AfterSeconds(setup.baseline_deadline_s);
+      auto set = selector->Select(context);
+      row.push_back(set.ok() ? Fmt(EvaluateSubset(*bundle.db, test,
+                                                  set.value(), f)
+                                       .score)
+                             : "N/A");
+    }
+    PrintRow(row, widths);
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) for the hot substrate paths that the
+// paper's end-to-end numbers rest on: hash join, Eq.-1 score evaluation,
+// query/tuple embedding, k-means, and one PPO policy step.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "common/bench_common.h"
+#include "embed/embedder.h"
+#include "metric/score.h"
+#include "nn/mlp.h"
+#include "sql/binder.h"
+#include "util/random.h"
+
+using namespace asqp;
+
+namespace {
+
+const data::DatasetBundle& Imdb() {
+  static const data::DatasetBundle* bundle = [] {
+    data::DatasetOptions options;
+    options.scale = 0.05;
+    options.workload_size = 10;
+    return new data::DatasetBundle(data::MakeImdbJob(options));
+  }();
+  return *bundle;
+}
+
+void BM_HashJoinTwoTables(benchmark::State& state) {
+  const auto& bundle = Imdb();
+  exec::QueryEngine engine;
+  storage::DatabaseView view(bundle.db.get());
+  auto bound = sql::ParseAndBind(
+      "SELECT t.name, ci.role FROM title t, cast_info ci "
+      "WHERE ci.movie_id = t.id AND t.production_year >= 2000",
+      *bundle.db);
+  for (auto _ : state) {
+    auto rs = engine.Execute(bound.value(), view);
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_HashJoinTwoTables);
+
+void BM_ThreeWayJoin(benchmark::State& state) {
+  const auto& bundle = Imdb();
+  exec::QueryEngine engine;
+  storage::DatabaseView view(bundle.db.get());
+  auto bound = sql::ParseAndBind(
+      "SELECT t.name, c.name FROM title t, movie_companies mc, company c "
+      "WHERE mc.movie_id = t.id AND mc.company_id = c.id AND t.rating > 7",
+      *bundle.db);
+  for (auto _ : state) {
+    auto rs = engine.Execute(bound.value(), view);
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_ThreeWayJoin);
+
+void BM_ScoreEvaluation(benchmark::State& state) {
+  const auto& bundle = Imdb();
+  util::Rng rng(3);
+  storage::ApproximationSet subset;
+  for (const std::string& name : bundle.db->TableNames()) {
+    auto t = bundle.db->GetTable(name).value();
+    for (size_t r : rng.SampleIndices(t->num_rows(), 100)) {
+      subset.Add(name, static_cast<uint32_t>(r));
+    }
+  }
+  subset.Seal();
+  for (auto _ : state) {
+    // Fresh evaluator: do not let the |q(T)| cache hide the work.
+    metric::ScoreEvaluator evaluator(bundle.db.get(),
+                                     metric::ScoreOptions{.frame_size = 25});
+    auto score = evaluator.Score(bundle.workload, subset);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_ScoreEvaluation);
+
+void BM_QueryEmbedding(benchmark::State& state) {
+  const auto& bundle = Imdb();
+  embed::QueryEmbedder embedder(64);
+  for (auto _ : state) {
+    for (const auto& wq : bundle.workload.queries()) {
+      benchmark::DoNotOptimize(embedder.Embed(wq.stmt));
+    }
+  }
+}
+BENCHMARK(BM_QueryEmbedding);
+
+void BM_TupleEmbedding(benchmark::State& state) {
+  const auto& bundle = Imdb();
+  auto title = bundle.db->GetTable("title").value();
+  embed::TupleEmbedder embedder(64);
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        embedder.EmbedRow(*title, static_cast<uint32_t>(row)));
+    row = (row + 1) % title->num_rows();
+  }
+}
+BENCHMARK(BM_TupleEmbedding);
+
+void BM_KMeans(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<embed::Vector> points;
+  for (int i = 0; i < 1000; ++i) {
+    embed::Vector v(32);
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+    points.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    auto result = cluster::KMeans(points, 16);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeans);
+
+void BM_PolicyForwardBackward(benchmark::State& state) {
+  // One PPO-sized actor step: state dim ~ 560, 2x128 hidden, 512 actions.
+  nn::Mlp actor({560, 128, 128, 512}, nn::Activation::kTanh, 1);
+  nn::Adam adam(&actor, {});
+  util::Rng rng(5);
+  std::vector<float> input(560);
+  for (float& v : input) v = static_cast<float>(rng.UniformDouble());
+  std::vector<float> grad(512, 0.001f);
+  for (auto _ : state) {
+    nn::Mlp::Cache cache;
+    auto out = actor.Forward(input, &cache);
+    benchmark::DoNotOptimize(out);
+    actor.Backward(cache, grad);
+    adam.Step();
+  }
+}
+BENCHMARK(BM_PolicyForwardBackward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,193 @@
+// Interactive demo (this is the system the demo paper presents): load a
+// dataset, train an approximation set, then explore with SQL. Every query
+// goes through the mediator; the prompt shows whether the answer came from
+// the approximation set or the full database, and fine-tuning can be
+// triggered when interests drift.
+//
+//   $ ./example_demo_cli [imdb|mas|flights]
+//
+// Commands:
+//   <SQL>            run a query through the mediator
+//   \full <SQL>      run a query on the full database (ground truth)
+//   \train [k]       (re)train the approximation set, optionally set k
+//   \finetune        fine-tune on the drifted queries observed so far
+//   \save <path>     save the approximation set
+//   \stats           database / model statistics
+//   \quit            exit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "io/io.h"
+#include "metric/score.h"
+#include "sql/binder.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+using namespace asqp;
+
+namespace {
+
+void PrintResult(const exec::ResultSet& rs, size_t max_rows = 15) {
+  std::string header;
+  for (const auto& name : rs.column_names()) {
+    header += name;
+    header += "  ";
+  }
+  std::printf("%s\n", header.c_str());
+  for (size_t r = 0; r < std::min(rs.num_rows(), max_rows); ++r) {
+    std::string line;
+    for (const auto& v : rs.row(r)) {
+      line += v.ToString();
+      line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  if (rs.num_rows() > max_rows) {
+    std::printf("... (%zu rows total)\n", rs.num_rows());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "imdb";
+  data::DatasetOptions options;
+  options.scale = 0.1;
+  options.workload_size = 30;
+  data::DatasetBundle bundle;
+  if (dataset == "mas") bundle = data::MakeMas(options);
+  else if (dataset == "flights") bundle = data::MakeFlights(options);
+  else bundle = data::MakeImdbJob(options);
+
+  std::printf("ASQP-RL demo — dataset '%s': %zu tuples across %zu tables\n",
+              bundle.name.c_str(), bundle.db->TotalRows(),
+              bundle.db->TableNames().size());
+  for (const auto& name : bundle.db->TableNames()) {
+    auto t = bundle.db->GetTable(name).value();
+    std::printf("  %-16s %zu rows, %zu columns\n", name.c_str(),
+                t->num_rows(), t->num_columns());
+  }
+  std::printf("type \\train to build an approximation set, then enter SQL.\n");
+
+  core::AsqpConfig config;
+  config.k = 600;
+  config.frame_size = 50;
+  config.trainer.iterations = 15;
+  std::unique_ptr<core::AsqpModel> model;
+  exec::QueryEngine engine;
+
+  std::string line;
+  while (std::printf("asqp> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    const std::string input(util::Trim(line));
+    if (input.empty()) continue;
+
+    if (input == "\\quit" || input == "\\q") break;
+
+    if (input == "\\stats") {
+      std::printf("k=%zu F=%d, model %s", config.k, config.frame_size,
+                  model ? "trained" : "not trained");
+      if (model) {
+        std::printf(", |S|=%zu tuples, drifted queries=%zu%s",
+                    model->approximation_set().TotalTuples(),
+                    model->drifted_query_count(),
+                    model->NeedsFineTuning() ? " [fine-tune recommended]" : "");
+      }
+      std::printf("\n");
+      continue;
+    }
+
+    if (util::StartsWith(input, "\\train")) {
+      const std::string arg(util::Trim(input.substr(6)));
+      if (!arg.empty()) config.k = std::strtoull(arg.c_str(), nullptr, 10);
+      std::printf("training (k=%zu, %zu workload queries)...\n", config.k,
+                  bundle.workload.size());
+      util::Stopwatch watch;
+      core::AsqpTrainer trainer(config);
+      auto report = trainer.Train(*bundle.db, bundle.workload);
+      if (!report.ok()) {
+        std::printf("training failed: %s\n",
+                    report.status().ToString().c_str());
+        continue;
+      }
+      model = std::move(report->model);
+      metric::ScoreEvaluator evaluator(
+          bundle.db.get(),
+          metric::ScoreOptions{.frame_size = config.frame_size});
+      std::printf("done in %.1fs; |S|=%zu tuples; workload score %.3f\n",
+                  watch.ElapsedSeconds(),
+                  model->approximation_set().TotalTuples(),
+                  evaluator.Score(bundle.workload, model->approximation_set())
+                      .ValueOr(0.0));
+      continue;
+    }
+
+    if (input == "\\finetune") {
+      if (!model) {
+        std::printf("train first (\\train)\n");
+        continue;
+      }
+      util::Stopwatch watch;
+      auto st = model->FineTune(metric::Workload{});
+      std::printf("%s (%.1fs)\n",
+                  st.ok() ? "fine-tuned on observed drifted queries"
+                          : st.ToString().c_str(),
+                  watch.ElapsedSeconds());
+      continue;
+    }
+
+    if (util::StartsWith(input, "\\save")) {
+      if (!model) {
+        std::printf("train first (\\train)\n");
+        continue;
+      }
+      const std::string path(util::Trim(input.substr(5)));
+      auto st = io::SaveApproximationSet(model->approximation_set(),
+                                         path.empty() ? "asqp_set.txt" : path);
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      continue;
+    }
+
+    if (util::StartsWith(input, "\\full")) {
+      const std::string sql(util::Trim(input.substr(5)));
+      util::Stopwatch watch;
+      storage::DatabaseView view(bundle.db.get());
+      auto rs = engine.ExecuteSql(sql, view);
+      if (!rs.ok()) {
+        std::printf("error: %s\n", rs.status().ToString().c_str());
+        continue;
+      }
+      std::printf("[full database, %.2fms]\n",
+                  watch.ElapsedSeconds() * 1e3);
+      PrintResult(rs.value());
+      continue;
+    }
+
+    // Default: a query through the mediator (or the full DB pre-training).
+    if (!model) {
+      storage::DatabaseView view(bundle.db.get());
+      auto rs = engine.ExecuteSql(input, view);
+      if (!rs.ok()) std::printf("error: %s\n", rs.status().ToString().c_str());
+      else PrintResult(rs.value());
+      continue;
+    }
+    util::Stopwatch watch;
+    auto answer = model->AnswerSql(input);
+    if (!answer.ok()) {
+      std::printf("error: %s\n", answer.status().ToString().c_str());
+      continue;
+    }
+    std::printf("[%s, answerability %.2f, %.2fms]\n",
+                answer->used_approximation ? "approximation set"
+                                           : "full database",
+                answer->answerability, watch.ElapsedSeconds() * 1e3);
+    PrintResult(answer->result);
+    if (model->NeedsFineTuning()) {
+      std::printf("(interest drift detected — \\finetune to adapt)\n");
+    }
+  }
+  return 0;
+}

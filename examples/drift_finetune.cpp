@@ -1,0 +1,89 @@
+// Interest drift (C5, Section 4.4): a MAS exploration session whose focus
+// shifts from database venues to ML venues mid-session. The estimator
+// flags the out-of-distribution queries, the drift trigger fires, and
+// fine-tuning re-aligns the approximation set.
+//
+//   $ ./example_drift_finetune
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "metric/score.h"
+
+using namespace asqp;
+
+int main() {
+  data::DatasetOptions data_options;
+  data_options.scale = 0.15;
+  data_options.seed = 3;
+  const data::DatasetBundle mas = data::MakeMas(data_options);
+
+  // Phase 1 interest: database publications.
+  auto db_interest = metric::Workload::FromSql({
+      "SELECT p.title, p.citations FROM publication p, venue v WHERE "
+      "p.venue_id = v.id AND v.area = 'databases' AND p.citations > 20",
+      "SELECT p.title, p.year FROM publication p, venue v WHERE "
+      "p.venue_id = v.id AND v.area = 'databases' AND p.year >= 2015",
+      "SELECT a.name, p.title FROM author a, writes w, publication p WHERE "
+      "w.author_id = a.id AND w.pub_id = p.id AND p.citations > 50",
+      "SELECT p.title FROM publication p, venue v WHERE p.venue_id = v.id "
+      "AND v.area = 'databases' AND v.type = 'conference'",
+  });
+  // Phase 2 interest (the drift): ML venues and prolific authors.
+  auto ml_interest = metric::Workload::FromSql({
+      "SELECT p.title, p.citations FROM publication p, venue v WHERE "
+      "p.venue_id = v.id AND v.area = 'ml' AND p.citations > 10",
+      "SELECT a.name, a.h_index FROM author a WHERE a.h_index > 40",
+      "SELECT p.title FROM publication p, venue v WHERE p.venue_id = v.id "
+      "AND v.area = 'ml' AND p.year >= 2018",
+      "SELECT a.name FROM author a, writes w WHERE w.author_id = a.id AND "
+      "a.h_index > 30 AND w.author_position = 1",
+  });
+  if (!db_interest.ok() || !ml_interest.ok()) return 1;
+
+  core::AsqpConfig config;
+  config.k = 500;
+  config.frame_size = 25;
+  config.trainer.iterations = 12;
+  core::AsqpTrainer trainer(config);
+  auto report = trainer.Train(*mas.db, *db_interest);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  core::AsqpModel& model = *report->model;
+
+  metric::ScoreEvaluator evaluator(
+      mas.db.get(), metric::ScoreOptions{.frame_size = config.frame_size});
+  std::printf("trained on the 'databases' interest:\n");
+  std::printf("  score on databases queries: %.3f\n",
+              evaluator.Score(*db_interest, model.approximation_set())
+                  .ValueOr(0.0));
+  std::printf("  score on ML queries (future drift): %.3f\n\n",
+              evaluator.Score(*ml_interest, model.approximation_set())
+                  .ValueOr(0.0));
+
+  // The session drifts: ML queries arrive one by one.
+  for (size_t i = 0; i < ml_interest->size(); ++i) {
+    auto answer = model.Answer(ml_interest->query(i).stmt);
+    if (!answer.ok()) continue;
+    std::printf("ML query %zu: answerability %.2f, served from %s%s\n", i,
+                answer->answerability,
+                answer->used_approximation ? "approximation" : "database",
+                model.NeedsFineTuning() ? "  [drift trigger fired]" : "");
+    if (model.NeedsFineTuning()) {
+      if (model.FineTune(*ml_interest).ok()) {
+        std::printf("\nfine-tuned on the drifted interest:\n");
+        std::printf("  score on ML queries: %.3f\n",
+                    evaluator.Score(*ml_interest, model.approximation_set())
+                        .ValueOr(0.0));
+        std::printf("  score on databases queries: %.3f\n",
+                    evaluator.Score(*db_interest, model.approximation_set())
+                        .ValueOr(0.0));
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Sum-Product Network over one table — the DeepDB-style comparator
+// [Hilprecht et al.] of Section 6.4. Structure learning alternates row
+// clustering (sum nodes) and independence-based column partitioning
+// (product nodes); leaves hold per-column histograms plus per-column
+// means, from which COUNT / SUM / AVG aggregates under conjunctive
+// predicates are estimated without touching the data.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/result_set.h"
+#include "sql/binder.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace aqp {
+
+struct SpnOptions {
+  /// Leaves are created below this many rows.
+  size_t min_instances = 512;
+  /// Absolute correlation above which two columns are dependent.
+  double correlation_threshold = 0.3;
+  size_t max_depth = 10;
+  size_t num_histogram_bins = 32;
+  uint64_t seed = 1;
+};
+
+/// \brief Conjunctive predicate on one column, the form the estimator
+/// understands: a numeric interval and/or a categorical value set.
+struct ColumnPredicate {
+  int col = -1;
+  // Numeric interval [lo, hi] (defaults = unbounded).
+  double lo = -1e300;
+  double hi = 1e300;
+  // Categorical membership (empty = any).
+  std::set<std::string> categories;
+  bool negate_categories = false;
+};
+
+class Spn {
+ public:
+  /// Learn an SPN from `table`.
+  static util::Result<Spn> Learn(const storage::Table& table,
+                                 const SpnOptions& options);
+
+  /// P(conjunction of predicates) under the model.
+  double Probability(const std::vector<ColumnPredicate>& predicates) const;
+
+  /// Estimated COUNT(*) under the predicates.
+  double EstimateCount(const std::vector<ColumnPredicate>& predicates) const;
+
+  /// Estimated SUM(measure_col) under the predicates.
+  double EstimateSum(int measure_col,
+                     const std::vector<ColumnPredicate>& predicates) const;
+
+  /// Estimated AVG(measure_col) under the predicates.
+  double EstimateAvg(int measure_col,
+                     const std::vector<ColumnPredicate>& predicates) const;
+
+  /// Estimated MIN/MAX(measure_col) under the predicates: the extreme
+  /// histogram bin with appreciable surviving mass across the mixture.
+  double EstimateMin(int measure_col,
+                     const std::vector<ColumnPredicate>& predicates) const;
+  double EstimateMax(int measure_col,
+                     const std::vector<ColumnPredicate>& predicates) const;
+
+  /// Estimate a bound single-table aggregate query (COUNT/SUM/AVG items,
+  /// optional single-column GROUP BY) into a ResultSet shaped like the
+  /// executor's output, so metric::RelativeError can compare them.
+  util::Result<exec::ResultSet> EstimateAggregateQuery(
+      const sql::BoundQuery& query) const;
+
+  /// Convert a bound query's single-table filters into ColumnPredicates.
+  /// Fails on predicate forms outside the supported conjunctive subset.
+  static util::Result<std::vector<ColumnPredicate>> PredicatesFromQuery(
+      const sql::BoundQuery& query);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t table_rows() const { return total_rows_; }
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  struct Histogram {
+    // Numeric: equi-width bins with counts plus per-bin measure means.
+    bool is_numeric = false;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<double> counts;  // per bin / per category
+    std::vector<std::string> categories;  // categorical labels
+    size_t total = 0;
+    size_t nulls = 0;
+
+    /// P(predicate) under this 1-D marginal.
+    double Selectivity(const ColumnPredicate& predicate) const;
+  };
+
+  struct Node {
+    enum class Kind { kLeaf, kSum, kProduct } kind = Kind::kLeaf;
+    size_t rows = 0;
+    // Sum: weighted children over the same columns.
+    std::vector<NodePtr> children;
+    std::vector<double> weights;
+    // Product: children over disjoint column sets.
+    std::vector<std::vector<int>> child_columns;
+    // Leaf: per-column marginals + numeric means (indexed by column id).
+    std::vector<int> columns;
+    std::vector<Histogram> histograms;   // aligned with `columns`
+    std::vector<double> numeric_means;   // aligned with `columns`
+  };
+
+  /// E[ measure * 1(predicates) ] contribution, relative (per row).
+  struct Moment {
+    double probability = 0.0;
+    double expected_measure = 0.0;  // E[measure * indicator]
+  };
+  Moment Evaluate(const Node& node,
+                  const std::vector<ColumnPredicate>& predicates,
+                  int measure_col) const;
+
+  struct ExtremeResult {
+    double probability = 0.0;
+    bool has_value = false;
+    double value = 0.0;
+  };
+  ExtremeResult EvaluateExtreme(const Node& node, int measure_col,
+                                const std::vector<ColumnPredicate>& predicates,
+                                bool want_min) const;
+
+  NodePtr root_;
+  size_t total_rows_ = 0;
+  size_t num_nodes_ = 0;
+  const storage::Table* table_ = nullptr;  // schema reference only
+  storage::Schema schema_;
+};
+
+}  // namespace aqp
+}  // namespace asqp

@@ -1,0 +1,254 @@
+#include "aqp/vae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace aqp {
+
+std::vector<float> TabularVae::EncodeRow(const storage::Table& table,
+                                         size_t row) const {
+  std::vector<float> x;
+  x.reserve(input_dim_);
+  for (size_t c = 0; c < codecs_.size(); ++c) {
+    const ColumnCodec& codec = codecs_[c];
+    const storage::Column& col = table.column(c);
+    if (codec.is_numeric) {
+      const double v = col.IsNull(row) ? codec.mean : col.NumericAt(row);
+      x.push_back(static_cast<float>((v - codec.mean) / codec.stddev));
+    } else {
+      // One-hot over top values + trailing "other" slot.
+      size_t slot = codec.values.size();  // other
+      if (!col.IsNull(row)) {
+        const std::string& v = col.StringAt(row);
+        for (size_t i = 0; i < codec.values.size(); ++i) {
+          if (codec.values[i] == v) {
+            slot = i;
+            break;
+          }
+        }
+      }
+      for (size_t i = 0; i <= codec.values.size(); ++i) {
+        x.push_back(i == slot ? 1.0f : 0.0f);
+      }
+    }
+  }
+  return x;
+}
+
+util::Result<TabularVae> TabularVae::Fit(const storage::Table& table,
+                                         const VaeOptions& options) {
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("cannot fit a VAE to an empty table");
+  }
+  TabularVae vae;
+  vae.table_name_ = table.name();
+  vae.schema_ = table.schema();
+  vae.options_ = options;
+
+  // Column codecs from statistics.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const storage::Column& col = table.column(c);
+    ColumnCodec codec;
+    if (col.type() == storage::ValueType::kString) {
+      codec.is_numeric = false;
+      // Frequency-ranked top values.
+      std::vector<std::pair<size_t, uint32_t>> freq;
+      std::vector<size_t> counts(col.dict_size(), 0);
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (!col.IsNull(r)) ++counts[col.StringCodeAt(r)];
+      }
+      for (uint32_t code = 0; code < counts.size(); ++code) {
+        if (counts[code] > 0) freq.emplace_back(counts[code], code);
+      }
+      std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      });
+      const size_t keep = std::min(options.max_categories, freq.size());
+      for (size_t i = 0; i < keep; ++i) {
+        codec.values.push_back(col.dict_entry(freq[i].second));
+      }
+      vae.input_dim_ += codec.values.size() + 1;
+    } else {
+      codec.is_numeric = true;
+      double sum = 0.0, sumsq = 0.0;
+      size_t n = 0;
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (col.IsNull(r)) continue;
+        const double v = col.NumericAt(r);
+        sum += v;
+        sumsq += v * v;
+        ++n;
+      }
+      if (n > 0) {
+        codec.mean = sum / static_cast<double>(n);
+        codec.stddev = std::sqrt(std::max(
+            1e-9, sumsq / static_cast<double>(n) - codec.mean * codec.mean));
+      }
+      if (codec.stddev < 1e-9) codec.stddev = 1.0;
+      vae.input_dim_ += 1;
+    }
+    vae.codecs_.push_back(std::move(codec));
+  }
+
+  const size_t latent = options.latent_dim;
+  vae.encoder_ = std::make_shared<nn::Mlp>(
+      std::vector<size_t>{vae.input_dim_, options.hidden_dim, 2 * latent},
+      nn::Activation::kTanh, options.seed);
+  vae.decoder_ = std::make_shared<nn::Mlp>(
+      std::vector<size_t>{latent, options.hidden_dim, vae.input_dim_},
+      nn::Activation::kTanh, options.seed ^ 0xDECULL);
+
+  nn::Adam::Options opt;
+  opt.lr = options.learning_rate;
+  nn::Adam enc_opt(vae.encoder_.get(), opt);
+  nn::Adam dec_opt(vae.decoder_.get(), opt);
+
+  util::Rng rng(options.seed);
+  std::vector<size_t> rows = rng.SampleIndices(
+      table.num_rows(), std::min(table.num_rows(), options.max_training_rows));
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&rows);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < rows.size(); start += options.batch_size) {
+      const size_t end = std::min(rows.size(), start + options.batch_size);
+      const float inv_b = 1.0f / static_cast<float>(end - start);
+      double batch_loss = 0.0;
+      vae.encoder_->ZeroGrad();
+      vae.decoder_->ZeroGrad();
+      for (size_t i = start; i < end; ++i) {
+        const std::vector<float> x = vae.EncodeRow(table, rows[i]);
+        nn::Mlp::Cache enc_cache;
+        const std::vector<float> enc_out =
+            vae.encoder_->Forward(x, &enc_cache);
+        // Reparameterization.
+        std::vector<float> z(latent), eps(latent), sigma(latent);
+        for (size_t l = 0; l < latent; ++l) {
+          const float mu = enc_out[l];
+          const float logvar = std::clamp(enc_out[latent + l], -8.0f, 8.0f);
+          sigma[l] = std::exp(0.5f * logvar);
+          eps[l] = static_cast<float>(rng.Normal());
+          z[l] = mu + sigma[l] * eps[l];
+        }
+        nn::Mlp::Cache dec_cache;
+        const std::vector<float> xhat =
+            vae.decoder_->Forward(z, &dec_cache);
+
+        // Reconstruction loss + gradient wrt decoder output.
+        std::vector<float> dxhat(vae.input_dim_, 0.0f);
+        size_t offset = 0;
+        double recon = 0.0;
+        for (const ColumnCodec& codec : vae.codecs_) {
+          if (codec.is_numeric) {
+            const float err = xhat[offset] - x[offset];
+            recon += 0.5 * err * err;
+            dxhat[offset] = err;
+            ++offset;
+          } else {
+            // Softmax cross-entropy over the one-hot block.
+            const size_t card = codec.values.size() + 1;
+            float max_logit = xhat[offset];
+            for (size_t s = 1; s < card; ++s) {
+              max_logit = std::max(max_logit, xhat[offset + s]);
+            }
+            double total = 0.0;
+            for (size_t s = 0; s < card; ++s) {
+              total += std::exp(xhat[offset + s] - max_logit);
+            }
+            for (size_t s = 0; s < card; ++s) {
+              const double p =
+                  std::exp(xhat[offset + s] - max_logit) / total;
+              dxhat[offset + s] = static_cast<float>(p - x[offset + s]);
+              if (x[offset + s] > 0.5f) recon -= std::log(std::max(p, 1e-12));
+            }
+            offset += card;
+          }
+        }
+        for (float& g : dxhat) g *= inv_b;
+        vae.decoder_->Backward(dec_cache, dxhat);
+
+        // Gradient into the latent (input-only pass: Backward above
+        // already accumulated the decoder's parameter gradients).
+        const std::vector<float> dz =
+            vae.decoder_->BackwardInput(dec_cache, dxhat);
+
+        // KL divergence + encoder gradients.
+        std::vector<float> denc(2 * latent, 0.0f);
+        double kl = 0.0;
+        for (size_t l = 0; l < latent; ++l) {
+          const float mu = enc_out[l];
+          const float logvar = std::clamp(enc_out[latent + l], -8.0f, 8.0f);
+          kl += 0.5 * (mu * mu + std::exp(logvar) - 1.0 - logvar);
+          // dz/dmu = 1 ; dz/dlogvar = 0.5 * sigma * eps.
+          denc[l] = dz[l] + static_cast<float>(options.beta) * mu * inv_b;
+          denc[latent + l] =
+              dz[l] * 0.5f * sigma[l] * eps[l] +
+              static_cast<float>(options.beta) * 0.5f *
+                  (std::exp(logvar) - 1.0f) * inv_b;
+        }
+        vae.encoder_->Backward(enc_cache, denc);
+        batch_loss += recon + options.beta * kl;
+      }
+      enc_opt.Step();
+      dec_opt.Step();
+      epoch_loss += batch_loss / static_cast<double>(end - start);
+      ++batches;
+    }
+    vae.final_loss_ = epoch_loss / std::max<size_t>(1, batches);
+  }
+  return vae;
+}
+
+util::Result<std::shared_ptr<storage::Table>> TabularVae::Generate(
+    size_t n, uint64_t seed) const {
+  util::Rng rng(seed);
+  auto out = std::make_shared<storage::Table>(table_name_, schema_);
+  const size_t latent = options_.latent_dim;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> z(latent);
+    for (float& v : z) v = static_cast<float>(rng.Normal());
+    const std::vector<float> xhat = decoder_->Forward(z);
+    std::vector<storage::Value> row;
+    size_t offset = 0;
+    for (size_t c = 0; c < codecs_.size(); ++c) {
+      const ColumnCodec& codec = codecs_[c];
+      if (codec.is_numeric) {
+        const double v =
+            static_cast<double>(xhat[offset]) * codec.stddev + codec.mean;
+        if (schema_.field(c).type == storage::ValueType::kInt64) {
+          row.emplace_back(static_cast<int64_t>(std::llround(v)));
+        } else {
+          row.emplace_back(v);
+        }
+        ++offset;
+      } else {
+        const size_t card = codec.values.size() + 1;
+        // Sample from the softmax over the block.
+        float max_logit = xhat[offset];
+        for (size_t s = 1; s < card; ++s) {
+          max_logit = std::max(max_logit, xhat[offset + s]);
+        }
+        std::vector<double> weights(card);
+        for (size_t s = 0; s < card; ++s) {
+          weights[s] = std::exp(xhat[offset + s] - max_logit);
+        }
+        size_t slot = rng.WeightedIndex(weights);
+        if (slot >= codec.values.size()) slot = 0;  // "other" -> mode
+        row.emplace_back(codec.values.empty() ? std::string("?")
+                                              : codec.values[slot]);
+        offset += card;
+      }
+    }
+    ASQP_RETURN_NOT_OK(out->AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace aqp
+}  // namespace asqp

@@ -1,0 +1,72 @@
+// Tabular Variational Autoencoder — the gAQP-style generative AQP
+// comparator [Thirumuruganathan et al.] and the VAE baseline of Figure 2.
+// Numeric columns are standardized; categorical columns are one-hot over
+// their top values. Encoder/decoder are small MLPs trained with the
+// reparameterization trick; Generate() decodes Gaussian latents into a
+// synthetic table with the same schema, on which queries are executed
+// with the real engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace aqp {
+
+struct VaeOptions {
+  size_t latent_dim = 8;
+  size_t hidden_dim = 64;
+  size_t epochs = 20;
+  size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  /// KL weight (beta-VAE).
+  double beta = 0.5;
+  /// Categorical columns keep this many top values (+ "other").
+  size_t max_categories = 24;
+  /// Training rows are subsampled to this cap.
+  size_t max_training_rows = 20000;
+  uint64_t seed = 1;
+};
+
+class TabularVae {
+ public:
+  /// Fit a VAE to `table`.
+  static util::Result<TabularVae> Fit(const storage::Table& table,
+                                      const VaeOptions& options);
+
+  /// Decode `n` Gaussian latents into a synthetic table named like the
+  /// original (same schema).
+  util::Result<std::shared_ptr<storage::Table>> Generate(size_t n,
+                                                         uint64_t seed) const;
+
+  /// Mean training loss of the final epoch (reconstruction + beta * KL).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  struct ColumnCodec {
+    bool is_numeric = false;
+    // Numeric: standardization.
+    double mean = 0.0;
+    double stddev = 1.0;
+    // Categorical: top values; last slot is "other".
+    std::vector<std::string> values;
+  };
+
+  std::string table_name_;
+  storage::Schema schema_;
+  std::vector<ColumnCodec> codecs_;
+  size_t input_dim_ = 0;
+  VaeOptions options_;
+  std::shared_ptr<nn::Mlp> encoder_;  // x -> (mu, logvar)
+  std::shared_ptr<nn::Mlp> decoder_;  // z -> x_hat
+  double final_loss_ = 0.0;
+
+  std::vector<float> EncodeRow(const storage::Table& table, size_t row) const;
+};
+
+}  // namespace aqp
+}  // namespace asqp

@@ -1,0 +1,258 @@
+// Naive baselines: RAN (random sampling), TOP (top queried tuples),
+// BRT (time-capped brute force), GRE (time-capped greedy).
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "baselines/provenance_pool.h"
+#include "baselines/selector.h"
+
+namespace asqp {
+namespace baselines {
+
+namespace {
+
+using storage::ApproximationSet;
+using util::Result;
+
+/// Helper: all (table, row) pairs of the database, deterministic order.
+std::vector<std::pair<std::string, uint32_t>> AllTuples(
+    const storage::Database& db) {
+  std::vector<std::pair<std::string, uint32_t>> out;
+  for (const std::string& name : db.TableNames()) {
+    auto t = db.GetTable(name).value();
+    for (uint32_t r = 0; r < t->num_rows(); ++r) out.emplace_back(name, r);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- RAN
+
+class RandomSelector : public SubsetSelector {
+ public:
+  std::string name() const override { return "RAN"; }
+
+  Result<ApproximationSet> Select(const SelectorContext& context) const override {
+    util::Rng rng(context.seed);
+    const auto all = AllTuples(*context.db);
+    ApproximationSet out;
+    for (size_t i : rng.SampleIndices(all.size(), context.k)) {
+      out.Add(all[i].first, all[i].second);
+    }
+    out.Seal();
+    return out;
+  }
+};
+
+// ------------------------------------------------------------------- TOP
+
+/// Rank base tuples by how many workload queries' results they appear in;
+/// keep the most-queried tuples first.
+class TopQueriedSelector : public SubsetSelector {
+ public:
+  std::string name() const override { return "TOP"; }
+
+  Result<ApproximationSet> Select(const SelectorContext& context) const override {
+    ASQP_ASSIGN_OR_RETURN(
+        ProvenancePool pool,
+        CollectProvenance(*context.db, *context.workload, context.frame_size,
+                          /*max_combos_per_query=*/20000));
+    // Count distinct queries per base tuple.
+    std::map<std::pair<uint32_t, uint32_t>, uint32_t> query_count;
+    for (size_t q = 0; q < pool.combos.size(); ++q) {
+      std::map<std::pair<uint32_t, uint32_t>, bool> seen_in_q;
+      for (const Combo& combo : pool.combos[q]) {
+        for (const auto& row : combo.rows) {
+          if (!seen_in_q.count(row)) {
+            seen_in_q.emplace(row, true);
+            ++query_count[row];
+          }
+        }
+      }
+    }
+    std::vector<std::pair<uint32_t, std::pair<uint32_t, uint32_t>>> ranked;
+    ranked.reserve(query_count.size());
+    for (const auto& [row, count] : query_count) ranked.emplace_back(count, row);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    ApproximationSet out;
+    size_t taken = 0;
+    for (const auto& [count, row] : ranked) {
+      if (taken >= context.k) break;
+      out.Add(pool.table_names[row.first], row.second);
+      ++taken;
+    }
+    out.Seal();
+    return out;
+  }
+};
+
+// ------------------------------------------------------------------- BRT
+
+/// Exhaustive search, necessarily time-capped: enumerate random candidate
+/// subsets of result combos (the only tuples that can ever score) and keep
+/// the best under the pool's coverage score. With an unlimited deadline
+/// this converges to the optimum; in practice the cap binds long before.
+class BruteForceSelector : public SubsetSelector {
+ public:
+  std::string name() const override { return "BRT"; }
+
+  Result<ApproximationSet> Select(const SelectorContext& context) const override {
+    ASQP_ASSIGN_OR_RETURN(
+        ProvenancePool pool,
+        CollectProvenance(*context.db, *context.workload, context.frame_size,
+                          /*max_combos_per_query=*/5000));
+    util::Rng rng(context.seed);
+
+    // Flatten combos.
+    struct Entry {
+      size_t query;
+      const Combo* combo;
+      uint32_t cost;
+    };
+    std::vector<Entry> entries;
+    for (size_t q = 0; q < pool.combos.size(); ++q) {
+      for (const Combo& c : pool.combos[q]) {
+        entries.push_back({q, &c, static_cast<uint32_t>(c.rows.size())});
+      }
+    }
+    if (entries.empty()) {
+      ApproximationSet empty;
+      empty.Seal();
+      return empty;
+    }
+
+    std::vector<size_t> best_selection;
+    double best_score = -1.0;
+    size_t trials = 0;
+    // Keep trying random budget-filling subsets until the deadline.
+    while (trials == 0 || (!context.deadline.Expired() && trials < 1000000)) {
+      ++trials;
+      std::vector<size_t> order(entries.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.Shuffle(&order);
+
+      std::vector<size_t> chosen_per_query(pool.combos.size(), 0);
+      std::vector<size_t> selection;
+      size_t used = 0;
+      for (size_t idx : order) {
+        const Entry& e = entries[idx];
+        if (used + e.cost > context.k) continue;
+        used += e.cost;  // upper bound: ignores sharing across combos
+        selection.push_back(idx);
+        ++chosen_per_query[e.query];
+        if (used >= context.k) break;
+      }
+      const double score = pool.Score(chosen_per_query);
+      if (score > best_score) {
+        best_score = score;
+        best_selection = std::move(selection);
+      }
+      if (trials % 32 == 0 && context.deadline.Expired()) break;
+    }
+
+    ApproximationSet out;
+    for (size_t idx : best_selection) {
+      for (const auto& [t, r] : entries[idx].combo->rows) {
+        out.Add(pool.table_names[t], r);
+      }
+    }
+    out.Seal();
+    return out;
+  }
+};
+
+// ------------------------------------------------------------------- GRE
+
+/// Greedy marginal gain: repeatedly add the result combo with the best
+/// score-gain per tuple cost, until the budget or the deadline binds.
+class GreedySelector : public SubsetSelector {
+ public:
+  std::string name() const override { return "GRE"; }
+
+  Result<ApproximationSet> Select(const SelectorContext& context) const override {
+    ASQP_ASSIGN_OR_RETURN(
+        ProvenancePool pool,
+        CollectProvenance(*context.db, *context.workload, context.frame_size,
+                          /*max_combos_per_query=*/5000));
+    struct Entry {
+      size_t query;
+      const Combo* combo;
+      bool taken = false;
+    };
+    std::vector<Entry> entries;
+    for (size_t q = 0; q < pool.combos.size(); ++q) {
+      for (const Combo& c : pool.combos[q]) entries.push_back({q, &c, false});
+    }
+
+    ApproximationSet out;
+    std::vector<size_t> chosen_per_query(pool.combos.size(), 0);
+    std::map<std::pair<uint32_t, uint32_t>, bool> in_set;
+    size_t used = 0;
+
+    while (used < context.k && !context.deadline.Expired()) {
+      double best_gain = 0.0;
+      size_t best_idx = entries.size();
+      size_t best_new_tuples = 0;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry& e = entries[i];
+        if (e.taken) continue;
+        // Marginal score gain of finishing this combo.
+        const double before =
+            std::min(1.0, static_cast<double>(chosen_per_query[e.query]) /
+                              pool.targets[e.query]);
+        const double after =
+            std::min(1.0, static_cast<double>(chosen_per_query[e.query] + 1) /
+                              pool.targets[e.query]);
+        const double gain = pool.weights[e.query] * (after - before);
+        if (gain <= 0.0) continue;
+        size_t new_tuples = 0;
+        for (const auto& row : e.combo->rows) {
+          if (!in_set.count(row)) ++new_tuples;
+        }
+        if (used + new_tuples > context.k) continue;
+        // Gain per *new* tuple (free combos — fully shared — rank first).
+        const double ratio =
+            gain / (new_tuples == 0 ? 0.1 : static_cast<double>(new_tuples));
+        if (ratio > best_gain) {
+          best_gain = ratio;
+          best_idx = i;
+          best_new_tuples = new_tuples;
+        }
+      }
+      if (best_idx == entries.size()) break;
+      Entry& e = entries[best_idx];
+      e.taken = true;
+      ++chosen_per_query[e.query];
+      for (const auto& row : e.combo->rows) {
+        if (!in_set.count(row)) {
+          in_set.emplace(row, true);
+          out.Add(pool.table_names[row.first], row.second);
+        }
+      }
+      used += best_new_tuples;
+    }
+    out.Seal();
+    return out;
+  }
+};
+
+std::unique_ptr<SubsetSelector> MakeRan() {
+  return std::make_unique<RandomSelector>();
+}
+std::unique_ptr<SubsetSelector> MakeTop() {
+  return std::make_unique<TopQueriedSelector>();
+}
+std::unique_ptr<SubsetSelector> MakeBrt() {
+  return std::make_unique<BruteForceSelector>();
+}
+std::unique_ptr<SubsetSelector> MakeGre() {
+  return std::make_unique<GreedySelector>();
+}
+
+}  // namespace baselines
+}  // namespace asqp

@@ -1,0 +1,54 @@
+#include "baselines/selector.h"
+
+#include "util/string_util.h"
+
+namespace asqp {
+namespace baselines {
+
+// Factories defined in naive.cc / database.cc.
+std::unique_ptr<SubsetSelector> MakeRan();
+std::unique_ptr<SubsetSelector> MakeTop();
+std::unique_ptr<SubsetSelector> MakeBrt();
+std::unique_ptr<SubsetSelector> MakeGre();
+std::unique_ptr<SubsetSelector> MakeCach();
+std::unique_ptr<SubsetSelector> MakeQrd();
+std::unique_ptr<SubsetSelector> MakeSky();
+std::unique_ptr<SubsetSelector> MakeVerd();
+std::unique_ptr<SubsetSelector> MakeQuik();
+
+util::Result<std::unique_ptr<SubsetSelector>> MakeBaseline(
+    const std::string& code) {
+  const std::string upper = [&] {
+    std::string s = util::ToLower(code);
+    for (char& c : s) c = static_cast<char>(std::toupper(c));
+    return s;
+  }();
+  if (upper == "RAN") return MakeRan();
+  if (upper == "TOP") return MakeTop();
+  if (upper == "BRT") return MakeBrt();
+  if (upper == "GRE") return MakeGre();
+  if (upper == "CACH") return MakeCach();
+  if (upper == "QRD") return MakeQrd();
+  if (upper == "SKY") return MakeSky();
+  if (upper == "VERD") return MakeVerd();
+  if (upper == "QUIK") return MakeQuik();
+  return util::Status::NotFound(
+      util::Format("unknown baseline '%s'", code.c_str()));
+}
+
+std::vector<std::unique_ptr<SubsetSelector>> AllBaselines() {
+  std::vector<std::unique_ptr<SubsetSelector>> out;
+  out.push_back(MakeCach());
+  out.push_back(MakeRan());
+  out.push_back(MakeQuik());
+  out.push_back(MakeVerd());
+  out.push_back(MakeSky());
+  out.push_back(MakeBrt());
+  out.push_back(MakeQrd());
+  out.push_back(MakeTop());
+  out.push_back(MakeGre());
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace asqp

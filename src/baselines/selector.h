@@ -1,0 +1,58 @@
+// Baseline subset selectors (Section 6.1): every competitor from Figure 2
+// that selects *real* tuples implements SubsetSelector. (The VAE
+// generative baseline does not select real tuples; it lives in src/aqp and
+// is scored by result-intersection in the bench harness.)
+//
+//   RAN  random sampling                     TOP  top queried tuples
+//   BRT  time-capped brute force             GRE  time-capped greedy
+//   CACH LRU cache simulation                QRD  result diversification
+//   SKY  skyline (layered)                   VERD VerdictDB-style sampling
+//   QUIK QuickR-style catalog sampling
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metric/workload.h"
+#include "storage/database.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace asqp {
+namespace baselines {
+
+struct SelectorContext {
+  const storage::Database* db = nullptr;
+  /// Training workload (used by query-aware baselines; ignored by RAN,
+  /// QRD, SKY).
+  const metric::Workload* workload = nullptr;
+  /// Memory budget k (total tuples).
+  size_t k = 1000;
+  /// Frame size F of the quality metric.
+  int frame_size = 50;
+  uint64_t seed = 1;
+  /// Time cap for the search-based baselines (BRT, GRE). The paper caps
+  /// them at 48 hours; the bench harness uses seconds.
+  util::Deadline deadline = util::Deadline::Unlimited();
+};
+
+class SubsetSelector {
+ public:
+  virtual ~SubsetSelector() = default;
+  virtual std::string name() const = 0;
+  virtual util::Result<storage::ApproximationSet> Select(
+      const SelectorContext& context) const = 0;
+};
+
+/// Construct a baseline by its Figure 2 code (case-insensitive):
+/// RAN, BRT, GRE, TOP, CACH, QRD, SKY, VERD, QUIK.
+util::Result<std::unique_ptr<SubsetSelector>> MakeBaseline(
+    const std::string& code);
+
+/// All tuple-selecting baselines, in the paper's Figure 2 order.
+std::vector<std::unique_ptr<SubsetSelector>> AllBaselines();
+
+}  // namespace baselines
+}  // namespace asqp

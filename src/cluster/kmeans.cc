@@ -1,0 +1,183 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace asqp {
+namespace cluster {
+
+namespace {
+
+using embed::L2Distance;
+using embed::Vector;
+
+/// k-means++ seeding: first center uniform, then proportional to squared
+/// distance from the nearest chosen center.
+std::vector<size_t> PlusPlusSeeds(const std::vector<Vector>& points, size_t k,
+                                  util::Rng* rng) {
+  std::vector<size_t> seeds;
+  seeds.push_back(rng->NextBounded(points.size()));
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (seeds.size() < k) {
+    const Vector& last = points[seeds.back()];
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double d = L2Distance(points[i], last);
+      d2[i] = std::min(d2[i], static_cast<double>(d) * d);
+    }
+    const size_t next = rng->WeightedIndex(d2);
+    seeds.push_back(next);
+  }
+  return seeds;
+}
+
+size_t NearestCentroid(const Vector& p, const std::vector<Vector>& centroids) {
+  size_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const float d = L2Distance(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double Inertia(const std::vector<Vector>& points,
+               const std::vector<size_t>& assignment,
+               const std::vector<Vector>& centroids) {
+  double total = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const float d = L2Distance(points[i], centroids[assignment[i]]);
+    total += static_cast<double>(d) * d;
+  }
+  return total;
+}
+
+}  // namespace
+
+util::Result<ClusteringResult> KMeans(const std::vector<Vector>& points,
+                                      size_t k, KMeansOptions options) {
+  if (points.empty()) {
+    return util::Status::InvalidArgument("k-means over empty point set");
+  }
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  k = std::min(k, points.size());
+  const size_t dim = points[0].size();
+
+  util::Rng rng(options.seed);
+  ClusteringResult result;
+  const std::vector<size_t> seeds = PlusPlusSeeds(points, k, &rng);
+  result.centroids.reserve(k);
+  for (size_t s : seeds) result.centroids.push_back(points[s]);
+  result.assignment.assign(points.size(), 0);
+
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const size_t c = NearestCentroid(points[i], result.centroids);
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step.
+    std::vector<Vector> sums(k, Vector(dim, 0.0f));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      embed::AddInPlace(&sums[result.assignment[i]], points[i]);
+      ++counts[result.assignment[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng.NextBounded(points.size())];
+        continue;
+      }
+      embed::ScaleInPlace(&sums[c], 1.0f / static_cast<float>(counts[c]));
+      result.centroids[c] = std::move(sums[c]);
+    }
+  }
+
+  // Nearest point to each centroid doubles as a medoid.
+  result.medoids.assign(k, 0);
+  std::vector<float> best(k, std::numeric_limits<float>::infinity());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const size_t c = result.assignment[i];
+    const float d = L2Distance(points[i], result.centroids[c]);
+    if (d < best[c]) {
+      best[c] = d;
+      result.medoids[c] = i;
+    }
+  }
+  result.inertia = Inertia(points, result.assignment, result.centroids);
+  return result;
+}
+
+util::Result<ClusteringResult> KMedoids(const std::vector<Vector>& points,
+                                        size_t k, KMeansOptions options) {
+  if (points.empty()) {
+    return util::Status::InvalidArgument("k-medoids over empty point set");
+  }
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  k = std::min(k, points.size());
+
+  util::Rng rng(options.seed);
+  std::vector<size_t> medoids = PlusPlusSeeds(points, k, &rng);
+  std::vector<size_t> assignment(points.size(), 0);
+
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    // Assign each point to the nearest medoid.
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t best = 0;
+      float best_d = std::numeric_limits<float>::infinity();
+      for (size_t m = 0; m < k; ++m) {
+        const float d = L2Distance(points[i], points[medoids[m]]);
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      assignment[i] = best;
+    }
+    // Update each medoid to the in-cluster point minimizing total distance.
+    bool changed = false;
+    for (size_t m = 0; m < k; ++m) {
+      std::vector<size_t> members;
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (assignment[i] == m) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      size_t best_point = medoids[m];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (size_t candidate : members) {
+        double cost = 0.0;
+        for (size_t other : members) {
+          cost += L2Distance(points[candidate], points[other]);
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_point = candidate;
+        }
+      }
+      if (best_point != medoids[m]) {
+        medoids[m] = best_point;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  ClusteringResult result;
+  result.assignment = std::move(assignment);
+  result.medoids = medoids;
+  result.centroids.reserve(k);
+  for (size_t m : medoids) result.centroids.push_back(points[m]);
+  result.inertia = Inertia(points, result.assignment, result.centroids);
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace asqp

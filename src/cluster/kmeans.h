@@ -1,0 +1,43 @@
+// k-means++ and PAM-style k-medoids over embedding vectors. Used for query
+// representative selection (pre-processing), the QRD baseline, and the
+// interest-drift experiment's workload partitioning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "embed/vector_ops.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace cluster {
+
+struct ClusteringResult {
+  /// assignment[i] = cluster of point i.
+  std::vector<size_t> assignment;
+  std::vector<embed::Vector> centroids;
+  /// For k-medoids: index of each cluster's medoid point. For k-means:
+  /// index of the point nearest each centroid.
+  std::vector<size_t> medoids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+};
+
+struct KMeansOptions {
+  size_t max_iters = 50;
+  uint64_t seed = 17;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. `k` is clamped to the number
+/// of points; fails only on empty input or k == 0.
+util::Result<ClusteringResult> KMeans(const std::vector<embed::Vector>& points,
+                                      size_t k, KMeansOptions options = {});
+
+/// k-medoids via k-means++ seeding followed by alternating
+/// assignment / medoid-update (Voronoi iteration). Distances are L2.
+util::Result<ClusteringResult> KMedoids(
+    const std::vector<embed::Vector>& points, size_t k,
+    KMeansOptions options = {});
+
+}  // namespace cluster
+}  // namespace asqp

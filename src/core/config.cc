@@ -1,0 +1,54 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+namespace asqp {
+namespace core {
+
+const char* EnvKindName(EnvKind kind) {
+  switch (kind) {
+    case EnvKind::kGsl: return "GSL";
+    case EnvKind::kDrp: return "DRP";
+    case EnvKind::kHybrid: return "DRP+GSL";
+  }
+  return "?";
+}
+
+AsqpConfig AsqpConfig::Light() {
+  AsqpConfig config;
+  config.representative_fraction = 0.25;
+  config.trainer.learning_rate = 5e-3;  // the paper's "high learning rate"
+  config.trainer.iterations = std::max<size_t>(8, config.trainer.iterations / 2);
+  config.trainer.early_stop_patience = 3;
+  config.trainer.early_stop_min_delta = 5e-3;
+  config.pool_target = 800;
+  return config;
+}
+
+AsqpConfig AsqpConfig::FromTimeBudget(double budget_fraction) {
+  budget_fraction = std::clamp(budget_fraction, 0.05, 1.0);
+  const AsqpConfig full;
+  const AsqpConfig light = Light();
+  AsqpConfig config;
+  auto lerp = [budget_fraction](double lo, double hi) {
+    return lo + (hi - lo) * budget_fraction;
+  };
+  config.representative_fraction =
+      lerp(light.representative_fraction, full.representative_fraction);
+  config.pool_target = static_cast<size_t>(
+      lerp(static_cast<double>(light.pool_target),
+           static_cast<double>(full.pool_target)));
+  config.trainer.iterations = static_cast<size_t>(
+      lerp(static_cast<double>(light.trainer.iterations),
+           static_cast<double>(full.trainer.iterations)));
+  config.trainer.learning_rate =
+      lerp(light.trainer.learning_rate, full.trainer.learning_rate);
+  if (budget_fraction < 0.75) {
+    config.trainer.early_stop_patience = light.trainer.early_stop_patience;
+    config.trainer.early_stop_min_delta = light.trainer.early_stop_min_delta;
+  }
+  return config;
+}
+
+}  // namespace core
+}  // namespace asqp

@@ -1,0 +1,82 @@
+// Configuration of the full ASQP-RL system, including the ASQP-Light
+// preset and the adaptive time-budget configuration (Section 4.5).
+#pragma once
+
+#include <cstdint>
+
+#include "relax/relax.h"
+#include "rl/trainer.h"
+
+namespace asqp {
+namespace core {
+
+enum class EnvKind { kGsl, kDrp, kHybrid };
+
+const char* EnvKindName(EnvKind kind);
+
+struct AsqpConfig {
+  /// Memory budget k: total base tuples in the approximation set.
+  size_t k = 1000;
+  /// Frame size F: result tuples a user can cognitively process.
+  int frame_size = 50;
+
+  // ---- Pre-processing (Section 4.2).
+  /// Number of query representatives selected by clustering the embedded
+  /// generalized workload. The fraction actually executed is
+  /// `representative_fraction` (ASQP-Light executes fewer).
+  size_t num_representatives = 24;
+  double representative_fraction = 1.0;
+  /// Pool size after variational subsampling. Per-query coverage
+  /// reservations (up to 3F satisfying tuples per representative) may push
+  /// the final pool slightly above this target.
+  size_t pool_target = 1500;
+  /// Cap on joined tuples collected per executed representative.
+  size_t max_tuples_per_rep = 5000;
+  /// Pool tuples grouped per action.
+  size_t action_group_size = 4;
+  /// Reserve up to 3F satisfying tuples per representative before
+  /// variational subsampling (prevents the subsample from starving a
+  /// query of coverage). Disable only for ablation.
+  bool reserve_query_quota = true;
+  /// Embedding dimensionality (queries and tuples).
+  size_t embed_dim = 64;
+  relax::RelaxOptions relax;
+  /// Statistics-generated exploration queries appended (at low weight) to
+  /// the training workload before clustering — together with relaxation,
+  /// the C4 generalization mechanism for future, unseen queries.
+  size_t exploration_queries = 4;
+  double exploration_weight = 0.05;
+
+  // ---- Environment (Section 5.2).
+  EnvKind env = EnvKind::kGsl;
+  size_t drp_horizon = 64;
+  size_t hybrid_refine_horizon = 32;
+  /// Queries per training batch (each episode is rewarded on one batch).
+  size_t batch_queries = 8;
+
+  // ---- RL (Section 5.1).
+  rl::TrainerConfig trainer;
+
+  // ---- Inference (Section 4.4).
+  /// Answerability threshold: estimates >= this are served from the
+  /// approximation set.
+  double answerable_threshold = 0.5;
+  /// Interest drift: fine-tune after this many out-of-distribution queries
+  /// whose deviation confidence exceeds `drift_confidence`.
+  size_t drift_trigger = 3;
+  double drift_confidence = 0.8;
+
+  uint64_t seed = 1;
+
+  /// ASQP-Light (Section 4.5): 25% of representatives executed, higher
+  /// learning rate, aggressive early stopping. ~2x faster setup for ~10%
+  /// quality loss.
+  static AsqpConfig Light();
+
+  /// Adaptive configuration: interpolate between Light and the default
+  /// given a relative time budget in (0, 1]; 1 = full quality.
+  static AsqpConfig FromTimeBudget(double budget_fraction);
+};
+
+}  // namespace core
+}  // namespace asqp

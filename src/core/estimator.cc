@@ -1,0 +1,66 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asqp {
+namespace core {
+
+AnswerabilityEstimator::AnswerabilityEstimator(
+    embed::QueryEmbedder embedder,
+    std::vector<embed::Vector> representative_embeddings,
+    std::vector<double> representative_coverage)
+    : embedder_(std::move(embedder)),
+      embeddings_(std::move(representative_embeddings)),
+      coverage_(std::move(representative_coverage)) {
+  coverage_.resize(embeddings_.size(), 0.0);
+}
+
+void AnswerabilityEstimator::SetCoverage(size_t idx, double coverage) {
+  if (idx < coverage_.size()) {
+    coverage_[idx] = std::clamp(coverage, 0.0, 1.0);
+  }
+}
+
+double AnswerabilityEstimator::Similarity(
+    const sql::SelectStatement& stmt) const {
+  if (embeddings_.empty()) return 0.0;
+  const embed::Vector v = embedder_.Embed(stmt);
+  float best = -1.0f;
+  for (const embed::Vector& e : embeddings_) {
+    best = std::max(best, embed::Cosine(v, e));
+  }
+  // Negative cosine means "unrelated" for these hashed embeddings.
+  return std::clamp(static_cast<double>(best), 0.0, 1.0);
+}
+
+double AnswerabilityEstimator::Estimate(
+    const sql::SelectStatement& stmt) const {
+  if (embeddings_.empty()) return 0.0;
+  const embed::Vector v = embedder_.Embed(stmt);
+
+  // Softmax-weighted coverage of the nearest representatives, sharpened so
+  // that the top match dominates, then gated by raw similarity: a query
+  // unlike anything seen in training scores near zero even if training
+  // coverage was perfect.
+  double best_sim = -1.0;
+  double num = 0.0;
+  double den = 0.0;
+  constexpr double kTemp = 8.0;
+  for (size_t i = 0; i < embeddings_.size(); ++i) {
+    const double sim = static_cast<double>(embed::Cosine(v, embeddings_[i]));
+    best_sim = std::max(best_sim, sim);
+    const double w = std::exp(kTemp * sim);
+    num += w * coverage_[i];
+    den += w;
+  }
+  const double weighted_coverage = den > 0.0 ? num / den : 0.0;
+  // Similarity gate: smoothstep from 0 at cos<=0.3 to 1 at cos>=0.95, so
+  // same-table queries with different predicate semantics are gated down.
+  const double t = std::clamp((best_sim - 0.3) / 0.65, 0.0, 1.0);
+  const double gate = t * t * (3.0 - 2.0 * t);
+  return std::clamp(gate * weighted_coverage, 0.0, 1.0);
+}
+
+}  // namespace core
+}  // namespace asqp

@@ -1,0 +1,51 @@
+// Answerability estimation (Section 4.4): given an incoming query, decide
+// whether the approximation set is likely to answer it, *without* running
+// the query. The estimate blends (a) the query's embedding similarity to
+// the training representatives and (b) the system's measured coverage of
+// the nearest representatives — a query close to well-covered training
+// queries is answerable; anything far from the training distribution is
+// not.
+#pragma once
+
+#include <vector>
+
+#include "embed/embedder.h"
+#include "sql/ast.h"
+
+namespace asqp {
+namespace core {
+
+class AnswerabilityEstimator {
+ public:
+  AnswerabilityEstimator(embed::QueryEmbedder embedder,
+                         std::vector<embed::Vector> representative_embeddings,
+                         std::vector<double> representative_coverage);
+
+  /// Estimated probability in [0, 1] that the approximation set covers
+  /// this query's frame.
+  double Estimate(const sql::SelectStatement& stmt) const;
+
+  /// Deviation confidence = how certain we are the query is
+  /// out-of-distribution (drives drift detection): the complement of the
+  /// coverage-gated answerability estimate.
+  double DeviationConfidence(const sql::SelectStatement& stmt) const {
+    return 1.0 - Estimate(stmt);
+  }
+
+  /// Max cosine similarity (mapped to [0,1]) to any training representative.
+  double Similarity(const sql::SelectStatement& stmt) const;
+
+  /// Record the measured coverage of representative `idx` (updated after
+  /// training / fine-tuning so estimates track real performance).
+  void SetCoverage(size_t idx, double coverage);
+
+  size_t num_representatives() const { return embeddings_.size(); }
+
+ private:
+  embed::QueryEmbedder embedder_;
+  std::vector<embed::Vector> embeddings_;
+  std::vector<double> coverage_;
+};
+
+}  // namespace core
+}  // namespace asqp

@@ -1,0 +1,165 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "core/trainer.h"
+#include "metric/score.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace asqp {
+namespace core {
+
+AsqpModel::AsqpModel(const storage::Database* db, AsqpConfig config,
+                     PreprocessResult preprocess, rl::Policy policy)
+    : db_(db),
+      config_(std::move(config)),
+      preprocess_(std::move(preprocess)),
+      policy_(std::move(policy)) {
+  std::vector<double> coverage(preprocess_.representative_embeddings.size(),
+                               0.0);
+  estimator_ = std::make_unique<AnswerabilityEstimator>(
+      embed::QueryEmbedder(config_.embed_dim),
+      preprocess_.representative_embeddings, std::move(coverage));
+}
+
+std::unique_ptr<rl::Env> AsqpModel::MakeEnv() const {
+  return MakeEnvFactory(&preprocess_.space, config_)();
+}
+
+storage::ApproximationSet AsqpModel::GenerateApproximationSet(
+    size_t req_size) const {
+  const size_t budget = req_size == 0 ? config_.k : req_size;
+  // Algorithm 2: sample actions from pi until |S| reaches req_size. We run
+  // the greedy (argmax) variant: at inference there is no exploration
+  // benefit, and greedy selection is deterministic for the user.
+  rl::GslEnv env(&preprocess_.space, /*batch_size=*/0);
+  util::Rng rng(config_.seed ^ 0xABCDEF01ULL);
+  env.Reset(0, &rng);
+  storage::ApproximationSet out;
+  size_t steps = 0;
+  const size_t max_steps = preprocess_.space.num_actions() + 1;
+  while (steps < max_steps) {
+    bool any_valid = false;
+    for (uint8_t m : env.action_mask()) {
+      if (m) {
+        any_valid = true;
+        break;
+      }
+    }
+    if (!any_valid) break;
+    const rl::Policy::ActResult act =
+        policy_.Act(env.state(), env.action_mask(), &rng, /*greedy=*/true);
+    const rl::StepResult step = env.Step(act.action);
+    ++steps;
+    // Track the realized set size against the requested budget.
+    out = preprocess_.space.Materialize(env.SelectedActions());
+    if (out.TotalTuples() >= budget || step.done) break;
+  }
+  return out;
+}
+
+void AsqpModel::MaterializeSet() { set_ = GenerateApproximationSet(config_.k); }
+
+void AsqpModel::CalibrateEstimator() {
+  // Measure real per-representative coverage of the materialized set; the
+  // estimator interpolates these measurements for unseen queries.
+  metric::ScoreEvaluator evaluator(
+      db_, metric::ScoreOptions{.frame_size = config_.frame_size});
+  for (size_t i = 0; i < preprocess_.representatives.size(); ++i) {
+    auto score =
+        evaluator.QueryScore(preprocess_.representatives.query(i).stmt, set_);
+    estimator_->SetCoverage(i, score.ok() ? score.value() : 0.0);
+  }
+}
+
+double AsqpModel::EstimateAnswerability(
+    const sql::SelectStatement& stmt) const {
+  // Aggregates are estimated through their SPJ skeleton (Section 4.4).
+  if (stmt.HasAggregates()) {
+    return estimator_->Estimate(metric::StripAggregates(stmt));
+  }
+  return estimator_->Estimate(stmt);
+}
+
+util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt) {
+  AnswerResult result;
+  result.answerability = EstimateAnswerability(stmt);
+
+  // Drift bookkeeping (Section 4.4): confidently out-of-distribution
+  // queries accumulate until fine-tuning is triggered.
+  const sql::SelectStatement spj = stmt.HasAggregates()
+                                       ? metric::StripAggregates(stmt)
+                                       : stmt.Clone();
+  if (estimator_->DeviationConfidence(spj) > config_.drift_confidence) {
+    drifted_queries_.push_back(spj.Clone());
+  }
+
+  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
+  if (result.answerability >= config_.answerable_threshold) {
+    storage::DatabaseView view(db_, &set_);
+    ASQP_ASSIGN_OR_RETURN(result.result, engine_.Execute(bound, view));
+    result.used_approximation = true;
+  } else {
+    storage::DatabaseView view(db_);
+    ASQP_ASSIGN_OR_RETURN(result.result, engine_.Execute(bound, view));
+    result.used_approximation = false;
+  }
+  return result;
+}
+
+util::Result<AnswerResult> AsqpModel::AnswerSql(const std::string& sql) {
+  ASQP_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+  return Answer(stmt);
+}
+
+bool AsqpModel::NeedsFineTuning() const {
+  return drifted_queries_.size() >= config_.drift_trigger;
+}
+
+util::Status AsqpModel::FineTune(const metric::Workload& new_queries) {
+  // Merge the drifted / provided queries with the existing representatives
+  // (recent interests weighted up) and retrain with a shortened schedule.
+  metric::Workload merged;
+  for (const metric::WeightedQuery& q :
+       preprocess_.representatives.queries()) {
+    merged.Add(q.stmt.Clone(), q.weight);
+  }
+  const double boost =
+      2.0 / std::max<size_t>(1, new_queries.size());
+  for (const metric::WeightedQuery& q : new_queries.queries()) {
+    merged.Add(q.stmt.Clone(), boost);
+  }
+  for (const sql::SelectStatement& q : drifted_queries_) {
+    merged.Add(q.Clone(), boost);
+  }
+  merged.NormalizeWeights();
+
+  AsqpConfig tune_config = config_;
+  tune_config.trainer.iterations =
+      std::max<size_t>(4, config_.trainer.iterations / 2);
+  tune_config.seed = config_.seed + 1 + drifted_queries_.size();
+
+  ASQP_ASSIGN_OR_RETURN(PreprocessResult preprocess,
+                        Preprocess(*db_, merged, tune_config));
+  rl::TrainerConfig trainer_config = tune_config.trainer;
+  trainer_config.seed ^= tune_config.seed;
+  ASQP_ASSIGN_OR_RETURN(
+      rl::TrainResult trained,
+      rl::Train(MakeEnvFactory(&preprocess.space, tune_config),
+                trainer_config));
+
+  preprocess_ = std::move(preprocess);
+  policy_ = std::move(trained.policy);
+  estimator_ = std::make_unique<AnswerabilityEstimator>(
+      embed::QueryEmbedder(config_.embed_dim),
+      preprocess_.representative_embeddings,
+      std::vector<double>(preprocess_.representative_embeddings.size(), 0.0));
+  drifted_queries_.clear();
+  MaterializeSet();
+  CalibrateEstimator();
+  return util::Status::OK();
+}
+
+}  // namespace core
+}  // namespace asqp

@@ -1,0 +1,90 @@
+// The trained ASQP-RL model: inference (Algorithm 2), the user-facing
+// Answer() mediator, interest-drift detection, and fine-tuning.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "core/estimator.h"
+#include "core/preprocess.h"
+#include "exec/executor.h"
+#include "metric/workload.h"
+#include "rl/policy.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace core {
+
+/// \brief Outcome of answering one user query through the mediator.
+struct AnswerResult {
+  exec::ResultSet result;
+  /// True when served from the approximation set, false when the estimator
+  /// routed the query to the full database.
+  bool used_approximation = false;
+  /// The estimator's answerability score for this query.
+  double answerability = 0.0;
+};
+
+class AsqpModel {
+ public:
+  AsqpModel(const storage::Database* db, AsqpConfig config,
+            PreprocessResult preprocess, rl::Policy policy);
+
+  /// Algorithm 2: sample tuple-group actions from the learned policy until
+  /// `req_size` base tuples are selected (0 = the configured budget k).
+  storage::ApproximationSet GenerateApproximationSet(size_t req_size = 0) const;
+
+  /// The approximation set materialized at construction (greedy rollout).
+  const storage::ApproximationSet& approximation_set() const { return set_; }
+
+  /// Answerability estimate in [0, 1] for a query (Section 4.4).
+  double EstimateAnswerability(const sql::SelectStatement& stmt) const;
+
+  /// Answer a query through the mediator: approximation set when the
+  /// estimator deems it answerable (estimate >= threshold), otherwise the
+  /// full database. Aggregate queries are estimated via their SPJ skeleton
+  /// but executed as written. Records drift statistics.
+  util::Result<AnswerResult> Answer(const sql::SelectStatement& stmt);
+  util::Result<AnswerResult> AnswerSql(const std::string& sql);
+
+  /// Interest drift (C5): true once `drift_trigger` out-of-distribution
+  /// queries with deviation confidence > `drift_confidence` accumulated.
+  bool NeedsFineTuning() const;
+
+  /// Fine-tune on the drifted workload: merge `new_queries` with the
+  /// training representatives, re-run pre-processing and a shortened
+  /// training run, and swap in the improved policy/approximation set.
+  util::Status FineTune(const metric::Workload& new_queries);
+
+  const AnswerabilityEstimator& estimator() const { return *estimator_; }
+  const rl::Policy& policy() const { return policy_; }
+  const metric::Workload& representatives() const {
+    return preprocess_.representatives;
+  }
+  const AsqpConfig& config() const { return config_; }
+  size_t drifted_query_count() const { return drifted_queries_.size(); }
+
+ private:
+  friend class AsqpTrainer;
+
+  /// Build the env for this model's configuration.
+  std::unique_ptr<rl::Env> MakeEnv() const;
+  void MaterializeSet();
+  void CalibrateEstimator();
+
+  const storage::Database* db_;
+  AsqpConfig config_;
+  PreprocessResult preprocess_;
+  rl::Policy policy_;
+  storage::ApproximationSet set_;
+  std::unique_ptr<AnswerabilityEstimator> estimator_;
+  exec::QueryEngine engine_;
+
+  /// Out-of-distribution queries observed since the last fine-tune.
+  std::vector<sql::SelectStatement> drifted_queries_;
+};
+
+}  // namespace core
+}  // namespace asqp

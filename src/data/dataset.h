@@ -1,0 +1,53 @@
+// Synthetic dataset bundles standing in for the paper's evaluation data
+// (see DESIGN.md, "Substitutions"): IMDB-JOB, MAS, and FLIGHTS. Each bundle
+// carries the database, its foreign-key join graph, and a paper-shaped
+// query workload. All generation is deterministic in (scale, seed).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metric/workload.h"
+#include "storage/database.h"
+#include "workloadgen/generator.h"
+
+namespace asqp {
+namespace data {
+
+struct DatasetBundle {
+  std::shared_ptr<storage::Database> db;
+  std::vector<workloadgen::FkEdge> fks;
+  /// SPJ workload (the paper's non-aggregate exploration queries).
+  metric::Workload workload;
+  std::string name;
+};
+
+struct DatasetOptions {
+  /// Linear size multiplier. scale=1 targets laptop-friendly sizes
+  /// (10^4-10^5 rows per large table); the bench harness raises it for
+  /// paper-shaped runs.
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// Number of workload queries to generate.
+  size_t workload_size = 60;
+};
+
+/// IMDB-JOB-like: movies / companies / people with skewed join fan-out.
+/// Tables: title, company, movie_companies, person, cast_info.
+DatasetBundle MakeImdbJob(const DatasetOptions& options = {});
+
+/// MAS-like: authors / publications / venues.
+/// Tables: author, venue, publication, writes.
+DatasetBundle MakeMas(const DatasetOptions& options = {});
+
+/// FLIGHTS-like (IDEBench-style): a fact table plus two small dimensions.
+/// Tables: flights, airports, carriers.
+DatasetBundle MakeFlights(const DatasetOptions& options = {});
+
+/// Aggregate workload over the FLIGHTS bundle (Section 6.4): GROUP BY +
+/// SUM / AVG / COUNT queries, split evenly across operators.
+metric::Workload MakeFlightsAggregateWorkload(const DatasetBundle& flights,
+                                              size_t count, uint64_t seed);
+
+}  // namespace data
+}  // namespace asqp

@@ -1,0 +1,184 @@
+// FLIGHTS-like synthetic dataset (IDEBench-style): one wide fact table of
+// flight records plus airport / carrier dimensions. Delays are bimodal
+// (mostly near zero, a long late tail), correlated with carrier and month —
+// the structure the aggregate workload of Section 6.4 groups over.
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace data {
+
+namespace {
+
+using sql::Expr;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+const char* kCarriers[] = {"aa", "dl", "ua", "wn", "b6", "as", "nk", "f9"};
+const char* kAirports[] = {"atl", "lax", "ord", "dfw", "den", "jfk", "sfo",
+                           "sea", "mia", "bos", "phx", "iah", "clt", "las"};
+const char* kStates[] = {"ga", "ca", "il", "tx", "co", "ny", "ca",
+                         "wa", "fl", "ma", "az", "tx", "nc", "nv"};
+
+}  // namespace
+
+DatasetBundle MakeFlights(const DatasetOptions& options) {
+  util::Rng rng(options.seed + 2);
+  const auto scaled = [&](size_t base) {
+    return static_cast<size_t>(static_cast<double>(base) * options.scale) + 1;
+  };
+  const size_t num_flights = scaled(50000);
+
+  DatasetBundle bundle;
+  bundle.name = "flights";
+  bundle.db = std::make_shared<storage::Database>();
+
+  // airports(code, city, state)
+  auto airports = std::make_shared<Table>(
+      "airports", Schema({{"code", ValueType::kString},
+                          {"city", ValueType::kString},
+                          {"state", ValueType::kString}}));
+  for (size_t i = 0; i < std::size(kAirports); ++i) {
+    (void)airports->AppendRow({Value(std::string(kAirports[i])),
+                               Value(util::Format("city_%zu", i)),
+                               Value(std::string(kStates[i]))});
+  }
+
+  // carriers(code, name)
+  auto carriers = std::make_shared<Table>(
+      "carriers", Schema({{"code", ValueType::kString},
+                          {"name", ValueType::kString}}));
+  for (size_t i = 0; i < std::size(kCarriers); ++i) {
+    (void)carriers->AppendRow({Value(std::string(kCarriers[i])),
+                               Value(util::Format("carrier_%zu", i))});
+  }
+
+  // flights(id, carrier, origin, dest, month, day_of_week, distance,
+  //         dep_delay, arr_delay, air_time)
+  auto flights = std::make_shared<Table>(
+      "flights", Schema({{"id", ValueType::kInt64},
+                         {"carrier", ValueType::kString},
+                         {"origin", ValueType::kString},
+                         {"dest", ValueType::kString},
+                         {"month", ValueType::kInt64},
+                         {"day_of_week", ValueType::kInt64},
+                         {"distance", ValueType::kInt64},
+                         {"dep_delay", ValueType::kDouble},
+                         {"arr_delay", ValueType::kDouble},
+                         {"air_time", ValueType::kDouble}}));
+  // Per-carrier punctuality offset.
+  double carrier_bias[std::size(kCarriers)];
+  for (double& b : carrier_bias) b = rng.Normal(0.0, 4.0);
+
+  for (size_t i = 0; i < num_flights; ++i) {
+    const size_t carrier = rng.Zipf(std::size(kCarriers), 0.7);
+    const size_t origin = rng.Zipf(std::size(kAirports), 0.8);
+    size_t dest = rng.Zipf(std::size(kAirports), 0.8);
+    if (dest == origin) dest = (dest + 1) % std::size(kAirports);
+    const int64_t month = 1 + static_cast<int64_t>(rng.NextBounded(12));
+    const int64_t dow = 1 + static_cast<int64_t>(rng.NextBounded(7));
+    const int64_t distance =
+        static_cast<int64_t>(std::clamp(std::exp(rng.Normal(6.5, 0.7)), 100.0,
+                                        5000.0));
+    // Bimodal delays: 75% near-on-time, 25% late tail; summer/winter worse.
+    const double season = (month == 7 || month == 8 || month == 12) ? 8.0 : 0.0;
+    double dep_delay;
+    if (rng.Bernoulli(0.75)) {
+      dep_delay = rng.Normal(-2.0, 6.0);
+    } else {
+      dep_delay = std::exp(rng.Normal(3.2, 0.8));
+    }
+    dep_delay += carrier_bias[carrier] + season;
+    const double air_time = static_cast<double>(distance) / 8.0 +
+                            rng.Normal(0.0, 10.0);
+    const double arr_delay = dep_delay + rng.Normal(0.0, 8.0);
+    (void)flights->AppendRow(
+        {Value(static_cast<int64_t>(i)), Value(std::string(kCarriers[carrier])),
+         Value(std::string(kAirports[origin])),
+         Value(std::string(kAirports[dest])), Value(month), Value(dow),
+         Value(distance), Value(dep_delay), Value(arr_delay),
+         Value(std::max(10.0, air_time))});
+  }
+
+  (void)bundle.db->AddTable(airports);
+  (void)bundle.db->AddTable(carriers);
+  (void)bundle.db->AddTable(flights);
+
+  bundle.fks = {
+      {"flights", "carrier", "carriers", "code"},
+      {"flights", "origin", "airports", "code"},
+  };
+
+  workloadgen::DatabaseStats stats =
+      workloadgen::DatabaseStats::Collect(*bundle.db);
+  workloadgen::QueryGenerator gen(bundle.db.get(), &stats, bundle.fks);
+  workloadgen::QueryGenOptions qopts;
+  qopts.max_joins = 1;
+  qopts.max_predicates = 3;
+  bundle.workload =
+      gen.GenerateWorkload(options.workload_size, qopts, options.seed ^ 0xF11ULL);
+  return bundle;
+}
+
+metric::Workload MakeFlightsAggregateWorkload(const DatasetBundle& flights,
+                                              size_t count, uint64_t seed) {
+  // IDEBench-style aggregates over the fact table: SUM / AVG / COUNT of a
+  // numeric measure, half with a GROUP BY over a categorical dimension,
+  // always behind 1-2 selective predicates.
+  util::Rng rng(seed);
+
+  metric::Workload out;
+  const char* kMeasures[] = {"dep_delay", "arr_delay", "distance", "air_time"};
+  const char* kDims[] = {"carrier", "origin", "dest"};
+  for (size_t i = 0; i < count; ++i) {
+    // Queries cycle deterministically through the six operator categories
+    // of Figure 12: {SUM, AVG, CNT} x {group, no group}, each behind 1-2
+    // selective predicates on the fact table.
+    sql::SelectStatement stmt;
+    stmt.from.push_back(sql::TableRef{"flights", ""});
+    std::vector<sql::ExprPtr> conjuncts;
+    conjuncts.push_back(sql::Expr::Binary(
+        sql::BinOp::kEq, Expr::ColumnRef("flights", "month"),
+        Expr::Literal(Value(static_cast<int64_t>(1 + rng.NextBounded(12))))));
+    if (rng.Bernoulli(0.5)) {
+      conjuncts.push_back(sql::Expr::Binary(
+          sql::BinOp::kGe, Expr::ColumnRef("flights", "distance"),
+          Expr::Literal(Value(static_cast<int64_t>(rng.UniformInt(200, 1500))))));
+    }
+    stmt.where = sql::AndAll(conjuncts);
+
+    const bool grouped = (i % 2) == 0;
+    const int op = static_cast<int>((i / 2) % 3);  // 0=SUM 1=AVG 2=CNT
+    if (grouped) {
+      const char* dim = kDims[rng.NextBounded(std::size(kDims))];
+      stmt.group_by.push_back(Expr::ColumnRef("flights", dim));
+      sql::SelectItem key;
+      key.expr = Expr::ColumnRef("flights", dim);
+      stmt.items.push_back(std::move(key));
+    }
+    sql::SelectItem agg;
+    if (op == 2) {
+      agg.agg = sql::AggFunc::kCount;
+      agg.star = true;
+    } else {
+      agg.agg = op == 0 ? sql::AggFunc::kSum : sql::AggFunc::kAvg;
+      agg.expr = Expr::ColumnRef(
+          "flights", kMeasures[rng.NextBounded(std::size(kMeasures))]);
+    }
+    stmt.items.push_back(std::move(agg));
+    out.Add(std::move(stmt));
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+}  // namespace data
+}  // namespace asqp

@@ -1,0 +1,161 @@
+// IMDB-JOB-like synthetic dataset. Mirrors the join shape of the JOB
+// benchmark schema: a central `title` fact table, a many-to-many link to
+// companies (`movie_companies`), and a skewed many-to-many cast relation
+// (`cast_info`). Categorical distributions are Zipf-skewed and production
+// years correlate with ratings so range predicates are selective in
+// interesting ways.
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace data {
+
+namespace {
+
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+const char* kKinds[] = {"movie", "tv_series", "short", "documentary",
+                        "video_game"};
+const char* kCountries[] = {"us", "uk", "fr", "de", "jp", "in", "it", "ca",
+                            "es", "kr"};
+const char* kGenres[] = {"drama", "comedy", "action", "thriller", "horror",
+                         "romance", "sci_fi", "animation", "crime", "war"};
+const char* kRoles[] = {"actor", "actress", "director", "producer", "writer",
+                        "composer"};
+
+}  // namespace
+
+DatasetBundle MakeImdbJob(const DatasetOptions& options) {
+  util::Rng rng(options.seed);
+  const auto scaled = [&](size_t base) {
+    return static_cast<size_t>(static_cast<double>(base) * options.scale) + 1;
+  };
+  const size_t num_titles = scaled(20000);
+  const size_t num_companies = scaled(800);
+  const size_t num_people = scaled(6000);
+  const size_t num_movie_companies = scaled(30000);
+  const size_t num_cast = scaled(60000);
+
+  DatasetBundle bundle;
+  bundle.name = "imdb";
+  bundle.db = std::make_shared<storage::Database>();
+
+  // company(id, name, country)
+  auto company = std::make_shared<Table>(
+      "company", Schema({{"id", ValueType::kInt64},
+                         {"name", ValueType::kString},
+                         {"country", ValueType::kString}}));
+  for (size_t i = 0; i < num_companies; ++i) {
+    const size_t country = rng.Zipf(std::size(kCountries), 0.9);
+    (void)company->AppendRow({Value(static_cast<int64_t>(i)),
+                              Value(util::Format("studio_%zu", i)),
+                              Value(std::string(kCountries[country]))});
+  }
+
+  // person(id, name, birth_year)
+  auto person = std::make_shared<Table>(
+      "person", Schema({{"id", ValueType::kInt64},
+                        {"name", ValueType::kString},
+                        {"birth_year", ValueType::kInt64}}));
+  for (size_t i = 0; i < num_people; ++i) {
+    const int64_t birth =
+        static_cast<int64_t>(std::clamp(rng.Normal(1965.0, 18.0), 1900.0, 2005.0));
+    (void)person->AppendRow({Value(static_cast<int64_t>(i)),
+                             Value(util::Format("person_%zu", i)),
+                             Value(birth)});
+  }
+
+  // title(id, name, kind, genre, production_year, rating, votes)
+  auto title = std::make_shared<Table>(
+      "title", Schema({{"id", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"kind", ValueType::kString},
+                       {"genre", ValueType::kString},
+                       {"production_year", ValueType::kInt64},
+                       {"rating", ValueType::kDouble},
+                       {"votes", ValueType::kInt64}}));
+  for (size_t i = 0; i < num_titles; ++i) {
+    const size_t kind = rng.Zipf(std::size(kKinds), 1.1);
+    const size_t genre = rng.Zipf(std::size(kGenres), 0.8);
+    // Production years skew recent.
+    const double u = rng.UniformDouble();
+    const int64_t year = 1930 + static_cast<int64_t>(93.0 * std::pow(u, 0.5));
+    // Ratings correlate weakly with age (older surviving titles rate
+    // higher) plus noise.
+    const double rating = std::clamp(
+        6.2 + (2000.0 - static_cast<double>(year)) * 0.01 + rng.Normal(0.0, 1.1),
+        1.0, 10.0);
+    const int64_t votes = static_cast<int64_t>(
+        std::exp(rng.Normal(6.0, 2.0)));  // log-normal popularity
+    (void)title->AppendRow(
+        {Value(static_cast<int64_t>(i)), Value(util::Format("film_%zu", i)),
+         Value(std::string(kKinds[kind])), Value(std::string(kGenres[genre])),
+         Value(year), Value(rating), Value(votes)});
+  }
+
+  // movie_companies(movie_id, company_id, note)
+  auto movie_companies = std::make_shared<Table>(
+      "movie_companies", Schema({{"movie_id", ValueType::kInt64},
+                                 {"company_id", ValueType::kInt64},
+                                 {"note", ValueType::kString}}));
+  const char* kNotes[] = {"production", "distribution", "vfx", "finance"};
+  for (size_t i = 0; i < num_movie_companies; ++i) {
+    // Popular movies and popular companies attract more links.
+    const int64_t movie = static_cast<int64_t>(rng.Zipf(num_titles, 0.6));
+    const int64_t comp = static_cast<int64_t>(rng.Zipf(num_companies, 0.9));
+    (void)movie_companies->AppendRow(
+        {Value(movie), Value(comp),
+         Value(std::string(kNotes[rng.NextBounded(std::size(kNotes))]))});
+  }
+
+  // cast_info(person_id, movie_id, role)
+  auto cast_info = std::make_shared<Table>(
+      "cast_info", Schema({{"person_id", ValueType::kInt64},
+                           {"movie_id", ValueType::kInt64},
+                           {"role", ValueType::kString}}));
+  for (size_t i = 0; i < num_cast; ++i) {
+    const int64_t p = static_cast<int64_t>(rng.Zipf(num_people, 0.7));
+    const int64_t m = static_cast<int64_t>(rng.Zipf(num_titles, 0.6));
+    const size_t role = rng.Zipf(std::size(kRoles), 0.9);
+    (void)cast_info->AppendRow(
+        {Value(p), Value(m), Value(std::string(kRoles[role]))});
+  }
+
+  (void)bundle.db->AddTable(company);
+  (void)bundle.db->AddTable(person);
+  (void)bundle.db->AddTable(title);
+  (void)bundle.db->AddTable(movie_companies);
+  (void)bundle.db->AddTable(cast_info);
+
+  bundle.fks = {
+      {"movie_companies", "movie_id", "title", "id"},
+      {"movie_companies", "company_id", "company", "id"},
+      {"cast_info", "movie_id", "title", "id"},
+      {"cast_info", "person_id", "person", "id"},
+  };
+
+  // Paper-shaped workload: complex SPJ queries with 0-2 joins.
+  workloadgen::DatabaseStats stats =
+      workloadgen::DatabaseStats::Collect(*bundle.db);
+  workloadgen::QueryGenerator gen(bundle.db.get(), &stats, bundle.fks);
+  workloadgen::QueryGenOptions qopts;
+  qopts.max_joins = 2;
+  qopts.max_predicates = 3;
+  qopts.agg_fraction = 0.0;
+  bundle.workload =
+      gen.GenerateWorkload(options.workload_size, qopts, options.seed ^ 0x17DBULL);
+  return bundle;
+}
+
+}  // namespace data
+}  // namespace asqp

@@ -1,0 +1,135 @@
+// MAS-like synthetic dataset (Microsoft Academic Search): authors,
+// venues, publications, and a many-to-many `writes` relation. Citation
+// counts are heavy-tailed and correlate with venue prestige; publication
+// years skew recent — the properties the MAS workload queries select on.
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace data {
+
+namespace {
+
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+const char* kAffiliations[] = {"mit",      "stanford", "cmu",     "berkeley",
+                               "tel_aviv", "upenn",    "oxford",  "eth",
+                               "tsinghua", "waterloo", "columbia", "uw"};
+const char* kVenueTypes[] = {"conference", "journal", "workshop"};
+const char* kAreas[] = {"databases", "ml", "systems", "theory", "pl",
+                        "networks", "security", "hci"};
+
+}  // namespace
+
+DatasetBundle MakeMas(const DatasetOptions& options) {
+  util::Rng rng(options.seed + 1);
+  const auto scaled = [&](size_t base) {
+    return static_cast<size_t>(static_cast<double>(base) * options.scale) + 1;
+  };
+  const size_t num_authors = scaled(3000);
+  const size_t num_venues = scaled(250);
+  const size_t num_pubs = scaled(12000);
+  const size_t num_writes = scaled(30000);
+
+  DatasetBundle bundle;
+  bundle.name = "mas";
+  bundle.db = std::make_shared<storage::Database>();
+
+  // venue(id, name, type, area, prestige)
+  auto venue = std::make_shared<Table>(
+      "venue", Schema({{"id", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"type", ValueType::kString},
+                       {"area", ValueType::kString},
+                       {"prestige", ValueType::kDouble}}));
+  std::vector<double> venue_prestige(num_venues);
+  for (size_t i = 0; i < num_venues; ++i) {
+    venue_prestige[i] = std::clamp(rng.Normal(0.5, 0.22), 0.0, 1.0);
+    (void)venue->AppendRow(
+        {Value(static_cast<int64_t>(i)), Value(util::Format("venue_%zu", i)),
+         Value(std::string(kVenueTypes[rng.Zipf(std::size(kVenueTypes), 1.0)])),
+         Value(std::string(kAreas[rng.Zipf(std::size(kAreas), 0.7)])),
+         Value(venue_prestige[i])});
+  }
+
+  // author(id, name, affiliation, h_index)
+  auto author = std::make_shared<Table>(
+      "author", Schema({{"id", ValueType::kInt64},
+                        {"name", ValueType::kString},
+                        {"affiliation", ValueType::kString},
+                        {"h_index", ValueType::kInt64}}));
+  for (size_t i = 0; i < num_authors; ++i) {
+    const int64_t h = static_cast<int64_t>(std::exp(rng.Normal(2.0, 1.0)));
+    (void)author->AppendRow(
+        {Value(static_cast<int64_t>(i)), Value(util::Format("author_%zu", i)),
+         Value(std::string(
+             kAffiliations[rng.Zipf(std::size(kAffiliations), 0.8)])),
+         Value(std::min<int64_t>(h, 120))});
+  }
+
+  // publication(id, title, year, citations, venue_id)
+  auto publication = std::make_shared<Table>(
+      "publication", Schema({{"id", ValueType::kInt64},
+                             {"title", ValueType::kString},
+                             {"year", ValueType::kInt64},
+                             {"citations", ValueType::kInt64},
+                             {"venue_id", ValueType::kInt64}}));
+  for (size_t i = 0; i < num_pubs; ++i) {
+    const double u = rng.UniformDouble();
+    const int64_t year = 1985 + static_cast<int64_t>(38.0 * std::pow(u, 0.6));
+    const int64_t vid = static_cast<int64_t>(rng.Zipf(num_venues, 0.8));
+    // Citations: heavy tail boosted by venue prestige.
+    const double boost = 1.0 + 2.0 * venue_prestige[static_cast<size_t>(vid)];
+    const int64_t cites =
+        static_cast<int64_t>(std::exp(rng.Normal(1.5, 1.4)) * boost);
+    (void)publication->AppendRow({Value(static_cast<int64_t>(i)),
+                                  Value(util::Format("paper_%zu", i)),
+                                  Value(year), Value(cites), Value(vid)});
+  }
+
+  // writes(author_id, pub_id, author_position)
+  auto writes = std::make_shared<Table>(
+      "writes", Schema({{"author_id", ValueType::kInt64},
+                        {"pub_id", ValueType::kInt64},
+                        {"author_position", ValueType::kInt64}}));
+  for (size_t i = 0; i < num_writes; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.Zipf(num_authors, 0.75));
+    const int64_t p = static_cast<int64_t>(rng.NextBounded(num_pubs));
+    (void)writes->AppendRow(
+        {Value(a), Value(p),
+         Value(static_cast<int64_t>(1 + rng.NextBounded(6)))});
+  }
+
+  (void)bundle.db->AddTable(venue);
+  (void)bundle.db->AddTable(author);
+  (void)bundle.db->AddTable(publication);
+  (void)bundle.db->AddTable(writes);
+
+  bundle.fks = {
+      {"publication", "venue_id", "venue", "id"},
+      {"writes", "author_id", "author", "id"},
+      {"writes", "pub_id", "publication", "id"},
+  };
+
+  workloadgen::DatabaseStats stats =
+      workloadgen::DatabaseStats::Collect(*bundle.db);
+  workloadgen::QueryGenerator gen(bundle.db.get(), &stats, bundle.fks);
+  workloadgen::QueryGenOptions qopts;
+  qopts.max_joins = 2;
+  qopts.max_predicates = 2;
+  bundle.workload =
+      gen.GenerateWorkload(options.workload_size, qopts, options.seed ^ 0x3A5ULL);
+  return bundle;
+}
+
+}  // namespace data
+}  // namespace asqp

@@ -1,0 +1,80 @@
+// Query and tuple embedders.
+//
+// The paper embeds queries and tuples with a "modified sentence-BERT". We
+// substitute a deterministic feature-hashing embedder (see DESIGN.md): each
+// object is decomposed into structural tokens, every token is hashed to a
+// (dimension, sign) pair, and the token weights are accumulated and
+// L2-normalized. Objects sharing tables / columns / operators / value
+// ranges land close in cosine space, which is the only property the
+// downstream pipeline relies on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embed/vector_ops.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace asqp {
+namespace embed {
+
+/// \brief Feature hashing (the "hashing trick") into a fixed-dim vector.
+class FeatureHasher {
+ public:
+  explicit FeatureHasher(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+
+  /// Accumulate `token` into `vec` with the given weight. Uses FNV-1a for
+  /// the bucket and a second (salted) hash for the sign, the standard
+  /// variance-reduction trick.
+  void Accumulate(std::string_view token, float weight, Vector* vec) const;
+
+ private:
+  size_t dim_;
+};
+
+/// \brief Embeds SQL statements; tokens cover tables, referenced columns,
+/// predicate operators, and bucketed constants.
+class QueryEmbedder {
+ public:
+  explicit QueryEmbedder(size_t dim = 64) : hasher_(dim) {}
+
+  size_t dim() const { return hasher_.dim(); }
+
+  Vector Embed(const sql::SelectStatement& stmt) const;
+
+ private:
+  void EmbedExpr(const sql::Expr& expr, const std::string& context,
+                 Vector* vec) const;
+  /// Bucket a constant so that nearby numerics share tokens.
+  static std::string ValueBucket(const storage::Value& v);
+
+  FeatureHasher hasher_;
+};
+
+/// \brief Embeds table rows; column names are part of every token (the
+/// paper's sentence-BERT modification "including column names as tokens to
+/// capture both the meaning of the column as well as the value").
+class TupleEmbedder {
+ public:
+  explicit TupleEmbedder(size_t dim = 64) : hasher_(dim) {}
+
+  size_t dim() const { return hasher_.dim(); }
+
+  /// Embed one physical row of `table`.
+  Vector EmbedRow(const storage::Table& table, uint32_t row) const;
+
+  /// Embed a joined tuple: the mean of the per-row embeddings, renormalized.
+  Vector EmbedJoined(
+      const std::vector<const storage::Table*>& tables,
+      const std::vector<uint32_t>& rows) const;
+
+ private:
+  FeatureHasher hasher_;
+};
+
+}  // namespace embed
+}  // namespace asqp

@@ -1,0 +1,49 @@
+#include "embed/vector_ops.h"
+
+#include <cmath>
+
+namespace asqp {
+namespace embed {
+
+float Dot(const Vector& a, const Vector& b) {
+  float sum = 0.0f;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float Norm(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+float Cosine(const Vector& a, const Vector& b) {
+  const float na = Norm(a);
+  const float nb = Norm(b);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b) / (na * nb);
+}
+
+float L2Distance(const Vector& a, const Vector& b) {
+  float sum = 0.0f;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+void AddInPlace(Vector* a, const Vector& b) {
+  for (size_t i = 0; i < a->size() && i < b.size(); ++i) (*a)[i] += b[i];
+}
+
+void ScaleInPlace(Vector* a, float s) {
+  for (float& v : *a) v *= s;
+}
+
+void NormalizeInPlace(Vector* a) {
+  const float n = Norm(*a);
+  if (n == 0.0f) return;
+  ScaleInPlace(a, 1.0f / n);
+}
+
+}  // namespace embed
+}  // namespace asqp

@@ -1,0 +1,25 @@
+// Dense vector helpers shared by the embedders, clustering, and the
+// answerability estimator.
+#pragma once
+
+#include <vector>
+
+namespace asqp {
+namespace embed {
+
+using Vector = std::vector<float>;
+
+float Dot(const Vector& a, const Vector& b);
+float Norm(const Vector& a);
+/// Cosine similarity in [-1, 1]; 0 when either vector is zero.
+float Cosine(const Vector& a, const Vector& b);
+float L2Distance(const Vector& a, const Vector& b);
+/// a += b (sizes must match).
+void AddInPlace(Vector* a, const Vector& b);
+/// a *= s.
+void ScaleInPlace(Vector* a, float s);
+/// Normalize to unit length (no-op on the zero vector).
+void NormalizeInPlace(Vector* a);
+
+}  // namespace embed
+}  // namespace asqp

@@ -1,0 +1,50 @@
+// Expression evaluation over a joined row.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace exec {
+
+/// \brief A row of the (partial) join: one physical row id per FROM table.
+/// Only the entries for tables already joined are meaningful; expressions
+/// evaluated against a JoinedRow must reference only those tables.
+struct JoinedRow {
+  const std::vector<std::shared_ptr<storage::Table>>* tables = nullptr;
+  const uint32_t* row_ids = nullptr;  // size == tables->size()
+
+  storage::Value ColumnValue(int table_idx, int col_idx) const {
+    return (*tables)[table_idx]->column(col_idx).ValueAt(row_ids[table_idx]);
+  }
+};
+
+/// Evaluate a scalar expression; column refs must be bound.
+storage::Value EvaluateScalar(const sql::Expr& expr, const JoinedRow& row);
+
+/// Evaluate a boolean predicate; NULL results are treated as false
+/// (standard SQL WHERE semantics).
+bool EvaluatePredicate(const sql::Expr& expr, const JoinedRow& row);
+
+/// SQL LIKE with '%' and '_' wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// Evaluate an expression against an *output* row: column references
+/// resolve by output-column name (select alias, aggregate name, or the
+/// referenced column's name). Used for HAVING and for ORDER BY over
+/// aggregate results. Fails when a reference matches no output column.
+util::Result<storage::Value> EvaluateScalarOnRow(
+    const sql::Expr& expr, const std::vector<std::string>& column_names,
+    const std::vector<storage::Value>& row);
+
+/// Boolean wrapper over EvaluateScalarOnRow (NULL -> false).
+util::Result<bool> EvaluatePredicateOnRow(
+    const sql::Expr& expr, const std::vector<std::string>& column_names,
+    const std::vector<storage::Value>& row);
+
+}  // namespace exec
+}  // namespace asqp

@@ -1,0 +1,577 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/evaluator.h"
+#include "util/string_util.h"
+
+namespace asqp {
+namespace exec {
+
+namespace {
+
+using sql::AggFunc;
+using sql::BoundQuery;
+using sql::ExprPtr;
+using sql::JoinPredicate;
+using sql::SelectItem;
+using storage::DatabaseView;
+using storage::Table;
+using storage::Value;
+using util::Result;
+using util::Status;
+
+/// A set of partial join tuples: each tuple holds one row id per FROM table
+/// (entries for not-yet-joined tables are 0 and unused).
+struct TupleSet {
+  size_t num_tables = 0;
+  std::vector<uint32_t> flat;  // row-major, num_tables per tuple
+
+  size_t size() const { return num_tables == 0 ? 0 : flat.size() / num_tables; }
+  const uint32_t* tuple(size_t i) const { return &flat[i * num_tables]; }
+  void Append(const uint32_t* src) {
+    flat.insert(flat.end(), src, src + num_tables);
+  }
+};
+
+std::string ValueKey(const Value& v) {
+  std::string key;
+  key += static_cast<char>('0' + static_cast<int>(v.type()));
+  key += v.ToString();
+  return key;
+}
+
+class Execution {
+ public:
+  Execution(const BoundQuery& q, const DatabaseView& view,
+            const ExecOptions& options)
+      : q_(q), view_(view), options_(options) {}
+
+  Result<ResultSet> Run() {
+    ASQP_RETURN_NOT_OK(FilterScans());
+    ASQP_RETURN_NOT_OK(Join());
+    if (q_.stmt.HasAggregates()) return Aggregate();
+    return Project();
+  }
+
+  Result<ProvenancedJoin> RunWithProvenance(size_t max_tuples) {
+    ASQP_RETURN_NOT_OK(FilterScans());
+    ASQP_RETURN_NOT_OK(Join());
+    ProvenancedJoin out;
+    const size_t n = q_.num_tables();
+    out.table_names.reserve(n);
+    for (size_t t = 0; t < n; ++t) out.table_names.push_back(q_.tables[t]->name());
+    size_t count = joined_.size();
+    if (max_tuples > 0) count = std::min(count, max_tuples);
+    out.tuples.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t* src = joined_.tuple(i);
+      out.tuples.emplace_back(src, src + n);
+    }
+    return out;
+  }
+
+ private:
+  /// Per-table filtered scan: collect visible row ids passing the table's
+  /// single-table conjuncts.
+  Status FilterScans() {
+    const size_t n = q_.num_tables();
+    candidates_.resize(n);
+    scratch_rows_.assign(n, 0);
+    for (size_t t = 0; t < n; ++t) {
+      const Table& table = *q_.tables[t];
+      const size_t visible = view_.VisibleRows(table);
+      const auto& filters = q_.filters[t];
+      JoinedRow jr{&q_.tables, scratch_rows_.data()};
+      auto& out = candidates_[t];
+      out.reserve(visible / 4 + 1);
+      for (size_t ord = 0; ord < visible; ++ord) {
+        const uint32_t row = view_.PhysicalRow(table, ord);
+        scratch_rows_[t] = row;
+        bool pass = true;
+        for (const ExprPtr& f : filters) {
+          if (!EvaluatePredicate(*f, jr)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.push_back(row);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Greedy hash-join: start from the smallest filtered table, repeatedly
+  /// attach the connected table with the fewest candidate rows.
+  Status Join() {
+    const size_t n = q_.num_tables();
+    joined_.num_tables = n;
+    std::vector<bool> in_join(n, false);
+    std::vector<bool> residual_done(q_.residual.size(), false);
+
+    // Seed with the smallest table.
+    size_t seed = 0;
+    for (size_t t = 1; t < n; ++t) {
+      if (candidates_[t].size() < candidates_[seed].size()) seed = t;
+    }
+    std::vector<uint32_t> tmp(n, 0);
+    for (uint32_t row : candidates_[seed]) {
+      tmp[seed] = row;
+      joined_.Append(tmp.data());
+    }
+    in_join[seed] = true;
+
+    for (size_t step = 1; step < n; ++step) {
+      // Pick the next table: connected to the joined set via at least one
+      // equi-predicate if possible, otherwise the smallest remaining
+      // (disconnected join graph -> cross product).
+      int next = -1;
+      bool next_connected = false;
+      for (size_t t = 0; t < n; ++t) {
+        if (in_join[t]) continue;
+        bool connected = false;
+        for (const JoinPredicate& jp : q_.joins) {
+          const bool attaches =
+              (jp.left_table == static_cast<int>(t) && in_join[jp.right_table]) ||
+              (jp.right_table == static_cast<int>(t) && in_join[jp.left_table]);
+          if (attaches) {
+            connected = true;
+            break;
+          }
+        }
+        if (next < 0 ||
+            (connected && !next_connected) ||
+            (connected == next_connected &&
+             candidates_[t].size() < candidates_[next].size())) {
+          next = static_cast<int>(t);
+          next_connected = connected;
+        }
+      }
+
+      ASQP_RETURN_NOT_OK(AttachTable(static_cast<size_t>(next), in_join));
+      in_join[next] = true;
+
+      // Apply residual predicates whose tables are now all joined.
+      ASQP_RETURN_NOT_OK(ApplyReadyResiduals(in_join, &residual_done));
+
+      if (joined_.size() > options_.max_intermediate_rows) {
+        return Status::ExecutionError(util::Format(
+            "intermediate join result exceeds %zu rows",
+            options_.max_intermediate_rows));
+      }
+    }
+    // Residuals with zero referenced tables (constant predicates) or any
+    // left over (single-table query case).
+    ASQP_RETURN_NOT_OK(ApplyReadyResiduals(in_join, &residual_done));
+    return Status::OK();
+  }
+
+  Status AttachTable(size_t t, const std::vector<bool>& in_join) {
+    const size_t n = q_.num_tables();
+    // Collect equi-predicates connecting t to the joined set.
+    struct KeyPair {
+      int probe_table;  // already-joined side
+      int probe_col;
+      int build_col;    // column of table t
+    };
+    std::vector<KeyPair> keys;
+    for (const JoinPredicate& jp : q_.joins) {
+      if (jp.left_table == static_cast<int>(t) && in_join[jp.right_table]) {
+        keys.push_back({jp.right_table, jp.right_col, jp.left_col});
+      } else if (jp.right_table == static_cast<int>(t) && in_join[jp.left_table]) {
+        keys.push_back({jp.left_table, jp.left_col, jp.right_col});
+      }
+    }
+
+    TupleSet next;
+    next.num_tables = n;
+
+    if (keys.empty()) {
+      // Cross product.
+      const size_t projected = joined_.size() * candidates_[t].size();
+      if (projected > options_.max_intermediate_rows) {
+        return Status::ExecutionError(
+            "cross product would exceed the intermediate row cap");
+      }
+      std::vector<uint32_t> tmp(n, 0);
+      for (size_t i = 0; i < joined_.size(); ++i) {
+        const uint32_t* src = joined_.tuple(i);
+        std::copy(src, src + n, tmp.begin());
+        for (uint32_t row : candidates_[t]) {
+          tmp[t] = row;
+          next.Append(tmp.data());
+        }
+      }
+      joined_ = std::move(next);
+      return Status::OK();
+    }
+
+    // Build hash table on table t's candidate rows.
+    const Table& build_table = *q_.tables[t];
+    std::unordered_multimap<std::string, uint32_t> build;
+    build.reserve(candidates_[t].size() * 2);
+    for (uint32_t row : candidates_[t]) {
+      std::string key;
+      bool has_null = false;
+      for (const KeyPair& kp : keys) {
+        const Value v = build_table.column(kp.build_col).ValueAt(row);
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key += ValueKey(v);
+        key += '\x01';
+      }
+      if (!has_null) build.emplace(std::move(key), row);
+    }
+
+    // Probe with current tuples.
+    std::vector<uint32_t> tmp(n, 0);
+    for (size_t i = 0; i < joined_.size(); ++i) {
+      const uint32_t* src = joined_.tuple(i);
+      std::string key;
+      bool has_null = false;
+      for (const KeyPair& kp : keys) {
+        const Value v =
+            q_.tables[kp.probe_table]->column(kp.probe_col).ValueAt(src[kp.probe_table]);
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key += ValueKey(v);
+        key += '\x01';
+      }
+      if (has_null) continue;
+      auto [lo, hi] = build.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        std::copy(src, src + n, tmp.begin());
+        tmp[t] = it->second;
+        next.Append(tmp.data());
+        if (next.size() > options_.max_intermediate_rows) {
+          return Status::ExecutionError(util::Format(
+              "intermediate join result exceeds %zu rows",
+              options_.max_intermediate_rows));
+        }
+      }
+    }
+    joined_ = std::move(next);
+    return Status::OK();
+  }
+
+  Status ApplyReadyResiduals(const std::vector<bool>& in_join,
+                             std::vector<bool>* done) {
+    for (size_t r = 0; r < q_.residual.size(); ++r) {
+      if ((*done)[r]) continue;
+      bool ready = true;
+      for (int t : q_.residual_tables[r]) {
+        if (!in_join[t]) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      (*done)[r] = true;
+      TupleSet next;
+      next.num_tables = joined_.num_tables;
+      JoinedRow jr{&q_.tables, nullptr};
+      for (size_t i = 0; i < joined_.size(); ++i) {
+        jr.row_ids = joined_.tuple(i);
+        if (EvaluatePredicate(*q_.residual[r], jr)) {
+          next.Append(joined_.tuple(i));
+        }
+      }
+      joined_ = std::move(next);
+    }
+    return Status::OK();
+  }
+
+  /// Column names for the output schema.
+  std::vector<std::string> OutputNames() const {
+    std::vector<std::string> names;
+    for (const SelectItem& item : q_.stmt.items) {
+      if (!item.alias.empty()) {
+        names.push_back(item.alias);
+      } else if (item.agg != AggFunc::kNone) {
+        names.push_back(util::ToLower(sql::AggFuncName(item.agg)));
+      } else if (item.star) {
+        for (size_t t = 0; t < q_.num_tables(); ++t) {
+          const Table& table = *q_.tables[t];
+          for (const auto& f : table.schema().fields()) {
+            names.push_back(q_.stmt.from[t].binding_name() + "." + f.name);
+          }
+        }
+      } else {
+        names.push_back(item.expr->ToSql());
+      }
+    }
+    return names;
+  }
+
+  Result<ResultSet> Project() {
+    ResultSet out(OutputNames());
+    JoinedRow jr{&q_.tables, nullptr};
+
+    const bool need_order = !q_.stmt.order_by.empty();
+    std::vector<std::vector<Value>> order_keys;
+    std::unordered_set<std::string> distinct_seen;
+
+    for (size_t i = 0; i < joined_.size(); ++i) {
+      // Fast path: without ORDER BY, stop as soon as LIMIT rows are kept.
+      if (!need_order && q_.stmt.limit >= 0 &&
+          out.num_rows() >= static_cast<size_t>(q_.stmt.limit)) {
+        break;
+      }
+      jr.row_ids = joined_.tuple(i);
+      std::vector<Value> row;
+      for (const SelectItem& item : q_.stmt.items) {
+        if (item.star) {
+          for (size_t t = 0; t < q_.num_tables(); ++t) {
+            const Table& table = *q_.tables[t];
+            for (size_t c = 0; c < table.num_columns(); ++c) {
+              row.push_back(table.column(c).ValueAt(jr.row_ids[t]));
+            }
+          }
+        } else {
+          row.push_back(EvaluateScalar(*item.expr, jr));
+        }
+      }
+      if (q_.stmt.distinct) {
+        std::string key;
+        for (const Value& v : row) {
+          key += ValueKey(v);
+          key += '\x01';
+        }
+        if (!distinct_seen.insert(std::move(key)).second) continue;
+      }
+      if (need_order) {
+        std::vector<Value> keys;
+        keys.reserve(q_.stmt.order_by.size());
+        for (const auto& o : q_.stmt.order_by) {
+          keys.push_back(EvaluateScalar(*o.expr, jr));
+        }
+        order_keys.push_back(std::move(keys));
+      }
+      out.AddRow(std::move(row));
+    }
+
+    if (need_order) {
+      std::vector<size_t> perm(out.num_rows());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+        for (size_t k = 0; k < q_.stmt.order_by.size(); ++k) {
+          const int cmp = order_keys[a][k].Compare(order_keys[b][k]);
+          if (cmp != 0) return q_.stmt.order_by[k].desc ? cmp > 0 : cmp < 0;
+        }
+        return false;
+      });
+      std::vector<std::vector<Value>> sorted;
+      sorted.reserve(perm.size());
+      for (size_t idx : perm) sorted.push_back(std::move(out.mutable_rows()[idx]));
+      out.mutable_rows() = std::move(sorted);
+      if (q_.stmt.limit >= 0 &&
+          out.num_rows() > static_cast<size_t>(q_.stmt.limit)) {
+        out.mutable_rows().resize(static_cast<size_t>(q_.stmt.limit));
+      }
+    }
+    return out;
+  }
+
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0.0;
+    bool has_minmax = false;
+    Value min;
+    Value max;
+    std::vector<Value> first_row_items;  // non-agg select items
+    std::unordered_set<std::string> seen;  // for agg(DISTINCT expr)
+  };
+
+  Result<ResultSet> Aggregate() {
+    const bool post_process =
+        q_.stmt.having != nullptr || !q_.stmt.order_by.empty();
+    JoinedRow jr{&q_.tables, nullptr};
+
+    // Group rows by the GROUP BY key (single group when absent).
+    std::map<std::string, std::vector<AggState>> groups;
+    std::map<std::string, std::vector<Value>> group_keys;
+
+    const size_t num_items = q_.stmt.items.size();
+    for (size_t i = 0; i < joined_.size(); ++i) {
+      jr.row_ids = joined_.tuple(i);
+      std::string key;
+      std::vector<Value> key_vals;
+      for (const ExprPtr& g : q_.stmt.group_by) {
+        Value v = EvaluateScalar(*g, jr);
+        key += ValueKey(v);
+        key += '\x01';
+        key_vals.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.resize(num_items);
+        group_keys.emplace(key, std::move(key_vals));
+      }
+      auto& states = it->second;
+      for (size_t s = 0; s < num_items; ++s) {
+        const SelectItem& item = q_.stmt.items[s];
+        AggState& st = states[s];
+        if (item.agg == AggFunc::kNone) {
+          if (st.first_row_items.empty()) {
+            st.first_row_items.push_back(
+                item.star ? Value() : EvaluateScalar(*item.expr, jr));
+          }
+          continue;
+        }
+        if (item.agg == AggFunc::kCount && item.star) {
+          ++st.count;
+          continue;
+        }
+        const Value v = EvaluateScalar(*item.expr, jr);
+        if (v.is_null()) continue;
+        if (item.distinct && !st.seen.insert(ValueKey(v)).second) {
+          continue;  // agg(DISTINCT ...): skip repeated values
+        }
+        ++st.count;
+        st.sum += v.ToNumeric();
+        if (!st.has_minmax) {
+          st.min = v;
+          st.max = v;
+          st.has_minmax = true;
+        } else {
+          if (v.Compare(st.min) < 0) st.min = v;
+          if (v.Compare(st.max) > 0) st.max = v;
+        }
+      }
+    }
+
+    ResultSet out(OutputNames());
+    for (auto& [key, states] : groups) {
+      std::vector<Value> row;
+      row.reserve(num_items);
+      for (size_t s = 0; s < num_items; ++s) {
+        const SelectItem& item = q_.stmt.items[s];
+        AggState& st = states[s];
+        switch (item.agg) {
+          case AggFunc::kNone:
+            row.push_back(st.first_row_items.empty() ? Value()
+                                                     : st.first_row_items[0]);
+            break;
+          case AggFunc::kCount:
+            row.push_back(Value(st.count));
+            break;
+          case AggFunc::kSum:
+            row.push_back(st.count == 0 ? Value() : Value(st.sum));
+            break;
+          case AggFunc::kAvg:
+            row.push_back(st.count == 0
+                              ? Value()
+                              : Value(st.sum / static_cast<double>(st.count)));
+            break;
+          case AggFunc::kMin:
+            row.push_back(st.has_minmax ? st.min : Value());
+            break;
+          case AggFunc::kMax:
+            row.push_back(st.has_minmax ? st.max : Value());
+            break;
+        }
+      }
+      out.AddRow(std::move(row));
+      // Early LIMIT only when no HAVING/ORDER BY will reshape the output.
+      if (!post_process && q_.stmt.limit >= 0 &&
+          out.num_rows() >= static_cast<size_t>(q_.stmt.limit)) {
+        break;
+      }
+    }
+    // An aggregate query without GROUP BY always yields one row, even over
+    // empty input.
+    if (q_.stmt.group_by.empty() && out.num_rows() == 0 &&
+        (q_.stmt.limit < 0 || q_.stmt.limit > 0)) {
+      std::vector<Value> row;
+      for (const SelectItem& item : q_.stmt.items) {
+        row.push_back(item.agg == AggFunc::kCount ? Value(int64_t{0}) : Value());
+      }
+      out.AddRow(std::move(row));
+    }
+
+    // HAVING: filter output rows by name-resolved predicate.
+    if (q_.stmt.having != nullptr) {
+      std::vector<std::vector<Value>> kept;
+      for (auto& row : out.mutable_rows()) {
+        ASQP_ASSIGN_OR_RETURN(
+            bool pass, EvaluatePredicateOnRow(*q_.stmt.having,
+                                              out.column_names(), row));
+        if (pass) kept.push_back(std::move(row));
+      }
+      out.mutable_rows() = std::move(kept);
+    }
+
+    // ORDER BY over the aggregate output.
+    if (!q_.stmt.order_by.empty()) {
+      const size_t n = out.num_rows();
+      std::vector<std::vector<Value>> keys(n);
+      for (size_t i = 0; i < n; ++i) {
+        for (const auto& o : q_.stmt.order_by) {
+          ASQP_ASSIGN_OR_RETURN(
+              Value key,
+              EvaluateScalarOnRow(*o.expr, out.column_names(), out.row(i)));
+          keys[i].push_back(std::move(key));
+        }
+      }
+      std::vector<size_t> perm(n);
+      for (size_t i = 0; i < n; ++i) perm[i] = i;
+      std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+        for (size_t k = 0; k < q_.stmt.order_by.size(); ++k) {
+          const int cmp = keys[a][k].Compare(keys[b][k]);
+          if (cmp != 0) return q_.stmt.order_by[k].desc ? cmp > 0 : cmp < 0;
+        }
+        return false;
+      });
+      std::vector<std::vector<Value>> sorted;
+      sorted.reserve(n);
+      for (size_t idx : perm) sorted.push_back(std::move(out.mutable_rows()[idx]));
+      out.mutable_rows() = std::move(sorted);
+    }
+
+    if (post_process && q_.stmt.limit >= 0 &&
+        out.num_rows() > static_cast<size_t>(q_.stmt.limit)) {
+      out.mutable_rows().resize(static_cast<size_t>(q_.stmt.limit));
+    }
+    return out;
+  }
+
+  const BoundQuery& q_;
+  const DatabaseView& view_;
+  const ExecOptions& options_;
+
+  std::vector<std::vector<uint32_t>> candidates_;
+  std::vector<uint32_t> scratch_rows_;
+  TupleSet joined_;
+};
+
+}  // namespace
+
+Result<ResultSet> QueryEngine::Execute(const BoundQuery& query,
+                                       const DatabaseView& view) const {
+  Execution exec(query, view, options_);
+  return exec.Run();
+}
+
+Result<ResultSet> QueryEngine::ExecuteSql(const std::string& sql,
+                                          const DatabaseView& view) const {
+  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound,
+                        sql::ParseAndBind(sql, view.db()));
+  return Execute(bound, view);
+}
+
+Result<ProvenancedJoin> QueryEngine::ExecuteWithProvenance(
+    const BoundQuery& query, const DatabaseView& view,
+    size_t max_tuples) const {
+  Execution exec(query, view, options_);
+  return exec.RunWithProvenance(max_tuples);
+}
+
+}  // namespace exec
+}  // namespace asqp

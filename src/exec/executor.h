@@ -1,0 +1,62 @@
+// Query execution over a DatabaseView (full database or approximation set).
+//
+// Pipeline: per-table filtered scans -> greedy hash-join ordering (smallest
+// filtered table first, joined via equi-predicates; cross product only when
+// the join graph is disconnected) -> residual predicates (applied as soon
+// as their tables are joined) -> aggregation or projection -> DISTINCT ->
+// ORDER BY -> LIMIT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exec/result_set.h"
+#include "sql/binder.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace exec {
+
+struct ExecOptions {
+  /// Abort with ExecutionError when an intermediate join result exceeds
+  /// this many rows (guards against accidental cross-product blowups).
+  size_t max_intermediate_rows = 20'000'000;
+};
+
+/// \brief Join result with provenance: for every joined tuple, the physical
+/// row id contributed by each FROM entry. Used by the ASQP pre-processing
+/// pipeline to build its action-space pool out of executed query
+/// representatives (projection, DISTINCT, ORDER BY, and LIMIT are *not*
+/// applied — callers want the underlying base tuples).
+struct ProvenancedJoin {
+  /// Table name per FROM entry (aligned with each tuple's entries).
+  std::vector<std::string> table_names;
+  /// Row-major tuples: tuples[i][t] is the row id of table_names[t].
+  std::vector<std::vector<uint32_t>> tuples;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(ExecOptions options = {}) : options_(options) {}
+
+  /// Execute a bound query against `view`.
+  util::Result<ResultSet> Execute(const sql::BoundQuery& query,
+                                  const storage::DatabaseView& view) const;
+
+  /// Parse, bind, and execute `sql` against `view`'s database.
+  util::Result<ResultSet> ExecuteSql(const std::string& sql,
+                                     const storage::DatabaseView& view) const;
+
+  /// Run only the filter+join pipeline of a (non-aggregate) query and
+  /// return the joined base tuples, capped at `max_tuples` (0 = no cap).
+  util::Result<ProvenancedJoin> ExecuteWithProvenance(
+      const sql::BoundQuery& query, const storage::DatabaseView& view,
+      size_t max_tuples = 0) const;
+
+ private:
+  ExecOptions options_;
+};
+
+}  // namespace exec
+}  // namespace asqp

@@ -1,0 +1,55 @@
+// Materialized query results.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace asqp {
+namespace exec {
+
+/// \brief A materialized query result: column names plus value rows.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  size_t num_columns() const { return column_names_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  void AddRow(std::vector<storage::Value> row) { rows_.push_back(std::move(row)); }
+  const std::vector<storage::Value>& row(size_t i) const { return rows_[i]; }
+  std::vector<std::vector<storage::Value>>& mutable_rows() { return rows_; }
+  const std::vector<std::vector<storage::Value>>& rows() const { return rows_; }
+
+  /// Stable serialization of row `i`, usable as a hash/set key. Two rows
+  /// with equal values produce equal keys.
+  std::string RowKey(size_t i) const {
+    std::string key;
+    for (const storage::Value& v : rows_[i]) {
+      key += static_cast<char>('0' + static_cast<int>(v.type()));
+      key += v.ToString();
+      key += '\x01';
+    }
+    return key;
+  }
+
+  /// Set of all row keys (used by the score and diversity metrics).
+  std::unordered_set<std::string> RowKeySet() const {
+    std::unordered_set<std::string> keys;
+    keys.reserve(rows_.size() * 2);
+    for (size_t i = 0; i < rows_.size(); ++i) keys.insert(RowKey(i));
+    return keys;
+  }
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<storage::Value>> rows_;
+};
+
+}  // namespace exec
+}  // namespace asqp

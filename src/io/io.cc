@@ -1,0 +1,399 @@
+#include "io/io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "rl/policy.h"
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace asqp {
+namespace io {
+
+namespace {
+
+using storage::Value;
+using storage::ValueType;
+using util::Result;
+using util::Status;
+
+bool ParsesAsInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParsesAsDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Ignore CR in CRLF files.
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::shared_ptr<storage::Table>> LoadCsvTable(
+    const std::string& path, const std::string& table_name) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(util::Format("cannot open %s", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(util::Format("%s is empty", path.c_str()));
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header has no columns");
+  }
+
+  // Read all rows first (type inference needs the data).
+  std::vector<std::vector<std::string>> rows;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::ParseError(
+          util::Format("%s line %zu: expected %zu fields, got %zu",
+                       path.c_str(), line_no, header.size(), fields.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+
+  // Infer types.
+  std::vector<ValueType> types(header.size(), ValueType::kInt64);
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool any_nonempty = false;
+    for (const auto& row : rows) {
+      const std::string& cell = row[c];
+      if (cell.empty()) continue;
+      any_nonempty = true;
+      int64_t iv;
+      double dv;
+      if (types[c] == ValueType::kInt64 && !ParsesAsInt(cell, &iv)) {
+        types[c] = ValueType::kDouble;
+      }
+      if (types[c] == ValueType::kDouble && !ParsesAsDouble(cell, &dv)) {
+        types[c] = ValueType::kString;
+        break;
+      }
+    }
+    if (!any_nonempty) types[c] = ValueType::kString;
+  }
+
+  storage::Schema schema;
+  for (size_t c = 0; c < header.size(); ++c) {
+    schema.AddField({util::ToLower(std::string(util::Trim(header[c]))),
+                     types[c]});
+  }
+  auto table = std::make_shared<storage::Table>(table_name, schema);
+  for (const auto& row : rows) {
+    std::vector<Value> values;
+    values.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      if (cell.empty()) {
+        values.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt64: {
+          int64_t v = 0;
+          ParsesAsInt(cell, &v);
+          values.emplace_back(v);
+          break;
+        }
+        case ValueType::kDouble: {
+          double v = 0.0;
+          ParsesAsDouble(cell, &v);
+          values.emplace_back(v);
+          break;
+        }
+        default:
+          values.emplace_back(cell);
+      }
+    }
+    ASQP_RETURN_NOT_OK(table->AppendRow(values));
+  }
+  return table;
+}
+
+Status WriteCsv(const exec::ResultSet& rs, std::ostream& out) {
+  for (size_t c = 0; c < rs.num_columns(); ++c) {
+    if (c) out << ',';
+    out << QuoteField(rs.column_names()[c]);
+  }
+  out << '\n';
+  for (size_t r = 0; r < rs.num_rows(); ++r) {
+    for (size_t c = 0; c < rs.num_columns(); ++c) {
+      if (c) out << ',';
+      const Value& v = rs.row(r)[c];
+      if (!v.is_null()) out << QuoteField(v.ToString());
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+Status WriteCsvFile(const exec::ResultSet& rs, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(
+        util::Format("cannot write %s", path.c_str()));
+  }
+  return WriteCsv(rs, out);
+}
+
+Status SaveWorkload(const metric::Workload& workload,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(
+        util::Format("cannot write %s", path.c_str()));
+  }
+  out << "# asqp workload v1: <weight>\\t<sql>\n";
+  out.precision(9);
+  for (const metric::WeightedQuery& q : workload.queries()) {
+    out << q.weight << '\t' << q.ToSql() << '\n';
+  }
+  return Status::OK();
+}
+
+util::Result<metric::Workload> LoadWorkload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(util::Format("cannot open %s", path.c_str()));
+  }
+  metric::Workload workload;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const size_t tab = trimmed.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::ParseError(util::Format(
+          "%s line %zu: expected '<weight>\\t<sql>'", path.c_str(), line_no));
+    }
+    char* end = nullptr;
+    const std::string weight_text(trimmed.substr(0, tab));
+    const double weight = std::strtod(weight_text.c_str(), &end);
+    if (end != weight_text.c_str() + weight_text.size() || weight < 0.0) {
+      return Status::ParseError(
+          util::Format("%s line %zu: bad weight", path.c_str(), line_no));
+    }
+    auto stmt = sql::Parse(std::string(trimmed.substr(tab + 1)));
+    if (!stmt.ok()) {
+      return Status::ParseError(
+          util::Format("%s line %zu: %s", path.c_str(), line_no,
+                       stmt.status().message().c_str()));
+    }
+    workload.Add(std::move(stmt).value(), weight);
+  }
+  workload.NormalizeWeights();
+  return workload;
+}
+
+Status SaveApproximationSet(const storage::ApproximationSet& set,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(
+        util::Format("cannot write %s", path.c_str()));
+  }
+  out << "# asqp approximation set v1\n";
+  for (const auto& [table, rows] : set.rows()) {
+    for (uint32_t row : rows) {
+      out << table << ' ' << row << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+Result<storage::ApproximationSet> LoadApproximationSet(
+    const std::string& path, const storage::Database* db) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(util::Format("cannot open %s", path.c_str()));
+  }
+  storage::ApproximationSet set;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream parts{std::string(trimmed)};
+    std::string table;
+    uint64_t row = 0;
+    if (!(parts >> table >> row)) {
+      return Status::ParseError(
+          util::Format("%s line %zu: expected '<table> <row>'", path.c_str(),
+                       line_no));
+    }
+    if (db != nullptr) {
+      auto t = db->GetTable(table);
+      if (!t.ok()) {
+        return Status::InvalidArgument(util::Format(
+            "%s line %zu: unknown table %s", path.c_str(), line_no,
+            table.c_str()));
+      }
+      if (row >= t.value()->num_rows()) {
+        return Status::OutOfRange(util::Format(
+            "%s line %zu: row %llu out of range for table %s", path.c_str(),
+            line_no, static_cast<unsigned long long>(row), table.c_str()));
+      }
+    }
+    set.Add(table, static_cast<uint32_t>(row));
+  }
+  set.Seal();
+  return set;
+}
+
+namespace {
+
+void WriteMlp(std::ostream& out, const std::string& tag, nn::Mlp* net) {
+  const std::vector<size_t> dims = net->Dims();
+  out << tag << ' ' << dims.size();
+  for (size_t d : dims) out << ' ' << d;
+  out << ' ' << static_cast<int>(net->activation()) << '\n';
+  const std::vector<float*> params = net->Parameters();
+  const std::vector<size_t> lengths = net->BlockLengths();
+  out.precision(9);
+  for (size_t blk = 0; blk < params.size(); ++blk) {
+    for (size_t i = 0; i < lengths[blk]; ++i) {
+      out << params[blk][i] << '\n';
+    }
+  }
+}
+
+Result<std::shared_ptr<nn::Mlp>> ReadMlp(std::istream& in,
+                                         const std::string& expected_tag) {
+  std::string tag;
+  size_t ndims = 0;
+  if (!(in >> tag >> ndims) || tag != expected_tag || ndims < 2 ||
+      ndims > 64) {
+    return Status::ParseError(
+        util::Format("expected '%s <ndims>' header", expected_tag.c_str()));
+  }
+  std::vector<size_t> dims(ndims);
+  for (size_t& d : dims) {
+    if (!(in >> d) || d == 0) {
+      return Status::ParseError("bad layer dimension");
+    }
+  }
+  int activation = 0;
+  if (!(in >> activation) || activation < 0 || activation > 2) {
+    return Status::ParseError("bad activation code");
+  }
+  auto net = std::make_shared<nn::Mlp>(
+      dims, static_cast<nn::Activation>(activation), /*seed=*/0);
+  const std::vector<float*> params = net->Parameters();
+  const std::vector<size_t> lengths = net->BlockLengths();
+  for (size_t blk = 0; blk < params.size(); ++blk) {
+    for (size_t i = 0; i < lengths[blk]; ++i) {
+      if (!(in >> params[blk][i])) {
+        return Status::ParseError("truncated weight data");
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+Status SavePolicy(const rl::Policy& policy, const std::string& path) {
+  if (policy.actor == nullptr) {
+    return Status::InvalidArgument("policy has no actor network");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(
+        util::Format("cannot write %s", path.c_str()));
+  }
+  out << "asqp-policy v1 " << (policy.critic ? 2 : 1) << '\n';
+  WriteMlp(out, "actor", policy.actor.get());
+  if (policy.critic) WriteMlp(out, "critic", policy.critic.get());
+  return Status::OK();
+}
+
+Result<rl::Policy> LoadPolicy(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(util::Format("cannot open %s", path.c_str()));
+  }
+  std::string magic, version;
+  int nets = 0;
+  if (!(in >> magic >> version >> nets) || magic != "asqp-policy" ||
+      version != "v1" || nets < 1 || nets > 2) {
+    return Status::ParseError("not an asqp-policy v1 file");
+  }
+  rl::Policy policy;
+  ASQP_ASSIGN_OR_RETURN(policy.actor, ReadMlp(in, "actor"));
+  if (nets == 2) {
+    ASQP_ASSIGN_OR_RETURN(policy.critic, ReadMlp(in, "critic"));
+  }
+  return policy;
+}
+
+}  // namespace io
+}  // namespace asqp

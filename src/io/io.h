@@ -1,0 +1,64 @@
+// Lightweight persistence: CSV import/export for tables and result sets,
+// and a text format for approximation sets (so an offline-trained subset
+// can be shipped to an exploration session, the deployment mode the paper
+// targets).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "exec/result_set.h"
+#include "metric/workload.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace io {
+
+/// Load a table from a CSV file. The first line must be a header of
+/// column names; column types are inferred from the data (INT64 if every
+/// non-empty cell parses as an integer, DOUBLE if numeric, else STRING).
+/// Empty cells become NULL. Quoted fields ("a,b" and "" escapes) are
+/// supported.
+util::Result<std::shared_ptr<storage::Table>> LoadCsvTable(
+    const std::string& path, const std::string& table_name);
+
+/// Write a result set as CSV (header + rows; strings quoted when needed).
+util::Status WriteCsv(const exec::ResultSet& rs, std::ostream& out);
+util::Status WriteCsvFile(const exec::ResultSet& rs, const std::string& path);
+
+/// Persist a workload: one "<weight>\t<sql>" line per query ('#' comments
+/// and blank lines allowed). Weights are re-normalized on load.
+util::Status SaveWorkload(const metric::Workload& workload,
+                          const std::string& path);
+util::Result<metric::Workload> LoadWorkload(const std::string& path);
+
+/// Persist an approximation set: one "<table> <row-id>" line per tuple.
+util::Status SaveApproximationSet(const storage::ApproximationSet& set,
+                                  const std::string& path);
+
+/// Load an approximation set saved by SaveApproximationSet. If `db` is
+/// non-null, row ids are validated against it.
+util::Result<storage::ApproximationSet> LoadApproximationSet(
+    const std::string& path, const storage::Database* db = nullptr);
+
+/// Split one CSV line into fields (exposed for testing).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace io
+
+namespace rl {
+struct Policy;
+}  // namespace rl
+
+namespace io {
+
+/// Persist a trained policy (actor + optional critic MLP weights) in a
+/// portable text format, so offline training and online exploration can
+/// run in different processes.
+util::Status SavePolicy(const rl::Policy& policy, const std::string& path);
+util::Result<rl::Policy> LoadPolicy(const std::string& path);
+
+}  // namespace io
+}  // namespace asqp

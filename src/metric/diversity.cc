@@ -1,0 +1,58 @@
+#include "metric/diversity.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace asqp {
+namespace metric {
+
+double JaccardDistance(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t intersection = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  // Sorted-unique inputs: |A u B| = |A| + |B| - |A n B|.
+  const double uni =
+      static_cast<double>(a.size() + b.size() - intersection);
+  if (uni == 0.0) return 0.0;
+  return 1.0 - static_cast<double>(intersection) / uni;
+}
+
+double ResultDiversity(const exec::ResultSet& rs, size_t max_rows) {
+  const size_t n = std::min(rs.num_rows(), max_rows);
+  if (n < 2) return 0.0;
+
+  // Render each row once as a sorted-unique token set.
+  std::vector<std::vector<std::string>> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto& tokens = rows[i];
+    tokens.reserve(rs.num_columns());
+    for (const storage::Value& v : rs.row(i)) tokens.push_back(v.ToString());
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  }
+
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      total += JaccardDistance(rows[i], rows[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace metric
+}  // namespace asqp

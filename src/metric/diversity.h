@@ -1,0 +1,21 @@
+// Result diversity (Section 6.2 "Diversity Comparison"): average pairwise
+// Jaccard *distance* between result rows, each row viewed as the set of its
+// rendered values. Higher = more diverse answers shown to the user.
+#pragma once
+
+#include "exec/result_set.h"
+
+namespace asqp {
+namespace metric {
+
+/// Average pairwise Jaccard distance over up to `max_rows` rows of `rs`
+/// (rows beyond the cap are ignored; the paper evaluates with LIMIT 100).
+/// Returns 0 for results with fewer than two rows.
+double ResultDiversity(const exec::ResultSet& rs, size_t max_rows = 100);
+
+/// Jaccard distance between two value sets given as sorted string vectors.
+double JaccardDistance(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+}  // namespace metric
+}  // namespace asqp

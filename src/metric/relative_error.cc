@@ -1,0 +1,74 @@
+#include "metric/relative_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace asqp {
+namespace metric {
+
+double ScalarRelativeError(double truth, double pred) {
+  if (truth == 0.0) return pred == 0.0 ? 0.0 : 1.0;
+  return std::min(1.0, std::fabs(pred - truth) / std::fabs(truth));
+}
+
+namespace {
+
+std::string GroupKey(const std::vector<storage::Value>& row,
+                     size_t num_group_cols) {
+  std::string key;
+  for (size_t c = 0; c < num_group_cols; ++c) {
+    key += row[c].ToString();
+    key += '\x01';
+  }
+  return key;
+}
+
+}  // namespace
+
+util::Result<double> RelativeError(const exec::ResultSet& truth,
+                                   const exec::ResultSet& predicted,
+                                   size_t num_group_cols) {
+  if (truth.num_columns() != predicted.num_columns()) {
+    return util::Status::InvalidArgument(
+        "truth and prediction have different column counts");
+  }
+  if (num_group_cols >= truth.num_columns() && truth.num_columns() > 0) {
+    return util::Status::InvalidArgument("no aggregate columns to compare");
+  }
+  if (truth.num_rows() == 0) return 0.0;
+
+  std::unordered_map<std::string, size_t> pred_index;
+  pred_index.reserve(predicted.num_rows() * 2);
+  for (size_t i = 0; i < predicted.num_rows(); ++i) {
+    pred_index.emplace(GroupKey(predicted.row(i), num_group_cols), i);
+  }
+
+  const size_t num_aggs = truth.num_columns() - num_group_cols;
+  double total = 0.0;
+  for (size_t i = 0; i < truth.num_rows(); ++i) {
+    const auto& trow = truth.row(i);
+    auto it = pred_index.find(GroupKey(trow, num_group_cols));
+    if (it == pred_index.end()) {
+      total += 1.0;  // missing group: complete mismatch
+      continue;
+    }
+    const auto& prow = predicted.row(it->second);
+    double group_err = 0.0;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const storage::Value& tv = trow[num_group_cols + a];
+      const storage::Value& pv = prow[num_group_cols + a];
+      if (tv.is_null() && pv.is_null()) continue;
+      if (tv.is_null() || pv.is_null()) {
+        group_err += 1.0;
+        continue;
+      }
+      group_err += ScalarRelativeError(tv.ToNumeric(), pv.ToNumeric());
+    }
+    total += group_err / static_cast<double>(num_aggs);
+  }
+  return total / static_cast<double>(truth.num_rows());
+}
+
+}  // namespace metric
+}  // namespace asqp

@@ -1,0 +1,25 @@
+// Relative error for aggregate queries (Equation 2 of the paper), used by
+// the Section 6.4 AQP comparison. For GROUP BY queries the error is
+// computed per group and averaged; a group missing from the prediction
+// contributes error 1 (complete mismatch).
+#pragma once
+
+#include "exec/result_set.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace metric {
+
+/// Compare `predicted` against `truth`. Both results must have the same
+/// column layout: zero or more group-key columns followed by numeric
+/// aggregate columns. `num_group_cols` identifies the key prefix.
+util::Result<double> RelativeError(const exec::ResultSet& truth,
+                                   const exec::ResultSet& predicted,
+                                   size_t num_group_cols);
+
+/// Scalar relative error |pred - truth| / |truth| (1.0 when truth is 0 and
+/// pred differs, 0.0 when both are 0; capped at 1).
+double ScalarRelativeError(double truth, double pred);
+
+}  // namespace metric
+}  // namespace asqp

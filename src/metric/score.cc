@@ -1,0 +1,59 @@
+#include "metric/score.h"
+
+#include <algorithm>
+
+#include "sql/binder.h"
+
+namespace asqp {
+namespace metric {
+
+util::Result<size_t> ScoreEvaluator::FullResultSize(
+    const sql::SelectStatement& stmt) {
+  const std::string key = stmt.ToSql();
+  auto it = full_size_cache_.find(key);
+  if (it != full_size_cache_.end()) return it->second;
+
+  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
+  storage::DatabaseView full_view(db_);
+  ASQP_ASSIGN_OR_RETURN(exec::ResultSet rs, engine_.Execute(bound, full_view));
+  const size_t size = rs.num_rows();
+  full_size_cache_.emplace(key, size);
+  return size;
+}
+
+util::Result<double> ScoreEvaluator::QueryScore(
+    const sql::SelectStatement& stmt,
+    const storage::ApproximationSet& subset) {
+  ASQP_ASSIGN_OR_RETURN(size_t full_size, FullResultSize(stmt));
+  if (full_size == 0) return 1.0;
+
+  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
+  storage::DatabaseView sub_view(db_, &subset);
+  ASQP_ASSIGN_OR_RETURN(exec::ResultSet rs, engine_.Execute(bound, sub_view));
+
+  const double denom = static_cast<double>(
+      std::min<size_t>(static_cast<size_t>(options_.frame_size), full_size));
+  return std::min(1.0, static_cast<double>(rs.num_rows()) / denom);
+}
+
+util::Result<double> ScoreEvaluator::Score(
+    const Workload& workload, const storage::ApproximationSet& subset) {
+  if (workload.empty()) return 0.0;
+  double total = 0.0;
+  size_t failures = 0;
+  util::Status last_error;
+  for (const WeightedQuery& q : workload.queries()) {
+    auto score = QueryScore(q.stmt, subset);
+    if (!score.ok()) {
+      ++failures;
+      last_error = score.status();
+      continue;
+    }
+    total += q.weight * score.value();
+  }
+  if (failures == workload.size()) return last_error;
+  return total;
+}
+
+}  // namespace metric
+}  // namespace asqp

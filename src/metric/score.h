@@ -1,0 +1,59 @@
+// The ANAQP quality metric (Equation 1 of the paper):
+//
+//   score(S) = sum_q  w(q) * min(1, |q(S)| / min(F, |q(T)|))
+//
+// with weights normalized to sum to 1. (The paper's formula carries an
+// additional 1/|Q| factor *and* normalized weights; the two together would
+// bound the score by 1/|Q|, which contradicts the reported magnitudes, so
+// we treat the 1/|Q| as already absorbed into uniform weights.)
+//
+// Full-database result sizes |q(T)| are expensive, so the evaluator caches
+// them per query text.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "exec/executor.h"
+#include "metric/workload.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace metric {
+
+struct ScoreOptions {
+  /// Frame size F: the number of result tuples a user can cognitively
+  /// process (paper default 50).
+  int frame_size = 50;
+};
+
+class ScoreEvaluator {
+ public:
+  ScoreEvaluator(const storage::Database* db, ScoreOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Eq. 1 over the whole workload. Queries that fail to execute
+  /// contribute 0 (and the failure is surfaced if every query fails).
+  util::Result<double> Score(const Workload& workload,
+                             const storage::ApproximationSet& subset);
+
+  /// Coverage of one query: min(1, |q(S)| / min(F, |q(T)|)). Returns 1
+  /// when the full result is empty (nothing to cover).
+  util::Result<double> QueryScore(const sql::SelectStatement& stmt,
+                                  const storage::ApproximationSet& subset);
+
+  /// |q(T)| with caching.
+  util::Result<size_t> FullResultSize(const sql::SelectStatement& stmt);
+
+  const ScoreOptions& options() const { return options_; }
+
+ private:
+  const storage::Database* db_;
+  ScoreOptions options_;
+  exec::QueryEngine engine_;
+  std::unordered_map<std::string, size_t> full_size_cache_;
+};
+
+}  // namespace metric
+}  // namespace asqp

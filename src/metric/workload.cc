@@ -1,0 +1,112 @@
+#include "metric/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/parser.h"
+
+namespace asqp {
+namespace metric {
+
+util::Result<Workload> Workload::FromSql(const std::vector<std::string>& sqls) {
+  Workload w;
+  for (const std::string& sql : sqls) {
+    ASQP_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+    w.Add(std::move(stmt));
+  }
+  w.NormalizeWeights();
+  return w;
+}
+
+void Workload::NormalizeWeights() {
+  double total = 0.0;
+  for (const WeightedQuery& q : queries_) total += std::max(0.0, q.weight);
+  if (total <= 0.0) {
+    const double uniform = queries_.empty() ? 0.0 : 1.0 / queries_.size();
+    for (WeightedQuery& q : queries_) q.weight = uniform;
+    return;
+  }
+  for (WeightedQuery& q : queries_) q.weight = std::max(0.0, q.weight) / total;
+}
+
+std::pair<Workload, Workload> Workload::TrainTestSplit(double train_fraction,
+                                                       util::Rng* rng) const {
+  std::vector<size_t> order(queries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  size_t train_count = static_cast<size_t>(
+      std::ceil(train_fraction * static_cast<double>(queries_.size())));
+  train_count = std::min(train_count, queries_.size());
+  if (!queries_.empty() && train_count == 0) train_count = 1;
+
+  Workload train, test;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const WeightedQuery& q = queries_[order[i]];
+    if (i < train_count) {
+      train.Add(q.stmt.Clone(), q.weight);
+    } else {
+      test.Add(q.stmt.Clone(), q.weight);
+    }
+  }
+  train.NormalizeWeights();
+  test.NormalizeWeights();
+  return {std::move(train), std::move(test)};
+}
+
+Workload Workload::Truncate(size_t count) const {
+  Workload out;
+  const size_t keep = std::min(count, queries_.size());
+  for (size_t i = 0; i < keep; ++i) {
+    out.Add(queries_[i].stmt.Clone(), queries_[i].weight);
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+sql::SelectStatement StripAggregates(const sql::SelectStatement& stmt) {
+  sql::SelectStatement out = stmt.Clone();
+  if (!out.HasAggregates()) return out;
+
+  std::vector<sql::SelectItem> items;
+  for (sql::SelectItem& item : out.items) {
+    if (item.agg == sql::AggFunc::kNone) {
+      items.push_back(std::move(item));
+      continue;
+    }
+    // COUNT(*) has no inner column; skip it. agg(col) keeps the bare col.
+    if (item.expr != nullptr) {
+      sql::SelectItem bare;
+      bare.expr = std::move(item.expr);
+      items.push_back(std::move(bare));
+    }
+  }
+  // Grouped columns stay observable in the SPJ skeleton.
+  for (sql::ExprPtr& g : out.group_by) {
+    sql::SelectItem bare;
+    bare.expr = std::move(g);
+    items.push_back(std::move(bare));
+  }
+  out.group_by.clear();
+  if (items.empty()) {
+    sql::SelectItem star;
+    star.star = true;
+    items.push_back(std::move(star));
+  }
+  out.items = std::move(items);
+  out.order_by.clear();
+  out.having = nullptr;  // HAVING is meaningless without groups
+  return out;
+}
+
+Workload Workload::ToSpjWorkload() const {
+  Workload out;
+  for (const WeightedQuery& q : queries_) {
+    out.Add(StripAggregates(q.stmt), q.weight);
+  }
+  out.NormalizeWeights();
+  return out;
+}
+
+}  // namespace metric
+}  // namespace asqp

@@ -1,0 +1,68 @@
+// Query workloads: the Q and w of the ANAQP problem definition.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace metric {
+
+/// \brief One workload entry: a parsed statement plus its weight w(q).
+struct WeightedQuery {
+  sql::SelectStatement stmt;
+  double weight = 1.0;
+
+  std::string ToSql() const { return stmt.ToSql(); }
+};
+
+/// \brief A query workload with normalized weights (sum w(q) = 1).
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Parse a list of SQL strings into a uniform-weight workload.
+  static util::Result<Workload> FromSql(const std::vector<std::string>& sqls);
+
+  void Add(sql::SelectStatement stmt, double weight = 1.0) {
+    queries_.push_back(WeightedQuery{std::move(stmt), weight});
+  }
+
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  const WeightedQuery& query(size_t i) const { return queries_[i]; }
+  WeightedQuery& mutable_query(size_t i) { return queries_[i]; }
+  const std::vector<WeightedQuery>& queries() const { return queries_; }
+
+  /// Rescale weights so they sum to 1 (uniform if all weights are zero).
+  void NormalizeWeights();
+
+  /// Random train/test split; `train_fraction` of queries (rounded up, at
+  /// least 1 when non-empty) land in the train side. Weights are
+  /// re-normalized within each side.
+  std::pair<Workload, Workload> TrainTestSplit(double train_fraction,
+                                               util::Rng* rng) const;
+
+  /// Keep only the first `count` queries (used by ASQP-Light and the
+  /// training-set-size ablation); weights are re-normalized.
+  Workload Truncate(size_t count) const;
+
+  /// Rewrite every aggregate query into its SPJ skeleton: aggregates and
+  /// GROUP BY are dropped and the bare grouped/aggregated columns are
+  /// selected instead (the paper's Section 3 transformation).
+  Workload ToSpjWorkload() const;
+
+ private:
+  std::vector<WeightedQuery> queries_;
+};
+
+/// Strip aggregates/GROUP BY from one statement (see Workload::ToSpjWorkload).
+sql::SelectStatement StripAggregates(const sql::SelectStatement& stmt);
+
+}  // namespace metric
+}  // namespace asqp

@@ -1,0 +1,288 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace asqp {
+namespace nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, util::Rng* rng)
+    : in(in_dim), out(out_dim) {
+  w.resize(in * out);
+  b.assign(out, 0.0f);
+  dw.assign(in * out, 0.0f);
+  db.assign(out, 0.0f);
+  // Xavier/Glorot initialization.
+  const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (float& weight : w) {
+    weight = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+}
+
+void Linear::Forward(const std::vector<float>& x, std::vector<float>* y) const {
+  assert(x.size() == in);
+  y->assign(out, 0.0f);
+  for (size_t o = 0; o < out; ++o) {
+    const float* row = &w[o * in];
+    float sum = b[o];
+    for (size_t i = 0; i < in; ++i) sum += row[i] * x[i];
+    (*y)[o] = sum;
+  }
+}
+
+void Linear::Backward(const std::vector<float>& x, const std::vector<float>& dy,
+                      std::vector<float>* dx) {
+  assert(x.size() == in && dy.size() == out);
+  dx->assign(in, 0.0f);
+  for (size_t o = 0; o < out; ++o) {
+    const float g = dy[o];
+    if (g == 0.0f) continue;
+    float* drow = &dw[o * in];
+    const float* row = &w[o * in];
+    db[o] += g;
+    for (size_t i = 0; i < in; ++i) {
+      drow[i] += g * x[i];
+      (*dx)[i] += g * row[i];
+    }
+  }
+}
+
+void Linear::BackwardInputOnly(const std::vector<float>& dy,
+                               std::vector<float>* dx) const {
+  dx->assign(in, 0.0f);
+  for (size_t o = 0; o < out; ++o) {
+    const float g = dy[o];
+    if (g == 0.0f) continue;
+    const float* row = &w[o * in];
+    for (size_t i = 0; i < in; ++i) (*dx)[i] += g * row[i];
+  }
+}
+
+void Linear::ZeroGrad() {
+  std::fill(dw.begin(), dw.end(), 0.0f);
+  std::fill(db.begin(), db.end(), 0.0f);
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
+         uint64_t seed)
+    : activation_(hidden_activation) {
+  assert(dims.size() >= 2);
+  util::Rng rng(seed);
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    layers_.emplace_back(dims[l], dims[l + 1], &rng);
+  }
+}
+
+namespace {
+
+float Activate(float v, Activation a) {
+  switch (a) {
+    case Activation::kTanh: return std::tanh(v);
+    case Activation::kRelu: return v > 0.0f ? v : 0.0f;
+    case Activation::kNone: return v;
+  }
+  return v;
+}
+
+float ActivateGrad(float pre, float post, Activation a) {
+  switch (a) {
+    case Activation::kTanh: return 1.0f - post * post;
+    case Activation::kRelu: return pre > 0.0f ? 1.0f : 0.0f;
+    case Activation::kNone: return 1.0f;
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+std::vector<float> Mlp::Forward(const std::vector<float>& x,
+                                Cache* cache) const {
+  cache->pre.resize(layers_.size());
+  cache->post.resize(layers_.size() + 1);
+  cache->post[0] = x;
+  std::vector<float> cur = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].Forward(cur, &cache->pre[l]);
+    cur = cache->pre[l];
+    if (l + 1 < layers_.size()) {  // hidden layer: apply activation
+      for (float& v : cur) v = Activate(v, activation_);
+    }
+    cache->post[l + 1] = cur;
+  }
+  return cur;
+}
+
+std::vector<float> Mlp::Forward(const std::vector<float>& x) const {
+  Cache cache;
+  return Forward(x, &cache);
+}
+
+void Mlp::Backward(const Cache& cache, const std::vector<float>& dout) {
+  std::vector<float> grad = dout;
+  for (size_t l = layers_.size(); l-- > 0;) {
+    if (l + 1 < layers_.size()) {
+      // Undo the activation applied after layer l.
+      for (size_t i = 0; i < grad.size(); ++i) {
+        grad[i] *= ActivateGrad(cache.pre[l][i], cache.post[l + 1][i],
+                                activation_);
+      }
+    }
+    std::vector<float> dx;
+    layers_[l].Backward(cache.post[l], grad, &dx);
+    grad = std::move(dx);
+  }
+}
+
+std::vector<float> Mlp::BackwardInput(const Cache& cache,
+                                      const std::vector<float>& dout) const {
+  std::vector<float> grad = dout;
+  for (size_t l = layers_.size(); l-- > 0;) {
+    if (l + 1 < layers_.size()) {
+      for (size_t i = 0; i < grad.size(); ++i) {
+        grad[i] *= ActivateGrad(cache.pre[l][i], cache.post[l + 1][i],
+                                activation_);
+      }
+    }
+    std::vector<float> dx;
+    layers_[l].BackwardInputOnly(grad, &dx);
+    grad = std::move(dx);
+  }
+  return grad;
+}
+
+void Mlp::ZeroGrad() {
+  for (Linear& l : layers_) l.ZeroGrad();
+}
+
+std::vector<float*> Mlp::Parameters() {
+  std::vector<float*> out;
+  for (Linear& l : layers_) {
+    out.push_back(l.w.data());
+    out.push_back(l.b.data());
+  }
+  return out;
+}
+
+std::vector<float*> Mlp::Gradients() {
+  std::vector<float*> out;
+  for (Linear& l : layers_) {
+    out.push_back(l.dw.data());
+    out.push_back(l.db.data());
+  }
+  return out;
+}
+
+std::vector<size_t> Mlp::BlockLengths() const {
+  std::vector<size_t> out;
+  for (const Linear& l : layers_) {
+    out.push_back(l.w.size());
+    out.push_back(l.b.size());
+  }
+  return out;
+}
+
+size_t Mlp::num_parameters() const {
+  size_t n = 0;
+  for (const Linear& l : layers_) n += l.w.size() + l.b.size();
+  return n;
+}
+
+void Mlp::CopyWeightsFrom(const Mlp& other) {
+  assert(layers_.size() == other.layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].w = other.layers_[l].w;
+    layers_[l].b = other.layers_[l].b;
+  }
+}
+
+Adam::Adam(Mlp* net, Options options) : net_(net), options_(options) {
+  const size_t n = net->num_parameters();
+  m_.assign(n, 0.0f);
+  v_.assign(n, 0.0f);
+}
+
+void Adam::Step() {
+  ++t_;
+  std::vector<float*> params = net_->Parameters();
+  std::vector<float*> grads = net_->Gradients();
+  const std::vector<size_t> lengths = net_->BlockLengths();
+
+  double norm_sq = 0.0;
+  for (size_t blk = 0; blk < grads.size(); ++blk) {
+    for (size_t i = 0; i < lengths[blk]; ++i) {
+      norm_sq += static_cast<double>(grads[blk][i]) * grads[blk][i];
+    }
+  }
+  float scale = 1.0f;
+  if (options_.max_grad_norm > 0.0) {
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.max_grad_norm) {
+      scale = static_cast<float>(options_.max_grad_norm / (norm + 1e-12));
+    }
+  }
+
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  size_t offset = 0;
+  for (size_t blk = 0; blk < grads.size(); ++blk) {
+    for (size_t i = 0; i < lengths[blk]; ++i) {
+      const float g = grads[blk][i] * scale;
+      float& m = m_[offset + i];
+      float& v = v_[offset + i];
+      m = static_cast<float>(options_.beta1 * m + (1.0 - options_.beta1) * g);
+      v = static_cast<float>(options_.beta2 * v +
+                             (1.0 - options_.beta2) * g * g);
+      const double mhat = m / bc1;
+      const double vhat = v / bc2;
+      params[blk][i] -= static_cast<float>(options_.lr * mhat /
+                                           (std::sqrt(vhat) + options_.eps));
+      grads[blk][i] = 0.0f;
+    }
+    offset += lengths[blk];
+  }
+}
+
+std::vector<float> MaskedSoftmax(const std::vector<float>& logits,
+                                 const std::vector<uint8_t>& mask) {
+  std::vector<float> probs(logits.size(), 0.0f);
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (size_t i = 0; i < logits.size(); ++i) {
+    if (mask[i] && logits[i] > max_logit) max_logit = logits[i];
+  }
+  if (max_logit == -std::numeric_limits<float>::infinity()) return probs;
+  double total = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    if (!mask[i]) continue;
+    probs[i] = std::exp(logits[i] - max_logit);
+    total += probs[i];
+  }
+  if (total <= 0.0) return probs;
+  for (float& p : probs) p = static_cast<float>(p / total);
+  return probs;
+}
+
+float Entropy(const std::vector<float>& probs) {
+  float h = 0.0f;
+  for (float p : probs) {
+    if (p > 1e-12f) h -= p * std::log(p);
+  }
+  return h;
+}
+
+size_t SampleCategorical(const std::vector<float>& probs, util::Rng* rng) {
+  double u = rng->UniformDouble();
+  for (size_t i = 0; i < probs.size(); ++i) {
+    u -= probs[i];
+    if (u <= 0.0) return i;
+  }
+  // Numeric slack: return the last non-zero entry.
+  for (size_t i = probs.size(); i-- > 0;) {
+    if (probs[i] > 0.0f) return i;
+  }
+  return 0;
+}
+
+}  // namespace nn
+}  // namespace asqp

@@ -1,0 +1,142 @@
+// Minimal neural-network substrate: dense layers with manual
+// backpropagation, tanh activations, and an Adam optimizer. This replaces
+// the paper's PyTorch dependency (see DESIGN.md): at the scale of the
+// ASQP-RL policy/value networks (an input layer matching the action space
+// followed by two small fully-connected layers) a hand-rolled MLP is
+// faster than framework dispatch on CPU, and keeps the repository
+// self-contained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace asqp {
+namespace nn {
+
+/// \brief One dense layer y = W x + b with gradient accumulators.
+struct Linear {
+  size_t in = 0;
+  size_t out = 0;
+  std::vector<float> w;   // row-major [out][in]
+  std::vector<float> b;   // [out]
+  std::vector<float> dw;  // gradient accumulators
+  std::vector<float> db;
+
+  Linear(size_t in_dim, size_t out_dim, util::Rng* rng);
+
+  void Forward(const std::vector<float>& x, std::vector<float>* y) const;
+
+  /// Given dL/dy, accumulate dW/db and compute dL/dx.
+  void Backward(const std::vector<float>& x, const std::vector<float>& dy,
+                std::vector<float>* dx);
+
+  /// dL/dx only (dx = W^T dy); parameter gradients untouched.
+  void BackwardInputOnly(const std::vector<float>& dy,
+                         std::vector<float>* dx) const;
+
+  void ZeroGrad();
+};
+
+enum class Activation { kTanh, kRelu, kNone };
+
+/// \brief Multi-layer perceptron with a shared hidden activation and a
+/// linear output layer.
+class Mlp {
+ public:
+  /// dims = {input, hidden..., output}.
+  Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
+      uint64_t seed);
+
+  size_t input_dim() const { return layers_.front().in; }
+  size_t output_dim() const { return layers_.back().out; }
+
+  /// The {input, hidden..., output} dimension list this net was built with.
+  std::vector<size_t> Dims() const {
+    std::vector<size_t> dims;
+    dims.push_back(layers_.front().in);
+    for (const Linear& l : layers_) dims.push_back(l.out);
+    return dims;
+  }
+  Activation activation() const { return activation_; }
+
+  /// Forward pass; `cache` stores activations needed by Backward.
+  struct Cache {
+    std::vector<std::vector<float>> pre;   // pre-activation per layer
+    std::vector<std::vector<float>> post;  // post-activation (post[0] = input)
+  };
+  std::vector<float> Forward(const std::vector<float>& x, Cache* cache) const;
+
+  /// Inference-only forward (no cache).
+  std::vector<float> Forward(const std::vector<float>& x) const;
+
+  /// Backprop dL/d(output) through the cached forward pass, accumulating
+  /// parameter gradients.
+  void Backward(const Cache& cache, const std::vector<float>& dout);
+
+  /// dL/d(input) for a cached forward pass, *without* accumulating
+  /// parameter gradients (used when a downstream network's loss must flow
+  /// into an upstream network, e.g. VAE decoder -> encoder).
+  std::vector<float> BackwardInput(const Cache& cache,
+                                   const std::vector<float>& dout) const;
+
+  void ZeroGrad();
+
+  /// Flat views over parameters and their gradients (for the optimizer and
+  /// for copying weights to rollout workers). Blocks come in (weights,
+  /// bias) pairs per layer; BlockLengths() gives each block's length.
+  std::vector<float*> Parameters();
+  std::vector<float*> Gradients();
+  std::vector<size_t> BlockLengths() const;
+  size_t num_parameters() const;
+
+  /// Copy all weights from another identically-shaped MLP.
+  void CopyWeightsFrom(const Mlp& other);
+
+ private:
+  std::vector<Linear> layers_;
+  Activation activation_;
+};
+
+/// \brief Adam optimizer over a set of parameter blocks.
+class Adam {
+ public:
+  struct Options {
+    double lr = 3e-4;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    /// Global gradient-norm clip (0 disables).
+    double max_grad_norm = 1.0;
+  };
+
+  Adam(Mlp* net, Options options);
+
+  void set_lr(double lr) { options_.lr = lr; }
+  double lr() const { return options_.lr; }
+
+  /// Apply one update from the net's accumulated gradients, then zero them.
+  void Step();
+
+ private:
+  Mlp* net_;
+  Options options_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  int64_t t_ = 0;
+};
+
+/// Masked softmax: entries with mask[i] == 0 get probability 0. If every
+/// entry is masked the result is all zeros.
+std::vector<float> MaskedSoftmax(const std::vector<float>& logits,
+                                 const std::vector<uint8_t>& mask);
+
+/// Entropy of a probability vector (natural log).
+float Entropy(const std::vector<float>& probs);
+
+/// Sample an index from a probability vector.
+size_t SampleCategorical(const std::vector<float>& probs, util::Rng* rng);
+
+}  // namespace nn
+}  // namespace asqp

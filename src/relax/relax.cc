@@ -1,0 +1,257 @@
+#include "relax/relax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asqp {
+namespace relax {
+
+namespace {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using storage::Value;
+using workloadgen::ColumnStats;
+using workloadgen::DatabaseStats;
+
+/// Find stats for a column reference within the query's FROM tables.
+const ColumnStats* LookupColumn(const Expr& ref,
+                                const sql::SelectStatement& stmt,
+                                const DatabaseStats& stats) {
+  for (const sql::TableRef& t : stmt.from) {
+    if (!ref.qualifier.empty() && ref.qualifier != t.binding_name() &&
+        ref.qualifier != t.table) {
+      continue;
+    }
+    const workloadgen::TableStats* ts = stats.FindTable(t.table);
+    if (ts == nullptr) continue;
+    const ColumnStats* cs = ts->FindColumn(ref.column);
+    if (cs != nullptr) return cs;
+  }
+  return nullptr;
+}
+
+Value NumericLike(const Value& reference, double v) {
+  if (reference.type() == storage::ValueType::kInt64) {
+    return Value(static_cast<int64_t>(std::llround(v)));
+  }
+  return Value(v);
+}
+
+/// True when `e` is `<column> <cmp> <numeric literal>` (either order).
+bool MatchColCmpConst(const Expr& e, const Expr** col, const Expr** lit,
+                      bool* col_on_left) {
+  if (e.kind != ExprKind::kBinary || !sql::IsComparison(e.op)) return false;
+  if (e.left->kind == ExprKind::kColumnRef &&
+      e.right->kind == ExprKind::kLiteral) {
+    *col = e.left.get();
+    *lit = e.right.get();
+    *col_on_left = true;
+    return true;
+  }
+  if (e.right->kind == ExprKind::kColumnRef &&
+      e.left->kind == ExprKind::kLiteral) {
+    *col = e.right.get();
+    *lit = e.left.get();
+    *col_on_left = false;
+    return true;
+  }
+  return false;
+}
+
+/// Sibling categorical values for extending equality / IN predicates:
+/// frequent values not already present.
+std::vector<Value> Siblings(const ColumnStats& cs,
+                            const std::vector<Value>& existing, size_t count,
+                            util::Rng* rng) {
+  std::vector<Value> out;
+  if (cs.top_values.empty()) return out;
+  // Start from a random offset so different relaxations diversify.
+  const size_t start = rng->NextBounded(cs.top_values.size());
+  for (size_t i = 0; i < cs.top_values.size() && out.size() < count; ++i) {
+    const std::string& candidate =
+        cs.top_values[(start + i) % cs.top_values.size()].first;
+    bool present = false;
+    for (const Value& v : existing) {
+      if (v.type() == storage::ValueType::kString &&
+          v.AsString() == candidate) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) out.emplace_back(candidate);
+  }
+  return out;
+}
+
+class Relaxer {
+ public:
+  Relaxer(const sql::SelectStatement& stmt, const DatabaseStats& stats,
+          const RelaxOptions& options, util::Rng* rng)
+      : stmt_(stmt), stats_(stats), options_(options), rng_(rng) {}
+
+  /// Relax one conjunct; returns nullptr when the conjunct is dropped.
+  ExprPtr RelaxConjunct(const ExprPtr& conjunct) {
+    // Never drop or touch equi-join predicates (col = col): dropping one
+    // would change the query's shape, not relax it.
+    if (conjunct->kind == ExprKind::kBinary && conjunct->op == BinOp::kEq &&
+        conjunct->left->kind == ExprKind::kColumnRef &&
+        conjunct->right->kind == ExprKind::kColumnRef) {
+      return conjunct->Clone();
+    }
+    if (rng_->Bernoulli(options_.drop_probability)) return nullptr;
+    return RelaxExpr(conjunct);
+  }
+
+ private:
+  ExprPtr RelaxExpr(const ExprPtr& expr) {
+    switch (expr->kind) {
+      case ExprKind::kBinary: {
+        if (expr->op == BinOp::kAnd || expr->op == BinOp::kOr) {
+          // Recurse; inside OR/AND subtrees nothing is dropped (dropping a
+          // branch of an OR would *shrink* the result).
+          return Expr::Binary(expr->op, RelaxExpr(expr->left),
+                              RelaxExpr(expr->right));
+        }
+        const Expr* col = nullptr;
+        const Expr* lit = nullptr;
+        bool col_on_left = false;
+        if (!MatchColCmpConst(*expr, &col, &lit, &col_on_left)) {
+          return expr->Clone();
+        }
+        const ColumnStats* cs = LookupColumn(*col, stmt_, stats_);
+        return RelaxComparison(*expr, *col, *lit, col_on_left, cs);
+      }
+      case ExprKind::kBetween:
+        return RelaxBetween(*expr);
+      case ExprKind::kIn:
+        return RelaxIn(*expr);
+      case ExprKind::kLike:
+        return RelaxLike(*expr);
+      default:
+        return expr->Clone();
+    }
+  }
+
+  ExprPtr RelaxComparison(const Expr& e, const Expr& col, const Expr& lit,
+                          bool col_on_left, const ColumnStats* cs) {
+    const Value& v = lit.literal;
+    // Categorical equality -> IN with siblings.
+    if (e.op == BinOp::kEq && v.type() == storage::ValueType::kString &&
+        cs != nullptr) {
+      std::vector<Value> list = {v};
+      for (Value& s : Siblings(*cs, list, options_.in_extension, rng_)) {
+        list.push_back(std::move(s));
+      }
+      return Expr::In(col.Clone(), std::move(list));
+    }
+    if (!v.is_numeric() || cs == nullptr || !cs->is_numeric()) {
+      return e.Clone();
+    }
+    const double range = std::max(cs->max - cs->min, 1e-9);
+    const double delta = options_.widen_fraction * range;
+    const double num = v.ToNumeric();
+
+    // Normalize direction: what does the predicate bound for the column?
+    BinOp op = e.op;
+    if (!col_on_left) {
+      switch (op) {
+        case BinOp::kLt: op = BinOp::kGt; break;
+        case BinOp::kLe: op = BinOp::kGe; break;
+        case BinOp::kGt: op = BinOp::kLt; break;
+        case BinOp::kGe: op = BinOp::kLe; break;
+        default: break;
+      }
+    }
+    switch (op) {
+      case BinOp::kEq:
+        return Expr::Between(col.Clone(), NumericLike(v, num - delta),
+                             NumericLike(v, num + delta));
+      case BinOp::kLt:
+      case BinOp::kLe:
+        return Expr::Binary(op, col.Clone(),
+                            Expr::Literal(NumericLike(v, num + delta)));
+      case BinOp::kGt:
+      case BinOp::kGe:
+        return Expr::Binary(op, col.Clone(),
+                            Expr::Literal(NumericLike(v, num - delta)));
+      default:
+        return e.Clone();
+    }
+  }
+
+  ExprPtr RelaxBetween(const Expr& e) {
+    if (e.negated || e.left->kind != ExprKind::kColumnRef) return e.Clone();
+    const ColumnStats* cs = LookupColumn(*e.left, stmt_, stats_);
+    if (cs == nullptr || !cs->is_numeric() || !e.between_lo.is_numeric() ||
+        !e.between_hi.is_numeric()) {
+      return e.Clone();
+    }
+    const double range = std::max(cs->max - cs->min, 1e-9);
+    const double delta = options_.widen_fraction * range;
+    return Expr::Between(
+        e.left->Clone(),
+        NumericLike(e.between_lo, e.between_lo.ToNumeric() - delta),
+        NumericLike(e.between_hi, e.between_hi.ToNumeric() + delta));
+  }
+
+  ExprPtr RelaxIn(const Expr& e) {
+    if (e.negated || e.left->kind != ExprKind::kColumnRef) return e.Clone();
+    const ColumnStats* cs = LookupColumn(*e.left, stmt_, stats_);
+    ExprPtr out = e.Clone();
+    if (cs != nullptr) {
+      for (Value& s :
+           Siblings(*cs, out->in_list, options_.in_extension, rng_)) {
+        out->in_list.push_back(std::move(s));
+      }
+    }
+    return out;
+  }
+
+  ExprPtr RelaxLike(const Expr& e) {
+    if (e.negated) return e.Clone();
+    // Shorten a literal prefix: 'abcd%' -> 'abc%' (never below one char).
+    const std::string& p = e.like_pattern;
+    const size_t wild = p.find_first_of("%_");
+    if (wild == std::string::npos || wild < 2) return e.Clone();
+    ExprPtr out = e.Clone();
+    out->like_pattern = p.substr(0, wild - 1) + p.substr(wild);
+    return out;
+  }
+
+  const sql::SelectStatement& stmt_;
+  const DatabaseStats& stats_;
+  const RelaxOptions& options_;
+  util::Rng* rng_;
+};
+
+}  // namespace
+
+sql::SelectStatement RelaxQuery(const sql::SelectStatement& stmt,
+                                const DatabaseStats& stats,
+                                const RelaxOptions& options, util::Rng* rng) {
+  sql::SelectStatement out = stmt.Clone();
+  // The relaxed query is used to *collect* candidate tuples, so the user's
+  // result-size cap must not constrain it.
+  out.limit = -1;
+  out.order_by.clear();
+
+  if (out.where == nullptr) return out;
+  std::vector<ExprPtr> conjuncts;
+  sql::CollectConjuncts(out.where, &conjuncts);
+
+  Relaxer relaxer(out, stats, options, rng);
+  std::vector<ExprPtr> relaxed;
+  relaxed.reserve(conjuncts.size());
+  for (const ExprPtr& c : conjuncts) {
+    ExprPtr r = relaxer.RelaxConjunct(c);
+    if (r != nullptr) relaxed.push_back(std::move(r));
+  }
+  out.where = sql::AndAll(relaxed);
+  return out;
+}
+
+}  // namespace relax
+}  // namespace asqp

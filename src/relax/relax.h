@@ -1,0 +1,42 @@
+// Query relaxation (pre-processing step, Section 4.2): loosen predicate
+// conditions so each generalized query returns a superset of its original
+// result. This pulls tuples beyond the training workload into the action
+// space, which is how the system generalizes to future queries (C4).
+//
+// Relaxations applied (all statistics-guided):
+//   * numeric comparisons  col < c   ->  col < c + widen * range
+//   * numeric equality     col = c   ->  col BETWEEN c - d AND c + d
+//   * BETWEEN              widened on both ends
+//   * categorical equality col = 'v' ->  col IN ('v', siblings...)
+//   * IN lists             extended with frequent sibling values
+//   * LIKE 'abc%'          prefix shortened
+//   * any conjunct may be dropped with probability `drop_probability`
+#pragma once
+
+#include "sql/ast.h"
+#include "util/random.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace relax {
+
+struct RelaxOptions {
+  /// Fraction of the column's value range by which ranges are widened.
+  double widen_fraction = 0.35;
+  /// Number of sibling categorical values added to equality / IN predicates.
+  size_t in_extension = 5;
+  /// Probability of dropping a filter conjunct outright. Aggressive
+  /// dropping is the strongest generalization lever: it pulls in tuples
+  /// adjacent to the workload that future queries are likely to touch.
+  double drop_probability = 0.3;
+};
+
+/// Return a relaxed clone of `stmt`. The result set of the relaxed query is
+/// a superset of the original's on the same database (LIMIT is removed;
+/// dropped or widened predicates only admit more rows).
+sql::SelectStatement RelaxQuery(const sql::SelectStatement& stmt,
+                                const workloadgen::DatabaseStats& stats,
+                                const RelaxOptions& options, util::Rng* rng);
+
+}  // namespace relax
+}  // namespace asqp

@@ -1,0 +1,73 @@
+// The RL action space built by the pre-processing pipeline (Section 4.2).
+//
+// Pre-processing executes relaxed query representatives over the database,
+// variationally subsamples the joined result tuples into a *pool*, and
+// groups pool tuples into *actions* (the paper: "an action encompasses
+// multiple tuples sourced from different tables"). For reward evaluation
+// during training we precompute, for every action, how many result tuples
+// it contributes to every representative query — so a training step never
+// touches the SQL engine. The final quality metric is still measured with
+// real query execution over the materialized approximation set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace asqp {
+namespace rl {
+
+/// \brief One pool entry: a joined tuple, as (table, row) pairs.
+struct PoolTuple {
+  /// (table index into ActionSpace::table_names, physical row id).
+  std::vector<std::pair<uint32_t, uint32_t>> rows;
+};
+
+/// \brief The precomputed training substrate for all environments.
+struct ActionSpace {
+  std::vector<std::string> table_names;
+  std::vector<PoolTuple> pool;
+
+  /// Pool indices grouped into each action.
+  std::vector<std::vector<uint32_t>> action_tuples;
+  /// Number of distinct base tuples each action adds (cost against k).
+  std::vector<uint32_t> action_cost;
+
+  /// contribution[a * num_queries + q]: result tuples of representative
+  /// query q contributed by selecting action a.
+  size_t num_queries = 0;
+  std::vector<float> contribution;
+  /// min(F, |q(T)|) per representative query, >= 1.
+  std::vector<float> query_target;
+  /// Normalized representative weights.
+  std::vector<float> query_weight;
+
+  /// Memory budget k (total base tuples).
+  size_t budget = 0;
+
+  size_t num_actions() const { return action_tuples.size(); }
+
+  float ContributionOf(size_t action, size_t query) const {
+    return contribution[action * num_queries + query];
+  }
+
+  /// Materialize a selected action set into an ApproximationSet.
+  storage::ApproximationSet Materialize(
+      const std::vector<size_t>& actions) const {
+    storage::ApproximationSet out;
+    for (size_t a : actions) {
+      for (uint32_t tuple_idx : action_tuples[a]) {
+        for (const auto& [table, row] : pool[tuple_idx].rows) {
+          out.Add(table_names[table], row);
+        }
+      }
+    }
+    out.Seal();
+    return out;
+  }
+};
+
+}  // namespace rl
+}  // namespace asqp

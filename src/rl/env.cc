@@ -1,0 +1,308 @@
+#include "rl/env.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace asqp {
+namespace rl {
+
+Env::Env(const ActionSpace* space, size_t batch_size)
+    : space_(space),
+      batch_size_(std::min(batch_size == 0 ? space->num_queries : batch_size,
+                           space->num_queries)),
+      selected_(space->num_actions(), 0),
+      coverage_(space->num_queries, 0.0f),
+      state_(state_dim(), 0.0f),
+      mask_(space->num_actions(), 0) {}
+
+std::vector<size_t> Env::SelectedActions() const {
+  std::vector<size_t> out;
+  for (size_t a = 0; a < selected_.size(); ++a) {
+    if (selected_[a]) out.push_back(a);
+  }
+  return out;
+}
+
+void Env::PickBatch(size_t episode_index) {
+  batch_.clear();
+  const size_t q = space_->num_queries;
+  const size_t start = (episode_index * batch_size_) % q;
+  for (size_t i = 0; i < batch_size_; ++i) {
+    batch_.push_back((start + i) % q);
+  }
+}
+
+void Env::ClearSelection() {
+  std::fill(selected_.begin(), selected_.end(), 0);
+  std::fill(coverage_.begin(), coverage_.end(), 0.0f);
+  budget_used_ = 0;
+}
+
+void Env::ApplySelect(size_t action) {
+  assert(!selected_[action]);
+  selected_[action] = 1;
+  budget_used_ += space_->action_cost[action];
+  const size_t q = space_->num_queries;
+  for (size_t i = 0; i < q; ++i) {
+    coverage_[i] += space_->ContributionOf(action, i);
+  }
+}
+
+void Env::ApplyUnselect(size_t action) {
+  assert(selected_[action]);
+  selected_[action] = 0;
+  budget_used_ -= space_->action_cost[action];
+  const size_t q = space_->num_queries;
+  for (size_t i = 0; i < q; ++i) {
+    coverage_[i] -= space_->ContributionOf(action, i);
+  }
+}
+
+namespace {
+
+double ScoreOver(const ActionSpace& space, const std::vector<float>& coverage,
+                 const std::vector<size_t>& queries) {
+  double total_weight = 0.0;
+  double total = 0.0;
+  for (size_t q : queries) {
+    const double w = space.query_weight[q];
+    total_weight += w;
+    const double ratio =
+        static_cast<double>(coverage[q]) / space.query_target[q];
+    total += w * std::min(1.0, ratio);
+  }
+  return total_weight > 0.0 ? total / total_weight : 0.0;
+}
+
+}  // namespace
+
+double Env::CurrentScore() const {
+  return ScoreOver(*space_, coverage_, batch_);
+}
+
+double Env::FullScore() const {
+  std::vector<size_t> all(space_->num_queries);
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return ScoreOver(*space_, coverage_, all);
+}
+
+void Env::RefreshStateVector(float phase, float progress) {
+  const size_t a = space_->num_actions();
+  const size_t q = space_->num_queries;
+  for (size_t i = 0; i < a; ++i) state_[i] = selected_[i] ? 1.0f : 0.0f;
+  for (size_t i = 0; i < q; ++i) {
+    state_[a + i] =
+        std::min(1.0f, coverage_[i] / space_->query_target[i]);
+  }
+  const float budget_frac =
+      space_->budget == 0
+          ? 0.0f
+          : 1.0f - static_cast<float>(budget_used_) /
+                       static_cast<float>(space_->budget);
+  state_[a + q] = std::max(0.0f, budget_frac);
+  state_[a + q + 1] = phase;
+  state_[a + q + 2] = progress;
+}
+
+void Env::MaskUnselectedFitting() {
+  const size_t remaining = space_->budget - std::min(space_->budget, budget_used_);
+  for (size_t i = 0; i < mask_.size(); ++i) {
+    mask_[i] = (!selected_[i] && space_->action_cost[i] <= remaining) ? 1 : 0;
+  }
+}
+
+// ---------------------------------------------------------------- GslEnv
+
+void GslEnv::Reset(size_t episode_index, util::Rng* rng) {
+  (void)rng;
+  PickBatch(episode_index);
+  ClearSelection();
+  steps_ = 0;
+  last_score_ = 0.0;
+  MaskUnselectedFitting();
+  RefreshStateVector(/*phase=*/0.0f, /*progress=*/0.0f);
+}
+
+StepResult GslEnv::Step(size_t action) {
+  assert(mask_[action]);
+  ApplySelect(action);
+  ++steps_;
+  const double score = CurrentScore();
+  StepResult result;
+  result.reward = score - last_score_;
+  last_score_ = score;
+
+  MaskUnselectedFitting();
+  bool any_valid = false;
+  for (uint8_t m : mask_) {
+    if (m) {
+      any_valid = true;
+      break;
+    }
+  }
+  result.done = !any_valid;
+  const float progress =
+      space_->budget == 0 ? 1.0f
+                          : std::min(1.0f, static_cast<float>(budget_used_) /
+                                               static_cast<float>(space_->budget));
+  RefreshStateVector(0.0f, progress);
+  return result;
+}
+
+// ---------------------------------------------------------------- DrpEnv
+
+void DrpEnv::Reset(size_t episode_index, util::Rng* rng) {
+  PickBatch(episode_index);
+  ClearSelection();
+  steps_ = 0;
+  removing_ = true;
+
+  // Random initial set filling the budget.
+  std::vector<size_t> order(space_->num_actions());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  for (size_t a : order) {
+    if (budget_used_ + space_->action_cost[a] > space_->budget) continue;
+    ApplySelect(a);
+  }
+  pre_swap_score_ = CurrentScore();
+  MaskForPhase();
+  RefreshStateVector(/*phase=*/1.0f, /*progress=*/0.0f);
+}
+
+void DrpEnv::MaskForPhase() {
+  if (removing_) {
+    for (size_t i = 0; i < mask_.size(); ++i) mask_[i] = selected_[i];
+  } else {
+    MaskUnselectedFitting();
+    // Allow re-adding the removed action: the "no change" option.
+    const size_t remaining = space_->budget - budget_used_;
+    if (space_->action_cost[last_removed_] <= remaining) {
+      mask_[last_removed_] = 1;
+    }
+  }
+}
+
+StepResult DrpEnv::Step(size_t action) {
+  assert(mask_[action]);
+  StepResult result;
+  if (removing_) {
+    pre_swap_score_ = CurrentScore();
+    ApplyUnselect(action);
+    last_removed_ = action;
+    removing_ = false;
+  } else {
+    ApplySelect(action);
+    result.reward = CurrentScore() - pre_swap_score_;
+    removing_ = true;
+    ++steps_;
+    result.done = steps_ >= horizon_;
+  }
+  MaskForPhase();
+  // A dead end (nothing selectable) also terminates.
+  bool any_valid = false;
+  for (uint8_t m : mask_) {
+    if (m) {
+      any_valid = true;
+      break;
+    }
+  }
+  if (!any_valid) result.done = true;
+  RefreshStateVector(removing_ ? 1.0f : 0.0f,
+                     horizon_ == 0 ? 1.0f
+                                   : std::min(1.0f, static_cast<float>(steps_) /
+                                                        static_cast<float>(horizon_)));
+  return result;
+}
+
+// -------------------------------------------------------------- HybridEnv
+
+void HybridEnv::Reset(size_t episode_index, util::Rng* rng) {
+  (void)rng;
+  PickBatch(episode_index);
+  ClearSelection();
+  growing_ = true;
+  removing_ = true;
+  refine_steps_ = 0;
+  steps_ = 0;
+  last_score_ = 0.0;
+  MaskUnselectedFitting();
+  RefreshStateVector(0.0f, 0.0f);
+}
+
+void HybridEnv::MaskForPhase() {
+  if (growing_) {
+    MaskUnselectedFitting();
+    return;
+  }
+  if (removing_) {
+    for (size_t i = 0; i < mask_.size(); ++i) mask_[i] = selected_[i];
+  } else {
+    MaskUnselectedFitting();
+    const size_t remaining = space_->budget - budget_used_;
+    if (space_->action_cost[last_removed_] <= remaining) {
+      mask_[last_removed_] = 1;
+    }
+  }
+}
+
+StepResult HybridEnv::Step(size_t action) {
+  assert(mask_[action]);
+  StepResult result;
+  ++steps_;
+  if (growing_) {
+    ApplySelect(action);
+    const double score = CurrentScore();
+    result.reward = score - last_score_;
+    last_score_ = score;
+    MaskUnselectedFitting();
+    bool any_valid = false;
+    for (uint8_t m : mask_) {
+      if (m) {
+        any_valid = true;
+        break;
+      }
+    }
+    if (!any_valid) {
+      growing_ = false;  // budget filled: switch to refinement
+      removing_ = true;
+    }
+  } else if (removing_) {
+    pre_swap_score_ = CurrentScore();
+    ApplyUnselect(action);
+    last_removed_ = action;
+    removing_ = false;
+  } else {
+    ApplySelect(action);
+    result.reward = CurrentScore() - pre_swap_score_;
+    removing_ = true;
+    ++refine_steps_;
+    result.done = refine_steps_ >= refine_horizon_;
+  }
+  MaskForPhase();
+  bool any_valid = false;
+  for (uint8_t m : mask_) {
+    if (m) {
+      any_valid = true;
+      break;
+    }
+  }
+  if (!any_valid) result.done = true;
+  const float phase = growing_ ? 0.0f : (removing_ ? 1.0f : 0.5f);
+  const float progress =
+      growing_
+          ? (space_->budget == 0
+                 ? 1.0f
+                 : std::min(1.0f, static_cast<float>(budget_used_) /
+                                      static_cast<float>(space_->budget)))
+          : (refine_horizon_ == 0
+                 ? 1.0f
+                 : std::min(1.0f, static_cast<float>(refine_steps_) /
+                                      static_cast<float>(refine_horizon_)));
+  RefreshStateVector(phase, progress);
+  return result;
+}
+
+}  // namespace rl
+}  // namespace asqp

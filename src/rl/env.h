@@ -1,0 +1,146 @@
+// RL environments over the tabular action space (Section 5.2).
+//
+// All environments share one state layout so the same network shape works
+// across the ablation study:
+//   [ per-action selected indicator  (A floats)
+//   | per-query coverage ratio       (Q floats, capped at 1)
+//   | budget remaining fraction      (1)
+//   | phase flag                     (1; DRP remove=1 / add=0)
+//   | episode progress               (1) ]
+//
+// Rewards are computed against the episode's *query batch* (the paper
+// trains each epoch on a distinct batch of queries): the batch score is
+//   sum_{q in batch} w_q min(1, cov_q / target_q) / sum_{q in batch} w_q.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rl/action_space.h"
+#include "util/random.h"
+
+namespace asqp {
+namespace rl {
+
+struct StepResult {
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Env {
+ public:
+  explicit Env(const ActionSpace* space, size_t batch_size);
+  virtual ~Env() = default;
+
+  size_t action_count() const { return space_->num_actions(); }
+  size_t state_dim() const {
+    return space_->num_actions() + space_->num_queries + 3;
+  }
+
+  /// Start an episode; `episode_index` rotates the query batch.
+  virtual void Reset(size_t episode_index, util::Rng* rng) = 0;
+  virtual StepResult Step(size_t action) = 0;
+
+  const std::vector<float>& state() const { return state_; }
+  const std::vector<uint8_t>& action_mask() const { return mask_; }
+  const ActionSpace* space() const { return space_; }
+
+  /// Actions currently selected (the approximation set under construction).
+  std::vector<size_t> SelectedActions() const;
+
+  /// Batch score of the current selection (reward basis).
+  double CurrentScore() const;
+
+  /// Score of the current selection over *all* representative queries
+  /// (reported by trainers; batch-independent).
+  double FullScore() const;
+
+ protected:
+  void PickBatch(size_t episode_index);
+  void ClearSelection();
+  void ApplySelect(size_t action);
+  void ApplyUnselect(size_t action);
+  void RefreshStateVector(float phase, float progress);
+  /// Default mask: unselected actions that fit the remaining budget.
+  void MaskUnselectedFitting();
+
+  const ActionSpace* space_;
+  size_t batch_size_;
+  std::vector<size_t> batch_;  // query indices in the current batch
+
+  std::vector<uint8_t> selected_;     // per action
+  std::vector<float> coverage_;       // per query, raw contribution sums
+  size_t budget_used_ = 0;
+
+  std::vector<float> state_;
+  std::vector<uint8_t> mask_;
+};
+
+/// \brief Gradual-Set-Learning: grow the set from empty; reward = score
+/// delta; episode ends when the budget is exhausted (or nothing fits).
+class GslEnv : public Env {
+ public:
+  GslEnv(const ActionSpace* space, size_t batch_size)
+      : Env(space, batch_size) {}
+
+  void Reset(size_t episode_index, util::Rng* rng) override;
+  StepResult Step(size_t action) override;
+
+ private:
+  double last_score_ = 0.0;
+  size_t steps_ = 0;
+};
+
+/// \brief Drop-One: start from a random full set; alternate (remove, add)
+/// action pairs; reward after each add = score delta across the swap.
+/// Re-adding the removed action is the paper's "choose not to change".
+class DrpEnv : public Env {
+ public:
+  DrpEnv(const ActionSpace* space, size_t batch_size, size_t horizon)
+      : Env(space, batch_size), horizon_(horizon) {}
+
+  void Reset(size_t episode_index, util::Rng* rng) override;
+  StepResult Step(size_t action) override;
+
+ private:
+  void MaskForPhase();
+
+  size_t horizon_;
+  size_t steps_ = 0;
+  bool removing_ = true;
+  double pre_swap_score_ = 0.0;
+  size_t last_removed_ = 0;
+};
+
+/// \brief GSL warm-start followed by DRP refinement (the "DRP + GSL"
+/// ablation row): grow greedily-by-policy to the budget, then swap for
+/// `refine_horizon` additional steps.
+class HybridEnv : public Env {
+ public:
+  HybridEnv(const ActionSpace* space, size_t batch_size,
+            size_t refine_horizon)
+      : Env(space, batch_size), refine_horizon_(refine_horizon) {}
+
+  void Reset(size_t episode_index, util::Rng* rng) override;
+  StepResult Step(size_t action) override;
+
+ private:
+  void MaskForPhase();
+
+  size_t refine_horizon_;
+  bool growing_ = true;
+  bool removing_ = true;  // sub-phase once refining
+  size_t refine_steps_ = 0;
+  double last_score_ = 0.0;
+  double pre_swap_score_ = 0.0;
+  size_t last_removed_ = 0;
+  size_t steps_ = 0;
+};
+
+/// Factory signature used by trainers to give each rollout worker its own
+/// environment instance.
+using EnvFactory = std::function<std::unique_ptr<Env>()>;
+
+}  // namespace rl
+}  // namespace asqp

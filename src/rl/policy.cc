@@ -1,0 +1,57 @@
+#include "rl/policy.h"
+
+#include <cmath>
+
+namespace asqp {
+namespace rl {
+
+Policy Policy::Create(size_t state_dim, size_t action_count, size_t hidden_dim,
+                      bool with_critic, uint64_t seed) {
+  Policy p;
+  p.actor = std::make_shared<nn::Mlp>(
+      std::vector<size_t>{state_dim, hidden_dim, hidden_dim, action_count},
+      nn::Activation::kTanh, seed);
+  if (with_critic) {
+    p.critic = std::make_shared<nn::Mlp>(
+        std::vector<size_t>{state_dim, hidden_dim, hidden_dim, 1},
+        nn::Activation::kTanh, seed ^ 0x9e3779b9ULL);
+  }
+  return p;
+}
+
+Policy Policy::Clone() const {
+  Policy out;
+  if (actor) out.actor = std::make_shared<nn::Mlp>(*actor);
+  if (critic) out.critic = std::make_shared<nn::Mlp>(*critic);
+  return out;
+}
+
+Policy::ActResult Policy::Act(const std::vector<float>& state,
+                              const std::vector<uint8_t>& mask,
+                              util::Rng* rng, bool greedy) const {
+  ActResult result;
+  const std::vector<float> logits = actor->Forward(state);
+  result.probs = nn::MaskedSoftmax(logits, mask);
+  if (greedy) {
+    size_t best = 0;
+    float best_p = -1.0f;
+    for (size_t i = 0; i < result.probs.size(); ++i) {
+      if (result.probs[i] > best_p) {
+        best_p = result.probs[i];
+        best = i;
+      }
+    }
+    result.action = best;
+  } else {
+    result.action = nn::SampleCategorical(result.probs, rng);
+  }
+  const float p = result.probs[result.action];
+  result.log_prob = std::log(std::max(p, 1e-12f));
+  if (critic) {
+    result.value = critic->Forward(state)[0];
+  }
+  return result;
+}
+
+}  // namespace rl
+}  // namespace asqp

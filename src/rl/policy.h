@@ -1,0 +1,40 @@
+// Actor / critic networks (Section 5.1): both take the environment state;
+// the actor outputs one logit per action (masked softmax -> policy), the
+// critic outputs the state value.
+#pragma once
+
+#include <memory>
+
+#include "nn/mlp.h"
+#include "util/random.h"
+
+namespace asqp {
+namespace rl {
+
+/// \brief A trained (or in-training) policy, shareable across rollout
+/// workers. The critic may be absent (REINFORCE ablation).
+struct Policy {
+  std::shared_ptr<nn::Mlp> actor;
+  std::shared_ptr<nn::Mlp> critic;
+
+  struct ActResult {
+    size_t action = 0;
+    float log_prob = 0.0f;
+    float value = 0.0f;
+    std::vector<float> probs;
+  };
+
+  /// Sample (or argmax) an action under the masked policy.
+  ActResult Act(const std::vector<float>& state,
+                const std::vector<uint8_t>& mask, util::Rng* rng,
+                bool greedy = false) const;
+
+  /// Deep copy (for per-worker snapshots).
+  Policy Clone() const;
+
+  static Policy Create(size_t state_dim, size_t action_count,
+                       size_t hidden_dim, bool with_critic, uint64_t seed);
+};
+
+}  // namespace rl
+}  // namespace asqp

@@ -1,0 +1,117 @@
+// Trajectory storage plus Generalized Advantage Estimation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace asqp {
+namespace rl {
+
+/// \brief Flat storage of transitions collected over possibly many
+/// episodes. `episode_start[i]` marks where episode i begins.
+struct RolloutBuffer {
+  std::vector<std::vector<float>> states;
+  std::vector<std::vector<uint8_t>> masks;
+  std::vector<size_t> actions;
+  std::vector<float> rewards;
+  std::vector<float> values;     // V(s) under the collecting policy
+  std::vector<float> log_probs;  // log pi_old(a|s)
+  std::vector<std::vector<float>> old_probs;  // full old distribution (KL)
+  std::vector<uint8_t> dones;
+
+  // Filled by ComputeAdvantages:
+  std::vector<float> advantages;
+  std::vector<float> returns;
+
+  size_t size() const { return actions.size(); }
+
+  void Clear() {
+    states.clear();
+    masks.clear();
+    actions.clear();
+    rewards.clear();
+    values.clear();
+    log_probs.clear();
+    old_probs.clear();
+    dones.clear();
+    advantages.clear();
+    returns.clear();
+  }
+
+  void Append(RolloutBuffer&& other) {
+    auto move_into = [](auto& dst, auto& src) {
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
+    };
+    move_into(states, other.states);
+    move_into(masks, other.masks);
+    move_into(actions, other.actions);
+    move_into(rewards, other.rewards);
+    move_into(values, other.values);
+    move_into(log_probs, other.log_probs);
+    move_into(old_probs, other.old_probs);
+    move_into(dones, other.dones);
+    other.Clear();
+  }
+
+  /// GAE(lambda): advantages + returns from rewards/values/dones. Episode
+  /// boundaries are the `dones` flags; terminal bootstrap value is 0.
+  void ComputeAdvantages(double gamma, double lambda) {
+    const size_t n = size();
+    advantages.assign(n, 0.0f);
+    returns.assign(n, 0.0f);
+    double gae = 0.0;
+    for (size_t i = n; i-- > 0;) {
+      const double next_value =
+          (dones[i] || i + 1 >= n) ? 0.0 : static_cast<double>(values[i + 1]);
+      const double not_done = dones[i] ? 0.0 : 1.0;
+      const double delta =
+          rewards[i] + gamma * next_value - static_cast<double>(values[i]);
+      gae = delta + gamma * lambda * not_done * gae;
+      if (dones[i]) gae = delta;  // restart accumulation at episode ends
+      advantages[i] = static_cast<float>(gae);
+      returns[i] = static_cast<float>(gae + values[i]);
+    }
+  }
+
+  /// Plain discounted returns-to-go (REINFORCE, which has no critic).
+  void ComputeReturnsToGo(double gamma) {
+    const size_t n = size();
+    returns.assign(n, 0.0f);
+    double running = 0.0;
+    for (size_t i = n; i-- > 0;) {
+      if (dones[i]) running = 0.0;
+      running = rewards[i] + gamma * running;
+      returns[i] = static_cast<float>(running);
+    }
+    // Advantage = return - batch mean (variance-reduction baseline).
+    double mean = 0.0;
+    for (float r : returns) mean += r;
+    mean /= n == 0 ? 1.0 : static_cast<double>(n);
+    advantages.assign(n, 0.0f);
+    for (size_t i = 0; i < n; ++i) {
+      advantages[i] = static_cast<float>(returns[i] - mean);
+    }
+  }
+
+  /// Normalize advantages to zero mean / unit variance (standard PPO).
+  void NormalizeAdvantages() {
+    const size_t n = advantages.size();
+    if (n < 2) return;
+    double mean = 0.0;
+    for (float a : advantages) mean += a;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (float a : advantages) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(n);
+    const double stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+    for (float& a : advantages) {
+      a = static_cast<float>((a - mean) / stddev);
+    }
+  }
+};
+
+}  // namespace rl
+}  // namespace asqp

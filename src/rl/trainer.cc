@@ -1,0 +1,312 @@
+#include "rl/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "nn/mlp.h"
+#include "rl/rollout.h"
+#include "util/thread_pool.h"
+
+namespace asqp {
+namespace rl {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kPpo: return "ppo";
+    case Algorithm::kA2c: return "a2c";
+    case Algorithm::kReinforce: return "reinforce";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Collect one episode into `buffer` using `policy` (sampling).
+/// Returns the episode's final full score.
+double CollectEpisode(Env* env, const Policy& policy, size_t episode_index,
+                      size_t max_steps, double diversity_coef,
+                      util::Rng* rng, RolloutBuffer* buffer) {
+  const ActionSpace* space_for_diversity =
+      diversity_coef > 0.0 ? env->space() : nullptr;
+  env->Reset(episode_index, rng);
+  size_t steps = 0;
+  while (steps < max_steps) {
+    // Dead-end guard: no valid action.
+    bool any_valid = false;
+    for (uint8_t m : env->action_mask()) {
+      if (m) {
+        any_valid = true;
+        break;
+      }
+    }
+    if (!any_valid) break;
+
+    const Policy::ActResult act = policy.Act(env->state(), env->action_mask(), rng);
+    buffer->states.push_back(env->state());
+    buffer->masks.push_back(env->action_mask());
+    buffer->actions.push_back(act.action);
+    buffer->values.push_back(act.value);
+    buffer->log_probs.push_back(act.log_prob);
+    buffer->old_probs.push_back(act.probs);
+
+    const StepResult step = env->Step(act.action);
+    double reward = step.reward;
+    ++steps;
+    const bool done = step.done || steps >= max_steps;
+    if (done && diversity_coef > 0.0 && space_for_diversity != nullptr) {
+      // Diversity regularizer: distinct base tuples / total budget.
+      const storage::ApproximationSet set =
+          space_for_diversity->Materialize(env->SelectedActions());
+      const double frac =
+          space_for_diversity->budget == 0
+              ? 0.0
+              : static_cast<double>(set.TotalTuples()) /
+                    static_cast<double>(space_for_diversity->budget);
+      reward += diversity_coef * frac;
+    }
+    buffer->rewards.push_back(static_cast<float>(reward));
+    buffer->dones.push_back(done ? 1 : 0);
+    if (step.done) break;
+  }
+  if (!buffer->dones.empty()) buffer->dones.back() = 1;
+  return env->FullScore();
+}
+
+/// One gradient step over a minibatch of transitions.
+struct UpdateStats {
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+};
+
+UpdateStats UpdateMinibatch(const TrainerConfig& config, Policy* policy,
+                            nn::Adam* actor_opt, nn::Adam* critic_opt,
+                            const RolloutBuffer& buffer,
+                            const std::vector<size_t>& indices) {
+  UpdateStats stats;
+  const bool use_clip = config.algorithm == Algorithm::kPpo;
+  const bool use_critic = config.algorithm != Algorithm::kReinforce;
+  const float inv_n = 1.0f / static_cast<float>(indices.size());
+
+  for (size_t idx : indices) {
+    const std::vector<float>& state = buffer.states[idx];
+    const std::vector<uint8_t>& mask = buffer.masks[idx];
+    const size_t action = buffer.actions[idx];
+    const float advantage = buffer.advantages[idx];
+    const float old_log_prob = buffer.log_probs[idx];
+
+    // Actor forward.
+    nn::Mlp::Cache actor_cache;
+    const std::vector<float> logits =
+        policy->actor->Forward(state, &actor_cache);
+    const std::vector<float> probs = nn::MaskedSoftmax(logits, mask);
+    const float p_a = std::max(probs[action], 1e-12f);
+    const float log_prob = std::log(p_a);
+    const float entropy = nn::Entropy(probs);
+    stats.entropy += entropy * inv_n;
+
+    // Policy-gradient coefficient g: dL/dlogp(a).
+    float g = 0.0f;
+    if (use_clip) {
+      const float ratio = std::exp(log_prob - old_log_prob);
+      const float lo = 1.0f - static_cast<float>(config.clip_eps);
+      const float hi = 1.0f + static_cast<float>(config.clip_eps);
+      const float unclipped = ratio * advantage;
+      const float clipped = std::clamp(ratio, lo, hi) * advantage;
+      // d(-min)/dlogp: zero when the clipped branch is active & binding.
+      if (unclipped <= clipped) {
+        g = -unclipped;  // d(ratio*A)/dlogp = ratio*A
+      } else if (ratio >= lo && ratio <= hi) {
+        g = -ratio * advantage;
+      } else {
+        g = 0.0f;
+      }
+      stats.policy_loss += -std::min(unclipped, clipped) * inv_n;
+    } else {
+      g = -advantage;  // vanilla policy gradient
+      stats.policy_loss += -log_prob * advantage * inv_n;
+    }
+
+    // dL/dlogit_i = g * (delta_ia - p_i)
+    //             - entropy_coef * dH/dlogit_i
+    //             + kl_coef * (p_i - p_old_i)        (PPO only).
+    std::vector<float> dlogits(logits.size(), 0.0f);
+    for (size_t i = 0; i < dlogits.size(); ++i) {
+      if (!mask[i]) continue;
+      const float p_i = probs[i];
+      float d = g * ((i == action ? 1.0f : 0.0f) - p_i);
+      if (config.entropy_coef > 0.0 && p_i > 1e-12f) {
+        // dH/dz_i = -p_i (log p_i + H); loss has -entropy_coef * H.
+        d += static_cast<float>(config.entropy_coef) * p_i *
+             (std::log(p_i) + entropy);
+      }
+      if (use_clip && config.kl_coef > 0.0) {
+        d += static_cast<float>(config.kl_coef) *
+             (p_i - buffer.old_probs[idx][i]);
+      }
+      dlogits[i] = d * inv_n;
+    }
+    policy->actor->Backward(actor_cache, dlogits);
+
+    // Critic update toward the empirical return.
+    if (use_critic) {
+      nn::Mlp::Cache critic_cache;
+      const float v = policy->critic->Forward(state, &critic_cache)[0];
+      const float err = v - buffer.returns[idx];
+      stats.value_loss += 0.5f * err * err * inv_n;
+      policy->critic->Backward(critic_cache, {err * inv_n});
+    }
+  }
+  actor_opt->Step();
+  if (use_critic && critic_opt != nullptr) critic_opt->Step();
+  return stats;
+}
+
+}  // namespace
+
+std::vector<size_t> RunPolicy(Env* env, const Policy& policy, uint64_t seed,
+                              bool greedy, size_t max_steps) {
+  util::Rng rng(seed);
+  env->Reset(/*episode_index=*/0, &rng);
+  for (size_t step = 0; step < max_steps; ++step) {
+    bool any_valid = false;
+    for (uint8_t m : env->action_mask()) {
+      if (m) {
+        any_valid = true;
+        break;
+      }
+    }
+    if (!any_valid) break;
+    const Policy::ActResult act =
+        policy.Act(env->state(), env->action_mask(), &rng, greedy);
+    if (env->Step(act.action).done) break;
+  }
+  return env->SelectedActions();
+}
+
+util::Result<TrainResult> Train(const EnvFactory& factory,
+                                const TrainerConfig& config) {
+  // Probe one environment for dimensions.
+  std::unique_ptr<Env> probe = factory();
+  if (probe == nullptr) {
+    return util::Status::InvalidArgument("env factory returned null");
+  }
+  if (probe->action_count() == 0) {
+    return util::Status::InvalidArgument("environment has no actions");
+  }
+
+  TrainResult result;
+  result.policy = Policy::Create(
+      probe->state_dim(), probe->action_count(), config.hidden_dim,
+      /*with_critic=*/config.algorithm != Algorithm::kReinforce, config.seed);
+
+  nn::Adam::Options opt_options;
+  opt_options.lr = config.learning_rate;
+  opt_options.max_grad_norm = config.max_grad_norm;
+  nn::Adam actor_opt(result.policy.actor.get(), opt_options);
+  std::unique_ptr<nn::Adam> critic_opt;
+  if (result.policy.critic) {
+    critic_opt =
+        std::make_unique<nn::Adam>(result.policy.critic.get(), opt_options);
+  }
+
+  // Parallel actor-learners: one env per worker.
+  const size_t num_workers = std::max<size_t>(1, config.num_workers);
+  std::vector<std::unique_ptr<Env>> envs;
+  envs.push_back(std::move(probe));
+  for (size_t w = 1; w < num_workers; ++w) envs.push_back(factory());
+  util::ThreadPool pool(num_workers);
+
+  util::Rng main_rng(config.seed);
+  size_t episode_counter = 0;
+  double best = -1.0;
+  size_t since_best = 0;
+
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    // --- Collection phase: workers roll out snapshots of the policy.
+    const Policy snapshot = result.policy.Clone();
+    std::vector<RolloutBuffer> worker_buffers(num_workers);
+    std::vector<double> worker_scores(num_workers, 0.0);
+    std::vector<size_t> worker_episodes(num_workers, 0);
+
+    const size_t episodes =
+        std::max<size_t>(1, config.episodes_per_iteration);
+    std::vector<uint64_t> worker_seeds(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) worker_seeds[w] = main_rng.Next();
+
+    pool.ParallelFor(num_workers, [&](size_t w) {
+      util::Rng rng(worker_seeds[w]);
+      // Worker w handles episodes w, w+W, w+2W, ...
+      for (size_t e = w; e < episodes; e += num_workers) {
+        const double score = CollectEpisode(
+            envs[w].get(), snapshot, episode_counter + e,
+            config.max_episode_steps, config.diversity_coef, &rng,
+            &worker_buffers[w]);
+        worker_scores[w] += score;
+        ++worker_episodes[w];
+      }
+    });
+    episode_counter += episodes;
+
+    RolloutBuffer buffer;
+    double iter_score = 0.0;
+    size_t iter_episodes = 0;
+    for (size_t w = 0; w < num_workers; ++w) {
+      buffer.Append(std::move(worker_buffers[w]));
+      iter_score += worker_scores[w];
+      iter_episodes += worker_episodes[w];
+    }
+    if (buffer.size() == 0) {
+      return util::Status::ExecutionError(
+          "rollout collection produced no transitions");
+    }
+    iter_score /= static_cast<double>(std::max<size_t>(1, iter_episodes));
+    result.iteration_scores.push_back(iter_score);
+    result.episodes_run += iter_episodes;
+    result.iterations_run = iter + 1;
+
+    // --- Advantage estimation.
+    if (config.algorithm == Algorithm::kReinforce) {
+      buffer.ComputeReturnsToGo(config.gamma);
+    } else {
+      buffer.ComputeAdvantages(config.gamma, config.gae_lambda);
+    }
+    buffer.NormalizeAdvantages();
+
+    // --- Update phase.
+    const size_t epochs =
+        config.algorithm == Algorithm::kPpo ? config.update_epochs : 1;
+    std::vector<size_t> order(buffer.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (size_t epoch = 0; epoch < epochs; ++epoch) {
+      main_rng.Shuffle(&order);
+      for (size_t start = 0; start < order.size();
+           start += config.minibatch_size) {
+        const size_t end =
+            std::min(order.size(), start + config.minibatch_size);
+        std::vector<size_t> minibatch(order.begin() + start,
+                                      order.begin() + end);
+        UpdateMinibatch(config, &result.policy, &actor_opt, critic_opt.get(),
+                        buffer, minibatch);
+      }
+    }
+
+    // --- Early stopping on the training curve.
+    if (iter_score > best + config.early_stop_min_delta) {
+      best = iter_score;
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    result.best_score = std::max(result.best_score, iter_score);
+    if (config.early_stop_patience > 0 &&
+        since_best >= config.early_stop_patience) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rl
+}  // namespace asqp

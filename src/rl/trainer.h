@@ -1,0 +1,80 @@
+// RL trainers (Section 5): PPO actor-critic (the full ASQP-RL agent), A2C
+// (the "-ppo" ablation: actor-critic without the proximal clipped
+// surrogate / KL penalty), and REINFORCE (the "-ppo -ac" ablation: no
+// critic at all). Rollouts are collected by parallel workers, each holding
+// a snapshot of the current policy — the paper's asynchronous
+// actor-learner architecture, scaled to the local machine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rl/env.h"
+#include "rl/policy.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace rl {
+
+enum class Algorithm {
+  kPpo,        // clipped surrogate + KL penalty + critic (full agent)
+  kA2c,        // critic, no clipping / KL ("- ppo")
+  kReinforce,  // no critic ("- ppo - ac")
+};
+
+const char* AlgorithmName(Algorithm a);
+
+struct TrainerConfig {
+  Algorithm algorithm = Algorithm::kPpo;
+
+  size_t iterations = 40;
+  size_t episodes_per_iteration = 8;  // split across workers
+  size_t num_workers = 4;             // parallel actor-learners
+  size_t max_episode_steps = 512;
+
+  // Optimization.
+  double learning_rate = 5e-4;
+  size_t update_epochs = 4;     // PPO epochs per iteration (1 for A2C/RF)
+  size_t minibatch_size = 64;
+  double gamma = 0.995;
+  double gae_lambda = 0.95;
+  double clip_eps = 0.2;        // PPO clip range
+  double kl_coef = 0.2;         // paper default
+  double entropy_coef = 0.001;  // paper default
+  double max_grad_norm = 1.0;
+  size_t hidden_dim = 128;
+
+  /// Terminal-reward bonus proportional to the fraction of distinct base
+  /// tuples in the selection (the Section 5.1 diversity regularizer).
+  double diversity_coef = 0.0;
+
+  /// Early stopping: stop when the best full score has not improved by
+  /// `early_stop_min_delta` for `early_stop_patience` iterations
+  /// (0 = disabled).
+  size_t early_stop_patience = 0;
+  double early_stop_min_delta = 1e-3;
+
+  uint64_t seed = 1;
+};
+
+struct TrainResult {
+  Policy policy;
+  /// Mean end-of-episode full score per iteration (training curve).
+  std::vector<double> iteration_scores;
+  double best_score = 0.0;
+  size_t episodes_run = 0;
+  size_t iterations_run = 0;
+};
+
+/// Train a policy over environments produced by `factory`. All
+/// environments must share action_count / state_dim.
+util::Result<TrainResult> Train(const EnvFactory& factory,
+                                const TrainerConfig& config);
+
+/// Roll out `policy` once (greedy or sampled) and return the selected
+/// actions of the final state. Used at inference (Algorithm 2).
+std::vector<size_t> RunPolicy(Env* env, const Policy& policy, uint64_t seed,
+                              bool greedy, size_t max_steps = 4096);
+
+}  // namespace rl
+}  // namespace asqp

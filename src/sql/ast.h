@@ -1,0 +1,153 @@
+// Abstract syntax tree for the SPJ + aggregate dialect used by the paper's
+// workloads:
+//
+//   SELECT [DISTINCT] item, ...        item: col | agg(col) | COUNT(*) | *
+//   FROM t1 [a1], t2 [a2], ...         (or t1 JOIN t2 ON ...)
+//   WHERE <boolean expr>               =, <>, <, <=, >, >=, AND, OR, NOT,
+//                                      IN (...), BETWEEN, LIKE, IS [NOT] NULL,
+//                                      and +,-,*,/ arithmetic
+//   GROUP BY col, ...
+//   HAVING <expr over output columns / aliases>
+//   ORDER BY col [ASC|DESC], ...      (over output columns for aggregates)
+//   LIMIT n
+//
+// The AST is deliberately mutation-friendly (shared_ptr nodes with Clone):
+// the query-relaxation pass rewrites predicates in place on a clone.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace asqp {
+namespace sql {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kNot,
+  kIn,
+  kBetween,
+  kLike,
+  kIsNull,
+};
+
+enum class BinOp : uint8_t {
+  kEq, kNe, kLt, kLe, kGt, kGe,  // comparisons
+  kAnd, kOr,                      // boolean
+  kAdd, kSub, kMul, kDiv,         // arithmetic
+};
+
+const char* BinOpName(BinOp op);
+bool IsComparison(BinOp op);
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  storage::Value literal;
+
+  // kColumnRef: `qualifier.column` (qualifier may be empty). The binder
+  // fills table_idx/col_idx; they are -1 until then.
+  std::string qualifier;
+  std::string column;
+  int table_idx = -1;
+  int col_idx = -1;
+
+  // kBinary / kNot (kNot uses `left` only)
+  BinOp op = BinOp::kEq;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kIn / kBetween / kLike / kIsNull operate on `left`; `negated` encodes
+  // NOT IN / NOT BETWEEN / NOT LIKE / IS NOT NULL.
+  bool negated = false;
+  std::vector<storage::Value> in_list;   // kIn
+  storage::Value between_lo;             // kBetween
+  storage::Value between_hi;             // kBetween
+  std::string like_pattern;              // kLike; '%' and '_' wildcards
+
+  static ExprPtr Literal(storage::Value v);
+  static ExprPtr ColumnRef(std::string qualifier, std::string column);
+  static ExprPtr Binary(BinOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr Not(ExprPtr operand);
+  static ExprPtr In(ExprPtr operand, std::vector<storage::Value> list,
+                    bool negated = false);
+  static ExprPtr Between(ExprPtr operand, storage::Value lo, storage::Value hi,
+                         bool negated = false);
+  static ExprPtr Like(ExprPtr operand, std::string pattern,
+                      bool negated = false);
+  static ExprPtr IsNull(ExprPtr operand, bool negated = false);
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// Render back to SQL text (used by embeddings, logging, and tests).
+  std::string ToSql() const;
+};
+
+enum class AggFunc : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax };
+const char* AggFuncName(AggFunc f);
+
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ExprPtr expr;       // null when star is set (e.g. COUNT(*), SELECT *)
+  bool star = false;  // `*` or COUNT(*)
+  bool distinct = false;  // COUNT(DISTINCT expr)
+  std::string alias;
+
+  SelectItem Clone() const;
+  std::string ToSql() const;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty means use table name
+
+  const std::string& binding_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+/// \brief A parsed SELECT statement.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;                 // may be null
+  std::vector<ExprPtr> group_by;
+  /// HAVING over the aggregate output: column refs name output columns
+  /// (select-item aliases, grouped column names, or lower-case aggregate
+  /// function names).
+  ExprPtr having;                // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;            // -1 means no LIMIT
+
+  bool HasAggregates() const;
+
+  /// Deep copy.
+  SelectStatement Clone() const;
+
+  /// Render back to SQL text.
+  std::string ToSql() const;
+};
+
+/// Split a boolean expression into top-level AND conjuncts.
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Rebuild a conjunction from a conjunct list (null for empty list).
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace sql
+}  // namespace asqp

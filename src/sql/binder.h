@@ -1,0 +1,53 @@
+// Name resolution + predicate classification. The binder resolves every
+// column reference against the catalog, then splits the WHERE clause into
+//   * per-table filter conjuncts (reference exactly one table),
+//   * equi-join predicates  (t1.c1 = t2.c2),
+//   * residual conjuncts    (everything else).
+// The executor consumes this decomposition directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace sql {
+
+/// \brief An equi-join predicate between two FROM entries.
+struct JoinPredicate {
+  int left_table = -1;
+  int left_col = -1;
+  int right_table = -1;
+  int right_col = -1;
+};
+
+/// \brief A fully resolved query, ready for execution.
+struct BoundQuery {
+  SelectStatement stmt;  // deep copy with annotated column refs
+  std::vector<std::shared_ptr<storage::Table>> tables;  // aligned with stmt.from
+
+  /// filters[t] = conjuncts referencing only table t.
+  std::vector<std::vector<ExprPtr>> filters;
+  std::vector<JoinPredicate> joins;
+  std::vector<ExprPtr> residual;
+
+  /// Tables referenced by each residual conjunct (aligned with `residual`).
+  std::vector<std::vector<int>> residual_tables;
+
+  size_t num_tables() const { return tables.size(); }
+};
+
+/// Resolve `stmt` against `db`.
+util::Result<BoundQuery> Bind(const SelectStatement& stmt,
+                              const storage::Database& db);
+
+/// Convenience: parse + bind.
+util::Result<BoundQuery> ParseAndBind(const std::string& sql,
+                                      const storage::Database& db);
+
+}  // namespace sql
+}  // namespace asqp

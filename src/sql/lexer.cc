@@ -1,0 +1,136 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace asqp {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "DISTINCT", "FROM",  "WHERE",  "GROUP",  "BY",    "ORDER",
+      "LIMIT",  "AND",      "OR",    "NOT",    "IN",     "BETWEEN", "LIKE",
+      "IS",     "NULL",     "AS",    "JOIN",   "INNER",  "ON",    "ASC",
+      "DESC",   "COUNT",    "SUM",   "AVG",    "MIN",    "MAX",   "HAVING",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = util::ToLower(word);
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          // `1.` followed by a non-digit is "1" then symbol "." (qualified
+          // names never start with a digit, so this is unambiguous here).
+          if (j + 1 >= n || !std::isdigit(static_cast<unsigned char>(input[j + 1]))) break;
+          is_float = true;
+        }
+        ++j;
+      }
+      const std::string num = input.substr(i, j - i);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      i = j;
+    } else if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += input[j];
+        ++j;
+      }
+      if (!closed) {
+        return util::Status::ParseError(
+            util::Format("unterminated string literal at offset %zu", i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      i = j;
+    } else {
+      // Symbols, including two-character operators.
+      tok.type = TokenType::kSymbol;
+      if ((c == '<' && i + 1 < n && (input[i + 1] == '=' || input[i + 1] == '>')) ||
+          (c == '>' && i + 1 < n && input[i + 1] == '=') ||
+          (c == '!' && i + 1 < n && input[i + 1] == '=')) {
+        tok.text = input.substr(i, 2);
+        if (tok.text == "!=") tok.text = "<>";
+        i += 2;
+      } else if (std::string("(),.=<>+-*/").find(c) != std::string::npos) {
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return util::Status::ParseError(
+            util::Format("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace asqp

@@ -1,0 +1,35 @@
+// SQL tokenizer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace asqp {
+namespace sql {
+
+enum class TokenType : uint8_t {
+  kKeyword,     // normalized upper-case keyword
+  kIdentifier,  // table / column name (lower-cased)
+  kInteger,
+  kFloat,
+  kString,      // quoted string literal, unescaped
+  kSymbol,      // punctuation / operator: ( ) , . = <> < <= > >= + - * /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // keyword/identifier/symbol text or string value
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenize `input`. Keywords are recognized case-insensitively and
+/// normalized to upper-case; identifiers are lower-cased.
+util::Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace asqp

@@ -1,0 +1,438 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace asqp {
+namespace sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    ASQP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (AcceptKeyword("DISTINCT")) stmt.distinct = true;
+
+    // Select list.
+    while (true) {
+      ASQP_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+
+    ASQP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    // FROM list with optional JOIN ... ON (normalized to cross product +
+    // WHERE conjuncts).
+    std::vector<ExprPtr> join_conjuncts;
+    ASQP_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt.from.push_back(std::move(first));
+    while (true) {
+      if (AcceptSymbol(",")) {
+        ASQP_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        stmt.from.push_back(std::move(t));
+        continue;
+      }
+      if (PeekKeyword("JOIN") || PeekKeyword("INNER")) {
+        AcceptKeyword("INNER");
+        ASQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        ASQP_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        stmt.from.push_back(std::move(t));
+        ASQP_RETURN_NOT_OK(ExpectKeyword("ON"));
+        ASQP_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        join_conjuncts.push_back(std::move(cond));
+        continue;
+      }
+      break;
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      ASQP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (!join_conjuncts.empty()) {
+      ExprPtr joined = AndAll(join_conjuncts);
+      stmt.where = stmt.where ? Expr::Binary(BinOp::kAnd, joined, stmt.where)
+                              : joined;
+    }
+
+    if (AcceptKeyword("GROUP")) {
+      ASQP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        ASQP_ASSIGN_OR_RETURN(ExprPtr g, ParsePrimary());
+        stmt.group_by.push_back(std::move(g));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+
+    if (AcceptKeyword("HAVING")) {
+      if (stmt.group_by.empty() && !stmt.HasAggregates()) {
+        return Status::ParseError("HAVING requires GROUP BY or aggregates");
+      }
+      ASQP_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+
+    if (AcceptKeyword("ORDER")) {
+      ASQP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        ASQP_ASSIGN_OR_RETURN(item.expr, ParsePrimary());
+        if (AcceptKeyword("DESC")) item.desc = true;
+        else AcceptKeyword("ASC");
+        stmt.order_by.push_back(std::move(item));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        return ErrorHere("expected integer after LIMIT");
+      }
+      stmt.limit = Peek().int_value;
+      Advance();
+    }
+
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("unexpected trailing input");
+    }
+    if (stmt.from.empty()) {
+      return Status::ParseError("query has no FROM clause");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  void Advance() { if (pos_ + 1 < tokens_.size()) ++pos_; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(util::Format(
+          "expected %s at offset %zu (got '%s')", kw, Peek().position,
+          Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (!PeekSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError(util::Format(
+          "expected '%s' at offset %zu (got '%s')", sym, Peek().position,
+          Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Status ErrorHere(const char* msg) {
+    return Status::ParseError(
+        util::Format("%s at offset %zu", msg, Peek().position));
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    // Aggregate function?
+    if (Peek().type == TokenType::kKeyword) {
+      const std::string& kw = Peek().text;
+      AggFunc agg = AggFunc::kNone;
+      if (kw == "COUNT") agg = AggFunc::kCount;
+      else if (kw == "SUM") agg = AggFunc::kSum;
+      else if (kw == "AVG") agg = AggFunc::kAvg;
+      else if (kw == "MIN") agg = AggFunc::kMin;
+      else if (kw == "MAX") agg = AggFunc::kMax;
+      if (agg != AggFunc::kNone) {
+        Advance();
+        item.agg = agg;
+        ASQP_RETURN_NOT_OK(ExpectSymbol("("));
+        if (AcceptKeyword("DISTINCT")) item.distinct = true;
+        if (AcceptSymbol("*")) {
+          if (item.distinct) return ErrorHere("DISTINCT * is not valid");
+          item.star = true;
+        } else {
+          ASQP_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+        }
+        ASQP_RETURN_NOT_OK(ExpectSymbol(")"));
+        if (AcceptKeyword("AS")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return ErrorHere("expected alias after AS");
+          }
+          item.alias = Peek().text;
+          Advance();
+        }
+        return item;
+      }
+    }
+    if (AcceptSymbol("*")) {
+      item.star = true;
+      return item;
+    }
+    ASQP_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+    if (AcceptKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected alias after AS");
+      }
+      item.alias = Peek().text;
+      Advance();
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    TableRef ref;
+    ref.table = Peek().text;
+    Advance();
+    if (AcceptKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected alias after AS");
+      }
+      ref.alias = Peek().text;
+      Advance();
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  // expr        := and_expr (OR and_expr)*
+  // and_expr    := not_expr (AND not_expr)*
+  // not_expr    := NOT not_expr | predicate
+  // predicate   := additive [comparison | IN | BETWEEN | LIKE | IS NULL]
+  // additive    := multiplicative ((+|-) multiplicative)*
+  // multiplicative := primary ((*|/) primary)*
+  // primary     := literal | column_ref | ( expr )
+  Result<ExprPtr> ParseExpr() {
+    ASQP_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      ASQP_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Binary(BinOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASQP_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("AND")) {
+      ASQP_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::Binary(BinOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      ASQP_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Not(std::move(operand));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    ASQP_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    // Comparison operators.
+    static const std::pair<const char*, BinOp> kCompare[] = {
+        {"=", BinOp::kEq}, {"<>", BinOp::kNe}, {"<=", BinOp::kLe},
+        {">=", BinOp::kGe}, {"<", BinOp::kLt}, {">", BinOp::kGt},
+    };
+    for (const auto& [sym, op] : kCompare) {
+      if (AcceptSymbol(sym)) {
+        ASQP_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return Expr::Binary(op, std::move(left), std::move(right));
+      }
+    }
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (Peek(1).text == "IN" || Peek(1).text == "BETWEEN" ||
+         Peek(1).text == "LIKE")) {
+      Advance();
+      negated = true;
+    }
+    if (AcceptKeyword("IN")) {
+      ASQP_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<storage::Value> list;
+      while (true) {
+        ASQP_ASSIGN_OR_RETURN(storage::Value v, ParseLiteralValue());
+        list.push_back(std::move(v));
+        if (!AcceptSymbol(",")) break;
+      }
+      ASQP_RETURN_NOT_OK(ExpectSymbol(")"));
+      return Expr::In(std::move(left), std::move(list), negated);
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      ASQP_ASSIGN_OR_RETURN(storage::Value lo, ParseLiteralValue());
+      ASQP_RETURN_NOT_OK(ExpectKeyword("AND"));
+      ASQP_ASSIGN_OR_RETURN(storage::Value hi, ParseLiteralValue());
+      return Expr::Between(std::move(left), std::move(lo), std::move(hi),
+                           negated);
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().type != TokenType::kString) {
+        return ErrorHere("expected string pattern after LIKE");
+      }
+      std::string pattern = Peek().text;
+      Advance();
+      return Expr::Like(std::move(left), std::move(pattern), negated);
+    }
+    if (AcceptKeyword("IS")) {
+      bool is_not = AcceptKeyword("NOT");
+      ASQP_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      return Expr::IsNull(std::move(left), is_not);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASQP_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        ASQP_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Binary(BinOp::kAdd, std::move(left), std::move(right));
+      } else if (AcceptSymbol("-")) {
+        ASQP_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = Expr::Binary(BinOp::kSub, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASQP_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        ASQP_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Expr::Binary(BinOp::kMul, std::move(left), std::move(right));
+      } else if (AcceptSymbol("/")) {
+        ASQP_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+        left = Expr::Binary(BinOp::kDiv, std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<storage::Value> ParseLiteralValue() {
+    bool neg = AcceptSymbol("-");
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger: {
+        int64_t v = tok.int_value;
+        Advance();
+        return storage::Value(neg ? -v : v);
+      }
+      case TokenType::kFloat: {
+        double v = tok.float_value;
+        Advance();
+        return storage::Value(neg ? -v : v);
+      }
+      case TokenType::kString: {
+        if (neg) return ErrorHere("cannot negate a string literal");
+        storage::Value v{tok.text};
+        Advance();
+        return v;
+      }
+      case TokenType::kKeyword:
+        if (tok.text == "NULL") {
+          if (neg) return ErrorHere("cannot negate NULL");
+          Advance();
+          return storage::Value::Null();
+        }
+        [[fallthrough]];
+      default:
+        return ErrorHere("expected literal value");
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInteger:
+      case TokenType::kFloat:
+      case TokenType::kString: {
+        ASQP_ASSIGN_OR_RETURN(storage::Value v, ParseLiteralValue());
+        return Expr::Literal(std::move(v));
+      }
+      case TokenType::kSymbol:
+        if (tok.text == "(") {
+          Advance();
+          ASQP_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          ASQP_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        if (tok.text == "-") {
+          ASQP_ASSIGN_OR_RETURN(storage::Value v, ParseLiteralValue());
+          return Expr::Literal(std::move(v));
+        }
+        return ErrorHere("unexpected symbol");
+      case TokenType::kKeyword:
+        if (tok.text == "NULL") {
+          Advance();
+          return Expr::Literal(storage::Value::Null());
+        }
+        // Aggregate-function names act as identifiers when not called:
+        // e.g. HAVING count >= 3 references the output column "count".
+        if ((tok.text == "COUNT" || tok.text == "SUM" || tok.text == "AVG" ||
+             tok.text == "MIN" || tok.text == "MAX") &&
+            !(Peek(1).type == TokenType::kSymbol && Peek(1).text == "(")) {
+          std::string name = util::ToLower(tok.text);
+          Advance();
+          return Expr::ColumnRef("", std::move(name));
+        }
+        return ErrorHere("unexpected keyword");
+      case TokenType::kIdentifier: {
+        std::string first = tok.text;
+        Advance();
+        if (AcceptSymbol(".")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return ErrorHere("expected column name after '.'");
+          }
+          std::string col = Peek().text;
+          Advance();
+          return Expr::ColumnRef(std::move(first), std::move(col));
+        }
+        return Expr::ColumnRef("", std::move(first));
+      }
+      case TokenType::kEnd:
+        return ErrorHere("unexpected end of input");
+    }
+    return ErrorHere("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<SelectStatement> Parse(const std::string& sql) {
+  ASQP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace sql
+}  // namespace asqp

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the dialect described in ast.h.
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace sql {
+
+/// Parse one SELECT statement. Returns ParseError with a position-annotated
+/// message on malformed input.
+util::Result<SelectStatement> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace asqp

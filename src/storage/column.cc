@@ -1,0 +1,45 @@
+#include "storage/column.h"
+
+#include "util/string_util.h"
+
+namespace asqp {
+namespace storage {
+
+util::Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return util::Status::OK();
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      if (v.type() == ValueType::kInt64) {
+        AppendInt64(v.AsInt64());
+        return util::Status::OK();
+      }
+      if (v.type() == ValueType::kDouble) {
+        AppendInt64(static_cast<int64_t>(v.AsDouble()));
+        return util::Status::OK();
+      }
+      break;
+    case ValueType::kDouble:
+      if (v.is_numeric()) {
+        AppendDouble(v.ToNumeric());
+        return util::Status::OK();
+      }
+      break;
+    case ValueType::kString:
+      if (v.type() == ValueType::kString) {
+        AppendString(v.AsString());
+        return util::Status::OK();
+      }
+      break;
+    default:
+      break;
+  }
+  return util::Status::InvalidArgument(
+      util::Format("cannot append %s value to %s column",
+                   ValueTypeName(v.type()), ValueTypeName(type_)));
+}
+
+}  // namespace storage
+}  // namespace asqp

@@ -1,0 +1,76 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace asqp {
+namespace storage {
+
+util::Status Database::AddTable(std::shared_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return util::Status::AlreadyExists(
+        util::Format("table %s already exists", name.c_str()));
+  }
+  tables_.emplace(name, std::move(table));
+  return util::Status::OK();
+}
+
+util::Result<std::shared_ptr<Table>> Database::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return util::Status::NotFound(
+        util::Format("table %s does not exist", name.c_str()));
+  }
+  return it->second;
+}
+
+void ApproximationSet::Add(const std::string& table, uint32_t row) {
+  rows_[table].push_back(row);
+  sealed_ = false;
+}
+
+void ApproximationSet::Seal() {
+  for (auto& [_, v] : rows_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  sealed_ = true;
+}
+
+size_t ApproximationSet::TotalTuples() const {
+  assert(sealed_);
+  size_t total = 0;
+  for (const auto& [_, v] : rows_) total += v.size();
+  return total;
+}
+
+bool ApproximationSet::Contains(const std::string& table, uint32_t row) const {
+  assert(sealed_);
+  auto it = rows_.find(table);
+  if (it == rows_.end()) return false;
+  return std::binary_search(it->second.begin(), it->second.end(), row);
+}
+
+const std::vector<uint32_t>& ApproximationSet::RowsFor(
+    const std::string& table) const {
+  static const std::vector<uint32_t> kEmpty;
+  auto it = rows_.find(table);
+  return it == rows_.end() ? kEmpty : it->second;
+}
+
+size_t DatabaseView::VisibleRows(const Table& table) const {
+  if (subset_ == nullptr) return table.num_rows();
+  return subset_->RowsFor(table.name()).size();
+}
+
+uint32_t DatabaseView::PhysicalRow(const Table& table, size_t ordinal) const {
+  if (subset_ == nullptr) return static_cast<uint32_t>(ordinal);
+  return subset_->RowsFor(table.name())[ordinal];
+}
+
+}  // namespace storage
+}  // namespace asqp

@@ -1,0 +1,101 @@
+// Database catalog: a set of named tables, plus the DatabaseView
+// abstraction used to execute queries over either the full data or an
+// approximation set without materializing the subset.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace storage {
+
+class Database {
+ public:
+  /// Add a table; fails if a table with the same name exists.
+  util::Status AddTable(std::shared_ptr<Table> table);
+
+  /// Fetch a table by name.
+  util::Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, _] : tables_) names.push_back(name);
+    return names;
+  }
+
+  size_t TotalRows() const {
+    size_t total = 0;
+    for (const auto& [_, t] : tables_) total += t->num_rows();
+    return total;
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+/// \brief Per-table subset of row ids: the "approximation set" S of the
+/// paper. Row id vectors are kept sorted and unique.
+class ApproximationSet {
+ public:
+  /// Add row `row` of table `table`; duplicate inserts are ignored.
+  void Add(const std::string& table, uint32_t row);
+
+  /// Number of tuples across all tables (the |S| bounded by k).
+  size_t TotalTuples() const;
+
+  bool Contains(const std::string& table, uint32_t row) const;
+
+  const std::map<std::string, std::vector<uint32_t>>& rows() const {
+    return rows_;
+  }
+
+  /// Row ids kept for `table` (empty if the table is absent).
+  const std::vector<uint32_t>& RowsFor(const std::string& table) const;
+
+  /// Normalize: sort + dedupe each per-table vector. Must be called after a
+  /// batch of Add()s before Contains()/execution (Add keeps a dirty flag).
+  void Seal();
+
+ private:
+  std::map<std::string, std::vector<uint32_t>> rows_;
+  bool sealed_ = true;
+};
+
+/// \brief A view of a database restricted (optionally) to an
+/// ApproximationSet. The executor scans through views so approximate
+/// execution needs no data copies.
+class DatabaseView {
+ public:
+  /// Full-database view.
+  explicit DatabaseView(const Database* db) : db_(db), subset_(nullptr) {}
+
+  /// Subset view; `subset` must outlive the view and be sealed.
+  DatabaseView(const Database* db, const ApproximationSet* subset)
+      : db_(db), subset_(subset) {}
+
+  const Database& db() const { return *db_; }
+  bool restricted() const { return subset_ != nullptr; }
+
+  /// Number of visible rows of `table`.
+  size_t VisibleRows(const Table& table) const;
+
+  /// Map a visible-row ordinal to a physical row id of `table`.
+  uint32_t PhysicalRow(const Table& table, size_t ordinal) const;
+
+ private:
+  const Database* db_;
+  const ApproximationSet* subset_;
+};
+
+}  // namespace storage
+}  // namespace asqp

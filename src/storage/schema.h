@@ -1,0 +1,45 @@
+// Relational schema: named, typed fields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace storage {
+
+/// \brief One column definition.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// \brief Ordered list of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, if present.
+  std::optional<size_t> FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace storage
+}  // namespace asqp

@@ -1,0 +1,21 @@
+#include "storage/table.h"
+
+#include "util/string_util.h"
+
+namespace asqp {
+namespace storage {
+
+util::Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return util::Status::InvalidArgument(
+        util::Format("row arity %zu does not match schema arity %zu for table %s",
+                     row.size(), columns_.size(), name_.c_str()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    ASQP_RETURN_NOT_OK(columns_[i].AppendValue(row[i]));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace storage
+}  // namespace asqp

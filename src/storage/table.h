@@ -1,0 +1,50 @@
+// An in-memory columnar table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace storage {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema) : name_(std::move(name)), schema_(std::move(schema)) {
+    columns_.reserve(schema_.num_fields());
+    for (const Field& f : schema_.fields()) {
+      columns_.emplace_back(f.type);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Append one row given as a vector of Values aligned with the schema.
+  util::Status AppendRow(const std::vector<Value>& row);
+
+  /// Materialize a full row (for display / small results only).
+  std::vector<Value> GetRow(size_t row) const {
+    std::vector<Value> out;
+    out.reserve(columns_.size());
+    for (const Column& c : columns_) out.push_back(c.ValueAt(row));
+    return out;
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace storage
+}  // namespace asqp

@@ -1,0 +1,17 @@
+#include "storage/value.h"
+
+namespace asqp {
+namespace storage {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return "INT64";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace storage
+}  // namespace asqp

@@ -1,0 +1,167 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component in the library takes an explicit seed so that
+// tests and benchmarks are reproducible; std::mt19937 distributions are not
+// bit-stable across standard library implementations, so we implement the
+// distributions we need directly.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace asqp {
+namespace util {
+
+/// \brief xoshiro256** generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for our bounds (< 2^32) against a 64-bit stream.
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = UniformDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = UniformDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-like skewed index in [0, n): rank r is selected with probability
+  /// proportional to 1 / (r + 1)^theta. Used by the synthetic data
+  /// generators to produce realistically skewed categorical columns.
+  size_t Zipf(size_t n, double theta) {
+    if (n <= 1) return 0;
+    // Inverse-CDF on the (cached-free) harmonic weights via rejection-less
+    // linear scan is O(n); keep n modest at call sites or use the
+    // approximation below for large n.
+    // Approximation: X = floor(n * U^(1/(1-theta))) works for theta < 1;
+    // for theta >= 1 fall back to a scan over at most 1024 ranks.
+    if (theta < 1.0) {
+      const double u = UniformDouble();
+      const double x = std::pow(u, 1.0 / (1.0 - theta));
+      size_t idx = static_cast<size_t>(x * static_cast<double>(n));
+      return std::min(idx, n - 1);
+    }
+    const size_t limit = std::min<size_t>(n, 1024);
+    double total = 0.0;
+    for (size_t r = 0; r < limit; ++r) total += 1.0 / std::pow(r + 1.0, theta);
+    double u = UniformDouble() * total;
+    for (size_t r = 0; r < limit; ++r) {
+      u -= 1.0 / std::pow(r + 1.0, theta);
+      if (u <= 0.0) return r;
+    }
+    return limit - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[NextBounded(i)]);
+    }
+  }
+
+  /// Sample `count` distinct indices from [0, n) (reservoir sampling).
+  std::vector<size_t> SampleIndices(size_t n, size_t count) {
+    if (count >= n) {
+      std::vector<size_t> all(n);
+      for (size_t i = 0; i < n; ++i) all[i] = i;
+      return all;
+    }
+    std::vector<size_t> reservoir(count);
+    for (size_t i = 0; i < count; ++i) reservoir[i] = i;
+    for (size_t i = count; i < n; ++i) {
+      const size_t j = NextBounded(i + 1);
+      if (j < count) reservoir[j] = i;
+    }
+    std::sort(reservoir.begin(), reservoir.end());
+    return reservoir;
+  }
+
+  /// Sample an index from an (unnormalized) non-negative weight vector.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return NextBounded(weights.empty() ? 1 : weights.size());
+    double u = UniformDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      u -= weights[i];
+      if (u <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4] = {};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace asqp

@@ -1,0 +1,63 @@
+// Wall-clock measurement helpers. Algorithms never read the clock for
+// decisions (determinism); only reporting code and time-budgeted baselines
+// (which accept an explicit Deadline) use these.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace asqp {
+namespace util {
+
+/// \brief Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief A point in time after which time-budgeted algorithms must return
+/// their best-so-far answer (used by the BRT and GRE baselines, which the
+/// paper caps at 48 hours; our harness caps them at seconds).
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  Deadline() : unlimited_(true) {}
+
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline Unlimited() { return Deadline(); }
+
+  bool Expired() const {
+    return !unlimited_ && Clock::now() >= end_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool unlimited_ = true;
+  Clock::time_point end_{};
+};
+
+}  // namespace util
+}  // namespace asqp

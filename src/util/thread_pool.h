@@ -1,0 +1,49 @@
+// Fixed-size thread pool used for parallel rollout collection (the paper's
+// asynchronous actor-learners) and for the multi-process brute-force /
+// greedy baselines.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace asqp {
+namespace util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace util
+}  // namespace asqp

@@ -1,0 +1,189 @@
+#include "workloadgen/generator.h"
+
+#include <algorithm>
+
+namespace asqp {
+namespace workloadgen {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprPtr;
+using storage::Value;
+
+struct QueryGenerator::Scope {
+  std::vector<std::string> tables;
+  std::vector<ExprPtr> join_conjuncts;
+
+  bool Has(const std::string& t) const {
+    return std::find(tables.begin(), tables.end(), t) != tables.end();
+  }
+};
+
+void QueryGenerator::AddJoins(Scope* scope, size_t max_joins,
+                              util::Rng* rng) const {
+  for (size_t j = 0; j < max_joins; ++j) {
+    // Collect FK edges touching the scope on exactly one side.
+    std::vector<const FkEdge*> frontier;
+    for (const FkEdge& e : fks_) {
+      const bool has_child = scope->Has(e.child_table);
+      const bool has_parent = scope->Has(e.parent_table);
+      if (has_child != has_parent) frontier.push_back(&e);
+    }
+    if (frontier.empty()) return;
+    const FkEdge& e = *frontier[rng->NextBounded(frontier.size())];
+    const std::string& added =
+        scope->Has(e.child_table) ? e.parent_table : e.child_table;
+    scope->tables.push_back(added);
+    scope->join_conjuncts.push_back(Expr::Binary(
+        BinOp::kEq, Expr::ColumnRef(e.child_table, e.child_col),
+        Expr::ColumnRef(e.parent_table, e.parent_col)));
+  }
+}
+
+ExprPtr QueryGenerator::MakePredicate(const Scope& scope,
+                                      const QueryGenOptions& options,
+                                      util::Rng* rng) const {
+  // Pick a random table in scope and a random filterable column of it:
+  // numeric non-key-looking or categorical with known top values.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string& table =
+        scope.tables[rng->NextBounded(scope.tables.size())];
+    const TableStats* ts = stats_->FindTable(table);
+    if (ts == nullptr || ts->columns.empty()) continue;
+    const ColumnStats& cs = ts->columns[rng->NextBounded(ts->columns.size())];
+
+    if (cs.is_numeric() && cs.max > cs.min) {
+      const double lo = cs.min + options.band_lo * (cs.max - cs.min);
+      const double hi = cs.min + options.band_hi * (cs.max - cs.min);
+      const double center = rng->UniformDouble(lo, std::max(lo, hi));
+      const double width =
+          std::max(cs.stddev, (cs.max - cs.min) * 0.02) *
+          rng->UniformDouble(0.5, 2.0);
+      const bool integral = cs.type == storage::ValueType::kInt64;
+      auto mk = [&](double v) {
+        return integral ? Value(static_cast<int64_t>(std::llround(v)))
+                        : Value(v);
+      };
+      ExprPtr col = Expr::ColumnRef(table, cs.name);
+      if (rng->Bernoulli(options.range_probability)) {
+        return Expr::Between(std::move(col), mk(center - width),
+                             mk(center + width));
+      }
+      const BinOp op = rng->Bernoulli(0.5) ? BinOp::kGe : BinOp::kLe;
+      return Expr::Binary(op, std::move(col), Expr::Literal(mk(center)));
+    }
+
+    if (cs.type == storage::ValueType::kString && !cs.top_values.empty()) {
+      ExprPtr col = Expr::ColumnRef(table, cs.name);
+      // Popularity-weighted pick (Zipf over the frequency-sorted list).
+      const size_t pick = rng->Zipf(cs.top_values.size(), 0.7);
+      if (rng->Bernoulli(options.in_probability) && cs.top_values.size() > 2) {
+        std::vector<Value> list;
+        const size_t count = 2 + rng->NextBounded(3);
+        for (size_t i = 0; i < count; ++i) {
+          const size_t idx = rng->Zipf(cs.top_values.size(), 0.7);
+          list.emplace_back(cs.top_values[idx].first);
+        }
+        return Expr::In(std::move(col), std::move(list));
+      }
+      return Expr::Binary(BinOp::kEq, std::move(col),
+                          Expr::Literal(Value(cs.top_values[pick].first)));
+    }
+  }
+  return nullptr;
+}
+
+sql::SelectStatement QueryGenerator::Generate(const QueryGenOptions& options,
+                                              util::Rng* rng) const {
+  sql::SelectStatement stmt;
+  const std::vector<std::string> names = db_->TableNames();
+
+  Scope scope;
+  scope.tables.push_back(names[rng->NextBounded(names.size())]);
+  if (options.max_joins > 0) {
+    AddJoins(&scope, rng->NextBounded(options.max_joins + 1), rng);
+  }
+  for (const std::string& t : scope.tables) {
+    stmt.from.push_back(sql::TableRef{t, ""});
+  }
+
+  // Predicates.
+  std::vector<ExprPtr> conjuncts = scope.join_conjuncts;
+  const size_t num_preds = 1 + rng->NextBounded(options.max_predicates);
+  for (size_t p = 0; p < num_preds; ++p) {
+    ExprPtr pred = MakePredicate(scope, options, rng);
+    if (pred != nullptr) conjuncts.push_back(std::move(pred));
+  }
+  stmt.where = sql::AndAll(conjuncts);
+
+  const bool aggregate = rng->Bernoulli(options.agg_fraction);
+  if (aggregate) {
+    // GROUP BY a categorical column + one aggregate over a numeric column
+    // (or COUNT(*)).
+    const TableStats* ts = stats_->FindTable(scope.tables[0]);
+    std::string group_col;
+    std::string num_col;
+    if (ts != nullptr) {
+      for (const ColumnStats& cs : ts->columns) {
+        if (cs.type == storage::ValueType::kString && group_col.empty() &&
+            cs.distinct_count > 1) {
+          group_col = cs.name;
+        }
+        if (cs.is_numeric() && cs.stddev > 0 && num_col.empty()) {
+          num_col = cs.name;
+        }
+      }
+    }
+    if (!group_col.empty()) {
+      stmt.group_by.push_back(Expr::ColumnRef(scope.tables[0], group_col));
+      sql::SelectItem key;
+      key.expr = Expr::ColumnRef(scope.tables[0], group_col);
+      stmt.items.push_back(std::move(key));
+    }
+    sql::SelectItem agg;
+    const int which = static_cast<int>(rng->NextBounded(3));
+    if (num_col.empty() || which == 0) {
+      agg.agg = sql::AggFunc::kCount;
+      agg.star = true;
+    } else {
+      agg.agg = which == 1 ? sql::AggFunc::kSum : sql::AggFunc::kAvg;
+      agg.expr = Expr::ColumnRef(scope.tables[0], num_col);
+    }
+    stmt.items.push_back(std::move(agg));
+    return stmt;
+  }
+
+  // SPJ projection: 2-4 concrete columns across the scope.
+  const size_t num_cols = 2 + rng->NextBounded(3);
+  for (size_t c = 0; c < num_cols; ++c) {
+    const std::string& table =
+        scope.tables[rng->NextBounded(scope.tables.size())];
+    const TableStats* ts = stats_->FindTable(table);
+    if (ts == nullptr || ts->columns.empty()) continue;
+    const ColumnStats& cs = ts->columns[rng->NextBounded(ts->columns.size())];
+    sql::SelectItem item;
+    item.expr = Expr::ColumnRef(table, cs.name);
+    stmt.items.push_back(std::move(item));
+  }
+  if (stmt.items.empty()) {
+    sql::SelectItem star;
+    star.star = true;
+    stmt.items.push_back(std::move(star));
+  }
+  stmt.limit = options.limit;
+  return stmt;
+}
+
+metric::Workload QueryGenerator::GenerateWorkload(
+    size_t count, const QueryGenOptions& options, uint64_t seed) const {
+  util::Rng rng(seed);
+  metric::Workload workload;
+  for (size_t i = 0; i < count; ++i) {
+    workload.Add(Generate(options, &rng));
+  }
+  workload.NormalizeWeights();
+  return workload;
+}
+
+}  // namespace workloadgen
+}  // namespace asqp

@@ -1,0 +1,86 @@
+// Statistics-driven query generation (Section 4.5, "Unknown Query
+// Workloads"): the system generates SPJ (and optionally aggregate) queries
+// from per-column statistics — numeric means/stddevs, sampled categorical
+// values weighted by popularity — instantiated into standard templates:
+//
+//   SELECT cols FROM t [JOIN fk-neighbors] WHERE pred [AND pred ...]
+//   [GROUP BY cat-col]  [agg items]
+//
+// The generator is also what the synthetic dataset bundles use to produce
+// their paper-shaped workloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metric/workload.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace workloadgen {
+
+/// \brief Foreign-key edge in the schema's join graph.
+struct FkEdge {
+  std::string child_table;
+  std::string child_col;
+  std::string parent_table;
+  std::string parent_col;
+};
+
+struct QueryGenOptions {
+  /// Maximum number of FK joins added beyond the seed table.
+  size_t max_joins = 2;
+  /// Predicates drawn per query (at least 1).
+  size_t max_predicates = 3;
+  /// Fraction of queries generated as aggregates (GROUP BY + agg).
+  double agg_fraction = 0.0;
+  /// Probability that a categorical predicate is an IN list (vs equality).
+  double in_probability = 0.3;
+  /// Probability that a numeric predicate is a range (vs one-sided).
+  double range_probability = 0.6;
+  /// Numeric predicate centers are drawn from this quantile band of the
+  /// column's range — narrowing the band themes a workload around a region
+  /// of the data (used by the interest-drift experiment).
+  double band_lo = 0.0;
+  double band_hi = 1.0;
+  /// LIMIT attached to generated SPJ queries (-1 = none).
+  int64_t limit = -1;
+};
+
+/// \brief Generates random but schema- and statistics-consistent queries.
+class QueryGenerator {
+ public:
+  QueryGenerator(const storage::Database* db, const DatabaseStats* stats,
+                 std::vector<FkEdge> fks)
+      : db_(db), stats_(stats), fks_(std::move(fks)) {}
+
+  /// Generate one query; deterministic given the rng state.
+  sql::SelectStatement Generate(const QueryGenOptions& options,
+                                util::Rng* rng) const;
+
+  /// Generate a uniform-weight workload of `count` queries.
+  metric::Workload GenerateWorkload(size_t count,
+                                    const QueryGenOptions& options,
+                                    uint64_t seed) const;
+
+  const std::vector<FkEdge>& fks() const { return fks_; }
+
+ private:
+  struct Scope;  // tables currently in the query
+
+  void AddJoins(Scope* scope, size_t max_joins, util::Rng* rng) const;
+  sql::ExprPtr MakePredicate(const Scope& scope,
+                             const QueryGenOptions& options,
+                             util::Rng* rng) const;
+
+  const storage::Database* db_;
+  const DatabaseStats* stats_;
+  std::vector<FkEdge> fks_;
+};
+
+}  // namespace workloadgen
+}  // namespace asqp

@@ -1,0 +1,115 @@
+#include "workloadgen/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace asqp {
+namespace workloadgen {
+
+size_t ColumnStats::ValueFrequency(const std::string& v) const {
+  for (const auto& [value, count] : top_values) {
+    if (value == v) return count;
+  }
+  return 0;
+}
+
+const ColumnStats* TableStats::FindColumn(const std::string& name) const {
+  for (const ColumnStats& c : columns) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+DatabaseStats DatabaseStats::Collect(const storage::Database& db,
+                                     size_t max_top_values) {
+  DatabaseStats stats;
+  for (const std::string& table_name : db.TableNames()) {
+    auto table_result = db.GetTable(table_name);
+    if (!table_result.ok()) continue;
+    const storage::Table& table = *table_result.value();
+
+    TableStats ts;
+    ts.table = table_name;
+    ts.row_count = table.num_rows();
+
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const storage::Column& col = table.column(c);
+      ColumnStats cs;
+      cs.name = table.schema().field(c).name;
+      cs.type = col.type();
+      cs.row_count = col.size();
+
+      if (cs.is_numeric()) {
+        double sum = 0.0, sumsq = 0.0;
+        size_t n = 0;
+        for (size_t r = 0; r < col.size(); ++r) {
+          if (col.IsNull(r)) {
+            ++cs.null_count;
+            continue;
+          }
+          const double v = col.NumericAt(r);
+          if (n == 0) {
+            cs.min = v;
+            cs.max = v;
+          } else {
+            cs.min = std::min(cs.min, v);
+            cs.max = std::max(cs.max, v);
+          }
+          sum += v;
+          sumsq += v * v;
+          ++n;
+        }
+        if (n > 0) {
+          cs.mean = sum / static_cast<double>(n);
+          const double var =
+              std::max(0.0, sumsq / static_cast<double>(n) - cs.mean * cs.mean);
+          cs.stddev = std::sqrt(var);
+        }
+      } else if (cs.type == storage::ValueType::kString) {
+        // Count per dictionary code (cheap: codes are dense).
+        std::vector<size_t> counts(col.dict_size(), 0);
+        for (size_t r = 0; r < col.size(); ++r) {
+          if (col.IsNull(r)) {
+            ++cs.null_count;
+            continue;
+          }
+          ++counts[col.StringCodeAt(r)];
+        }
+        cs.distinct_count = 0;
+        std::vector<std::pair<size_t, uint32_t>> freq;  // (count, code)
+        for (uint32_t code = 0; code < counts.size(); ++code) {
+          if (counts[code] > 0) {
+            ++cs.distinct_count;
+            freq.emplace_back(counts[code], code);
+          }
+        }
+        std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return a.second < b.second;
+        });
+        const size_t keep = std::min(max_top_values, freq.size());
+        cs.top_values.reserve(keep);
+        for (size_t i = 0; i < keep; ++i) {
+          cs.top_values.emplace_back(col.dict_entry(freq[i].second),
+                                     freq[i].first);
+        }
+      } else {
+        for (size_t r = 0; r < col.size(); ++r) {
+          if (col.IsNull(r)) ++cs.null_count;
+        }
+      }
+      ts.columns.push_back(std::move(cs));
+    }
+    stats.tables_.emplace(table_name, std::move(ts));
+  }
+  return stats;
+}
+
+const TableStats* DatabaseStats::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace workloadgen
+}  // namespace asqp

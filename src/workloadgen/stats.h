@@ -1,0 +1,66 @@
+// Per-column statistics collected from the database. These drive query
+// relaxation (range widening needs column ranges), query generation for
+// the unknown-workload mode (means / stddevs / sampled categoricals, per
+// Section 4.5), and the SKY baseline's categorical frequency ordering.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace workloadgen {
+
+struct ColumnStats {
+  std::string name;
+  storage::ValueType type = storage::ValueType::kNull;
+  size_t row_count = 0;
+  size_t null_count = 0;
+
+  // Numeric columns.
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  // String columns: most frequent values with counts, descending.
+  std::vector<std::pair<std::string, size_t>> top_values;
+  size_t distinct_count = 0;
+
+  bool is_numeric() const {
+    return type == storage::ValueType::kInt64 ||
+           type == storage::ValueType::kDouble;
+  }
+
+  /// Frequency (count) of a categorical value; 0 if not among top_values.
+  size_t ValueFrequency(const std::string& v) const;
+};
+
+struct TableStats {
+  std::string table;
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats* FindColumn(const std::string& name) const;
+};
+
+/// \brief Statistics for a whole database.
+class DatabaseStats {
+ public:
+  /// Scan every table (single pass per column). `max_top_values` bounds
+  /// the categorical frequency lists.
+  static DatabaseStats Collect(const storage::Database& db,
+                               size_t max_top_values = 64);
+
+  const TableStats* FindTable(const std::string& name) const;
+  const std::map<std::string, TableStats>& tables() const { return tables_; }
+
+ private:
+  std::map<std::string, TableStats> tables_;
+};
+
+}  // namespace workloadgen
+}  // namespace asqp

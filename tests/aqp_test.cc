@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aqp/spn.h"
+#include "aqp/vae.h"
+#include "data/dataset.h"
+#include "exec/executor.h"
+#include "metric/relative_error.h"
+#include "sql/binder.h"
+#include "tests/testing.h"
+
+namespace asqp {
+namespace aqp {
+namespace {
+
+/// A table with strong structure: category 'a' rows have value ~100,
+/// category 'b' rows have value ~10. Models must capture the difference.
+std::shared_ptr<storage::Table> MakeStructuredTable(size_t n, uint64_t seed) {
+  using storage::Value;
+  auto table = std::make_shared<storage::Table>(
+      "t", storage::Schema({{"cat", storage::ValueType::kString},
+                            {"value", storage::ValueType::kDouble},
+                            {"size", storage::ValueType::kInt64}}));
+  util::Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_a = rng.Bernoulli(0.7);
+    const double value = is_a ? rng.Normal(100.0, 5.0) : rng.Normal(10.0, 2.0);
+    const int64_t size = static_cast<int64_t>(
+        is_a ? rng.UniformInt(50, 100) : rng.UniformInt(1, 20));
+    EXPECT_TRUE(table
+                    ->AppendRow({Value(std::string(is_a ? "a" : "b")),
+                                 Value(value), Value(size)})
+                    .ok());
+  }
+  return table;
+}
+
+TEST(SpnTest, LearnsAndCountsUnderPredicates) {
+  auto table = MakeStructuredTable(4000, 1);
+  SpnOptions opts;
+  opts.min_instances = 256;
+  ASSERT_OK_AND_ASSIGN(Spn spn, Spn::Learn(*table, opts));
+  EXPECT_GT(spn.num_nodes(), 1u);
+  EXPECT_EQ(spn.table_rows(), 4000u);
+
+  // COUNT with no predicate = table size.
+  EXPECT_NEAR(spn.EstimateCount({}), 4000.0, 1.0);
+
+  // COUNT(cat = 'a') ~ 2800.
+  ColumnPredicate cat_a;
+  cat_a.col = 0;
+  cat_a.categories.insert("a");
+  const double count_a = spn.EstimateCount({cat_a});
+  EXPECT_NEAR(count_a, 2800.0, 250.0);
+
+  // COUNT(value > 50) should be close to COUNT(cat = 'a') (correlated).
+  ColumnPredicate high;
+  high.col = 1;
+  high.lo = 50.0;
+  EXPECT_NEAR(spn.EstimateCount({high}), count_a, 400.0);
+}
+
+TEST(SpnTest, SumAndAvgTrackGroups) {
+  auto table = MakeStructuredTable(4000, 2);
+  ASSERT_OK_AND_ASSIGN(Spn spn, Spn::Learn(*table, SpnOptions{}));
+
+  ColumnPredicate cat_b;
+  cat_b.col = 0;
+  cat_b.categories.insert("b");
+  // AVG(value | cat='b') ~ 10.
+  EXPECT_NEAR(spn.EstimateAvg(1, {cat_b}), 10.0, 4.0);
+  ColumnPredicate cat_a;
+  cat_a.col = 0;
+  cat_a.categories.insert("a");
+  EXPECT_NEAR(spn.EstimateAvg(1, {cat_a}), 100.0, 10.0);
+  // SUM is consistent with COUNT * AVG.
+  const double count = spn.EstimateCount({cat_a});
+  EXPECT_NEAR(spn.EstimateSum(1, {cat_a}), count * spn.EstimateAvg(1, {cat_a}),
+              count * 2.0);
+}
+
+TEST(SpnTest, AggregateQueryEstimateMatchesTruthShape) {
+  auto table = MakeStructuredTable(4000, 3);
+  storage::Database db;
+  ASSERT_OK(db.AddTable(table));
+  ASSERT_OK_AND_ASSIGN(Spn spn, Spn::Learn(*table, SpnOptions{}));
+
+  ASSERT_OK_AND_ASSIGN(
+      auto bound,
+      sql::ParseAndBind(
+          "SELECT cat, COUNT(*), AVG(value) FROM t WHERE size >= 10 GROUP BY "
+          "cat",
+          db));
+  ASSERT_OK_AND_ASSIGN(exec::ResultSet estimate,
+                       spn.EstimateAggregateQuery(bound));
+
+  exec::QueryEngine engine;
+  storage::DatabaseView view(&db);
+  ASSERT_OK_AND_ASSIGN(exec::ResultSet truth, engine.Execute(bound, view));
+
+  ASSERT_OK_AND_ASSIGN(double err,
+                       metric::RelativeError(truth, estimate, /*group=*/1));
+  EXPECT_LT(err, 0.35);
+}
+
+TEST(SpnTest, MinMaxEstimation) {
+  auto table = MakeStructuredTable(4000, 8);
+  ASSERT_OK_AND_ASSIGN(Spn spn, Spn::Learn(*table, SpnOptions{}));
+
+  // Unconditional extremes of `value`: ~N(100,5) and ~N(10,2) mixture.
+  const double lo = spn.EstimateMin(1, {});
+  const double hi = spn.EstimateMax(1, {});
+  EXPECT_LT(lo, 15.0);
+  EXPECT_GT(hi, 90.0);
+  EXPECT_LT(lo, hi);
+
+  // Conditioned on cat='b' the max drops toward the b-mode (~10).
+  ColumnPredicate cat_b;
+  cat_b.col = 0;
+  cat_b.categories.insert("b");
+  const double hi_b = spn.EstimateMax(1, {cat_b});
+  EXPECT_LT(hi_b, hi);
+
+  // Measure-interval predicates clamp the extremes.
+  ColumnPredicate band;
+  band.col = 1;
+  band.lo = 50.0;
+  band.hi = 105.0;
+  EXPECT_GE(spn.EstimateMin(1, {band}), 50.0 - 1e-6);
+  EXPECT_LE(spn.EstimateMax(1, {band}), 105.0 + 1e-6);
+}
+
+TEST(SpnTest, UnsupportedFormsAreSignalled) {
+  auto table = MakeStructuredTable(500, 4);
+  storage::Database db;
+  ASSERT_OK(db.AddTable(table));
+  ASSERT_OK_AND_ASSIGN(Spn spn, Spn::Learn(*table, SpnOptions{}));
+  // LIKE predicates are outside the conjunctive subset.
+  ASSERT_OK_AND_ASSIGN(
+      auto bound,
+      sql::ParseAndBind("SELECT COUNT(*) FROM t WHERE cat LIKE 'a%'", db));
+  EXPECT_FALSE(spn.EstimateAggregateQuery(bound).ok());
+  EXPECT_FALSE(Spn::Learn(
+      storage::Table("e", storage::Schema({{"x", storage::ValueType::kInt64}})),
+      SpnOptions{}).ok());
+}
+
+TEST(VaeTest, GeneratesSchemaConsistentRows) {
+  auto table = MakeStructuredTable(2000, 5);
+  VaeOptions opts;
+  opts.epochs = 8;
+  ASSERT_OK_AND_ASSIGN(TabularVae vae, TabularVae::Fit(*table, opts));
+  ASSERT_OK_AND_ASSIGN(auto synthetic, vae.Generate(500, 7));
+  ASSERT_EQ(synthetic->num_rows(), 500u);
+  ASSERT_EQ(synthetic->num_columns(), 3u);
+  EXPECT_EQ(synthetic->name(), "t");
+  // Categorical outputs come from the real dictionary.
+  for (size_t r = 0; r < synthetic->num_rows(); ++r) {
+    const std::string& cat = synthetic->column(0).StringAt(r);
+    EXPECT_TRUE(cat == "a" || cat == "b") << cat;
+  }
+}
+
+TEST(VaeTest, LearnsMarginalShape) {
+  auto table = MakeStructuredTable(3000, 6);
+  VaeOptions opts;
+  opts.epochs = 20;
+  opts.seed = 3;
+  ASSERT_OK_AND_ASSIGN(TabularVae vae, TabularVae::Fit(*table, opts));
+  ASSERT_OK_AND_ASSIGN(auto synthetic, vae.Generate(2000, 9));
+  // Category 'a' frequency ~0.7 and overall value mean ~0.7*100+0.3*10=73.
+  size_t a_count = 0;
+  double value_sum = 0.0;
+  for (size_t r = 0; r < synthetic->num_rows(); ++r) {
+    if (synthetic->column(0).StringAt(r) == "a") ++a_count;
+    value_sum += synthetic->column(1).NumericAt(r);
+  }
+  const double a_frac = static_cast<double>(a_count) / 2000.0;
+  EXPECT_NEAR(a_frac, 0.7, 0.2);
+  EXPECT_NEAR(value_sum / 2000.0, 73.0, 30.0);
+}
+
+TEST(VaeTest, GeneratedTuplesAreMostlyFalseForSelectiveQueries) {
+  // The Figure 2 phenomenon: generated tuples rarely coincide with real
+  // result tuples of selective SPJ queries.
+  data::DatasetOptions dopts;
+  dopts.scale = 0.02;
+  data::DatasetBundle imdb = data::MakeImdbJob(dopts);
+  auto title = imdb.db->GetTable("title").value();
+  VaeOptions opts;
+  opts.epochs = 5;
+  ASSERT_OK_AND_ASSIGN(TabularVae vae, TabularVae::Fit(*title, opts));
+  ASSERT_OK_AND_ASSIGN(auto synthetic, vae.Generate(500, 11));
+
+  // Real result keys of a selective query.
+  storage::Database synth_db;
+  ASSERT_OK(synth_db.AddTable(synthetic));
+  exec::QueryEngine engine;
+  const std::string q =
+      "SELECT name, production_year FROM title WHERE production_year >= 2005";
+  ASSERT_OK_AND_ASSIGN(auto truth, engine.ExecuteSql(
+      q, storage::DatabaseView(imdb.db.get())));
+  ASSERT_OK_AND_ASSIGN(auto fake, engine.ExecuteSql(
+      q, storage::DatabaseView(&synth_db)));
+  auto truth_keys = truth.RowKeySet();
+  size_t real_hits = 0;
+  for (size_t r = 0; r < fake.num_rows(); ++r) {
+    if (truth_keys.count(fake.RowKey(r))) ++real_hits;
+  }
+  // Nearly all generated "result" rows are false tuples.
+  EXPECT_LT(real_hits, fake.num_rows() / 4 + 3);
+}
+
+TEST(VaeTest, EmptyTableRejected) {
+  storage::Table empty("e",
+                       storage::Schema({{"x", storage::ValueType::kInt64}}));
+  EXPECT_FALSE(TabularVae::Fit(empty, VaeOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace aqp
+}  // namespace asqp

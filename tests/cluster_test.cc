@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "tests/testing.h"
+#include "util/random.h"
+
+namespace asqp {
+namespace cluster {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2D.
+std::vector<embed::Vector> MakeBlobs(size_t per_blob, uint64_t seed) {
+  util::Rng rng(seed);
+  const float centers[3][2] = {{0.0f, 0.0f}, {10.0f, 0.0f}, {0.0f, 10.0f}};
+  std::vector<embed::Vector> points;
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points.push_back({centers[b][0] + static_cast<float>(rng.Normal(0, 0.5)),
+                        centers[b][1] + static_cast<float>(rng.Normal(0, 0.5))});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  const auto points = MakeBlobs(30, 7);
+  ASSERT_OK_AND_ASSIGN(auto result, KMeans(points, 3));
+  // Each blob's 30 points must share one label, and the three labels differ.
+  std::set<size_t> labels;
+  for (int b = 0; b < 3; ++b) {
+    const size_t label = result.assignment[b * 30];
+    labels.insert(label);
+    for (size_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(result.assignment[b * 30 + i], label) << "blob " << b;
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_LT(result.inertia / points.size(), 1.0);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const auto points = MakeBlobs(20, 9);
+  KMeansOptions opts;
+  opts.seed = 123;
+  ASSERT_OK_AND_ASSIGN(auto a, KMeans(points, 3, opts));
+  ASSERT_OK_AND_ASSIGN(auto b, KMeans(points, 3, opts));
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  std::vector<embed::Vector> points = {{0.0f}, {1.0f}};
+  ASSERT_OK_AND_ASSIGN(auto result, KMeans(points, 10));
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(KMeans({}, 3).ok());
+  EXPECT_FALSE(KMeans({{1.0f}}, 0).ok());
+}
+
+TEST(KMeansTest, MedoidsAreRealPoints) {
+  const auto points = MakeBlobs(15, 11);
+  ASSERT_OK_AND_ASSIGN(auto result, KMeans(points, 3));
+  ASSERT_EQ(result.medoids.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    const size_t m = result.medoids[c];
+    ASSERT_LT(m, points.size());
+    EXPECT_EQ(result.assignment[m], c);
+  }
+}
+
+TEST(KMedoidsTest, RecoversSeparatedBlobs) {
+  const auto points = MakeBlobs(25, 13);
+  ASSERT_OK_AND_ASSIGN(auto result, KMedoids(points, 3));
+  std::set<size_t> labels;
+  for (int b = 0; b < 3; ++b) {
+    labels.insert(result.assignment[b * 25]);
+    for (size_t i = 1; i < 25; ++i) {
+      EXPECT_EQ(result.assignment[b * 25 + i], result.assignment[b * 25]);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+  // Medoids are members of their own clusters.
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(result.assignment[result.medoids[c]], c);
+  }
+}
+
+TEST(KMedoidsTest, CentroidsEqualMedoidPoints) {
+  const auto points = MakeBlobs(10, 15);
+  ASSERT_OK_AND_ASSIGN(auto result, KMedoids(points, 3));
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(result.centroids[c], points[result.medoids[c]]);
+  }
+}
+
+class KSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KSweepTest, InertiaDecreasesWithMoreClusters) {
+  const auto points = MakeBlobs(20, 21);
+  const size_t k = GetParam();
+  ASSERT_OK_AND_ASSIGN(auto small, KMeans(points, k));
+  ASSERT_OK_AND_ASSIGN(auto large, KMeans(points, k + 4));
+  // More clusters should never substantially increase inertia.
+  EXPECT_LE(large.inertia, small.inertia * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KSweepTest, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace cluster
+}  // namespace asqp

@@ -1,0 +1,171 @@
+// Distributional sanity of the synthetic dataset bundles: the skew and
+// correlation properties that differentiate the selection strategies
+// (see DESIGN.md substitutions) must actually be present.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/dataset.h"
+#include "tests/testing.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace data {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions options;
+  options.scale = 0.1;
+  options.workload_size = 5;
+  options.seed = 17;
+  return options;
+}
+
+TEST(ImdbDataTest, ReferentialIntegrity) {
+  const DatasetBundle imdb = MakeImdbJob(SmallOptions());
+  auto title = imdb.db->GetTable("title").value();
+  auto cast = imdb.db->GetTable("cast_info").value();
+  auto person = imdb.db->GetTable("person").value();
+  const int64_t num_titles = static_cast<int64_t>(title->num_rows());
+  const int64_t num_people = static_cast<int64_t>(person->num_rows());
+  for (size_t r = 0; r < cast->num_rows(); ++r) {
+    EXPECT_LT(cast->column(1).Int64At(r), num_titles);  // movie_id
+    EXPECT_GE(cast->column(1).Int64At(r), 0);
+    EXPECT_LT(cast->column(0).Int64At(r), num_people);  // person_id
+  }
+}
+
+TEST(ImdbDataTest, CastFanOutIsSkewed) {
+  // Zipf-popular titles must attract far more cast rows than the median
+  // title (the join-skew property the paper's IMDB workload exercises).
+  const DatasetBundle imdb = MakeImdbJob(SmallOptions());
+  auto cast = imdb.db->GetTable("cast_info").value();
+  std::map<int64_t, size_t> fan;
+  for (size_t r = 0; r < cast->num_rows(); ++r) {
+    ++fan[cast->column(1).Int64At(r)];
+  }
+  std::vector<size_t> counts;
+  for (const auto& [_, c] : fan) counts.push_back(c);
+  std::sort(counts.begin(), counts.end());
+  const size_t median = counts[counts.size() / 2];
+  const size_t max = counts.back();
+  EXPECT_GE(max, median * 5) << "join fan-out should be heavily skewed";
+}
+
+TEST(ImdbDataTest, GenresZipfSkewed) {
+  const DatasetBundle imdb = MakeImdbJob(SmallOptions());
+  const workloadgen::DatabaseStats stats =
+      workloadgen::DatabaseStats::Collect(*imdb.db);
+  const workloadgen::ColumnStats* genre =
+      stats.FindTable("title")->FindColumn("genre");
+  ASSERT_NE(genre, nullptr);
+  ASSERT_GE(genre->top_values.size(), 3u);
+  // Top genre at least 3x the third.
+  EXPECT_GE(genre->top_values[0].second, genre->top_values[2].second * 2);
+}
+
+TEST(MasDataTest, CitationsHeavyTailedAndPrestigeCorrelated) {
+  const DatasetBundle mas = MakeMas(SmallOptions());
+  auto pub = mas.db->GetTable("publication").value();
+  auto venue = mas.db->GetTable("venue").value();
+
+  // Heavy tail: max citations far above the mean.
+  double sum = 0.0;
+  int64_t max_cites = 0;
+  for (size_t r = 0; r < pub->num_rows(); ++r) {
+    const int64_t c = pub->column(3).Int64At(r);
+    sum += static_cast<double>(c);
+    max_cites = std::max(max_cites, c);
+  }
+  const double mean = sum / static_cast<double>(pub->num_rows());
+  EXPECT_GT(static_cast<double>(max_cites), mean * 10);
+
+  // Prestige correlation: mean citations in top-prestige venues exceeds
+  // mean citations in bottom-prestige venues.
+  std::vector<double> prestige(venue->num_rows());
+  for (size_t r = 0; r < venue->num_rows(); ++r) {
+    prestige[r] = venue->column(4).DoubleAt(r);
+  }
+  double hi_sum = 0, lo_sum = 0;
+  size_t hi_n = 0, lo_n = 0;
+  for (size_t r = 0; r < pub->num_rows(); ++r) {
+    const auto vid = static_cast<size_t>(pub->column(4).Int64At(r));
+    if (prestige[vid] > 0.7) {
+      hi_sum += pub->column(3).NumericAt(r);
+      ++hi_n;
+    } else if (prestige[vid] < 0.3) {
+      lo_sum += pub->column(3).NumericAt(r);
+      ++lo_n;
+    }
+  }
+  ASSERT_GT(hi_n, 10u);
+  ASSERT_GT(lo_n, 10u);
+  EXPECT_GT(hi_sum / hi_n, lo_sum / lo_n);
+}
+
+TEST(FlightsDataTest, DelaysBimodalAndSeasonal) {
+  const DatasetBundle flights = MakeFlights(SmallOptions());
+  auto f = flights.db->GetTable("flights").value();
+  const auto dep_col_idx = f->schema().FieldIndex("dep_delay");
+  const auto month_idx = f->schema().FieldIndex("month");
+  ASSERT_TRUE(dep_col_idx && month_idx);
+
+  size_t on_time = 0, very_late = 0;
+  double summer_sum = 0, winter_free_sum = 0;
+  size_t summer_n = 0, other_n = 0;
+  for (size_t r = 0; r < f->num_rows(); ++r) {
+    const double delay = f->column(*dep_col_idx).NumericAt(r);
+    if (delay < 10) ++on_time;
+    if (delay > 60) ++very_late;
+    const int64_t month = f->column(*month_idx).Int64At(r);
+    if (month == 7 || month == 8) {
+      summer_sum += delay;
+      ++summer_n;
+    } else if (month >= 3 && month <= 5) {
+      winter_free_sum += delay;
+      ++other_n;
+    }
+  }
+  // Bimodal: most flights near on-time, yet a real late tail exists.
+  EXPECT_GT(on_time, f->num_rows() / 2);
+  EXPECT_GT(very_late, f->num_rows() / 100);
+  // Seasonality: summer months are worse on average.
+  EXPECT_GT(summer_sum / summer_n, winter_free_sum / other_n);
+}
+
+TEST(FlightsDataTest, DimensionsConsistent) {
+  const DatasetBundle flights = MakeFlights(SmallOptions());
+  auto f = flights.db->GetTable("flights").value();
+  auto airports = flights.db->GetTable("airports").value();
+  auto carriers = flights.db->GetTable("carriers").value();
+  // All origins / carriers in the fact table exist in the dimensions.
+  std::set<std::string> airport_codes, carrier_codes;
+  for (size_t r = 0; r < airports->num_rows(); ++r) {
+    airport_codes.insert(airports->column(0).StringAt(r));
+  }
+  for (size_t r = 0; r < carriers->num_rows(); ++r) {
+    carrier_codes.insert(carriers->column(0).StringAt(r));
+  }
+  for (size_t r = 0; r < std::min<size_t>(f->num_rows(), 500); ++r) {
+    EXPECT_TRUE(carrier_codes.count(f->column(1).StringAt(r)));
+    EXPECT_TRUE(airport_codes.count(f->column(2).StringAt(r)));
+    EXPECT_TRUE(airport_codes.count(f->column(3).StringAt(r)));
+    EXPECT_NE(f->column(2).StringAt(r), f->column(3).StringAt(r));
+  }
+}
+
+TEST(ScaleTest, SizesTrackScaleFactor) {
+  DatasetOptions small = SmallOptions();
+  DatasetOptions larger = SmallOptions();
+  larger.scale = 0.2;
+  const size_t small_rows = MakeImdbJob(small).db->TotalRows();
+  const size_t larger_rows = MakeImdbJob(larger).db->TotalRows();
+  EXPECT_GT(larger_rows, small_rows * 3 / 2);
+  EXPECT_LT(larger_rows, small_rows * 3);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace asqp

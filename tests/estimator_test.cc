@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "sql/parser.h"
+#include "tests/testing.h"
+
+namespace asqp {
+namespace core {
+namespace {
+
+sql::SelectStatement Q(const std::string& s) {
+  auto r = sql::Parse(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() : embedder_(64) {}
+
+  AnswerabilityEstimator Make(const std::vector<std::string>& reps,
+                              const std::vector<double>& coverage) {
+    std::vector<embed::Vector> vecs;
+    for (const std::string& s : reps) vecs.push_back(embedder_.Embed(Q(s)));
+    return AnswerabilityEstimator(embedder_, vecs, coverage);
+  }
+
+  embed::QueryEmbedder embedder_;
+};
+
+TEST_F(EstimatorTest, EstimateBounded) {
+  auto est = Make({"SELECT a FROM t WHERE x > 5"}, {0.9});
+  for (const char* q :
+       {"SELECT a FROM t WHERE x > 5", "SELECT z FROM other WHERE y = 'v'",
+        "SELECT a FROM t"}) {
+    const double e = est.Estimate(Q(q));
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST_F(EstimatorTest, ExactRepresentativeGetsItsCoverage) {
+  auto est = Make({"SELECT a FROM t WHERE x > 5"}, {0.8});
+  const double e = est.Estimate(Q("SELECT a FROM t WHERE x > 5"));
+  EXPECT_NEAR(e, 0.8, 0.05);  // gate ~1, weighted coverage ~0.8
+}
+
+TEST_F(EstimatorTest, UnrelatedQueryGatedToZero) {
+  auto est = Make({"SELECT a FROM t WHERE x > 5"}, {1.0});
+  const double e = est.Estimate(
+      Q("SELECT name FROM completely_other WHERE label = 'zzz'"));
+  EXPECT_LT(e, 0.1);
+}
+
+TEST_F(EstimatorTest, CoverageZeroMeansUnanswerable) {
+  // Even an identical query is unanswerable when training coverage was 0.
+  auto est = Make({"SELECT a FROM t WHERE x > 5"}, {0.0});
+  EXPECT_LT(est.Estimate(Q("SELECT a FROM t WHERE x > 5")), 0.1);
+}
+
+TEST_F(EstimatorTest, NearestRepresentativeDominates) {
+  // A query matching the high-coverage rep estimates high; one matching
+  // the low-coverage rep estimates low.
+  auto est = Make({"SELECT a FROM t WHERE color = 'red'",
+                   "SELECT b FROM s WHERE size > 10"},
+                  {0.9, 0.1});
+  const double near_good = est.Estimate(Q("SELECT a FROM t WHERE color = 'red'"));
+  const double near_bad = est.Estimate(Q("SELECT b FROM s WHERE size > 12"));
+  EXPECT_GT(near_good, near_bad);
+  EXPECT_GT(near_good, 0.6);
+  EXPECT_LT(near_bad, 0.5);
+}
+
+TEST_F(EstimatorTest, SetCoverageUpdatesEstimates) {
+  auto est = Make({"SELECT a FROM t WHERE x > 5"}, {0.0});
+  const auto query = Q("SELECT a FROM t WHERE x > 5");
+  const double before = est.Estimate(query);
+  est.SetCoverage(0, 1.0);
+  const double after = est.Estimate(query);
+  EXPECT_GT(after, before + 0.5);
+  // Out-of-range index is ignored.
+  est.SetCoverage(99, 0.5);
+}
+
+TEST_F(EstimatorTest, DeviationIsComplementOfEstimate) {
+  auto est = Make({"SELECT a FROM t WHERE x > 5"}, {0.7});
+  const auto query = Q("SELECT a FROM t WHERE x > 6");
+  EXPECT_NEAR(est.DeviationConfidence(query), 1.0 - est.Estimate(query),
+              1e-9);
+}
+
+TEST_F(EstimatorTest, SimilarityOrdersByPredicateOverlap) {
+  auto est = Make({"SELECT a FROM t WHERE area = 'databases'"}, {1.0});
+  const double same = est.Similarity(Q("SELECT a FROM t WHERE area = 'databases'"));
+  const double diff_value = est.Similarity(Q("SELECT a FROM t WHERE area = 'ml'"));
+  const double diff_table = est.Similarity(Q("SELECT z FROM other"));
+  EXPECT_GT(same, diff_value);
+  EXPECT_GT(diff_value, diff_table);
+  EXPECT_NEAR(same, 1.0, 1e-5);
+}
+
+TEST_F(EstimatorTest, EmptyEstimatorIsSafe) {
+  AnswerabilityEstimator est(embedder_, {}, {});
+  EXPECT_DOUBLE_EQ(est.Estimate(Q("SELECT a FROM t")), 0.0);
+  EXPECT_DOUBLE_EQ(est.Similarity(Q("SELECT a FROM t")), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace asqp

@@ -1,0 +1,122 @@
+// End-to-end integration: the full ASQP-RL pipeline on every dataset
+// bundle, plus cross-module flows (train -> save set -> load -> query).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "io/io.h"
+#include "metric/score.h"
+#include "tests/testing.h"
+
+namespace asqp {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static data::DatasetBundle MakeBundle(const std::string& name) {
+    data::DatasetOptions options;
+    options.scale = 0.04;
+    options.workload_size = 16;
+    options.seed = 31;
+    if (name == "imdb") return data::MakeImdbJob(options);
+    if (name == "mas") return data::MakeMas(options);
+    return data::MakeFlights(options);
+  }
+
+  static core::AsqpConfig SmallConfig() {
+    core::AsqpConfig config;
+    config.k = 250;
+    config.frame_size = 20;
+    config.num_representatives = 10;
+    config.pool_target = 400;
+    config.trainer.iterations = 10;
+    config.trainer.num_workers = 1;
+    config.trainer.learning_rate = 2e-3;
+    config.trainer.hidden_dim = 64;
+    config.seed = 11;
+    return config;
+  }
+};
+
+TEST_P(PipelineTest, TrainEvaluateAnswer) {
+  const data::DatasetBundle bundle = MakeBundle(GetParam());
+  util::Rng rng(3);
+  auto [train, test] = bundle.workload.TrainTestSplit(0.75, &rng);
+
+  core::AsqpTrainer trainer(SmallConfig());
+  ASSERT_OK_AND_ASSIGN(core::TrainReport report,
+                       trainer.Train(*bundle.db, train));
+  core::AsqpModel& model = *report.model;
+
+  // The set respects the budget and is non-trivial.
+  EXPECT_GT(model.approximation_set().TotalTuples(), 10u);
+  EXPECT_LE(model.approximation_set().TotalTuples(), SmallConfig().k);
+
+  // Training quality: noticeably better than random on the train side.
+  metric::ScoreEvaluator evaluator(bundle.db.get(),
+                                   metric::ScoreOptions{.frame_size = 20});
+  ASSERT_OK_AND_ASSIGN(double train_score,
+                       evaluator.Score(train, model.approximation_set()));
+  EXPECT_GT(train_score, 0.3) << GetParam();
+
+  // Every query (train and test) flows through the mediator without error.
+  for (const auto* part : {&train, &test}) {
+    for (const auto& wq : part->queries()) {
+      ASSERT_OK_AND_ASSIGN(core::AnswerResult answer, model.Answer(wq.stmt));
+      EXPECT_GE(answer.answerability, 0.0);
+      EXPECT_LE(answer.answerability, 1.0);
+    }
+  }
+  // The training curve was recorded.
+  EXPECT_FALSE(report.iteration_scores.empty());
+  EXPECT_GT(report.episodes, 0u);
+}
+
+TEST_P(PipelineTest, SaveLoadSetPreservesScore) {
+  const data::DatasetBundle bundle = MakeBundle(GetParam());
+  core::AsqpTrainer trainer(SmallConfig());
+  ASSERT_OK_AND_ASSIGN(core::TrainReport report,
+                       trainer.Train(*bundle.db, bundle.workload));
+
+  const std::string path =
+      ::testing::TempDir() + "asqp_set_" + GetParam() + ".txt";
+  ASSERT_OK(io::SaveApproximationSet(report.model->approximation_set(), path));
+  ASSERT_OK_AND_ASSIGN(storage::ApproximationSet loaded,
+                       io::LoadApproximationSet(path, bundle.db.get()));
+  std::remove(path.c_str());
+
+  metric::ScoreEvaluator evaluator(bundle.db.get(),
+                                   metric::ScoreOptions{.frame_size = 20});
+  ASSERT_OK_AND_ASSIGN(
+      double original,
+      evaluator.Score(bundle.workload, report.model->approximation_set()));
+  ASSERT_OK_AND_ASSIGN(double reloaded,
+                       evaluator.Score(bundle.workload, loaded));
+  EXPECT_DOUBLE_EQ(original, reloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PipelineTest,
+                         ::testing::Values("imdb", "mas", "flights"));
+
+TEST(PipelineDeterminismTest, SameSeedSameApproximationSet) {
+  data::DatasetOptions options;
+  options.scale = 0.03;
+  options.workload_size = 10;
+  const data::DatasetBundle bundle = data::MakeImdbJob(options);
+
+  core::AsqpConfig config;
+  config.k = 150;
+  config.trainer.iterations = 5;
+  config.trainer.num_workers = 1;  // determinism needs serial rollouts
+  core::AsqpTrainer trainer(config);
+
+  ASSERT_OK_AND_ASSIGN(auto a, trainer.Train(*bundle.db, bundle.workload));
+  ASSERT_OK_AND_ASSIGN(auto b, trainer.Train(*bundle.db, bundle.workload));
+  EXPECT_EQ(a.model->approximation_set().rows(),
+            b.model->approximation_set().rows());
+}
+
+}  // namespace
+}  // namespace asqp

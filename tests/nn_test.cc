@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.h"
+#include "tests/testing.h"
+
+namespace asqp {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ForwardComputesAffine) {
+  util::Rng rng(1);
+  Linear layer(2, 2, &rng);
+  layer.w = {1.0f, 2.0f,   // row 0
+             3.0f, 4.0f};  // row 1
+  layer.b = {0.5f, -0.5f};
+  std::vector<float> y;
+  layer.Forward({1.0f, 1.0f}, &y);
+  EXPECT_FLOAT_EQ(y[0], 3.5f);
+  EXPECT_FLOAT_EQ(y[1], 6.5f);
+}
+
+TEST(LinearTest, BackwardAccumulatesGradients) {
+  util::Rng rng(1);
+  Linear layer(2, 1, &rng);
+  layer.w = {2.0f, -1.0f};
+  layer.b = {0.0f};
+  std::vector<float> dx;
+  layer.Backward({3.0f, 4.0f}, {1.0f}, &dx);
+  EXPECT_FLOAT_EQ(layer.dw[0], 3.0f);
+  EXPECT_FLOAT_EQ(layer.dw[1], 4.0f);
+  EXPECT_FLOAT_EQ(layer.db[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[0], 2.0f);
+  EXPECT_FLOAT_EQ(dx[1], -1.0f);
+}
+
+/// Finite-difference gradient check of the full MLP backward pass against
+/// the scalar loss L = sum(output).
+TEST(MlpTest, GradientCheck) {
+  Mlp net({3, 5, 2}, Activation::kTanh, 7);
+  const std::vector<float> x = {0.3f, -0.7f, 1.1f};
+
+  // Analytic gradients.
+  Mlp::Cache cache;
+  const std::vector<float> out = net.Forward(x, &cache);
+  net.ZeroGrad();
+  net.Backward(cache, std::vector<float>(out.size(), 1.0f));
+
+  auto loss = [&](Mlp& n) {
+    const std::vector<float> y = n.Forward(x);
+    float total = 0.0f;
+    for (float v : y) total += v;
+    return total;
+  };
+
+  const std::vector<float*> params = net.Parameters();
+  const std::vector<float*> grads = net.Gradients();
+  const std::vector<size_t> lengths = net.BlockLengths();
+  const float eps = 1e-3f;
+  size_t checked = 0;
+  for (size_t blk = 0; blk < params.size(); ++blk) {
+    for (size_t i = 0; i < lengths[blk]; i += 7) {  // spot-check every 7th
+      const float orig = params[blk][i];
+      params[blk][i] = orig + eps;
+      const float hi = loss(net);
+      params[blk][i] = orig - eps;
+      const float lo = loss(net);
+      params[blk][i] = orig;
+      const float numeric = (hi - lo) / (2.0f * eps);
+      EXPECT_NEAR(grads[blk][i], numeric, 5e-2f)
+          << "block " << blk << " index " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+TEST(MlpTest, CopyWeightsProducesIdenticalOutputs) {
+  Mlp a({4, 8, 3}, Activation::kTanh, 1);
+  Mlp b({4, 8, 3}, Activation::kTanh, 2);
+  const std::vector<float> x = {1.0f, 2.0f, -1.0f, 0.5f};
+  EXPECT_NE(a.Forward(x), b.Forward(x));
+  b.CopyWeightsFrom(a);
+  EXPECT_EQ(a.Forward(x), b.Forward(x));
+}
+
+TEST(MlpTest, NumParametersMatchesShape) {
+  Mlp net({3, 5, 2}, Activation::kTanh, 3);
+  // (3*5 + 5) + (5*2 + 2) = 20 + 12
+  EXPECT_EQ(net.num_parameters(), 32u);
+}
+
+TEST(AdamTest, FitsLinearRegression) {
+  // y = 2x - 1 from noisy samples; a 1-layer net must drive MSE near 0.
+  Mlp net({1, 1}, Activation::kNone, 5);
+  Adam::Options opts;
+  opts.lr = 0.05;
+  Adam adam(&net, opts);
+  util::Rng rng(11);
+  double final_loss = 1e9;
+  for (int step = 0; step < 500; ++step) {
+    net.ZeroGrad();
+    double loss = 0.0;
+    for (int s = 0; s < 8; ++s) {
+      const float x = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+      const float target = 2.0f * x - 1.0f;
+      Mlp::Cache cache;
+      const float y = net.Forward({x}, &cache)[0];
+      const float err = y - target;
+      loss += 0.5 * err * err;
+      net.Backward(cache, {err / 8.0f});
+    }
+    adam.Step();
+    final_loss = loss / 8.0;
+  }
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(MaskedSoftmaxTest, RespectsMask) {
+  const std::vector<float> logits = {1.0f, 100.0f, 2.0f};
+  const std::vector<uint8_t> mask = {1, 0, 1};
+  const std::vector<float> probs = MaskedSoftmax(logits, mask);
+  EXPECT_FLOAT_EQ(probs[1], 0.0f);
+  EXPECT_NEAR(probs[0] + probs[2], 1.0f, 1e-6f);
+  EXPECT_GT(probs[2], probs[0]);
+}
+
+TEST(MaskedSoftmaxTest, AllMaskedIsZeros) {
+  const std::vector<float> probs = MaskedSoftmax({1.0f, 2.0f}, {0, 0});
+  EXPECT_FLOAT_EQ(probs[0], 0.0f);
+  EXPECT_FLOAT_EQ(probs[1], 0.0f);
+}
+
+TEST(MaskedSoftmaxTest, NumericallyStableForLargeLogits) {
+  const std::vector<float> probs =
+      MaskedSoftmax({1000.0f, 1000.0f}, {1, 1});
+  EXPECT_NEAR(probs[0], 0.5f, 1e-6f);
+  EXPECT_FALSE(std::isnan(probs[0]));
+}
+
+TEST(EntropyTest, UniformIsMaximal) {
+  const float uniform = Entropy({0.25f, 0.25f, 0.25f, 0.25f});
+  const float peaked = Entropy({0.97f, 0.01f, 0.01f, 0.01f});
+  EXPECT_NEAR(uniform, std::log(4.0f), 1e-5f);
+  EXPECT_LT(peaked, uniform);
+  EXPECT_FLOAT_EQ(Entropy({1.0f, 0.0f}), 0.0f);
+}
+
+TEST(SampleCategoricalTest, MatchesDistribution) {
+  util::Rng rng(13);
+  const std::vector<float> probs = {0.1f, 0.7f, 0.2f};
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[SampleCategorical(probs, &rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(SampleCategoricalTest, ZeroProbabilityNeverSampled) {
+  util::Rng rng(17);
+  const std::vector<float> probs = {0.0f, 1.0f, 0.0f};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(SampleCategorical(probs, &rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace asqp

@@ -1,0 +1,303 @@
+// Property-based suites over generated queries and subsets: invariants
+// that must hold for *every* input, checked across many random instances.
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "exec/executor.h"
+#include "metric/score.h"
+#include "relax/relax.h"
+#include "rl/env.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "tests/testing.h"
+#include "workloadgen/generator.h"
+
+namespace asqp {
+namespace {
+
+/// Shared small bundles, one per dataset, built once.
+const data::DatasetBundle& Bundle(const std::string& name) {
+  static auto* bundles = new std::map<std::string, data::DatasetBundle>();
+  auto it = bundles->find(name);
+  if (it != bundles->end()) return it->second;
+  data::DatasetOptions options;
+  options.scale = 0.03;
+  options.workload_size = 25;
+  options.seed = 99;
+  data::DatasetBundle bundle;
+  if (name == "imdb") bundle = data::MakeImdbJob(options);
+  else if (name == "mas") bundle = data::MakeMas(options);
+  else bundle = data::MakeFlights(options);
+  return bundles->emplace(name, std::move(bundle)).first->second;
+}
+
+class DatasetPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+/// ToSql -> Parse -> ToSql is a fixpoint for every generated query.
+TEST_P(DatasetPropertyTest, SqlRoundTripFixpoint) {
+  const auto& bundle = Bundle(GetParam());
+  for (const auto& wq : bundle.workload.queries()) {
+    const std::string sql1 = wq.stmt.ToSql();
+    ASSERT_OK_AND_ASSIGN(auto reparsed, sql::Parse(sql1));
+    EXPECT_EQ(reparsed.ToSql(), sql1);
+  }
+}
+
+/// Execution is deterministic: two runs of the same plan produce
+/// identical results.
+TEST_P(DatasetPropertyTest, ExecutionDeterminism) {
+  const auto& bundle = Bundle(GetParam());
+  exec::QueryEngine engine;
+  storage::DatabaseView view(bundle.db.get());
+  for (size_t i = 0; i < std::min<size_t>(bundle.workload.size(), 8); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto bound,
+                         sql::Bind(bundle.workload.query(i).stmt, *bundle.db));
+    ASSERT_OK_AND_ASSIGN(auto a, engine.Execute(bound, view));
+    ASSERT_OK_AND_ASSIGN(auto b, engine.Execute(bound, view));
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_EQ(a.RowKey(r), b.RowKey(r));
+    }
+  }
+}
+
+/// SPJ monotonicity: executing over a random subset yields a subset of
+/// the full result's rows (LIMIT removed).
+TEST_P(DatasetPropertyTest, SubsetExecutionIsMonotone) {
+  const auto& bundle = Bundle(GetParam());
+  exec::QueryEngine engine;
+  util::Rng rng(7);
+
+  storage::ApproximationSet subset;
+  for (const std::string& name : bundle.db->TableNames()) {
+    auto table = bundle.db->GetTable(name).value();
+    for (size_t r : rng.SampleIndices(table->num_rows(),
+                                      table->num_rows() / 3)) {
+      subset.Add(name, static_cast<uint32_t>(r));
+    }
+  }
+  subset.Seal();
+
+  storage::DatabaseView full(bundle.db.get());
+  storage::DatabaseView restricted(bundle.db.get(), &subset);
+  for (size_t i = 0; i < std::min<size_t>(bundle.workload.size(), 10); ++i) {
+    sql::SelectStatement stmt = bundle.workload.query(i).stmt.Clone();
+    if (stmt.HasAggregates()) continue;
+    stmt.limit = -1;
+    stmt.order_by.clear();
+    ASSERT_OK_AND_ASSIGN(auto bound, sql::Bind(stmt, *bundle.db));
+    ASSERT_OK_AND_ASSIGN(auto truth, engine.Execute(bound, full));
+    ASSERT_OK_AND_ASSIGN(auto approx, engine.Execute(bound, restricted));
+    EXPECT_LE(approx.num_rows(), truth.num_rows());
+    auto truth_keys = truth.RowKeySet();
+    for (size_t r = 0; r < approx.num_rows(); ++r) {
+      EXPECT_TRUE(truth_keys.count(approx.RowKey(r)))
+          << "query " << i << " row " << r;
+    }
+  }
+}
+
+/// COUNT(*) agrees with the SPJ row count of the same FROM/WHERE.
+TEST_P(DatasetPropertyTest, CountStarMatchesSpjRowCount) {
+  const auto& bundle = Bundle(GetParam());
+  exec::QueryEngine engine;
+  storage::DatabaseView view(bundle.db.get());
+  for (size_t i = 0; i < std::min<size_t>(bundle.workload.size(), 8); ++i) {
+    sql::SelectStatement spj = bundle.workload.query(i).stmt.Clone();
+    if (spj.HasAggregates()) continue;
+    spj.limit = -1;
+    spj.order_by.clear();
+    spj.distinct = false;
+
+    sql::SelectStatement counting = spj.Clone();
+    counting.items.clear();
+    sql::SelectItem count_star;
+    count_star.agg = sql::AggFunc::kCount;
+    count_star.star = true;
+    counting.items.push_back(std::move(count_star));
+
+    ASSERT_OK_AND_ASSIGN(auto b1, sql::Bind(spj, *bundle.db));
+    ASSERT_OK_AND_ASSIGN(auto b2, sql::Bind(counting, *bundle.db));
+    ASSERT_OK_AND_ASSIGN(auto rows, engine.Execute(b1, view));
+    ASSERT_OK_AND_ASSIGN(auto count, engine.Execute(b2, view));
+    ASSERT_EQ(count.num_rows(), 1u);
+    EXPECT_EQ(static_cast<size_t>(count.row(0)[0].AsInt64()), rows.num_rows());
+  }
+}
+
+/// The Eq.-1 score is bounded in [0, 1] and monotone under subset growth.
+TEST_P(DatasetPropertyTest, ScoreBoundedAndMonotone) {
+  const auto& bundle = Bundle(GetParam());
+  metric::ScoreEvaluator evaluator(bundle.db.get(),
+                                   metric::ScoreOptions{.frame_size = 20});
+  util::Rng rng(13);
+
+  // Nested subsets S1 subset-of S2 subset-of S3.
+  std::vector<std::pair<std::string, uint32_t>> all;
+  for (const std::string& name : bundle.db->TableNames()) {
+    auto table = bundle.db->GetTable(name).value();
+    for (uint32_t r = 0; r < table->num_rows(); ++r) all.emplace_back(name, r);
+  }
+  rng.Shuffle(&all);
+  double prev = -1.0;
+  for (double fraction : {0.05, 0.2, 0.6}) {
+    storage::ApproximationSet subset;
+    const size_t count = static_cast<size_t>(fraction * all.size());
+    for (size_t i = 0; i < count; ++i) subset.Add(all[i].first, all[i].second);
+    subset.Seal();
+    ASSERT_OK_AND_ASSIGN(double score,
+                         evaluator.Score(bundle.workload, subset));
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+    EXPECT_GE(score, prev - 1e-9)
+        << "score must not decrease as the subset grows";
+    prev = score;
+  }
+}
+
+/// Relaxation produces supersets for every generated query.
+TEST_P(DatasetPropertyTest, RelaxationSupersetSweep) {
+  const auto& bundle = Bundle(GetParam());
+  const workloadgen::DatabaseStats stats =
+      workloadgen::DatabaseStats::Collect(*bundle.db);
+  exec::QueryEngine engine;
+  storage::DatabaseView view(bundle.db.get());
+  util::Rng rng(21);
+  relax::RelaxOptions options;
+  options.drop_probability = 0.25;
+
+  for (size_t i = 0; i < std::min<size_t>(bundle.workload.size(), 10); ++i) {
+    sql::SelectStatement orig = bundle.workload.query(i).stmt.Clone();
+    if (orig.HasAggregates()) continue;
+    orig.limit = -1;
+    orig.order_by.clear();
+    const sql::SelectStatement relaxed =
+        relax::RelaxQuery(orig, stats, options, &rng);
+    ASSERT_OK_AND_ASSIGN(auto b1, sql::Bind(orig, *bundle.db));
+    ASSERT_OK_AND_ASSIGN(auto b2, sql::Bind(relaxed, *bundle.db));
+    ASSERT_OK_AND_ASSIGN(auto r1, engine.Execute(b1, view));
+    ASSERT_OK_AND_ASSIGN(auto r2, engine.Execute(b2, view));
+    EXPECT_GE(r2.num_rows(), r1.num_rows());
+    auto relaxed_keys = r2.RowKeySet();
+    for (size_t r = 0; r < r1.num_rows(); ++r) {
+      EXPECT_TRUE(relaxed_keys.count(r1.RowKey(r))) << "query " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DatasetPropertyTest,
+                         ::testing::Values("imdb", "mas", "flights"));
+
+// ---------------------------------------------------------- RL env sweep
+
+enum class EnvName { kGsl, kDrp, kHybrid };
+
+class EnvPropertyTest : public ::testing::TestWithParam<EnvName> {
+ protected:
+  static rl::ActionSpace MakeSpace() {
+    rl::ActionSpace space;
+    space.table_names = {"t"};
+    space.budget = 12;
+    space.num_queries = 4;
+    space.query_target = {3.0f, 3.0f, 3.0f, 3.0f};
+    space.query_weight = {0.25f, 0.25f, 0.25f, 0.25f};
+    const size_t actions = 16;
+    util::Rng rng(3);
+    for (size_t a = 0; a < actions; ++a) {
+      rl::PoolTuple p{{{0, static_cast<uint32_t>(a)}}};
+      space.pool.push_back(p);
+      space.action_tuples.push_back({static_cast<uint32_t>(a)});
+      space.action_cost.push_back(1 + a % 3);
+    }
+    space.contribution.assign(actions * 4, 0.0f);
+    for (size_t a = 0; a < actions; ++a) {
+      space.contribution[a * 4 + a % 4] =
+          static_cast<float>(rng.UniformInt(0, 2));
+    }
+    return space;
+  }
+
+  std::unique_ptr<rl::Env> MakeEnv(const rl::ActionSpace* space) {
+    switch (GetParam()) {
+      case EnvName::kGsl:
+        return std::make_unique<rl::GslEnv>(space, 0);
+      case EnvName::kDrp:
+        return std::make_unique<rl::DrpEnv>(space, 0, 6);
+      case EnvName::kHybrid:
+        return std::make_unique<rl::HybridEnv>(space, 0, 4);
+    }
+    return nullptr;
+  }
+};
+
+/// Invariants for every environment over random playouts: the mask always
+/// marks at least the actions the env accepts, selected actions never
+/// exceed the budget, per-action selection stays within [0, 1], and the
+/// state vector stays within its documented bounds.
+TEST_P(EnvPropertyTest, RandomPlayoutInvariants) {
+  const rl::ActionSpace space = MakeSpace();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto env = MakeEnv(&space);
+    util::Rng rng(seed);
+    env->Reset(seed, &rng);
+    for (int step = 0; step < 64; ++step) {
+      std::vector<size_t> valid;
+      for (size_t a = 0; a < env->action_mask().size(); ++a) {
+        if (env->action_mask()[a]) valid.push_back(a);
+      }
+      if (valid.empty()) break;
+      const rl::StepResult result =
+          env->Step(valid[rng.NextBounded(valid.size())]);
+
+      // Budget invariant: materialized selection fits.
+      size_t used = 0;
+      for (size_t a : env->SelectedActions()) used += space.action_cost[a];
+      EXPECT_LE(used, space.budget);
+
+      // State bounds.
+      for (float v : env->state()) {
+        EXPECT_GE(v, -1e-5f);
+        EXPECT_LE(v, 1.0f + 1e-5f);
+      }
+      // Scores bounded.
+      EXPECT_GE(env->FullScore(), 0.0);
+      EXPECT_LE(env->FullScore(), 1.0);
+      if (result.done) break;
+    }
+  }
+}
+
+/// Reset fully clears episode state: two playouts with the same seed and
+/// action choices are identical.
+TEST_P(EnvPropertyTest, ResetIsIdempotent) {
+  const rl::ActionSpace space = MakeSpace();
+  auto env = MakeEnv(&space);
+
+  auto playout = [&](uint64_t seed) {
+    util::Rng rng(seed);
+    env->Reset(0, &rng);
+    std::vector<double> rewards;
+    for (int step = 0; step < 20; ++step) {
+      std::vector<size_t> valid;
+      for (size_t a = 0; a < env->action_mask().size(); ++a) {
+        if (env->action_mask()[a]) valid.push_back(a);
+      }
+      if (valid.empty()) break;
+      const rl::StepResult r = env->Step(valid[step % valid.size()]);
+      rewards.push_back(r.reward);
+      if (r.done) break;
+    }
+    return rewards;
+  };
+
+  const auto first = playout(5);
+  const auto second = playout(5);
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, EnvPropertyTest,
+                         ::testing::Values(EnvName::kGsl, EnvName::kDrp,
+                                           EnvName::kHybrid));
+
+}  // namespace
+}  // namespace asqp

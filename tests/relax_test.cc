@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "relax/relax.h"
+#include "sql/parser.h"
+#include "tests/testing.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace relax {
+namespace {
+
+class RelaxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeTinyMovieDb();
+    stats_ = workloadgen::DatabaseStats::Collect(*db_);
+  }
+
+  sql::SelectStatement MustParse(const std::string& s) {
+    auto r = sql::Parse(s);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  size_t ResultSize(const sql::SelectStatement& stmt) {
+    storage::DatabaseView view(db_.get());
+    auto bound = sql::Bind(stmt, *db_);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    auto rs = engine_.Execute(bound.value(), view);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs.value().num_rows();
+  }
+
+  std::shared_ptr<storage::Database> db_;
+  workloadgen::DatabaseStats stats_;
+  exec::QueryEngine engine_;
+};
+
+TEST_F(RelaxTest, RelaxationIsSuperset) {
+  // Property (paper Section 4.2): the relaxed query's result contains the
+  // original's. Check across many queries and seeds.
+  const char* kQueries[] = {
+      "SELECT * FROM movies WHERE year > 2015",
+      "SELECT * FROM movies WHERE year = 2010",
+      "SELECT * FROM movies WHERE rating BETWEEN 6 AND 8",
+      "SELECT * FROM movies WHERE title LIKE 'ep%'",
+      "SELECT * FROM movies WHERE year IN (1999, 2004)",
+      "SELECT m.title, r.actor FROM movies m, roles r WHERE m.id = "
+      "r.movie_id AND r.salary > 12",
+      "SELECT * FROM movies WHERE year >= 2010 AND rating < 7 LIMIT 2",
+  };
+  RelaxOptions opts;
+  opts.drop_probability = 0.3;
+  for (const char* q : kQueries) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      util::Rng rng(seed);
+      sql::SelectStatement orig = MustParse(q);
+      sql::SelectStatement relaxed = RelaxQuery(orig, stats_, opts, &rng);
+      // Compare set containment on unlimited versions of both queries.
+      sql::SelectStatement orig_unlimited = orig.Clone();
+      orig_unlimited.limit = -1;
+      orig_unlimited.order_by.clear();
+      storage::DatabaseView view(db_.get());
+      auto b1 = sql::Bind(orig_unlimited, *db_);
+      auto b2 = sql::Bind(relaxed, *db_);
+      ASSERT_TRUE(b1.ok() && b2.ok());
+      auto r1 = engine_.Execute(b1.value(), view);
+      auto r2 = engine_.Execute(b2.value(), view);
+      ASSERT_TRUE(r1.ok() && r2.ok()) << q;
+      auto relaxed_keys = r2.value().RowKeySet();
+      for (size_t i = 0; i < r1.value().num_rows(); ++i) {
+        EXPECT_TRUE(relaxed_keys.count(r1.value().RowKey(i)))
+            << "query " << q << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_F(RelaxTest, WidensNumericRange) {
+  util::Rng rng(1);
+  RelaxOptions opts;
+  opts.drop_probability = 0.0;
+  opts.widen_fraction = 0.3;
+  auto stmt = MustParse("SELECT * FROM movies WHERE year > 2018");
+  const size_t before = ResultSize(stmt);
+  auto relaxed = RelaxQuery(stmt, stats_, opts, &rng);
+  EXPECT_GT(ResultSize(relaxed), before);
+}
+
+TEST_F(RelaxTest, EqualityBecomesRangeOrIn) {
+  util::Rng rng(2);
+  RelaxOptions opts;
+  opts.drop_probability = 0.0;
+  auto stmt = MustParse("SELECT * FROM movies WHERE year = 2010");
+  auto relaxed = RelaxQuery(stmt, stats_, opts, &rng);
+  EXPECT_EQ(relaxed.where->kind, sql::ExprKind::kBetween);
+  EXPECT_GE(ResultSize(relaxed), ResultSize(stmt));
+}
+
+TEST_F(RelaxTest, CategoricalEqualityExtendsToIn) {
+  util::Rng rng(3);
+  RelaxOptions opts;
+  opts.drop_probability = 0.0;
+  opts.in_extension = 2;
+  auto stmt = MustParse("SELECT * FROM roles WHERE actor = 'ann'");
+  auto relaxed = RelaxQuery(stmt, stats_, opts, &rng);
+  ASSERT_EQ(relaxed.where->kind, sql::ExprKind::kIn);
+  EXPECT_GE(relaxed.where->in_list.size(), 2u);
+  EXPECT_GE(ResultSize(relaxed), ResultSize(stmt));
+}
+
+TEST_F(RelaxTest, JoinPredicatesNeverDropped) {
+  RelaxOptions opts;
+  opts.drop_probability = 1.0;  // drop everything droppable
+  util::Rng rng(4);
+  auto stmt = MustParse(
+      "SELECT m.title FROM movies m, roles r WHERE m.id = r.movie_id AND "
+      "m.year > 2000");
+  auto relaxed = RelaxQuery(stmt, stats_, opts, &rng);
+  std::vector<sql::ExprPtr> conjuncts;
+  sql::CollectConjuncts(relaxed.where, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 1u);  // only the join survives
+  EXPECT_EQ(conjuncts[0]->op, sql::BinOp::kEq);
+}
+
+TEST_F(RelaxTest, LimitAndOrderRemoved) {
+  util::Rng rng(5);
+  auto stmt =
+      MustParse("SELECT * FROM movies WHERE year > 2000 ORDER BY year LIMIT 2");
+  auto relaxed = RelaxQuery(stmt, stats_, RelaxOptions{}, &rng);
+  EXPECT_EQ(relaxed.limit, -1);
+  EXPECT_TRUE(relaxed.order_by.empty());
+}
+
+TEST_F(RelaxTest, LikePrefixShortened) {
+  util::Rng rng(6);
+  RelaxOptions opts;
+  opts.drop_probability = 0.0;
+  auto stmt = MustParse("SELECT * FROM movies WHERE title LIKE 'the%'");
+  auto relaxed = RelaxQuery(stmt, stats_, opts, &rng);
+  EXPECT_EQ(relaxed.where->like_pattern, "th%");
+}
+
+TEST_F(RelaxTest, NoWhereIsFine) {
+  util::Rng rng(7);
+  auto stmt = MustParse("SELECT * FROM movies");
+  auto relaxed = RelaxQuery(stmt, stats_, RelaxOptions{}, &rng);
+  EXPECT_EQ(relaxed.where, nullptr);
+}
+
+}  // namespace
+}  // namespace relax
+}  // namespace asqp

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sample/sampler.h"
+#include "tests/testing.h"
+
+namespace asqp {
+namespace sample {
+namespace {
+
+TEST(UniformSampleTest, SizeAndRange) {
+  util::Rng rng(1);
+  auto s = UniformSample(100, 10, &rng);
+  ASSERT_EQ(s.size(), 10u);
+  std::set<size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(StratifiedSampleTest, ExactBudgetAndCoverage) {
+  // 3 strata with very unequal sizes; sqrt allocation must keep the small
+  // stratum represented.
+  std::vector<size_t> strata;
+  for (int i = 0; i < 900; ++i) strata.push_back(0);
+  for (int i = 0; i < 90; ++i) strata.push_back(1);
+  for (int i = 0; i < 10; ++i) strata.push_back(2);
+  util::Rng rng(2);
+  auto s = StratifiedSample(strata, 3, 50, &rng);
+  ASSERT_EQ(s.size(), 50u);
+  std::set<size_t> seen_strata;
+  for (size_t i : s) seen_strata.insert(strata[i]);
+  EXPECT_EQ(seen_strata.size(), 3u);
+  // sqrt allocation: stratum 0 gets fewer than its proportional 45 slots
+  // relative to uniform, stratum 2 gets more than its proportional 0.5.
+  size_t from_small = 0;
+  for (size_t i : s) {
+    if (strata[i] == 2) ++from_small;
+  }
+  EXPECT_GE(from_small, 2u);
+}
+
+TEST(StratifiedSampleTest, TargetLargerThanPopulation) {
+  std::vector<size_t> strata = {0, 0, 1};
+  util::Rng rng(3);
+  auto s = StratifiedSample(strata, 2, 10, &rng);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(StratifiedSampleTest, EmptyInputs) {
+  util::Rng rng(4);
+  EXPECT_TRUE(StratifiedSample({}, 3, 10, &rng).empty());
+  EXPECT_TRUE(StratifiedSample({0, 1}, 2, 0, &rng).empty());
+}
+
+TEST(StratifiedSampleTest, SortedDistinctOutput) {
+  std::vector<size_t> strata(200);
+  for (size_t i = 0; i < strata.size(); ++i) strata[i] = i % 4;
+  util::Rng rng(5);
+  auto s = StratifiedSample(strata, 4, 60, &rng);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), s.size());
+}
+
+TEST(VariationalSubsampleTest, CoversAllLatentStrata) {
+  // Two tight, well-separated clusters of very different sizes: the
+  // variational sampler must keep both represented.
+  util::Rng rng(6);
+  std::vector<embed::Vector> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back({static_cast<float>(rng.Normal(0.0, 0.1)),
+                      static_cast<float>(rng.Normal(0.0, 0.1))});
+  }
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({static_cast<float>(rng.Normal(50.0, 0.1)),
+                      static_cast<float>(rng.Normal(50.0, 0.1))});
+  }
+  VariationalOptions opts;
+  opts.num_strata = 2;
+  ASSERT_OK_AND_ASSIGN(auto sample, VariationalSubsample(points, 40, opts));
+  ASSERT_EQ(sample.size(), 40u);
+  size_t from_rare = 0;
+  for (size_t i : sample) {
+    if (i >= 500) ++from_rare;
+  }
+  // Uniform sampling would expect ~1.5 rare points; sqrt allocation gives
+  // substantially more.
+  EXPECT_GE(from_rare, 4u);
+}
+
+TEST(VariationalSubsampleTest, TargetGeqPoolReturnsAll) {
+  std::vector<embed::Vector> points = {{0.0f}, {1.0f}, {2.0f}};
+  ASSERT_OK_AND_ASSIGN(auto sample, VariationalSubsample(points, 10));
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+TEST(VariationalSubsampleTest, EmptyPoolIsError) {
+  EXPECT_FALSE(VariationalSubsample({}, 5).ok());
+}
+
+TEST(VariationalSubsampleTest, DeterministicForSeed) {
+  util::Rng rng(8);
+  std::vector<embed::Vector> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({static_cast<float>(rng.UniformDouble()),
+                      static_cast<float>(rng.UniformDouble())});
+  }
+  VariationalOptions opts;
+  opts.seed = 99;
+  ASSERT_OK_AND_ASSIGN(auto a, VariationalSubsample(points, 20, opts));
+  ASSERT_OK_AND_ASSIGN(auto b, VariationalSubsample(points, 20, opts));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sample
+}  // namespace asqp

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "tests/testing.h"
+
+namespace asqp {
+namespace storage {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("x")).AsString(), "x");
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(int64_t{3})), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value().Compare(Value(int64_t{0})), 0);
+  EXPECT_GT(Value(int64_t{0}).Compare(Value()), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value(std::string("a")).Compare(Value(std::string("b"))), 0);
+  EXPECT_EQ(Value(std::string("ab")).Compare(Value(std::string("ab"))), 0);
+  // Numerics order before strings in the total order.
+  EXPECT_LT(Value(int64_t{99}).Compare(Value(std::string("1"))), 0);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{-4}).ToString(), "-4");
+  EXPECT_EQ(Value(std::string("hi")).ToString(), "hi");
+}
+
+TEST(ColumnTest, Int64AppendAndRead) {
+  Column c(ValueType::kInt64);
+  c.AppendInt64(5);
+  c.AppendNull();
+  c.AppendInt64(-3);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.Int64At(2), -3);
+  EXPECT_TRUE(c.ValueAt(1).is_null());
+  EXPECT_EQ(c.ValueAt(0).AsInt64(), 5);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column c(ValueType::kString);
+  c.AppendString("red");
+  c.AppendString("blue");
+  c.AppendString("red");
+  c.AppendString("red");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.dict_size(), 2u);  // only two distinct strings stored
+  EXPECT_EQ(c.StringAt(0), "red");
+  EXPECT_EQ(c.StringAt(1), "blue");
+  EXPECT_EQ(c.StringCodeAt(0), c.StringCodeAt(2));
+}
+
+TEST(ColumnTest, AppendValueTypeChecks) {
+  Column c(ValueType::kInt64);
+  EXPECT_OK(c.AppendValue(Value(int64_t{1})));
+  EXPECT_OK(c.AppendValue(Value()));  // NULL is always allowed
+  Column s(ValueType::kString);
+  const util::Status st = s.AppendValue(Value(int64_t{1}));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnTest, NumericAtCoercesAndDefaults) {
+  Column c(ValueType::kDouble);
+  c.AppendDouble(1.5);
+  c.AppendNull();
+  EXPECT_DOUBLE_EQ(c.NumericAt(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.NumericAt(1), 0.0);
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  ASSERT_TRUE(s.FieldIndex("b").has_value());
+  EXPECT_EQ(*s.FieldIndex("b"), 1u);
+  EXPECT_FALSE(s.FieldIndex("missing").has_value());
+}
+
+TEST(TableTest, AppendRowAndReadBack) {
+  Table t("t", Schema({{"x", ValueType::kInt64}, {"s", ValueType::kString}}));
+  ASSERT_OK(t.AppendRow({Value(int64_t{1}), Value(std::string("one"))}));
+  ASSERT_OK(t.AppendRow({Value(), Value(std::string("two"))}));
+  EXPECT_EQ(t.num_rows(), 2u);
+  auto row = t.GetRow(1);
+  EXPECT_TRUE(row[0].is_null());
+  EXPECT_EQ(row[1].AsString(), "two");
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  Table t("t", Schema({{"x", ValueType::kInt64}}));
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+}
+
+TEST(DatabaseTest, AddAndGetTables) {
+  auto db = testing::MakeTinyMovieDb();
+  EXPECT_TRUE(db->HasTable("movies"));
+  EXPECT_TRUE(db->HasTable("roles"));
+  EXPECT_FALSE(db->HasTable("nope"));
+  ASSERT_OK_AND_ASSIGN(auto movies, db->GetTable("movies"));
+  EXPECT_EQ(movies->num_rows(), 8u);
+  EXPECT_EQ(db->TotalRows(), 18u);
+  EXPECT_FALSE(db->GetTable("nope").ok());
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  Database db;
+  auto t = std::make_shared<Table>("t", Schema({{"x", ValueType::kInt64}}));
+  ASSERT_OK(db.AddTable(t));
+  const util::Status st = db.AddTable(t);
+  EXPECT_EQ(st.code(), util::StatusCode::kAlreadyExists);
+}
+
+TEST(ApproximationSetTest, AddSealDedupe) {
+  ApproximationSet s;
+  s.Add("movies", 3);
+  s.Add("movies", 1);
+  s.Add("movies", 3);
+  s.Add("roles", 0);
+  s.Seal();
+  EXPECT_EQ(s.TotalTuples(), 3u);
+  EXPECT_TRUE(s.Contains("movies", 1));
+  EXPECT_TRUE(s.Contains("movies", 3));
+  EXPECT_FALSE(s.Contains("movies", 2));
+  EXPECT_TRUE(s.Contains("roles", 0));
+  EXPECT_FALSE(s.Contains("other", 0));
+  EXPECT_EQ(s.RowsFor("movies").size(), 2u);
+  EXPECT_TRUE(s.RowsFor("absent").empty());
+}
+
+TEST(DatabaseViewTest, FullViewSeesAllRows) {
+  auto db = testing::MakeTinyMovieDb();
+  DatabaseView view(db.get());
+  ASSERT_OK_AND_ASSIGN(auto movies, db->GetTable("movies"));
+  EXPECT_EQ(view.VisibleRows(*movies), 8u);
+  EXPECT_EQ(view.PhysicalRow(*movies, 5), 5u);
+  EXPECT_FALSE(view.restricted());
+}
+
+TEST(DatabaseViewTest, SubsetViewRestrictsRows) {
+  auto db = testing::MakeTinyMovieDb();
+  ApproximationSet s;
+  s.Add("movies", 2);
+  s.Add("movies", 6);
+  s.Seal();
+  DatabaseView view(db.get(), &s);
+  ASSERT_OK_AND_ASSIGN(auto movies, db->GetTable("movies"));
+  ASSERT_OK_AND_ASSIGN(auto roles, db->GetTable("roles"));
+  EXPECT_TRUE(view.restricted());
+  EXPECT_EQ(view.VisibleRows(*movies), 2u);
+  EXPECT_EQ(view.PhysicalRow(*movies, 0), 2u);
+  EXPECT_EQ(view.PhysicalRow(*movies, 1), 6u);
+  EXPECT_EQ(view.VisibleRows(*roles), 0u);  // roles absent from the subset
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace asqp

@@ -1,0 +1,97 @@
+// Shared gtest helpers for Status/Result assertions and small fixtures.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    const ::asqp::util::Status _st = (expr);                   \
+    ASSERT_TRUE(_st.ok()) << "expected OK, got " << _st.ToString(); \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    const ::asqp::util::Status _st = (expr);                   \
+    EXPECT_TRUE(_st.ok()) << "expected OK, got " << _st.ToString(); \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                                    \
+  ASSERT_OK_AND_ASSIGN_IMPL(ASQP_CONCAT(_assert_res_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)            \
+  auto tmp = (expr);                                         \
+  ASSERT_TRUE(tmp.ok()) << "expected OK, got "               \
+                        << tmp.status().ToString();          \
+  lhs = std::move(tmp).value()
+
+namespace asqp {
+namespace testing {
+
+/// Build a tiny two-table database used across executor / metric tests:
+///
+///   movies(id INT64, title STRING, year INT64, rating DOUBLE)   -- 8 rows
+///   roles(movie_id INT64, actor STRING, salary DOUBLE)          -- 10 rows
+inline std::shared_ptr<storage::Database> MakeTinyMovieDb() {
+  using storage::Field;
+  using storage::Schema;
+  using storage::Table;
+  using storage::Value;
+  using storage::ValueType;
+
+  auto db = std::make_shared<storage::Database>();
+
+  auto movies = std::make_shared<Table>(
+      "movies", Schema({{"id", ValueType::kInt64},
+                        {"title", ValueType::kString},
+                        {"year", ValueType::kInt64},
+                        {"rating", ValueType::kDouble}}));
+  const struct {
+    int64_t id;
+    const char* title;
+    int64_t year;
+    double rating;
+  } kMovies[] = {
+      {1, "alpha", 1999, 7.5}, {2, "beta", 2004, 6.1},  {3, "gamma", 2010, 8.2},
+      {4, "delta", 2010, 5.5}, {5, "epsilon", 2015, 9.0}, {6, "zeta", 2018, 4.4},
+      {7, "eta", 2020, 7.7},   {8, "theta", 2021, 6.6},
+  };
+  for (const auto& m : kMovies) {
+    EXPECT_TRUE(movies
+                    ->AppendRow({Value(m.id), Value(std::string(m.title)),
+                                 Value(m.year), Value(m.rating)})
+                    .ok());
+  }
+
+  auto roles = std::make_shared<Table>(
+      "roles", Schema({{"movie_id", ValueType::kInt64},
+                       {"actor", ValueType::kString},
+                       {"salary", ValueType::kDouble}}));
+  const struct {
+    int64_t movie_id;
+    const char* actor;
+    double salary;
+  } kRoles[] = {
+      {1, "ann", 10.0}, {1, "bob", 12.0}, {2, "ann", 9.0},  {3, "cat", 20.0},
+      {3, "bob", 11.0}, {5, "dan", 30.0}, {5, "cat", 25.0}, {7, "ann", 14.0},
+      {8, "eve", 8.0},  {8, "bob", 13.0},
+  };
+  for (const auto& r : kRoles) {
+    EXPECT_TRUE(roles
+                    ->AppendRow({Value(r.movie_id), Value(std::string(r.actor)),
+                                 Value(r.salary)})
+                    .ok());
+  }
+
+  EXPECT_TRUE(db->AddTable(movies).ok());
+  EXPECT_TRUE(db->AddTable(roles).ok());
+  return db;
+}
+
+}  // namespace testing
+}  // namespace asqp

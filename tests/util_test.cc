@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "tests/testing.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace asqp {
+namespace util {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table foo");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing table foo");
+  EXPECT_EQ(st.ToString(), "NotFound: missing table foo");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::InvalidArgument("bad k");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(copy.message(), "bad k");
+  EXPECT_EQ(st.message(), "bad k");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  ASQP_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  ASSERT_OK(UseHalf(8, &out));
+  EXPECT_EQ(out, 4);
+  Status st = UseHalf(7, &out);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndSorted) {
+  Rng rng(3);
+  auto sample = rng.SampleIndices(100, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+}
+
+TEST(RngTest, SampleIndicesAllWhenCountExceedsN) {
+  Rng rng(3);
+  auto sample = rng.SampleIndices(5, 10);
+  ASSERT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(5);
+  int low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 0.8) < 10) ++low;
+  }
+  // With theta=0.8 the first decile should receive far more than 10% mass.
+  EXPECT_GT(low, n / 5);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(StringUtilTest, ToLowerAndTrim) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, SplitAndJoinRoundTrip) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, ","), "a,b,,c");
+}
+
+TEST(StringUtilTest, Fnv1aStableKnownValue) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+  EXPECT_EQ(Fnv1a("select"), Fnv1a("select"));
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(Format("k=%d f=%.1f s=%s", 3, 2.5, "x"), "k=3 f=2.5 s=x");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline d = Deadline::Unlimited();
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ShortDeadlineExpires) {
+  Deadline d = Deadline::AfterSeconds(0.0);
+  EXPECT_TRUE(d.Expired());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace asqp

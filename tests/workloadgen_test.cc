@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "exec/executor.h"
+#include "sql/binder.h"
+#include "tests/testing.h"
+#include "workloadgen/generator.h"
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace workloadgen {
+namespace {
+
+TEST(StatsTest, NumericColumnStats) {
+  auto db = testing::MakeTinyMovieDb();
+  DatabaseStats stats = DatabaseStats::Collect(*db);
+  const TableStats* movies = stats.FindTable("movies");
+  ASSERT_NE(movies, nullptr);
+  EXPECT_EQ(movies->row_count, 8u);
+  const ColumnStats* year = movies->FindColumn("year");
+  ASSERT_NE(year, nullptr);
+  EXPECT_TRUE(year->is_numeric());
+  EXPECT_DOUBLE_EQ(year->min, 1999.0);
+  EXPECT_DOUBLE_EQ(year->max, 2021.0);
+  EXPECT_NEAR(year->mean, 2012.125, 1e-9);
+  EXPECT_GT(year->stddev, 0.0);
+  EXPECT_EQ(year->null_count, 0u);
+}
+
+TEST(StatsTest, CategoricalTopValues) {
+  auto db = testing::MakeTinyMovieDb();
+  DatabaseStats stats = DatabaseStats::Collect(*db);
+  const ColumnStats* actor = stats.FindTable("roles")->FindColumn("actor");
+  ASSERT_NE(actor, nullptr);
+  EXPECT_EQ(actor->distinct_count, 5u);
+  ASSERT_FALSE(actor->top_values.empty());
+  // ann and bob appear 3x each; frequency-descending with ties by code.
+  EXPECT_EQ(actor->top_values[0].second, 3u);
+  EXPECT_EQ(actor->ValueFrequency("eve"), 1u);
+  EXPECT_EQ(actor->ValueFrequency("nobody"), 0u);
+}
+
+TEST(StatsTest, NullCounting) {
+  storage::Database db;
+  auto t = std::make_shared<storage::Table>(
+      "t", storage::Schema({{"x", storage::ValueType::kInt64}}));
+  ASSERT_OK(t->AppendRow({storage::Value(int64_t{1})}));
+  ASSERT_OK(t->AppendRow({storage::Value()}));
+  ASSERT_OK(t->AppendRow({storage::Value()}));
+  ASSERT_OK(db.AddTable(t));
+  DatabaseStats stats = DatabaseStats::Collect(db);
+  EXPECT_EQ(stats.FindTable("t")->FindColumn("x")->null_count, 2u);
+}
+
+TEST(StatsTest, MaxTopValuesBound) {
+  auto db = testing::MakeTinyMovieDb();
+  DatabaseStats stats = DatabaseStats::Collect(*db, /*max_top_values=*/2);
+  const ColumnStats* actor = stats.FindTable("roles")->FindColumn("actor");
+  EXPECT_EQ(actor->top_values.size(), 2u);
+  EXPECT_EQ(actor->distinct_count, 5u);  // distinct count still exact
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeTinyMovieDb();
+    stats_ = DatabaseStats::Collect(*db_);
+    fks_ = {{"roles", "movie_id", "movies", "id"}};
+    gen_ = std::make_unique<QueryGenerator>(db_.get(), &stats_, fks_);
+  }
+
+  std::shared_ptr<storage::Database> db_;
+  DatabaseStats stats_;
+  std::vector<FkEdge> fks_;
+  std::unique_ptr<QueryGenerator> gen_;
+};
+
+TEST_F(GeneratorTest, GeneratedQueriesBindAndExecute) {
+  QueryGenOptions opts;
+  opts.max_joins = 1;
+  metric::Workload w = gen_->GenerateWorkload(50, opts, 7);
+  ASSERT_EQ(w.size(), 50u);
+  exec::QueryEngine engine;
+  storage::DatabaseView view(db_.get());
+  size_t nonempty = 0;
+  for (const auto& q : w.queries()) {
+    auto bound = sql::Bind(q.stmt, *db_);
+    ASSERT_TRUE(bound.ok()) << q.ToSql() << ": " << bound.status().ToString();
+    auto rs = engine.Execute(bound.value(), view);
+    ASSERT_TRUE(rs.ok()) << q.ToSql() << ": " << rs.status().ToString();
+    if (rs.value().num_rows() > 0) ++nonempty;
+  }
+  // Statistics-driven predicates should make most queries non-empty.
+  EXPECT_GT(nonempty, 25u);
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  QueryGenOptions opts;
+  metric::Workload a = gen_->GenerateWorkload(10, opts, 3);
+  metric::Workload b = gen_->GenerateWorkload(10, opts, 3);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.query(i).ToSql(), b.query(i).ToSql());
+  }
+}
+
+TEST_F(GeneratorTest, AggregateFractionHonored) {
+  QueryGenOptions opts;
+  opts.agg_fraction = 1.0;
+  metric::Workload w = gen_->GenerateWorkload(10, opts, 5);
+  for (const auto& q : w.queries()) {
+    EXPECT_TRUE(q.stmt.HasAggregates()) << q.ToSql();
+  }
+  opts.agg_fraction = 0.0;
+  metric::Workload spj = gen_->GenerateWorkload(10, opts, 5);
+  for (const auto& q : spj.queries()) {
+    EXPECT_FALSE(q.stmt.HasAggregates()) << q.ToSql();
+  }
+}
+
+TEST_F(GeneratorTest, JoinsUseFkEdges) {
+  QueryGenOptions opts;
+  opts.max_joins = 1;
+  bool saw_join = false;
+  metric::Workload w = gen_->GenerateWorkload(30, opts, 11);
+  for (const auto& q : w.queries()) {
+    if (q.stmt.from.size() == 2) saw_join = true;
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+TEST_F(GeneratorTest, BandRestrictsNumericCenters) {
+  // Narrow top band: generated numeric predicates should sit in the top
+  // region of the column range.
+  QueryGenOptions lo;
+  lo.band_lo = 0.0;
+  lo.band_hi = 0.1;
+  lo.max_joins = 0;
+  QueryGenOptions hi = lo;
+  hi.band_lo = 0.9;
+  hi.band_hi = 1.0;
+  // The two themed workloads must differ.
+  metric::Workload wl = gen_->GenerateWorkload(10, lo, 13);
+  metric::Workload wh = gen_->GenerateWorkload(10, hi, 13);
+  bool differ = false;
+  for (size_t i = 0; i < wl.size(); ++i) {
+    if (wl.query(i).ToSql() != wh.query(i).ToSql()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DatasetTest, ImdbBundleShape) {
+  data::DatasetOptions opts;
+  opts.scale = 0.02;
+  opts.workload_size = 10;
+  data::DatasetBundle imdb = data::MakeImdbJob(opts);
+  EXPECT_EQ(imdb.name, "imdb");
+  EXPECT_TRUE(imdb.db->HasTable("title"));
+  EXPECT_TRUE(imdb.db->HasTable("cast_info"));
+  EXPECT_EQ(imdb.fks.size(), 4u);
+  EXPECT_EQ(imdb.workload.size(), 10u);
+  // All workload queries bind and run.
+  exec::QueryEngine engine;
+  storage::DatabaseView view(imdb.db.get());
+  for (const auto& q : imdb.workload.queries()) {
+    auto bound = sql::Bind(q.stmt, *imdb.db);
+    ASSERT_TRUE(bound.ok()) << q.ToSql();
+    ASSERT_TRUE(engine.Execute(bound.value(), view).ok()) << q.ToSql();
+  }
+}
+
+TEST(DatasetTest, MasAndFlightsBundles) {
+  data::DatasetOptions opts;
+  opts.scale = 0.02;
+  opts.workload_size = 5;
+  data::DatasetBundle mas = data::MakeMas(opts);
+  EXPECT_TRUE(mas.db->HasTable("publication"));
+  EXPECT_EQ(mas.workload.size(), 5u);
+
+  data::DatasetBundle flights = data::MakeFlights(opts);
+  EXPECT_TRUE(flights.db->HasTable("flights"));
+  auto fl = flights.db->GetTable("flights").value();
+  EXPECT_GT(fl->num_rows(), 500u);
+}
+
+TEST(DatasetTest, DeterministicGeneration) {
+  data::DatasetOptions opts;
+  opts.scale = 0.01;
+  opts.workload_size = 3;
+  data::DatasetBundle a = data::MakeImdbJob(opts);
+  data::DatasetBundle b = data::MakeImdbJob(opts);
+  EXPECT_EQ(a.db->TotalRows(), b.db->TotalRows());
+  auto ta = a.db->GetTable("title").value();
+  auto tb = b.db->GetTable("title").value();
+  for (uint32_t r = 0; r < std::min<size_t>(ta->num_rows(), 20); ++r) {
+    EXPECT_EQ(ta->GetRow(r)[1].AsString(), tb->GetRow(r)[1].AsString());
+  }
+  for (size_t i = 0; i < a.workload.size(); ++i) {
+    EXPECT_EQ(a.workload.query(i).ToSql(), b.workload.query(i).ToSql());
+  }
+}
+
+TEST(DatasetTest, FlightsAggregateWorkloadCategories) {
+  data::DatasetOptions opts;
+  opts.scale = 0.02;
+  data::DatasetBundle flights = data::MakeFlights(opts);
+  metric::Workload aggs =
+      data::MakeFlightsAggregateWorkload(flights, 12, 99);
+  ASSERT_EQ(aggs.size(), 12u);
+  size_t grouped = 0;
+  for (const auto& q : aggs.queries()) {
+    EXPECT_TRUE(q.stmt.HasAggregates()) << q.ToSql();
+    if (!q.stmt.group_by.empty()) ++grouped;
+  }
+  EXPECT_EQ(grouped, 6u);  // alternating grouped / ungrouped
+  // All bind + execute.
+  exec::QueryEngine engine;
+  storage::DatabaseView view(flights.db.get());
+  for (const auto& q : aggs.queries()) {
+    auto bound = sql::Bind(q.stmt, *flights.db);
+    ASSERT_TRUE(bound.ok()) << q.ToSql();
+    ASSERT_TRUE(engine.Execute(bound.value(), view).ok()) << q.ToSql();
+  }
+}
+
+}  // namespace
+}  // namespace workloadgen
+}  // namespace asqp
