@@ -12,6 +12,7 @@
 //   \train [k]       (re)train the approximation set, optionally set k
 //   \finetune        fine-tune on the drifted queries observed so far
 //   \save <path>     save the approximation set
+//   \deadline <s>    per-query deadline for the approximate path (0 = off)
 //   \stats           database / model statistics
 //   \quit            exit
 #include <cstdio>
@@ -139,6 +140,25 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    if (util::StartsWith(input, "\\deadline")) {
+      const std::string arg(util::Trim(input.substr(9)));
+      if (arg.empty()) {
+        std::printf("usage: \\deadline <seconds> (0 disables)\n");
+        continue;
+      }
+      config.answer_deadline_seconds = std::strtod(arg.c_str(), nullptr);
+      if (model) {
+        model->mutable_config().answer_deadline_seconds =
+            config.answer_deadline_seconds;
+      }
+      std::printf("approximate-path deadline: %s\n",
+                  config.answer_deadline_seconds > 0
+                      ? (std::to_string(config.answer_deadline_seconds) + "s")
+                            .c_str()
+                      : "off");
+      continue;
+    }
+
     if (util::StartsWith(input, "\\save")) {
       if (!model) {
         std::printf("train first (\\train)\n");
@@ -184,6 +204,10 @@ int main(int argc, char** argv) {
                 answer->used_approximation ? "approximation set"
                                            : "full database",
                 answer->answerability, watch.ElapsedSeconds() * 1e3);
+    if (answer->fell_back) {
+      std::printf("(approximation path abandoned: %s)\n",
+                  answer->fallback_reason.c_str());
+    }
     PrintResult(answer->result);
     if (model->NeedsFineTuning()) {
       std::printf("(interest drift detected — \\finetune to adapt)\n");

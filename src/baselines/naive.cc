@@ -6,6 +6,7 @@
 
 #include "baselines/provenance_pool.h"
 #include "baselines/selector.h"
+#include "util/exec_context.h"
 
 namespace asqp {
 namespace baselines {
@@ -129,8 +130,12 @@ class BruteForceSelector : public SubsetSelector {
     std::vector<size_t> best_selection;
     double best_score = -1.0;
     size_t trials = 0;
-    // Keep trying random budget-filling subsets until the deadline.
-    while (trials == 0 || (!context.deadline.Expired() && trials < 1000000)) {
+    // Keep trying random budget-filling subsets until the deadline. The
+    // first trial always runs (an already-expired deadline still yields a
+    // valid, if low-quality, selection); afterwards the shared ticker
+    // amortizes the clock reads.
+    util::DeadlineTicker ticker(context.deadline, /*stride=*/32);
+    while (trials == 0 || (!ticker.Expired("BRT search") && trials < 1000000)) {
       ++trials;
       std::vector<size_t> order(entries.size());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -152,7 +157,6 @@ class BruteForceSelector : public SubsetSelector {
         best_score = score;
         best_selection = std::move(selection);
       }
-      if (trials % 32 == 0 && context.deadline.Expired()) break;
     }
 
     ApproximationSet out;
@@ -194,7 +198,9 @@ class GreedySelector : public SubsetSelector {
     std::map<std::pair<uint32_t, uint32_t>, bool> in_set;
     size_t used = 0;
 
-    while (used < context.k && !context.deadline.Expired()) {
+    // Each greedy round scans every entry, so poll the clock every round.
+    util::DeadlineTicker ticker(context.deadline, /*stride=*/1);
+    while (used < context.k && !ticker.Expired("GRE search")) {
       double best_gain = 0.0;
       size_t best_idx = entries.size();
       size_t best_new_tuples = 0;

@@ -65,6 +65,10 @@ struct AsqpConfig {
   /// whose deviation confidence exceeds `drift_confidence`.
   size_t drift_trigger = 3;
   double drift_confidence = 0.8;
+  /// Per-query deadline for the approximation-set execution path in
+  /// Answer() (seconds; 0 = unlimited). On timeout the mediator falls back
+  /// to an unbounded full-database execution and flags the result.
+  double answer_deadline_seconds = 0.0;
 
   uint64_t seed = 1;
 

@@ -98,13 +98,35 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt) {
   ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
   if (result.answerability >= config_.answerable_threshold) {
     storage::DatabaseView view(db_, &set_);
-    ASQP_ASSIGN_OR_RETURN(result.result, engine_.Execute(bound, view));
-    result.used_approximation = true;
-  } else {
-    storage::DatabaseView view(db_);
-    ASQP_ASSIGN_OR_RETURN(result.result, engine_.Execute(bound, view));
-    result.used_approximation = false;
+    util::ExecContext context;
+    if (config_.answer_deadline_seconds > 0.0) {
+      context = util::ExecContext::WithDeadline(config_.answer_deadline_seconds);
+    }
+    util::Result<exec::ResultSet> approx = engine_.Execute(bound, view, context);
+    if (approx.ok()) {
+      result.result = std::move(approx).value();
+      result.used_approximation = true;
+      return result;
+    }
+    // Degradation path: a deadline, cancellation, or resource limit on the
+    // approximation-set execution falls back to the unbounded full
+    // database rather than failing the user's query. Genuine query errors
+    // (bad SQL semantics, internal faults) still propagate.
+    switch (approx.status().code()) {
+      case util::StatusCode::kDeadlineExceeded:
+      case util::StatusCode::kCancelled:
+      case util::StatusCode::kResourceExhausted:
+      case util::StatusCode::kExecutionError:
+        result.fell_back = true;
+        result.fallback_reason = approx.status().ToString();
+        break;
+      default:
+        return approx.status();
+    }
   }
+  storage::DatabaseView view(db_);
+  ASQP_ASSIGN_OR_RETURN(result.result, engine_.Execute(bound, view));
+  result.used_approximation = false;
   return result;
 }
 

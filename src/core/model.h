@@ -25,6 +25,12 @@ struct AnswerResult {
   bool used_approximation = false;
   /// The estimator's answerability score for this query.
   double answerability = 0.0;
+  /// True when the approximation-set execution was attempted but abandoned
+  /// (deadline, cancellation, or resource exhaustion) and the result came
+  /// from the degraded full-database path instead.
+  bool fell_back = false;
+  /// Why the mediator degraded (empty when `fell_back` is false).
+  std::string fallback_reason;
 };
 
 class AsqpModel {
@@ -64,6 +70,8 @@ class AsqpModel {
     return preprocess_.representatives;
   }
   const AsqpConfig& config() const { return config_; }
+  /// Mutable access for post-training knobs (e.g. answer_deadline_seconds).
+  AsqpConfig& mutable_config() { return config_; }
   size_t drifted_query_count() const { return drifted_queries_.size(); }
 
  private:

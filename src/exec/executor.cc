@@ -47,8 +47,12 @@ std::string ValueKey(const Value& v) {
 class Execution {
  public:
   Execution(const BoundQuery& q, const DatabaseView& view,
-            const ExecOptions& options)
-      : q_(q), view_(view), options_(options) {}
+            const ExecOptions& options, const util::ExecContext& context)
+      : q_(q),
+        view_(view),
+        options_(options),
+        context_(context),
+        ticker_(context, /*stride=*/256) {}
 
   Result<ResultSet> Run() {
     ASQP_RETURN_NOT_OK(FilterScans());
@@ -89,6 +93,7 @@ class Execution {
       auto& out = candidates_[t];
       out.reserve(visible / 4 + 1);
       for (size_t ord = 0; ord < visible; ++ord) {
+        ASQP_RETURN_NOT_OK(ticker_.Tick("table scan"));
         const uint32_t row = view_.PhysicalRow(table, ord);
         scratch_rows_[t] = row;
         bool pass = true;
@@ -162,6 +167,7 @@ class Execution {
             "intermediate join result exceeds %zu rows",
             options_.max_intermediate_rows));
       }
+      ASQP_RETURN_NOT_OK(context_.CheckRows(joined_.size(), "join"));
     }
     // Residuals with zero referenced tables (constant predicates) or any
     // left over (single-table query case).
@@ -198,6 +204,7 @@ class Execution {
       }
       std::vector<uint32_t> tmp(n, 0);
       for (size_t i = 0; i < joined_.size(); ++i) {
+        ASQP_RETURN_NOT_OK(ticker_.Tick("cross product"));
         const uint32_t* src = joined_.tuple(i);
         std::copy(src, src + n, tmp.begin());
         for (uint32_t row : candidates_[t]) {
@@ -211,9 +218,14 @@ class Execution {
 
     // Build hash table on table t's candidate rows.
     const Table& build_table = *q_.tables[t];
+    if (ASQP_FAULT_POINT("exec.join.alloc")) {
+      return Status::ResourceExhausted(
+          "injected fault: hash-join build allocation failed");
+    }
     std::unordered_multimap<std::string, uint32_t> build;
     build.reserve(candidates_[t].size() * 2);
     for (uint32_t row : candidates_[t]) {
+      ASQP_RETURN_NOT_OK(ticker_.Tick("hash-join build"));
       std::string key;
       bool has_null = false;
       for (const KeyPair& kp : keys) {
@@ -231,6 +243,7 @@ class Execution {
     // Probe with current tuples.
     std::vector<uint32_t> tmp(n, 0);
     for (size_t i = 0; i < joined_.size(); ++i) {
+      ASQP_RETURN_NOT_OK(ticker_.Tick("hash-join probe"));
       const uint32_t* src = joined_.tuple(i);
       std::string key;
       bool has_null = false;
@@ -278,6 +291,7 @@ class Execution {
       next.num_tables = joined_.num_tables;
       JoinedRow jr{&q_.tables, nullptr};
       for (size_t i = 0; i < joined_.size(); ++i) {
+        ASQP_RETURN_NOT_OK(ticker_.Tick("residual filter"));
         jr.row_ids = joined_.tuple(i);
         if (EvaluatePredicate(*q_.residual[r], jr)) {
           next.Append(joined_.tuple(i));
@@ -319,6 +333,7 @@ class Execution {
     std::unordered_set<std::string> distinct_seen;
 
     for (size_t i = 0; i < joined_.size(); ++i) {
+      ASQP_RETURN_NOT_OK(ticker_.Tick("projection"));
       // Fast path: without ORDER BY, stop as soon as LIMIT rows are kept.
       if (!need_order && q_.stmt.limit >= 0 &&
           out.num_rows() >= static_cast<size_t>(q_.stmt.limit)) {
@@ -400,6 +415,7 @@ class Execution {
 
     const size_t num_items = q_.stmt.items.size();
     for (size_t i = 0; i < joined_.size(); ++i) {
+      ASQP_RETURN_NOT_OK(ticker_.Tick("aggregation"));
       jr.row_ids = joined_.tuple(i);
       std::string key;
       std::vector<Value> key_vals;
@@ -545,6 +561,8 @@ class Execution {
   const BoundQuery& q_;
   const DatabaseView& view_;
   const ExecOptions& options_;
+  const util::ExecContext& context_;
+  util::DeadlineTicker ticker_;
 
   std::vector<std::vector<uint32_t>> candidates_;
   std::vector<uint32_t> scratch_rows_;
@@ -554,22 +572,24 @@ class Execution {
 }  // namespace
 
 Result<ResultSet> QueryEngine::Execute(const BoundQuery& query,
-                                       const DatabaseView& view) const {
-  Execution exec(query, view, options_);
+                                       const DatabaseView& view,
+                                       const util::ExecContext& context) const {
+  Execution exec(query, view, options_, context);
   return exec.Run();
 }
 
-Result<ResultSet> QueryEngine::ExecuteSql(const std::string& sql,
-                                          const DatabaseView& view) const {
+Result<ResultSet> QueryEngine::ExecuteSql(
+    const std::string& sql, const DatabaseView& view,
+    const util::ExecContext& context) const {
   ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound,
                         sql::ParseAndBind(sql, view.db()));
-  return Execute(bound, view);
+  return Execute(bound, view, context);
 }
 
 Result<ProvenancedJoin> QueryEngine::ExecuteWithProvenance(
-    const BoundQuery& query, const DatabaseView& view,
-    size_t max_tuples) const {
-  Execution exec(query, view, options_);
+    const BoundQuery& query, const DatabaseView& view, size_t max_tuples,
+    const util::ExecContext& context) const {
+  Execution exec(query, view, options_, context);
   return exec.RunWithProvenance(max_tuples);
 }
 

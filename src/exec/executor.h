@@ -13,6 +13,7 @@
 #include "exec/result_set.h"
 #include "sql/binder.h"
 #include "storage/database.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace asqp {
@@ -40,19 +41,27 @@ class QueryEngine {
  public:
   explicit QueryEngine(ExecOptions options = {}) : options_(options) {}
 
-  /// Execute a bound query against `view`.
-  util::Result<ResultSet> Execute(const sql::BoundQuery& query,
-                                  const storage::DatabaseView& view) const;
+  /// Execute a bound query against `view`. The ExecContext's deadline /
+  /// cancellation flag / row budget are polled inside the scan, join,
+  /// aggregation, and projection loops (every few hundred rows), so an
+  /// expired or cancelled execution returns kDeadlineExceeded /
+  /// kCancelled / kResourceExhausted promptly instead of running
+  /// unbounded.
+  util::Result<ResultSet> Execute(
+      const sql::BoundQuery& query, const storage::DatabaseView& view,
+      const util::ExecContext& context = util::ExecContext()) const;
 
   /// Parse, bind, and execute `sql` against `view`'s database.
-  util::Result<ResultSet> ExecuteSql(const std::string& sql,
-                                     const storage::DatabaseView& view) const;
+  util::Result<ResultSet> ExecuteSql(
+      const std::string& sql, const storage::DatabaseView& view,
+      const util::ExecContext& context = util::ExecContext()) const;
 
   /// Run only the filter+join pipeline of a (non-aggregate) query and
   /// return the joined base tuples, capped at `max_tuples` (0 = no cap).
   util::Result<ProvenancedJoin> ExecuteWithProvenance(
       const sql::BoundQuery& query, const storage::DatabaseView& view,
-      size_t max_tuples = 0) const;
+      size_t max_tuples = 0,
+      const util::ExecContext& context = util::ExecContext()) const;
 
  private:
   ExecOptions options_;

@@ -1,12 +1,14 @@
 #include "io/io.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "rl/policy.h"
 #include "sql/parser.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace asqp {
@@ -56,6 +58,55 @@ std::string QuoteField(const std::string& s) {
 
 }  // namespace
 
+util::Status ParseCsvLine(const std::string& line,
+                          std::vector<std::string>* fields,
+                          size_t* error_field) {
+  fields->clear();
+  std::string current;
+  bool quoted = false;        // inside an open quoted section
+  bool closed_quote = false;  // current field ended a quoted section
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+          closed_quote = true;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (closed_quote || !current.empty()) {
+        *error_field = fields->size() + 1;
+        return Status::ParseError("unexpected quote inside unquoted field");
+      }
+      quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(current));
+      current.clear();
+      closed_quote = false;
+    } else if (c == '\r') {
+      // Ignore CR in CRLF files.
+    } else {
+      if (closed_quote) {
+        *error_field = fields->size() + 1;
+        return Status::ParseError("text after closing quote");
+      }
+      current += c;
+    }
+  }
+  if (quoted) {
+    *error_field = fields->size() + 1;
+    return Status::ParseError("unterminated quoted field");
+  }
+  fields->push_back(std::move(current));
+  return Status::OK();
+}
+
 std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string current;
@@ -98,24 +149,41 @@ Result<std::shared_ptr<storage::Table>> LoadCsvTable(
   if (!std::getline(in, line)) {
     return Status::InvalidArgument(util::Format("%s is empty", path.c_str()));
   }
-  const std::vector<std::string> header = SplitCsvLine(line);
+  std::vector<std::string> header;
+  size_t bad_field = 0;
+  {
+    const Status s = ParseCsvLine(line, &header, &bad_field);
+    if (!s.ok()) {
+      return Status::ParseError(util::Format("%s line 1 column %zu: %s",
+                                             path.c_str(), bad_field,
+                                             s.message().c_str()));
+    }
+  }
   if (header.empty()) {
     return Status::InvalidArgument("CSV header has no columns");
   }
 
   // Read all rows first (type inference needs the data).
   std::vector<std::vector<std::string>> rows;
+  std::vector<size_t> row_lines;
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::vector<std::string> fields = SplitCsvLine(line);
+    std::vector<std::string> fields;
+    const Status s = ParseCsvLine(line, &fields, &bad_field);
+    if (!s.ok()) {
+      return Status::ParseError(util::Format("%s line %zu column %zu: %s",
+                                             path.c_str(), line_no, bad_field,
+                                             s.message().c_str()));
+    }
     if (fields.size() != header.size()) {
       return Status::ParseError(
           util::Format("%s line %zu: expected %zu fields, got %zu",
                        path.c_str(), line_no, header.size(), fields.size()));
     }
     rows.push_back(std::move(fields));
+    row_lines.push_back(line_no);
   }
 
   // Infer types.
@@ -145,7 +213,8 @@ Result<std::shared_ptr<storage::Table>> LoadCsvTable(
                      types[c]});
   }
   auto table = std::make_shared<storage::Table>(table_name, schema);
-  for (const auto& row : rows) {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
     std::vector<Value> values;
     values.reserve(row.size());
     for (size_t c = 0; c < row.size(); ++c) {
@@ -157,13 +226,21 @@ Result<std::shared_ptr<storage::Table>> LoadCsvTable(
       switch (types[c]) {
         case ValueType::kInt64: {
           int64_t v = 0;
-          ParsesAsInt(cell, &v);
+          if (!ParsesAsInt(cell, &v)) {
+            return Status::ParseError(util::Format(
+                "%s line %zu column %zu: '%s' is not a valid INT64",
+                path.c_str(), row_lines[r], c + 1, cell.c_str()));
+          }
           values.emplace_back(v);
           break;
         }
         case ValueType::kDouble: {
           double v = 0.0;
-          ParsesAsDouble(cell, &v);
+          if (!ParsesAsDouble(cell, &v)) {
+            return Status::ParseError(util::Format(
+                "%s line %zu column %zu: '%s' is not a valid DOUBLE",
+                path.c_str(), row_lines[r], c + 1, cell.c_str()));
+          }
           values.emplace_back(v);
           break;
         }
@@ -374,6 +451,144 @@ Status SavePolicy(const rl::Policy& policy, const std::string& path) {
   WriteMlp(out, "actor", policy.actor.get());
   if (policy.critic) WriteMlp(out, "critic", policy.critic.get());
   return Status::OK();
+}
+
+namespace {
+
+void WriteAdamState(std::ostream& out, const std::string& tag,
+                    const nn::Adam::State& state) {
+  out.precision(9);
+  out << tag << ' ' << state.t << ' ' << state.m.size() << '\n';
+  for (float x : state.m) out << x << '\n';
+  for (float x : state.v) out << x << '\n';
+}
+
+Status ReadAdamState(std::istream& in, const std::string& expected_tag,
+                     nn::Adam::State* state) {
+  std::string tag;
+  long long t = 0;
+  size_t n = 0;
+  if (!(in >> tag >> t >> n) || tag != expected_tag) {
+    return Status::ParseError(util::Format("expected '%s' optimizer block",
+                                           expected_tag.c_str()));
+  }
+  state->t = t;
+  state->m.resize(n);
+  state->v.resize(n);
+  for (float& x : state->m) {
+    if (!(in >> x)) return Status::ParseError("truncated optimizer moments");
+  }
+  for (float& x : state->v) {
+    if (!(in >> x)) return Status::ParseError("truncated optimizer moments");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const rl::TrainCheckpoint& checkpoint,
+                      const std::string& path) {
+  if (checkpoint.policy.actor == nullptr) {
+    return Status::InvalidArgument("checkpoint has no actor network");
+  }
+  if (ASQP_FAULT_POINT("io.checkpoint.write")) {
+    return Status::ExecutionError(util::Format(
+        "injected fault: checkpoint write to %s failed", path.c_str()));
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::InvalidArgument(
+          util::Format("cannot write %s", tmp.c_str()));
+    }
+    const bool has_critic = checkpoint.policy.critic != nullptr;
+    out << "asqp-checkpoint v1 " << (has_critic ? 2 : 1) << '\n';
+    WriteMlp(out, "actor", checkpoint.policy.actor.get());
+    if (has_critic) WriteMlp(out, "critic", checkpoint.policy.critic.get());
+    WriteAdamState(out, "opt-actor", checkpoint.actor_opt);
+    if (has_critic) WriteAdamState(out, "opt-critic", checkpoint.critic_opt);
+    // max_digits10 precision so every double round-trips exactly; resume
+    // must be bit-for-bit identical to the uninterrupted run.
+    out.precision(17);
+    out << "rng";
+    for (uint64_t word : checkpoint.rng.s) out << ' ' << word;
+    out << ' ' << (checkpoint.rng.has_cached_normal ? 1 : 0) << ' '
+        << checkpoint.rng.cached_normal << '\n';
+    out << "loop " << checkpoint.learning_rate << ' '
+        << checkpoint.next_iteration << ' ' << checkpoint.episode_counter
+        << ' ' << checkpoint.best_score << ' ' << checkpoint.episodes_run
+        << ' ' << checkpoint.early_stop_best << ' '
+        << checkpoint.early_stop_since_best << ' '
+        << checkpoint.divergence_rollbacks << '\n';
+    out << "scores " << checkpoint.iteration_scores.size();
+    for (double s : checkpoint.iteration_scores) out << ' ' << s;
+    out << '\n';
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::ExecutionError(
+          util::Format("write to %s failed", tmp.c_str()));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::ExecutionError(util::Format(
+        "cannot rename %s into place", tmp.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<rl::TrainCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(util::Format("cannot open %s", path.c_str()));
+  }
+  std::string magic, version;
+  int nets = 0;
+  if (!(in >> magic >> version >> nets) || magic != "asqp-checkpoint" ||
+      version != "v1" || nets < 1 || nets > 2) {
+    return Status::ParseError("not an asqp-checkpoint v1 file");
+  }
+  rl::TrainCheckpoint ckpt;
+  ASQP_ASSIGN_OR_RETURN(ckpt.policy.actor, ReadMlp(in, "actor"));
+  if (nets == 2) {
+    ASQP_ASSIGN_OR_RETURN(ckpt.policy.critic, ReadMlp(in, "critic"));
+  }
+  ASQP_RETURN_NOT_OK(ReadAdamState(in, "opt-actor", &ckpt.actor_opt));
+  if (nets == 2) {
+    ASQP_RETURN_NOT_OK(ReadAdamState(in, "opt-critic", &ckpt.critic_opt));
+  }
+  std::string tag;
+  if (!(in >> tag) || tag != "rng") {
+    return Status::ParseError("expected 'rng' block");
+  }
+  for (uint64_t& word : ckpt.rng.s) {
+    if (!(in >> word)) return Status::ParseError("truncated rng state");
+  }
+  int has_cached = 0;
+  if (!(in >> has_cached >> ckpt.rng.cached_normal)) {
+    return Status::ParseError("truncated rng state");
+  }
+  ckpt.rng.has_cached_normal = has_cached != 0;
+  if (!(in >> tag) || tag != "loop") {
+    return Status::ParseError("expected 'loop' block");
+  }
+  if (!(in >> ckpt.learning_rate >> ckpt.next_iteration >>
+        ckpt.episode_counter >> ckpt.best_score >> ckpt.episodes_run >>
+        ckpt.early_stop_best >> ckpt.early_stop_since_best >>
+        ckpt.divergence_rollbacks)) {
+    return Status::ParseError("truncated loop state");
+  }
+  size_t nscores = 0;
+  if (!(in >> tag >> nscores) || tag != "scores" || nscores > (1u << 24)) {
+    return Status::ParseError("expected 'scores' block");
+  }
+  ckpt.iteration_scores.resize(nscores);
+  for (double& s : ckpt.iteration_scores) {
+    if (!(in >> s)) return Status::ParseError("truncated score history");
+  }
+  return ckpt;
 }
 
 Result<rl::Policy> LoadPolicy(const std::string& path) {

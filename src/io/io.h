@@ -10,6 +10,7 @@
 
 #include "exec/result_set.h"
 #include "metric/workload.h"
+#include "rl/trainer.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -20,7 +21,10 @@ namespace io {
 /// column names; column types are inferred from the data (INT64 if every
 /// non-empty cell parses as an integer, DOUBLE if numeric, else STRING).
 /// Empty cells become NULL. Quoted fields ("a,b" and "" escapes) are
-/// supported.
+/// supported. Malformed input — ragged rows, unterminated quotes, stray
+/// text after a closing quote, or a cell that no longer parses as the
+/// inferred column type — returns kParseError naming the line and column
+/// instead of crashing or silently coercing.
 util::Result<std::shared_ptr<storage::Table>> LoadCsvTable(
     const std::string& path, const std::string& table_name);
 
@@ -43,8 +47,16 @@ util::Status SaveApproximationSet(const storage::ApproximationSet& set,
 util::Result<storage::ApproximationSet> LoadApproximationSet(
     const std::string& path, const storage::Database* db = nullptr);
 
-/// Split one CSV line into fields (exposed for testing).
+/// Split one CSV line into fields (exposed for testing). Lenient: quote
+/// problems are swallowed; use ParseCsvLine when errors must surface.
 std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Strict CSV splitter used by LoadCsvTable: returns kParseError for an
+/// unterminated quoted field or stray text after a closing quote, with
+/// `*error_field` set to the 1-based field index of the offending cell.
+util::Status ParseCsvLine(const std::string& line,
+                          std::vector<std::string>* fields,
+                          size_t* error_field);
 
 }  // namespace io
 
@@ -59,6 +71,16 @@ namespace io {
 /// run in different processes.
 util::Status SavePolicy(const rl::Policy& policy, const std::string& path);
 util::Result<rl::Policy> LoadPolicy(const std::string& path);
+
+/// Persist a full training checkpoint (policy weights, Adam moments, RNG
+/// state, loop counters) so an interrupted rl::Train can resume
+/// deterministically. The file is written to `path + ".tmp"` first and
+/// renamed into place, so a crash mid-write never corrupts an existing
+/// checkpoint. The "io.checkpoint.write" fault point simulates a failed
+/// write.
+util::Status SaveCheckpoint(const rl::TrainCheckpoint& checkpoint,
+                            const std::string& path);
+util::Result<rl::TrainCheckpoint> LoadCheckpoint(const std::string& path);
 
 }  // namespace io
 }  // namespace asqp

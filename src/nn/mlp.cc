@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/fault_injector.h"
+
 namespace asqp {
 namespace nn {
 
@@ -197,6 +199,31 @@ void Mlp::CopyWeightsFrom(const Mlp& other) {
   }
 }
 
+namespace {
+
+bool AnyNonFinite(const std::vector<float>& values) {
+  for (float v : values) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Mlp::HasNonFiniteParameters() const {
+  for (const Linear& l : layers_) {
+    if (AnyNonFinite(l.w) || AnyNonFinite(l.b)) return true;
+  }
+  return false;
+}
+
+bool Mlp::HasNonFiniteGradients() const {
+  for (const Linear& l : layers_) {
+    if (AnyNonFinite(l.dw) || AnyNonFinite(l.db)) return true;
+  }
+  return false;
+}
+
 Adam::Adam(Mlp* net, Options options) : net_(net), options_(options) {
   const size_t n = net->num_parameters();
   m_.assign(n, 0.0f);
@@ -208,6 +235,10 @@ void Adam::Step() {
   std::vector<float*> params = net_->Parameters();
   std::vector<float*> grads = net_->Gradients();
   const std::vector<size_t> lengths = net_->BlockLengths();
+
+  if (ASQP_FAULT_POINT("nn.adam.nan_grad")) {
+    grads[0][0] = std::numeric_limits<float>::quiet_NaN();
+  }
 
   double norm_sq = 0.0;
   for (size_t blk = 0; blk < grads.size(); ++blk) {

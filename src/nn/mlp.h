@@ -94,6 +94,12 @@ class Mlp {
   /// Copy all weights from another identically-shaped MLP.
   void CopyWeightsFrom(const Mlp& other);
 
+  /// True when any weight or bias is NaN/Inf (divergence detection).
+  bool HasNonFiniteParameters() const;
+
+  /// True when any accumulated gradient is NaN/Inf.
+  bool HasNonFiniteGradients() const;
+
  private:
   std::vector<Linear> layers_;
   Activation activation_;
@@ -118,6 +124,26 @@ class Adam {
 
   /// Apply one update from the net's accumulated gradients, then zero them.
   void Step();
+
+  /// First/second-moment accumulators plus the step counter — everything
+  /// beyond Options needed to resume optimization deterministically.
+  struct State {
+    std::vector<float> m;
+    std::vector<float> v;
+    int64_t t = 0;
+  };
+  State GetState() const { return {m_, v_, t_}; }
+  /// Restore a snapshot taken from an identically-shaped optimizer.
+  /// Returns false (and changes nothing) on a size mismatch.
+  bool SetState(const State& state) {
+    if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+      return false;
+    }
+    m_ = state.m;
+    v_ = state.v;
+    t_ = state.t;
+    return true;
+  }
 
  private:
   Mlp* net_;

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <mutex>
 
+#include "io/io.h"
 #include "nn/mlp.h"
 #include "rl/rollout.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace asqp {
@@ -163,6 +165,102 @@ UpdateStats UpdateMinibatch(const TrainerConfig& config, Policy* policy,
   return stats;
 }
 
+/// True when the policy's weights or the aggregated update statistics
+/// contain NaN/Inf — the signal that this iteration's update diverged.
+bool UpdateDiverged(const Policy& policy, const UpdateStats& stats,
+                    double iter_score) {
+  if (!std::isfinite(stats.policy_loss) || !std::isfinite(stats.value_loss) ||
+      !std::isfinite(stats.entropy) || !std::isfinite(iter_score)) {
+    return true;
+  }
+  if (policy.actor != nullptr && policy.actor->HasNonFiniteParameters()) {
+    return true;
+  }
+  if (policy.critic != nullptr && policy.critic->HasNonFiniteParameters()) {
+    return true;
+  }
+  return false;
+}
+
+/// Mutable training state outside TrainResult that a checkpoint must
+/// capture for a deterministic resume.
+struct LoopState {
+  util::Rng* rng = nullptr;
+  size_t episode_counter = 0;
+  double early_stop_best = -1.0;
+  size_t early_stop_since_best = 0;
+  double learning_rate = 0.0;
+  size_t rollbacks = 0;
+  size_t next_iteration = 0;
+};
+
+TrainCheckpoint Snapshot(const TrainResult& result, const nn::Adam& actor_opt,
+                         const nn::Adam* critic_opt, const LoopState& loop) {
+  TrainCheckpoint ckpt;
+  ckpt.policy = result.policy.Clone();
+  ckpt.actor_opt = actor_opt.GetState();
+  if (critic_opt != nullptr) ckpt.critic_opt = critic_opt->GetState();
+  ckpt.rng = loop.rng->GetState();
+  ckpt.learning_rate = loop.learning_rate;
+  ckpt.next_iteration = loop.next_iteration;
+  ckpt.episode_counter = loop.episode_counter;
+  ckpt.iteration_scores = result.iteration_scores;
+  ckpt.best_score = result.best_score;
+  ckpt.episodes_run = result.episodes_run;
+  ckpt.early_stop_best = loop.early_stop_best;
+  ckpt.early_stop_since_best = loop.early_stop_since_best;
+  ckpt.divergence_rollbacks = loop.rollbacks;
+  return ckpt;
+}
+
+/// Restore a snapshot *in place*: the optimizers keep their raw pointers
+/// into `result->policy`'s networks, so weights are copied rather than the
+/// Policy objects swapped.
+util::Status ApplyCheckpoint(const TrainCheckpoint& ckpt, TrainResult* result,
+                             nn::Adam* actor_opt, nn::Adam* critic_opt,
+                             LoopState* loop) {
+  if (ckpt.policy.actor == nullptr ||
+      ckpt.policy.actor->Dims() != result->policy.actor->Dims()) {
+    return util::Status::InvalidArgument(
+        "checkpoint actor shape does not match this training run");
+  }
+  if ((ckpt.policy.critic != nullptr) != (result->policy.critic != nullptr)) {
+    return util::Status::InvalidArgument(
+        "checkpoint critic presence does not match the algorithm");
+  }
+  if (ckpt.policy.critic != nullptr &&
+      ckpt.policy.critic->Dims() != result->policy.critic->Dims()) {
+    return util::Status::InvalidArgument(
+        "checkpoint critic shape does not match this training run");
+  }
+  result->policy.actor->CopyWeightsFrom(*ckpt.policy.actor);
+  if (result->policy.critic != nullptr) {
+    result->policy.critic->CopyWeightsFrom(*ckpt.policy.critic);
+  }
+  if (!actor_opt->SetState(ckpt.actor_opt)) {
+    return util::Status::InvalidArgument(
+        "checkpoint actor optimizer state has the wrong size");
+  }
+  if (critic_opt != nullptr && !critic_opt->SetState(ckpt.critic_opt)) {
+    return util::Status::InvalidArgument(
+        "checkpoint critic optimizer state has the wrong size");
+  }
+  actor_opt->set_lr(ckpt.learning_rate);
+  if (critic_opt != nullptr) critic_opt->set_lr(ckpt.learning_rate);
+  loop->rng->SetState(ckpt.rng);
+  loop->learning_rate = ckpt.learning_rate;
+  loop->next_iteration = ckpt.next_iteration;
+  loop->episode_counter = ckpt.episode_counter;
+  loop->early_stop_best = ckpt.early_stop_best;
+  loop->early_stop_since_best = ckpt.early_stop_since_best;
+  loop->rollbacks = ckpt.divergence_rollbacks;
+  result->iteration_scores = ckpt.iteration_scores;
+  result->best_score = ckpt.best_score;
+  result->episodes_run = ckpt.episodes_run;
+  result->iterations_run = ckpt.next_iteration;
+  return util::Status::OK();
+}
+
 }  // namespace
 
 std::vector<size_t> RunPolicy(Env* env, const Policy& policy, uint64_t seed,
@@ -219,11 +317,31 @@ util::Result<TrainResult> Train(const EnvFactory& factory,
   util::ThreadPool pool(num_workers);
 
   util::Rng main_rng(config.seed);
-  size_t episode_counter = 0;
-  double best = -1.0;
-  size_t since_best = 0;
+  LoopState loop;
+  loop.rng = &main_rng;
+  loop.learning_rate = config.learning_rate;
 
-  for (size_t iter = 0; iter < config.iterations; ++iter) {
+  // Resume an interrupted run: restore the full training state from disk.
+  if (config.resume_from_checkpoint && !config.checkpoint_path.empty()) {
+    util::Result<TrainCheckpoint> loaded =
+        io::LoadCheckpoint(config.checkpoint_path);
+    if (loaded.ok()) {
+      ASQP_RETURN_NOT_OK(ApplyCheckpoint(loaded.value(), &result, &actor_opt,
+                                         critic_opt.get(), &loop));
+      result.resumed = true;
+    } else if (loaded.status().code() != util::StatusCode::kNotFound) {
+      // A missing checkpoint means a fresh run; a corrupt one is an error.
+      return loaded.status();
+    }
+  }
+
+  // Last known-good iteration snapshot, the rollback target when an
+  // update diverges.
+  TrainCheckpoint last_good = Snapshot(result, actor_opt, critic_opt.get(),
+                                       loop);
+
+  size_t iter = loop.next_iteration;
+  while (iter < config.iterations) {
     // --- Collection phase: workers roll out snapshots of the policy.
     const Policy snapshot = result.policy.Clone();
     std::vector<RolloutBuffer> worker_buffers(num_workers);
@@ -240,14 +358,14 @@ util::Result<TrainResult> Train(const EnvFactory& factory,
       // Worker w handles episodes w, w+W, w+2W, ...
       for (size_t e = w; e < episodes; e += num_workers) {
         const double score = CollectEpisode(
-            envs[w].get(), snapshot, episode_counter + e,
+            envs[w].get(), snapshot, loop.episode_counter + e,
             config.max_episode_steps, config.diversity_coef, &rng,
             &worker_buffers[w]);
         worker_scores[w] += score;
         ++worker_episodes[w];
       }
     });
-    episode_counter += episodes;
+    loop.episode_counter += episodes;
 
     RolloutBuffer buffer;
     double iter_score = 0.0;
@@ -262,9 +380,6 @@ util::Result<TrainResult> Train(const EnvFactory& factory,
           "rollout collection produced no transitions");
     }
     iter_score /= static_cast<double>(std::max<size_t>(1, iter_episodes));
-    result.iteration_scores.push_back(iter_score);
-    result.episodes_run += iter_episodes;
-    result.iterations_run = iter + 1;
 
     // --- Advantage estimation.
     if (config.algorithm == Algorithm::kReinforce) {
@@ -279,6 +394,7 @@ util::Result<TrainResult> Train(const EnvFactory& factory,
         config.algorithm == Algorithm::kPpo ? config.update_epochs : 1;
     std::vector<size_t> order(buffer.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    UpdateStats iter_stats;
     for (size_t epoch = 0; epoch < epochs; ++epoch) {
       main_rng.Shuffle(&order);
       for (size_t start = 0; start < order.size();
@@ -287,24 +403,68 @@ util::Result<TrainResult> Train(const EnvFactory& factory,
             std::min(order.size(), start + config.minibatch_size);
         std::vector<size_t> minibatch(order.begin() + start,
                                       order.begin() + end);
-        UpdateMinibatch(config, &result.policy, &actor_opt, critic_opt.get(),
-                        buffer, minibatch);
+        const UpdateStats stats =
+            UpdateMinibatch(config, &result.policy, &actor_opt,
+                            critic_opt.get(), buffer, minibatch);
+        iter_stats.policy_loss += stats.policy_loss;
+        iter_stats.value_loss += stats.value_loss;
+        iter_stats.entropy += stats.entropy;
       }
     }
 
-    // --- Early stopping on the training curve.
-    if (iter_score > best + config.early_stop_min_delta) {
-      best = iter_score;
-      since_best = 0;
-    } else {
-      ++since_best;
+    // --- Divergence guard: a non-finite loss, score, or weight means this
+    // iteration produced garbage. Roll back to the last good snapshot,
+    // back off the learning rate, and retry — bounded, so a persistent
+    // numerical failure surfaces as an error instead of a broken policy.
+    if (UpdateDiverged(result.policy, iter_stats, iter_score)) {
+      if (loop.rollbacks >= config.max_divergence_retries) {
+        return util::Status::ExecutionError(util::Format(
+            "training diverged at iteration %zu and exhausted %zu "
+            "rollback retries",
+            iter, config.max_divergence_retries));
+      }
+      const size_t rollbacks = loop.rollbacks + 1;
+      ASQP_RETURN_NOT_OK(ApplyCheckpoint(last_good, &result, &actor_opt,
+                                         critic_opt.get(), &loop));
+      loop.rollbacks = rollbacks;
+      loop.learning_rate *= config.divergence_lr_backoff;
+      actor_opt.set_lr(loop.learning_rate);
+      if (critic_opt != nullptr) critic_opt->set_lr(loop.learning_rate);
+      iter = loop.next_iteration;
+      continue;
     }
+
+    // --- Commit the iteration.
+    result.iteration_scores.push_back(iter_score);
+    result.episodes_run += iter_episodes;
+    result.iterations_run = iter + 1;
     result.best_score = std::max(result.best_score, iter_score);
+
+    // --- Early stopping on the training curve.
+    if (iter_score > loop.early_stop_best + config.early_stop_min_delta) {
+      loop.early_stop_best = iter_score;
+      loop.early_stop_since_best = 0;
+    } else {
+      ++loop.early_stop_since_best;
+    }
+
+    ++iter;
+    loop.next_iteration = iter;
+    last_good = Snapshot(result, actor_opt, critic_opt.get(), loop);
+    if (!config.checkpoint_path.empty() && config.checkpoint_interval > 0 &&
+        (iter % config.checkpoint_interval == 0 ||
+         iter == config.iterations)) {
+      ASQP_RETURN_NOT_OK(
+          io::SaveCheckpoint(last_good, config.checkpoint_path));
+    }
+
     if (config.early_stop_patience > 0 &&
-        since_best >= config.early_stop_patience) {
+        loop.early_stop_since_best >= config.early_stop_patience) {
       break;
     }
   }
+  result.divergence_rollbacks = loop.rollbacks;
+  result.final_learning_rate = loop.learning_rate;
   return result;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "rl/env.h"
@@ -55,6 +56,45 @@ struct TrainerConfig {
   double early_stop_min_delta = 1e-3;
 
   uint64_t seed = 1;
+
+  // ---- Resilience (divergence recovery + checkpoint/resume).
+
+  /// When an update produces non-finite losses, gradients, or weights, the
+  /// trainer rolls back to the last good iteration snapshot, multiplies
+  /// the learning rate by `divergence_lr_backoff`, and retries — up to
+  /// `max_divergence_retries` rollbacks before Train returns
+  /// kExecutionError instead of a garbage policy.
+  size_t max_divergence_retries = 3;
+  double divergence_lr_backoff = 0.5;
+
+  /// Periodic checkpointing: every `checkpoint_interval` iterations the
+  /// full training state (policy + Adam moments + RNG + counters) is
+  /// written to `checkpoint_path` (empty = disabled). With
+  /// `resume_from_checkpoint`, Train first loads `checkpoint_path` (if it
+  /// exists) and continues from the stored iteration; an interrupted run
+  /// resumed this way reproduces the uninterrupted run bit-for-bit.
+  std::string checkpoint_path;
+  size_t checkpoint_interval = 1;
+  bool resume_from_checkpoint = false;
+};
+
+/// \brief Everything needed to resume (or roll back) training
+/// deterministically: policy weights, optimizer moments, the main RNG
+/// stream, and all loop counters including early-stopping state.
+struct TrainCheckpoint {
+  Policy policy;
+  nn::Adam::State actor_opt;
+  nn::Adam::State critic_opt;  // empty when the algorithm has no critic
+  util::Rng::State rng;
+  double learning_rate = 0.0;
+  size_t next_iteration = 0;
+  size_t episode_counter = 0;
+  std::vector<double> iteration_scores;
+  double best_score = 0.0;
+  size_t episodes_run = 0;
+  double early_stop_best = -1.0;
+  size_t early_stop_since_best = 0;
+  size_t divergence_rollbacks = 0;
 };
 
 struct TrainResult {
@@ -64,6 +104,12 @@ struct TrainResult {
   double best_score = 0.0;
   size_t episodes_run = 0;
   size_t iterations_run = 0;
+  /// Times a diverged update was rolled back to the last good snapshot.
+  size_t divergence_rollbacks = 0;
+  /// Learning rate after any divergence backoff.
+  double final_learning_rate = 0.0;
+  /// True when training continued from an on-disk checkpoint.
+  bool resumed = false;
 };
 
 /// Train a policy over environments produced by `factory`. All

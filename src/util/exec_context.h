@@ -1,0 +1,140 @@
+// Cooperative cancellation and time/row budgets for long-running work.
+//
+// An ExecContext travels by const reference through an execution (query
+// engine, baselines, training) and is polled inside inner loops. Polling
+// is amortized through DeadlineTicker so the steady-state cost in a hot
+// loop is a counter increment and one predictable branch; the clock and
+// the cancellation flag are only touched every `stride` iterations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/fault_injector.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace asqp {
+namespace util {
+
+class ExecContext {
+ public:
+  /// Unlimited: never expires, never cancels, no row budget.
+  ExecContext() = default;
+
+  explicit ExecContext(Deadline deadline) : deadline_(deadline) {}
+
+  static ExecContext WithDeadline(double seconds) {
+    return ExecContext(Deadline::AfterSeconds(seconds));
+  }
+  static ExecContext Unlimited() { return ExecContext(); }
+
+  const Deadline& deadline() const { return deadline_; }
+  void set_deadline(Deadline deadline) { deadline_ = deadline; }
+
+  /// Row budget for producers of intermediate/result rows (0 = unlimited).
+  /// Exceeding it maps to kResourceExhausted.
+  size_t max_rows() const { return max_rows_; }
+  void set_max_rows(size_t rows) { max_rows_ = rows; }
+
+  /// Arm this context for cooperative cancellation. Safe to call from a
+  /// different thread than the one executing under the context.
+  void EnableCancellation() {
+    if (cancelled_ == nullptr) {
+      cancelled_ = std::make_shared<std::atomic<bool>>(false);
+    }
+  }
+  void RequestCancel() {
+    EnableCancellation();
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+  bool IsCancelled() const {
+    return cancelled_ != nullptr &&
+           cancelled_->load(std::memory_order_relaxed);
+  }
+
+  /// True when neither a deadline nor a cancellation flag nor a row budget
+  /// is attached; callers may skip polling entirely.
+  bool IsUnlimited() const {
+    return deadline_.IsUnlimited() && cancelled_ == nullptr && max_rows_ == 0;
+  }
+
+  /// Poll the cancellation flag and the clock. `what` names the operation
+  /// in the error message.
+  Status Check(const char* what) const {
+    if (IsCancelled()) {
+      return Status::Cancelled(std::string(what) + ": cancellation requested");
+    }
+    if (deadline_.Expired() || ASQP_FAULT_POINT("exec.deadline")) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      ": deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Row-budget check for a producer that has materialized `rows` rows.
+  Status CheckRows(size_t rows, const char* what) const {
+    if (max_rows_ > 0 && rows > max_rows_) {
+      return Status::ResourceExhausted(std::string(what) +
+                                       ": row budget exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Deadline deadline_ = Deadline::Unlimited();
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+  size_t max_rows_ = 0;
+};
+
+/// \brief Amortized deadline/cancellation polling for hot loops.
+///
+/// Tick() is called once per unit of work (row, trial, step); only every
+/// `stride`-th call touches the clock. The first call always polls, so an
+/// already-expired deadline is detected before any real work. Expiry is
+/// sticky: once observed, every later Tick() reports it without polling.
+class DeadlineTicker {
+ public:
+  explicit DeadlineTicker(const ExecContext& context, uint32_t stride = 1024)
+      : context_(&context),
+        stride_(stride == 0 ? 1 : stride),
+        skip_(context.IsUnlimited()) {}
+
+  /// Deadline-only form used by callers that hold a bare util::Deadline
+  /// (the time-capped baselines).
+  explicit DeadlineTicker(const Deadline& deadline, uint32_t stride = 1024)
+      : owned_(ExecContext(deadline)),
+        context_(&owned_),
+        stride_(stride == 0 ? 1 : stride),
+        skip_(deadline.IsUnlimited()) {}
+
+  /// Returns non-OK (kDeadlineExceeded / kCancelled) once the context
+  /// trips. `what` names the operation for the error message.
+  Status Tick(const char* what) {
+    if (skip_) return Status::OK();
+    if (!stopped_.ok()) return stopped_;
+    if (ticks_++ % stride_ == 0) {
+      stopped_ = context_->Check(what);
+      return stopped_;
+    }
+    return Status::OK();
+  }
+
+  /// Boolean form for best-effort loops that return their best-so-far
+  /// answer instead of an error (BRT / GRE baselines).
+  bool Expired(const char* what = "time-capped search") {
+    return !Tick(what).ok();
+  }
+
+ private:
+  ExecContext owned_;  // backing storage for the Deadline constructor
+  const ExecContext* context_;
+  uint32_t stride_;
+  uint32_t ticks_ = 0;
+  bool skip_;
+  Status stopped_;
+};
+
+}  // namespace util
+}  // namespace asqp

@@ -1,0 +1,88 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace asqp {
+namespace util {
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+struct FaultInjector::Impl {
+  struct Point {
+    int remaining = 0;  // calls left to fire (-1 = always)
+    int skip = 0;       // calls to ignore first
+    int fired = 0;
+  };
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  const char* env = std::getenv("ASQP_FAULT_POINTS");
+  if (env == nullptr || *env == '\0') return;
+  for (const std::string& entry : Split(env, ',')) {
+    const std::string spec(Trim(entry));
+    if (spec.empty()) continue;
+    const std::vector<std::string> parts = Split(spec, ':');
+    int count = 1;
+    int skip = 0;
+    if (parts.size() >= 2) count = std::atoi(parts[1].c_str());
+    if (parts.size() >= 3) skip = std::atoi(parts[2].c_str());
+    Arm(parts[0], count, skip);
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+namespace {
+// Parse ASQP_FAULT_POINTS before main(): the enabled() fast path is
+// consulted before Global(), so without this an env-armed process whose
+// code never calls Global() directly would stay disarmed forever.
+[[maybe_unused]] const bool kEnvParsedAtStartup =
+    (FaultInjector::Global(), true);
+}  // namespace
+
+bool FaultInjector::ShouldFail(const char* point) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(point);
+  if (it == impl_->points.end()) return false;
+  Impl::Point& p = it->second;
+  if (p.skip > 0) {
+    --p.skip;
+    return false;
+  }
+  if (p.remaining == 0) return false;
+  if (p.remaining > 0) --p.remaining;
+  ++p.fired;
+  return true;
+}
+
+void FaultInjector::Arm(const std::string& point, int count, int skip) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->points[point] = Impl::Point{count, skip, 0};
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+int FaultInjector::fire_count(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(point);
+  return it == impl_->points.end() ? 0 : it->second.fired;
+}
+
+}  // namespace util
+}  // namespace asqp

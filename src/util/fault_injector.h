@@ -1,0 +1,67 @@
+// Deterministic fault injection for resilience testing.
+//
+// Hot paths guard named fault points with ASQP_FAULT_POINT("name"), which
+// compiles to a single branch on a process-wide flag; the flag is false
+// unless faults were armed via the ASQP_FAULT_POINTS environment variable
+// or programmatically from a test, so production runs pay one predictable
+// never-taken branch per point.
+//
+// Environment syntax (comma-separated):
+//   ASQP_FAULT_POINTS="io.checkpoint.write,nn.adam.nan_grad:1:3"
+// Each entry is "<point>[:<count>[:<skip>]]": the point fires on `count`
+// calls (default 1, -1 = always) after the first `skip` calls (default 0).
+//
+// Registered points (see DESIGN.md "Fault model & degradation paths"):
+//   exec.deadline        ExecContext::Check reports an expired deadline
+//   exec.join.alloc      hash-join build allocation fails (ResourceExhausted)
+//   nn.adam.nan_grad     a NaN is written into a gradient before Adam::Step
+//   io.checkpoint.write  SaveCheckpoint's stream write fails
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace asqp {
+namespace util {
+
+class FaultInjector {
+ public:
+  /// Process-wide injector. First use parses ASQP_FAULT_POINTS.
+  static FaultInjector& Global();
+
+  /// Fast-path flag: true iff any fault point is currently armed.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Slow path behind the `enabled()` branch: true when `point` should
+  /// fire on this call. Thread-safe.
+  bool ShouldFail(const char* point);
+
+  /// Arm `point` to fire on `count` calls (-1 = every call) after `skip`
+  /// initial calls. Intended for tests.
+  void Arm(const std::string& point, int count = 1, int skip = 0);
+
+  /// Disarm everything (tests must call this in teardown).
+  void Reset();
+
+  /// Times `point` actually fired (for assertions).
+  int fire_count(const std::string& point) const;
+
+ private:
+  FaultInjector();
+
+  static std::atomic<bool> enabled_;
+
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; never destroyed
+};
+
+}  // namespace util
+}  // namespace asqp
+
+/// True when the named fault point fires. Zero-cost when no fault is
+/// armed: a single relaxed-load branch.
+#define ASQP_FAULT_POINT(point)                     \
+  (::asqp::util::FaultInjector::enabled() &&        \
+   ::asqp::util::FaultInjector::Global().ShouldFail(point))

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -29,6 +30,27 @@ class Rng {
       z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
       word = z ^ (z >> 31);
     }
+  }
+
+  /// Snapshot / restore of the full generator state (checkpointing). The
+  /// cached Box-Muller normal is deliberately part of the state so a
+  /// restored generator replays the identical stream.
+  struct State {
+    std::array<uint64_t, 4> s{};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State GetState() const {
+    State st;
+    for (size_t i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.has_cached_normal = has_cached_normal_;
+    st.cached_normal = cached_normal_;
+    return st;
+  }
+  void SetState(const State& st) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
   }
 
   uint64_t Next() {

@@ -22,6 +22,8 @@ enum class StatusCode {
   kParseError,
   kExecutionError,
   kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -72,6 +74,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -99,6 +107,8 @@ class Status {
       case StatusCode::kParseError: return "ParseError";
       case StatusCode::kExecutionError: return "ExecutionError";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";

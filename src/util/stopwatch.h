@@ -53,6 +53,8 @@ class Deadline {
     return !unlimited_ && Clock::now() >= end_;
   }
 
+  bool IsUnlimited() const { return unlimited_; }
+
  private:
   using Clock = std::chrono::steady_clock;
   bool unlimited_ = true;

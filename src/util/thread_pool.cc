@@ -34,6 +34,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::move(first_exception_);
+    first_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -54,9 +59,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error != nullptr && first_exception_ == nullptr) {
+        first_exception_ = std::move(error);
+      }
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -25,12 +26,15 @@ class ThreadPool {
   /// Enqueue a task for execution on some worker thread.
   void Submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (once); later tasks still
+  /// ran to completion, so the pool remains usable afterwards.
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Rethrows the first exception any `fn(i)` threw (see WaitIdle).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
@@ -43,6 +47,9 @@ class ThreadPool {
   std::condition_variable idle_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception to escape a task since the last WaitIdle (guarded by
+  /// mu_). Without this a throwing task would std::terminate the worker.
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace util

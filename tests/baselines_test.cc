@@ -150,6 +150,23 @@ TEST_F(BaselinesTest, BruteForceImprovesWithMoreTime) {
   EXPECT_GE(longer_score + 0.05, quick_score);
 }
 
+TEST_F(BaselinesTest, ExpiredDeadlineStillYieldsValidSelection) {
+  // A deadline that expired before Select() even started must not crash or
+  // error: the time-capped selectors return a valid best-effort (possibly
+  // empty) selection.
+  SelectorContext ctx = Context(200);
+  ctx.deadline = util::Deadline::AfterSeconds(0.0);
+  for (const char* code : {"BRT", "GRE"}) {
+    ASSERT_OK_AND_ASSIGN(auto selector, MakeBaseline(code));
+    ASSERT_OK_AND_ASSIGN(storage::ApproximationSet set, selector->Select(ctx));
+    for (const auto& [table, rows] : set.rows()) {
+      auto t = ctx.db->GetTable(table);
+      ASSERT_TRUE(t.ok()) << code;
+      for (uint32_t r : rows) EXPECT_LT(r, t.value()->num_rows());
+    }
+  }
+}
+
 TEST_F(BaselinesTest, CacheKeepsMostRecentlyUsed) {
   // With a tiny budget the cache holds only tuples from recent queries.
   SelectorContext ctx = Context(50);

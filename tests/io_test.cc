@@ -87,6 +87,57 @@ TEST(LoadCsvTableTest, Errors) {
   EXPECT_FALSE(LoadCsvTable(ragged.path(), "t").ok());
 }
 
+TEST(ParseCsvLineTest, StrictErrorsCarryFieldIndex) {
+  std::vector<std::string> fields;
+  size_t bad_field = 0;
+
+  ASSERT_OK(ParseCsvLine(R"(a,"b,c",d)", &fields, &bad_field));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+
+  util::Status st = ParseCsvLine(R"(a,"unterminated)", &fields, &bad_field);
+  EXPECT_EQ(st.code(), util::StatusCode::kParseError);
+  EXPECT_EQ(bad_field, 2u);
+
+  st = ParseCsvLine(R"(a,"done"oops,b)", &fields, &bad_field);
+  EXPECT_EQ(st.code(), util::StatusCode::kParseError);
+  EXPECT_EQ(bad_field, 2u);
+
+  st = ParseCsvLine(R"(plain"quote)", &fields, &bad_field);
+  EXPECT_EQ(st.code(), util::StatusCode::kParseError);
+  EXPECT_EQ(bad_field, 1u);
+}
+
+TEST(LoadCsvTableTest, CorruptedFixturesNameLineAndColumn) {
+  // Unterminated quote on data line 3, second column.
+  TempFile unterminated("a,b\n1,x\n2,\"broken\n");
+  auto r1 = LoadCsvTable(unterminated.path(), "t");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(r1.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(r1.status().message().find("column 2"), std::string::npos);
+
+  // Stray text after a closing quote.
+  TempFile stray("a\n\"ok\"junk\n");
+  auto r2 = LoadCsvTable(stray.path(), "t");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(r2.status().message().find("line 2"), std::string::npos);
+
+  // Ragged row reports the offending line.
+  TempFile ragged("a,b\n1,2\n3\n");
+  auto r3 = LoadCsvTable(ragged.path(), "t");
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(r3.status().message().find("line 3"), std::string::npos);
+
+  // A corrupt header is reported as line 1.
+  TempFile bad_header("a,\"b\n1,2\n");
+  auto r4 = LoadCsvTable(bad_header.path(), "t");
+  ASSERT_FALSE(r4.ok());
+  EXPECT_NE(r4.status().message().find("line 1"), std::string::npos);
+}
+
 TEST(WriteCsvTest, RoundTripsThroughLoad) {
   exec::ResultSet rs({"id", "label"});
   rs.AddRow({storage::Value(int64_t{1}), storage::Value(std::string("x,y"))});

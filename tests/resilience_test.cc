@@ -1,0 +1,406 @@
+// Resilience suite: deadline/cancellation propagation through the query
+// engine, divergence-safe training with rollback + LR backoff,
+// checkpoint/resume determinism, the Answer() full-database degradation
+// path, and the fault-injection harness itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "exec/executor.h"
+#include "io/io.h"
+#include "rl/action_space.h"
+#include "rl/env.h"
+#include "rl/trainer.h"
+#include "sql/parser.h"
+#include "tests/testing.h"
+#include "util/exec_context.h"
+#include "util/fault_injector.h"
+
+namespace asqp {
+namespace {
+
+using util::Status;
+using util::StatusCode;
+
+/// Every test that arms a fault disarms it on teardown, so later tests see
+/// the zero-cost disabled state again.
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::Global().Reset(); }
+};
+
+// ---------------------------------------------------------- fault harness
+
+TEST_F(FaultPointTest, DisabledByDefaultAndArmable) {
+  EXPECT_FALSE(util::FaultInjector::enabled());
+  EXPECT_FALSE(ASQP_FAULT_POINT("resilience.test.point"));
+
+  util::FaultInjector::Global().Arm("resilience.test.point", /*count=*/2);
+  EXPECT_TRUE(util::FaultInjector::enabled());
+  EXPECT_TRUE(ASQP_FAULT_POINT("resilience.test.point"));
+  EXPECT_TRUE(ASQP_FAULT_POINT("resilience.test.point"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("resilience.test.point"));  // count spent
+  EXPECT_EQ(util::FaultInjector::Global().fire_count("resilience.test.point"),
+            2);
+  // Unarmed points never fire even while the injector is enabled.
+  EXPECT_FALSE(ASQP_FAULT_POINT("resilience.other.point"));
+
+  util::FaultInjector::Global().Reset();
+  EXPECT_FALSE(util::FaultInjector::enabled());
+  EXPECT_FALSE(ASQP_FAULT_POINT("resilience.test.point"));
+}
+
+TEST_F(FaultPointTest, SkipDelaysFiring) {
+  util::FaultInjector::Global().Arm("resilience.skip.point", /*count=*/1,
+                                    /*skip=*/2);
+  EXPECT_FALSE(ASQP_FAULT_POINT("resilience.skip.point"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("resilience.skip.point"));
+  EXPECT_TRUE(ASQP_FAULT_POINT("resilience.skip.point"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("resilience.skip.point"));
+}
+
+// ------------------------------------------- executor deadline/cancel/row
+
+class ExecResilienceTest : public FaultPointTest {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeTinyMovieDb();
+    view_ = std::make_unique<storage::DatabaseView>(db_.get());
+  }
+
+  static constexpr const char* kJoinSql =
+      "SELECT m.title, r.actor FROM movies m, roles r WHERE m.id = r.movie_id";
+
+  std::shared_ptr<storage::Database> db_;
+  std::unique_ptr<storage::DatabaseView> view_;
+  exec::QueryEngine engine_;
+};
+
+TEST_F(ExecResilienceTest, ZeroDeadlineReturnsDeadlineExceeded) {
+  const util::ExecContext context = util::ExecContext::WithDeadline(0.0);
+  const auto r = engine_.ExecuteSql("SELECT title FROM movies WHERE year > 0",
+                                    *view_, context);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The same query without a deadline succeeds — the engine state is not
+  // poisoned by the aborted execution.
+  ASSERT_OK_AND_ASSIGN(auto rs, engine_.ExecuteSql(
+                                    "SELECT title FROM movies WHERE year > 0",
+                                    *view_));
+  EXPECT_EQ(rs.num_rows(), 8u);
+}
+
+TEST_F(ExecResilienceTest, ZeroDeadlineJoinAndAggregateAbort) {
+  const util::ExecContext context = util::ExecContext::WithDeadline(0.0);
+  EXPECT_EQ(engine_.ExecuteSql(kJoinSql, *view_, context).status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine_
+                .ExecuteSql("SELECT year, COUNT(*) FROM movies GROUP BY year",
+                            *view_, context)
+                .status()
+                .code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ExecResilienceTest, CancellationReturnsCancelled) {
+  util::ExecContext context;
+  context.EnableCancellation();
+  ASSERT_OK_AND_ASSIGN(auto before, engine_.ExecuteSql(kJoinSql, *view_,
+                                                       context));
+  EXPECT_EQ(before.num_rows(), 10u);
+
+  context.RequestCancel();
+  const auto r = engine_.ExecuteSql(kJoinSql, *view_, context);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ExecResilienceTest, RowBudgetReturnsResourceExhausted) {
+  util::ExecContext context;
+  context.set_max_rows(2);  // the join materializes 10 rows
+  const auto r = engine_.ExecuteSql(kJoinSql, *view_, context);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExecResilienceTest, InjectedJoinAllocationFailure) {
+  util::FaultInjector::Global().Arm("exec.join.alloc");
+  const auto r = engine_.ExecuteSql(kJoinSql, *view_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("injected fault"), std::string::npos);
+
+  // The fault was one-shot; the next execution succeeds.
+  ASSERT_OK_AND_ASSIGN(auto rs, engine_.ExecuteSql(kJoinSql, *view_));
+  EXPECT_EQ(rs.num_rows(), 10u);
+}
+
+TEST_F(ExecResilienceTest, ProvenancePathHonorsDeadline) {
+  ASSERT_OK_AND_ASSIGN(auto stmt, sql::Parse(kJoinSql));
+  ASSERT_OK_AND_ASSIGN(auto bound, sql::Bind(stmt, *db_));
+  const util::ExecContext context = util::ExecContext::WithDeadline(0.0);
+  const auto r =
+      engine_.ExecuteWithProvenance(bound, *view_, /*max_tuples=*/0, context);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ----------------------------------------------------- training rollback
+
+/// Toy action space (mirrors rl_test): actions 0-2 fully cover the 3
+/// queries, every action costs 2 tuples, budget 6.
+rl::ActionSpace MakeToySpace(size_t num_actions = 12) {
+  rl::ActionSpace space;
+  space.table_names = {"t"};
+  space.budget = 6;
+  space.num_queries = 3;
+  space.query_target = {2.0f, 2.0f, 2.0f};
+  space.query_weight = {1.0f / 3, 1.0f / 3, 1.0f / 3};
+  for (size_t a = 0; a < num_actions; ++a) {
+    rl::PoolTuple p1{{{0, static_cast<uint32_t>(2 * a)}}};
+    rl::PoolTuple p2{{{0, static_cast<uint32_t>(2 * a + 1)}}};
+    space.pool.push_back(p1);
+    space.pool.push_back(p2);
+    space.action_tuples.push_back(
+        {static_cast<uint32_t>(2 * a), static_cast<uint32_t>(2 * a + 1)});
+    space.action_cost.push_back(2);
+  }
+  space.contribution.assign(num_actions * 3, 0.0f);
+  for (size_t a = 0; a < 3; ++a) space.contribution[a * 3 + a] = 2.0f;
+  return space;
+}
+
+rl::TrainerConfig ToyTrainerConfig() {
+  rl::TrainerConfig config;
+  config.iterations = 6;
+  config.episodes_per_iteration = 4;
+  config.num_workers = 2;
+  config.hidden_dim = 16;
+  config.learning_rate = 3e-3;
+  config.seed = 21;
+  return config;
+}
+
+TEST_F(FaultPointTest, InjectedNanGradientRollsBackAndRecovers) {
+  rl::ActionSpace space = MakeToySpace();
+  rl::EnvFactory factory = [&space] {
+    return std::make_unique<rl::GslEnv>(&space, 0);
+  };
+  const rl::TrainerConfig config = ToyTrainerConfig();
+
+  // One poisoned Adam step: the first update writes a NaN gradient.
+  util::FaultInjector::Global().Arm("nn.adam.nan_grad", /*count=*/1);
+  ASSERT_OK_AND_ASSIGN(rl::TrainResult result, rl::Train(factory, config));
+  EXPECT_GE(result.divergence_rollbacks, 1u);
+  EXPECT_LT(result.final_learning_rate, config.learning_rate);
+
+  // Training completed all iterations with a finite curve and policy.
+  EXPECT_EQ(result.iterations_run, config.iterations);
+  ASSERT_EQ(result.iteration_scores.size(), config.iterations);
+  for (double s : result.iteration_scores) EXPECT_TRUE(std::isfinite(s));
+  EXPECT_FALSE(result.policy.actor->HasNonFiniteParameters());
+  ASSERT_NE(result.policy.critic, nullptr);
+  EXPECT_FALSE(result.policy.critic->HasNonFiniteParameters());
+}
+
+TEST_F(FaultPointTest, PersistentDivergenceExhaustsRetries) {
+  rl::ActionSpace space = MakeToySpace();
+  rl::EnvFactory factory = [&space] {
+    return std::make_unique<rl::GslEnv>(&space, 0);
+  };
+  rl::TrainerConfig config = ToyTrainerConfig();
+  config.max_divergence_retries = 2;
+
+  // Every Adam step is poisoned: rollback cannot help, so Train must give
+  // up with an error instead of returning a NaN policy.
+  util::FaultInjector::Global().Arm("nn.adam.nan_grad", /*count=*/-1);
+  const auto result = rl::Train(factory, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(result.status().message().find("diverged"), std::string::npos);
+}
+
+// ----------------------------------------------- checkpoint/resume (exact)
+
+class TempPath {
+ public:
+  TempPath() {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "asqp_resilience_" +
+            std::to_string(counter++);
+  }
+  ~TempPath() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  rl::TrainCheckpoint ckpt;
+  ckpt.policy = rl::Policy::Create(/*state_dim=*/8, /*action_count=*/4,
+                                   /*hidden=*/8, /*with_critic=*/true, 3);
+  ckpt.actor_opt = {{0.1f, -0.25f}, {0.5f, 0.75f}, 7};
+  ckpt.critic_opt = {{1.5f}, {2.5f}, 3};
+  ckpt.rng = {{1, 2, 3, 0xFFFFFFFFFFFFFFFFull}, true, -0.123456789012345};
+  ckpt.learning_rate = 1.25e-3;
+  ckpt.next_iteration = 4;
+  ckpt.episode_counter = 16;
+  ckpt.iteration_scores = {0.25, 0.5, 0.625, 0.75};
+  ckpt.best_score = 0.75;
+  ckpt.episodes_run = 16;
+  ckpt.early_stop_best = 0.75;
+  ckpt.early_stop_since_best = 1;
+  ckpt.divergence_rollbacks = 2;
+
+  TempPath file;
+  ASSERT_OK(io::SaveCheckpoint(ckpt, file.path()));
+  ASSERT_OK_AND_ASSIGN(rl::TrainCheckpoint loaded,
+                       io::LoadCheckpoint(file.path()));
+
+  EXPECT_EQ(loaded.policy.actor->Dims(), ckpt.policy.actor->Dims());
+  ASSERT_NE(loaded.policy.critic, nullptr);
+  EXPECT_EQ(loaded.actor_opt.m, ckpt.actor_opt.m);
+  EXPECT_EQ(loaded.actor_opt.v, ckpt.actor_opt.v);
+  EXPECT_EQ(loaded.actor_opt.t, ckpt.actor_opt.t);
+  EXPECT_EQ(loaded.critic_opt.m, ckpt.critic_opt.m);
+  EXPECT_EQ(loaded.rng.s, ckpt.rng.s);
+  EXPECT_EQ(loaded.rng.has_cached_normal, ckpt.rng.has_cached_normal);
+  EXPECT_EQ(loaded.rng.cached_normal, ckpt.rng.cached_normal);
+  EXPECT_EQ(loaded.learning_rate, ckpt.learning_rate);
+  EXPECT_EQ(loaded.next_iteration, 4u);
+  EXPECT_EQ(loaded.episode_counter, 16u);
+  EXPECT_EQ(loaded.iteration_scores, ckpt.iteration_scores);
+  EXPECT_EQ(loaded.best_score, ckpt.best_score);
+  EXPECT_EQ(loaded.early_stop_since_best, 1u);
+  EXPECT_EQ(loaded.divergence_rollbacks, 2u);
+}
+
+TEST(CheckpointTest, LoadRejectsGarbageAndMissing) {
+  EXPECT_EQ(io::LoadCheckpoint("/nonexistent/ckpt").status().code(),
+            StatusCode::kNotFound);
+  TempPath file;
+  {
+    std::ofstream out(file.path());
+    out << "not a checkpoint\n";
+  }
+  EXPECT_EQ(io::LoadCheckpoint(file.path()).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(FaultPointTest, InjectedCheckpointWriteFailureSurfaces) {
+  rl::TrainCheckpoint ckpt;
+  ckpt.policy = rl::Policy::Create(8, 4, 8, /*with_critic=*/false, 3);
+  TempPath file;
+  util::FaultInjector::Global().Arm("io.checkpoint.write");
+  const Status st = io::SaveCheckpoint(ckpt, file.path());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  // Nothing was left behind: the failure happened before the tmp write.
+  EXPECT_EQ(io::LoadCheckpoint(file.path()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, InterruptedTrainingResumesBitForBit) {
+  rl::ActionSpace space = MakeToySpace();
+  rl::EnvFactory factory = [&space] {
+    return std::make_unique<rl::GslEnv>(&space, 0);
+  };
+
+  // Uninterrupted reference run.
+  ASSERT_OK_AND_ASSIGN(rl::TrainResult full,
+                       rl::Train(factory, ToyTrainerConfig()));
+
+  // Interrupted run: stop after 3 of 6 iterations, checkpointing as we go.
+  TempPath ckpt;
+  rl::TrainerConfig half = ToyTrainerConfig();
+  half.iterations = 3;
+  half.checkpoint_path = ckpt.path();
+  ASSERT_OK_AND_ASSIGN(rl::TrainResult interrupted,
+                       rl::Train(factory, half));
+  ASSERT_EQ(interrupted.iteration_scores.size(), 3u);
+  EXPECT_FALSE(interrupted.resumed);
+
+  // Resume to the full 6 iterations from the on-disk checkpoint.
+  rl::TrainerConfig rest = ToyTrainerConfig();
+  rest.checkpoint_path = ckpt.path();
+  rest.resume_from_checkpoint = true;
+  ASSERT_OK_AND_ASSIGN(rl::TrainResult resumed, rl::Train(factory, rest));
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.iterations_run, 6u);
+
+  // Bit-for-bit: the resumed curve and final scores match the
+  // uninterrupted run exactly, not approximately.
+  ASSERT_EQ(resumed.iteration_scores.size(), full.iteration_scores.size());
+  for (size_t i = 0; i < full.iteration_scores.size(); ++i) {
+    EXPECT_EQ(resumed.iteration_scores[i], full.iteration_scores[i])
+        << "iteration " << i;
+  }
+  EXPECT_EQ(resumed.best_score, full.best_score);
+  EXPECT_EQ(resumed.episodes_run, full.episodes_run);
+}
+
+// ------------------------------------------------ Answer() degradation
+
+TEST_F(FaultPointTest, AnswerFallsBackToFullDatabaseOnTimeout) {
+  data::DatasetOptions opts;
+  opts.scale = 0.03;
+  opts.workload_size = 8;
+  opts.seed = 5;
+  const data::DatasetBundle bundle = data::MakeImdbJob(opts);
+
+  core::AsqpConfig config;
+  config.k = 150;
+  config.frame_size = 20;
+  config.num_representatives = 6;
+  config.pool_target = 250;
+  config.trainer.iterations = 3;
+  config.trainer.num_workers = 1;
+  config.trainer.hidden_dim = 32;
+  // Route everything through the approximation set, under a deadline that
+  // the armed fault will report as expired.
+  config.answerable_threshold = 0.0;
+  config.answer_deadline_seconds = 3600.0;
+
+  core::AsqpTrainer trainer(config);
+  ASSERT_OK_AND_ASSIGN(core::TrainReport report,
+                       trainer.Train(*bundle.db, bundle.workload));
+  core::AsqpModel& model = *report.model;
+
+  // Every deadline poll inside the engine now reports expiry.
+  util::FaultInjector::Global().Arm("exec.deadline", /*count=*/-1);
+  size_t fell_back = 0;
+  for (const auto& q : bundle.workload.queries()) {
+    ASSERT_OK_AND_ASSIGN(core::AnswerResult answer, model.Answer(q.stmt));
+    if (answer.fell_back) {
+      ++fell_back;
+      EXPECT_FALSE(answer.used_approximation);
+      EXPECT_NE(answer.fallback_reason.find("deadline"), std::string::npos);
+    }
+  }
+  EXPECT_GT(fell_back, 0u);
+  EXPECT_GT(util::FaultInjector::Global().fire_count("exec.deadline"), 0);
+  util::FaultInjector::Global().Reset();
+
+  // With the fault disarmed the same queries are served from the
+  // approximation set again, unflagged.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult healthy,
+                       model.Answer(bundle.workload.query(0).stmt));
+  EXPECT_TRUE(healthy.used_approximation);
+  EXPECT_FALSE(healthy.fell_back);
+}
+
+}  // namespace
+}  // namespace asqp

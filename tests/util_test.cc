@@ -3,7 +3,10 @@
 #include <atomic>
 #include <set>
 
+#include <stdexcept>
+
 #include "tests/testing.h"
+#include "util/exec_context.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -35,6 +38,36 @@ TEST(StatusTest, CopyPreservesState) {
   EXPECT_EQ(copy.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(copy.message(), "bad k");
   EXPECT_EQ(st.message(), "bad k");
+}
+
+TEST(StatusTest, ResilienceCodes) {
+  const Status cancelled = Status::Cancelled("user hit ctrl-c");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: user hit ctrl-c");
+
+  const Status exhausted = Status::ResourceExhausted("row budget");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: row budget");
+
+  const Status late = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: too slow");
+}
+
+Status Innermost() { return Status::Cancelled("stop requested"); }
+Status MiddleLayer() {
+  ASQP_RETURN_NOT_OK(Innermost());
+  return Status::OK();
+}
+Status OuterLayer() {
+  ASQP_RETURN_NOT_OK(MiddleLayer());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesThroughNestedCalls) {
+  const Status st = OuterLayer();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(st.message(), "stop requested");
 }
 
 Result<int> Half(int x) {
@@ -192,6 +225,84 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(50);
   pool.ParallelFor(50, [&hits](size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RethrowsFirstTaskExceptionFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  pool.Submit([] { throw std::runtime_error("worker blew up"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&finished] { finished.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  EXPECT_EQ(finished.load(), 10);  // the crash did not kill other tasks
+
+  // The pool stays usable: the exception was consumed by the rethrow.
+  pool.Submit([&finished] { finished.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(finished.load(), 11);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsWorkerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(20,
+                                [](size_t i) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("bad index");
+                                  }
+                                }),
+               std::runtime_error);
+  // Later batches run normally.
+  std::atomic<int> hits{0};
+  pool.ParallelFor(5, [&hits](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 5);
+}
+
+TEST(ExecContextTest, UnlimitedByDefault) {
+  ExecContext context;
+  EXPECT_TRUE(context.IsUnlimited());
+  EXPECT_OK(context.Check("work"));
+  EXPECT_OK(context.CheckRows(1u << 30, "work"));
+}
+
+TEST(ExecContextTest, CancellationTripsCheck) {
+  ExecContext context;
+  context.EnableCancellation();
+  EXPECT_FALSE(context.IsUnlimited());
+  EXPECT_OK(context.Check("scan"));
+  context.RequestCancel();
+  const Status st = context.Check("scan");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, RowBudgetMapsToResourceExhausted) {
+  ExecContext context;
+  context.set_max_rows(100);
+  EXPECT_OK(context.CheckRows(100, "join"));
+  const Status st = context.CheckRows(101, "join");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeadlineTickerTest, ExpiredDeadlineCaughtOnFirstTick) {
+  const ExecContext context = ExecContext::WithDeadline(0.0);
+  DeadlineTicker ticker(context, /*stride=*/1024);
+  const Status st = ticker.Tick("table scan");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  // Sticky: every later tick reports the same expiry.
+  EXPECT_EQ(ticker.Tick("table scan").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTickerTest, UnlimitedContextNeverTrips) {
+  ExecContext context;
+  DeadlineTicker ticker(context, /*stride=*/1);
+  for (int i = 0; i < 10000; ++i) EXPECT_OK(ticker.Tick("loop"));
+}
+
+TEST(DeadlineTickerTest, BareDeadlineForm) {
+  DeadlineTicker fresh(Deadline::AfterSeconds(60.0));
+  EXPECT_FALSE(fresh.Expired());
+  DeadlineTicker expired(Deadline::AfterSeconds(0.0));
+  EXPECT_TRUE(expired.Expired());
 }
 
 TEST(DeadlineTest, UnlimitedNeverExpires) {
