@@ -20,7 +20,8 @@ const data::DatasetBundle& Imdb() {
     data::DatasetOptions options;
     options.scale = 0.05;
     options.workload_size = 10;
-    return new data::DatasetBundle(data::MakeImdbJob(options));
+    // Leaky singleton: shared across benchmarks, freed at process exit.
+    return new data::DatasetBundle(data::MakeImdbJob(options));  // NOLINT(asqp-naked-new)
   }();
   return *bundle;
 }

@@ -45,7 +45,7 @@ struct ColumnPredicate {
 class Spn {
  public:
   /// Learn an SPN from `table`.
-  static util::Result<Spn> Learn(const storage::Table& table,
+  [[nodiscard]] static util::Result<Spn> Learn(const storage::Table& table,
                                  const SpnOptions& options);
 
   /// P(conjunction of predicates) under the model.
@@ -72,12 +72,12 @@ class Spn {
   /// Estimate a bound single-table aggregate query (COUNT/SUM/AVG items,
   /// optional single-column GROUP BY) into a ResultSet shaped like the
   /// executor's output, so metric::RelativeError can compare them.
-  util::Result<exec::ResultSet> EstimateAggregateQuery(
+  [[nodiscard]] util::Result<exec::ResultSet> EstimateAggregateQuery(
       const sql::BoundQuery& query) const;
 
   /// Convert a bound query's single-table filters into ColumnPredicates.
   /// Fails on predicate forms outside the supported conjunctive subset.
-  static util::Result<std::vector<ColumnPredicate>> PredicatesFromQuery(
+  [[nodiscard]] static util::Result<std::vector<ColumnPredicate>> PredicatesFromQuery(
       const sql::BoundQuery& query);
 
   size_t num_nodes() const { return num_nodes_; }

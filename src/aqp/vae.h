@@ -35,12 +35,12 @@ struct VaeOptions {
 class TabularVae {
  public:
   /// Fit a VAE to `table`.
-  static util::Result<TabularVae> Fit(const storage::Table& table,
+  [[nodiscard]] static util::Result<TabularVae> Fit(const storage::Table& table,
                                       const VaeOptions& options);
 
   /// Decode `n` Gaussian latents into a synthetic table named like the
   /// original (same schema).
-  util::Result<std::shared_ptr<storage::Table>> Generate(size_t n,
+  [[nodiscard]] util::Result<std::shared_ptr<storage::Table>> Generate(size_t n,
                                                          uint64_t seed) const;
 
   /// Mean training loss of the final epoch (reconstruction + beta * KL).

@@ -43,7 +43,7 @@ struct ProvenancePool {
 /// Execute every workload query with provenance. `max_combos_per_query`
 /// caps stored combos (0 = unlimited). Queries that fail to execute get an
 /// empty combo list and target 1.
-util::Result<ProvenancePool> CollectProvenance(const storage::Database& db,
+[[nodiscard]] util::Result<ProvenancePool> CollectProvenance(const storage::Database& db,
                                                const metric::Workload& workload,
                                                int frame_size,
                                                size_t max_combos_per_query);

@@ -42,13 +42,13 @@ class SubsetSelector {
  public:
   virtual ~SubsetSelector() = default;
   virtual std::string name() const = 0;
-  virtual util::Result<storage::ApproximationSet> Select(
+  [[nodiscard]] virtual util::Result<storage::ApproximationSet> Select(
       const SelectorContext& context) const = 0;
 };
 
 /// Construct a baseline by its Figure 2 code (case-insensitive):
 /// RAN, BRT, GRE, TOP, CACH, QRD, SKY, VERD, QUIK.
-util::Result<std::unique_ptr<SubsetSelector>> MakeBaseline(
+[[nodiscard]] util::Result<std::unique_ptr<SubsetSelector>> MakeBaseline(
     const std::string& code);
 
 /// All tuple-selecting baselines, in the paper's Figure 2 order.

@@ -30,12 +30,12 @@ struct KMeansOptions {
 
 /// Lloyd's algorithm with k-means++ seeding. `k` is clamped to the number
 /// of points; fails only on empty input or k == 0.
-util::Result<ClusteringResult> KMeans(const std::vector<embed::Vector>& points,
+[[nodiscard]] util::Result<ClusteringResult> KMeans(const std::vector<embed::Vector>& points,
                                       size_t k, KMeansOptions options = {});
 
 /// k-medoids via k-means++ seeding followed by alternating
 /// assignment / medoid-update (Voronoi iteration). Distances are L2.
-util::Result<ClusteringResult> KMedoids(
+[[nodiscard]] util::Result<ClusteringResult> KMedoids(
     const std::vector<embed::Vector>& points, size_t k,
     KMeansOptions options = {});
 

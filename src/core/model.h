@@ -52,8 +52,8 @@ class AsqpModel {
   /// estimator deems it answerable (estimate >= threshold), otherwise the
   /// full database. Aggregate queries are estimated via their SPJ skeleton
   /// but executed as written. Records drift statistics.
-  util::Result<AnswerResult> Answer(const sql::SelectStatement& stmt);
-  util::Result<AnswerResult> AnswerSql(const std::string& sql);
+  [[nodiscard]] util::Result<AnswerResult> Answer(const sql::SelectStatement& stmt);
+  [[nodiscard]] util::Result<AnswerResult> AnswerSql(const std::string& sql);
 
   /// Interest drift (C5): true once `drift_trigger` out-of-distribution
   /// queries with deviation confidence > `drift_confidence` accumulated.
@@ -62,7 +62,7 @@ class AsqpModel {
   /// Fine-tune on the drifted workload: merge `new_queries` with the
   /// training representatives, re-run pre-processing and a shortened
   /// training run, and swap in the improved policy/approximation set.
-  util::Status FineTune(const metric::Workload& new_queries);
+  [[nodiscard]] util::Status FineTune(const metric::Workload& new_queries);
 
   const AnswerabilityEstimator& estimator() const { return *estimator_; }
   const rl::Policy& policy() const { return policy_; }

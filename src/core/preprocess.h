@@ -42,7 +42,7 @@ struct PreprocessResult {
 };
 
 /// Run the pipeline. Fails if no representative query can be executed.
-util::Result<PreprocessResult> Preprocess(const storage::Database& db,
+[[nodiscard]] util::Result<PreprocessResult> Preprocess(const storage::Database& db,
                                           const metric::Workload& workload,
                                           const AsqpConfig& config);
 

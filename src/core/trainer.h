@@ -26,13 +26,13 @@ class AsqpTrainer {
   explicit AsqpTrainer(AsqpConfig config) : config_(std::move(config)) {}
 
   /// Train on a known workload. `db` must outlive the returned model.
-  util::Result<TrainReport> Train(const storage::Database& db,
+  [[nodiscard]] util::Result<TrainReport> Train(const storage::Database& db,
                                   const metric::Workload& workload) const;
 
   /// Unknown-workload mode (Section 4.5): generate a statistics-driven
   /// workload of `generated_queries` queries over the FK graph and train
   /// on it (optionally merged with whatever user queries exist so far).
-  util::Result<TrainReport> TrainWithoutWorkload(
+  [[nodiscard]] util::Result<TrainReport> TrainWithoutWorkload(
       const storage::Database& db,
       const std::vector<workloadgen::FkEdge>& fks, size_t generated_queries,
       const metric::Workload* user_queries = nullptr) const;

@@ -128,7 +128,7 @@ DatasetBundle MakeFlights(const DatasetOptions& options) {
   return bundle;
 }
 
-metric::Workload MakeFlightsAggregateWorkload(const DatasetBundle& flights,
+metric::Workload MakeFlightsAggregateWorkload(const DatasetBundle& /*flights*/,
                                               size_t count, uint64_t seed) {
   // IDEBench-style aggregates over the fact table: SUM / AVG / COUNT of a
   // numeric measure, half with a GROUP BY over a categorical dimension,

@@ -37,12 +37,12 @@ bool LikeMatch(const std::string& text, const std::string& pattern);
 /// resolve by output-column name (select alias, aggregate name, or the
 /// referenced column's name). Used for HAVING and for ORDER BY over
 /// aggregate results. Fails when a reference matches no output column.
-util::Result<storage::Value> EvaluateScalarOnRow(
+[[nodiscard]] util::Result<storage::Value> EvaluateScalarOnRow(
     const sql::Expr& expr, const std::vector<std::string>& column_names,
     const std::vector<storage::Value>& row);
 
 /// Boolean wrapper over EvaluateScalarOnRow (NULL -> false).
-util::Result<bool> EvaluatePredicateOnRow(
+[[nodiscard]] util::Result<bool> EvaluatePredicateOnRow(
     const sql::Expr& expr, const std::vector<std::string>& column_names,
     const std::vector<storage::Value>& row);
 

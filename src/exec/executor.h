@@ -47,18 +47,18 @@ class QueryEngine {
   /// expired or cancelled execution returns kDeadlineExceeded /
   /// kCancelled / kResourceExhausted promptly instead of running
   /// unbounded.
-  util::Result<ResultSet> Execute(
+  [[nodiscard]] util::Result<ResultSet> Execute(
       const sql::BoundQuery& query, const storage::DatabaseView& view,
       const util::ExecContext& context = util::ExecContext()) const;
 
   /// Parse, bind, and execute `sql` against `view`'s database.
-  util::Result<ResultSet> ExecuteSql(
+  [[nodiscard]] util::Result<ResultSet> ExecuteSql(
       const std::string& sql, const storage::DatabaseView& view,
       const util::ExecContext& context = util::ExecContext()) const;
 
   /// Run only the filter+join pipeline of a (non-aggregate) query and
   /// return the joined base tuples, capped at `max_tuples` (0 = no cap).
-  util::Result<ProvenancedJoin> ExecuteWithProvenance(
+  [[nodiscard]] util::Result<ProvenancedJoin> ExecuteWithProvenance(
       const sql::BoundQuery& query, const storage::DatabaseView& view,
       size_t max_tuples = 0,
       const util::ExecContext& context = util::ExecContext()) const;

@@ -25,26 +25,26 @@ namespace io {
 /// text after a closing quote, or a cell that no longer parses as the
 /// inferred column type — returns kParseError naming the line and column
 /// instead of crashing or silently coercing.
-util::Result<std::shared_ptr<storage::Table>> LoadCsvTable(
+[[nodiscard]] util::Result<std::shared_ptr<storage::Table>> LoadCsvTable(
     const std::string& path, const std::string& table_name);
 
 /// Write a result set as CSV (header + rows; strings quoted when needed).
-util::Status WriteCsv(const exec::ResultSet& rs, std::ostream& out);
-util::Status WriteCsvFile(const exec::ResultSet& rs, const std::string& path);
+[[nodiscard]] util::Status WriteCsv(const exec::ResultSet& rs, std::ostream& out);
+[[nodiscard]] util::Status WriteCsvFile(const exec::ResultSet& rs, const std::string& path);
 
 /// Persist a workload: one "<weight>\t<sql>" line per query ('#' comments
 /// and blank lines allowed). Weights are re-normalized on load.
-util::Status SaveWorkload(const metric::Workload& workload,
+[[nodiscard]] util::Status SaveWorkload(const metric::Workload& workload,
                           const std::string& path);
-util::Result<metric::Workload> LoadWorkload(const std::string& path);
+[[nodiscard]] util::Result<metric::Workload> LoadWorkload(const std::string& path);
 
 /// Persist an approximation set: one "<table> <row-id>" line per tuple.
-util::Status SaveApproximationSet(const storage::ApproximationSet& set,
+[[nodiscard]] util::Status SaveApproximationSet(const storage::ApproximationSet& set,
                                   const std::string& path);
 
 /// Load an approximation set saved by SaveApproximationSet. If `db` is
 /// non-null, row ids are validated against it.
-util::Result<storage::ApproximationSet> LoadApproximationSet(
+[[nodiscard]] util::Result<storage::ApproximationSet> LoadApproximationSet(
     const std::string& path, const storage::Database* db = nullptr);
 
 /// Split one CSV line into fields (exposed for testing). Lenient: quote
@@ -54,7 +54,7 @@ std::vector<std::string> SplitCsvLine(const std::string& line);
 /// Strict CSV splitter used by LoadCsvTable: returns kParseError for an
 /// unterminated quoted field or stray text after a closing quote, with
 /// `*error_field` set to the 1-based field index of the offending cell.
-util::Status ParseCsvLine(const std::string& line,
+[[nodiscard]] util::Status ParseCsvLine(const std::string& line,
                           std::vector<std::string>* fields,
                           size_t* error_field);
 
@@ -69,8 +69,8 @@ namespace io {
 /// Persist a trained policy (actor + optional critic MLP weights) in a
 /// portable text format, so offline training and online exploration can
 /// run in different processes.
-util::Status SavePolicy(const rl::Policy& policy, const std::string& path);
-util::Result<rl::Policy> LoadPolicy(const std::string& path);
+[[nodiscard]] util::Status SavePolicy(const rl::Policy& policy, const std::string& path);
+[[nodiscard]] util::Result<rl::Policy> LoadPolicy(const std::string& path);
 
 /// Persist a full training checkpoint (policy weights, Adam moments, RNG
 /// state, loop counters) so an interrupted rl::Train can resume
@@ -78,9 +78,9 @@ util::Result<rl::Policy> LoadPolicy(const std::string& path);
 /// renamed into place, so a crash mid-write never corrupts an existing
 /// checkpoint. The "io.checkpoint.write" fault point simulates a failed
 /// write.
-util::Status SaveCheckpoint(const rl::TrainCheckpoint& checkpoint,
+[[nodiscard]] util::Status SaveCheckpoint(const rl::TrainCheckpoint& checkpoint,
                             const std::string& path);
-util::Result<rl::TrainCheckpoint> LoadCheckpoint(const std::string& path);
+[[nodiscard]] util::Result<rl::TrainCheckpoint> LoadCheckpoint(const std::string& path);
 
 }  // namespace io
 }  // namespace asqp

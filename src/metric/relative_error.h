@@ -13,7 +13,7 @@ namespace metric {
 /// Compare `predicted` against `truth`. Both results must have the same
 /// column layout: zero or more group-key columns followed by numeric
 /// aggregate columns. `num_group_cols` identifies the key prefix.
-util::Result<double> RelativeError(const exec::ResultSet& truth,
+[[nodiscard]] util::Result<double> RelativeError(const exec::ResultSet& truth,
                                    const exec::ResultSet& predicted,
                                    size_t num_group_cols);
 

@@ -35,16 +35,16 @@ class ScoreEvaluator {
 
   /// Eq. 1 over the whole workload. Queries that fail to execute
   /// contribute 0 (and the failure is surfaced if every query fails).
-  util::Result<double> Score(const Workload& workload,
+  [[nodiscard]] util::Result<double> Score(const Workload& workload,
                              const storage::ApproximationSet& subset);
 
   /// Coverage of one query: min(1, |q(S)| / min(F, |q(T)|)). Returns 1
   /// when the full result is empty (nothing to cover).
-  util::Result<double> QueryScore(const sql::SelectStatement& stmt,
+  [[nodiscard]] util::Result<double> QueryScore(const sql::SelectStatement& stmt,
                                   const storage::ApproximationSet& subset);
 
   /// |q(T)| with caching.
-  util::Result<size_t> FullResultSize(const sql::SelectStatement& stmt);
+  [[nodiscard]] util::Result<size_t> FullResultSize(const sql::SelectStatement& stmt);
 
   const ScoreOptions& options() const { return options_; }
 

@@ -27,7 +27,7 @@ class Workload {
   Workload() = default;
 
   /// Parse a list of SQL strings into a uniform-weight workload.
-  static util::Result<Workload> FromSql(const std::vector<std::string>& sqls);
+  [[nodiscard]] static util::Result<Workload> FromSql(const std::vector<std::string>& sqls);
 
   void Add(sql::SelectStatement stmt, double weight = 1.0) {
     queries_.push_back(WeightedQuery{std::move(stmt), weight});

@@ -114,7 +114,7 @@ struct TrainResult {
 
 /// Train a policy over environments produced by `factory`. All
 /// environments must share action_count / state_dim.
-util::Result<TrainResult> Train(const EnvFactory& factory,
+[[nodiscard]] util::Result<TrainResult> Train(const EnvFactory& factory,
                                 const TrainerConfig& config);
 
 /// Roll out `policy` once (greedy or sampled) and return the selected

@@ -37,7 +37,7 @@ struct VariationalOptions {
 /// Variational subsampling over embedded tuples: k-means into latent
 /// strata, then sqrt-allocated stratified sampling. Returns sorted indices
 /// into `points`.
-util::Result<std::vector<size_t>> VariationalSubsample(
+[[nodiscard]] util::Result<std::vector<size_t>> VariationalSubsample(
     const std::vector<embed::Vector>& points, size_t target,
     VariationalOptions options = {});
 

@@ -42,11 +42,11 @@ struct BoundQuery {
 };
 
 /// Resolve `stmt` against `db`.
-util::Result<BoundQuery> Bind(const SelectStatement& stmt,
+[[nodiscard]] util::Result<BoundQuery> Bind(const SelectStatement& stmt,
                               const storage::Database& db);
 
 /// Convenience: parse + bind.
-util::Result<BoundQuery> ParseAndBind(const std::string& sql,
+[[nodiscard]] util::Result<BoundQuery> ParseAndBind(const std::string& sql,
                                       const storage::Database& db);
 
 }  // namespace sql

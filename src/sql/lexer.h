@@ -29,7 +29,7 @@ struct Token {
 
 /// Tokenize `input`. Keywords are recognized case-insensitively and
 /// normalized to upper-case; identifiers are lower-cased.
-util::Result<std::vector<Token>> Tokenize(const std::string& input);
+[[nodiscard]] util::Result<std::vector<Token>> Tokenize(const std::string& input);
 
 }  // namespace sql
 }  // namespace asqp

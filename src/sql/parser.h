@@ -11,7 +11,7 @@ namespace sql {
 
 /// Parse one SELECT statement. Returns ParseError with a position-annotated
 /// message on malformed input.
-util::Result<SelectStatement> Parse(const std::string& sql);
+[[nodiscard]] util::Result<SelectStatement> Parse(const std::string& sql);
 
 }  // namespace sql
 }  // namespace asqp

@@ -47,7 +47,7 @@ class Column {
   }
 
   /// Append a Value; the value type must match the column type or be NULL.
-  util::Status AppendValue(const Value& v);
+  [[nodiscard]] util::Status AppendValue(const Value& v);
 
   bool IsNull(size_t row) const { return null_[row]; }
   int64_t Int64At(size_t row) const { return ints_[row]; }

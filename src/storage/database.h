@@ -17,10 +17,10 @@ namespace storage {
 class Database {
  public:
   /// Add a table; fails if a table with the same name exists.
-  util::Status AddTable(std::shared_ptr<Table> table);
+  [[nodiscard]] util::Status AddTable(std::shared_ptr<Table> table);
 
   /// Fetch a table by name.
-  util::Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+  [[nodiscard]] util::Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
 
   bool HasTable(const std::string& name) const {
     return tables_.count(name) > 0;

@@ -30,7 +30,7 @@ class Table {
   const Column& column(size_t i) const { return columns_[i]; }
 
   /// Append one row given as a vector of Values aligned with the schema.
-  util::Status AppendRow(const std::vector<Value>& row);
+  [[nodiscard]] util::Status AppendRow(const std::vector<Value>& row);
 
   /// Materialize a full row (for display / small results only).
   std::vector<Value> GetRow(size_t row) const {

@@ -62,7 +62,7 @@ class ExecContext {
 
   /// Poll the cancellation flag and the clock. `what` names the operation
   /// in the error message.
-  Status Check(const char* what) const {
+  [[nodiscard]] Status Check(const char* what) const {
     if (IsCancelled()) {
       return Status::Cancelled(std::string(what) + ": cancellation requested");
     }
@@ -74,7 +74,7 @@ class ExecContext {
   }
 
   /// Row-budget check for a producer that has materialized `rows` rows.
-  Status CheckRows(size_t rows, const char* what) const {
+  [[nodiscard]] Status CheckRows(size_t rows, const char* what) const {
     if (max_rows_ > 0 && rows > max_rows_) {
       return Status::ResourceExhausted(std::string(what) +
                                        ": row budget exceeded");
@@ -111,7 +111,7 @@ class DeadlineTicker {
 
   /// Returns non-OK (kDeadlineExceeded / kCancelled) once the context
   /// trips. `what` names the operation for the error message.
-  Status Tick(const char* what) {
+  [[nodiscard]] Status Tick(const char* what) {
     if (skip_) return Status::OK();
     if (!stopped_.ok()) return stopped_;
     if (ticks_++ % stride_ == 0) {

@@ -1,5 +1,7 @@
 #include "util/fault_injector.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <unordered_map>
@@ -21,19 +23,59 @@ struct FaultInjector::Impl {
   std::unordered_map<std::string, Point> points;
 };
 
+namespace {
+
+/// Strict integer parse for the env spec: the whole (trimmed) field must
+/// be a decimal integer. Unlike atoi, rejects trailing junk and overflow,
+/// so "nn.adam.nan_grad:1e3" is a loud configuration error instead of a
+/// silently mis-armed point.
+bool ParseSpecInt(std::string_view field, int* out) {
+  const std::string s(Trim(field));
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (value < -1 || value > 1'000'000'000) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector() : impl_(new Impl) {
+  // Runs during static initialization (see kEnvParsedAtStartup below), so
+  // a malformed entry cannot surface as a Status: ArmFromSpec reports it
+  // on stderr and skips it, never silently arming a garbage count.
   const char* env = std::getenv("ASQP_FAULT_POINTS");
   if (env == nullptr || *env == '\0') return;
-  for (const std::string& entry : Split(env, ',')) {
+  (void)ArmFromSpec(env);
+}
+
+size_t FaultInjector::ArmFromSpec(std::string_view spec_list) {
+  size_t armed = 0;
+  for (const std::string& entry : Split(spec_list, ',')) {
     const std::string spec(Trim(entry));
     if (spec.empty()) continue;
     const std::vector<std::string> parts = Split(spec, ':');
+    const std::string point(Trim(parts[0]));
     int count = 1;
     int skip = 0;
-    if (parts.size() >= 2) count = std::atoi(parts[1].c_str());
-    if (parts.size() >= 3) skip = std::atoi(parts[2].c_str());
-    Arm(parts[0], count, skip);
+    const bool valid =
+        !point.empty() && parts.size() <= 3 &&
+        (parts.size() < 2 || ParseSpecInt(parts[1], &count)) &&
+        (parts.size() < 3 || ParseSpecInt(parts[2], &skip)) && skip >= 0;
+    if (!valid) {
+      std::fprintf(stderr,
+                   "ASQP_FAULT_POINTS: ignoring malformed entry '%s' "
+                   "(want \"<point>[:<count>[:<skip>]]\")\n",
+                   spec.c_str());
+      continue;
+    }
+    Arm(point, count, skip);
+    ++armed;
   }
+  return armed;
 }
 
 FaultInjector& FaultInjector::Global() {

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <string>
+#include <string_view>
 
 namespace asqp {
 namespace util {
@@ -41,6 +42,14 @@ class FaultInjector {
   /// Arm `point` to fire on `count` calls (-1 = every call) after `skip`
   /// initial calls. Intended for tests.
   void Arm(const std::string& point, int count = 1, int skip = 0);
+
+  /// Parse an ASQP_FAULT_POINTS-syntax list ("<point>[:<count>[:<skip>]]"
+  /// entries, comma-separated) and arm the well-formed entries. Malformed
+  /// entries — non-integer or out-of-range count/skip, empty point name,
+  /// too many fields — are reported on stderr and skipped, never silently
+  /// armed with a garbage count. Returns the number of points armed.
+  /// Called by the constructor's env parsing; exposed for tests.
+  size_t ArmFromSpec(std::string_view spec_list);
 
   /// Disarm everything (tests must call this in teardown).
   void Reset();

@@ -31,7 +31,14 @@ enum class StatusCode {
 ///
 /// The OK status carries no allocation; error states store a small
 /// heap-allocated payload so Status stays pointer-sized.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning Status (or
+/// Result<T> below) is implicitly must-use, so a silently dropped error is
+/// a compile error under -Werror, not a review nit. Intentional discards
+/// are written `(void)Foo();` with a comment, or routed through an ASQP_*
+/// macro. asqp-lint (tools/asqp_lint) enforces the same invariant
+/// token-level across build configs.
+class [[nodiscard]] Status {
  public:
   Status() noexcept = default;
 
@@ -129,7 +136,7 @@ class Status {
 
 /// \brief Either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : repr_(std::move(status)) {  // NOLINT

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace asqp {
 namespace util {
@@ -42,8 +44,33 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < n; ++i) {
-    Submit([&fn, i] { fn(i); });
+  if (n == 0) return;
+  // Work-stealing counter shared by the caller and up to n helper tasks.
+  // It lives on the caller's stack; the WaitIdle barrier below guarantees
+  // every helper has returned before this frame unwinds, even when fn
+  // throws on the calling thread.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto drain = [next, &fn, n] {
+    for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next->fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  // The caller is one participant, so at most n - 1 helpers are useful.
+  const size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t w = 0; w < helpers; ++w) Submit(drain);
+  // A worker that throws stops claiming indices (its exception lands in
+  // first_exception_ via WorkerLoop); the remaining indices are still
+  // claimed by the other participants. A caller-thread exception is
+  // recorded into the same slot, so "first exception wins" holds across
+  // both kinds of thread.
+  try {
+    drain();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (first_exception_ == nullptr) {
+      first_exception_ = std::current_exception();
+    }
   }
   WaitIdle();
 }

@@ -34,7 +34,14 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
-  /// Rethrows the first exception any `fn(i)` threw (see WaitIdle).
+  /// The calling thread participates in the work, so `ParallelFor` makes
+  /// progress even on a saturated pool. Edge cases are well-defined:
+  ///   - n == 0 returns immediately (no locking, no stale-exception check);
+  ///   - n < num_threads() enqueues only n helper tasks;
+  ///   - an exception from `fn` on the calling thread or a worker is
+  ///     captured first-exception-wins and rethrown after every index has
+  ///     been claimed and every running `fn` has returned — the shared
+  ///     iteration state never outlives the call (no leak under TSan).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

@@ -17,10 +17,11 @@ class BaselinesTest : public ::testing::Test {
     opts.scale = 0.04;
     opts.workload_size = 12;
     opts.seed = 5;
-    bundle_ = new data::DatasetBundle(data::MakeImdbJob(opts));
+    // Suite fixture: paired with delete in TearDownTestSuite.
+    bundle_ = new data::DatasetBundle(data::MakeImdbJob(opts));  // NOLINT(asqp-naked-new)
   }
   static void TearDownTestSuite() {
-    delete bundle_;
+    delete bundle_;  // NOLINT(asqp-naked-new)
     bundle_ = nullptr;
   }
 
@@ -134,7 +135,13 @@ TEST_F(BaselinesTest, BruteForceImprovesWithMoreTime) {
   SelectorContext quick = Context(200);
   quick.deadline = util::Deadline::AfterSeconds(0.0);  // one trial
   SelectorContext longer = Context(200);
+#if defined(ASQP_SANITIZE_THREAD)
+  // TSan slows each trial ~10-20x; give the timed run proportionally more
+  // wall clock so it completes about as many trials as the plain build.
+  longer.deadline = util::Deadline::AfterSeconds(10.0);
+#else
   longer.deadline = util::Deadline::AfterSeconds(1.0);
+#endif
   ASSERT_OK_AND_ASSIGN(auto brt, MakeBaseline("BRT"));
   metric::ScoreEvaluator evaluator(quick.db,
                                    metric::ScoreOptions{.frame_size = 25});

@@ -21,10 +21,11 @@ class CoreTest : public ::testing::Test {
     opts.scale = 0.05;  // ~1000 titles, ~3000 cast rows
     opts.workload_size = 24;
     opts.seed = 7;
-    bundle_ = new data::DatasetBundle(data::MakeImdbJob(opts));
+    // Suite fixture: paired with delete in TearDownTestSuite.
+    bundle_ = new data::DatasetBundle(data::MakeImdbJob(opts));  // NOLINT(asqp-naked-new)
   }
   static void TearDownTestSuite() {
-    delete bundle_;
+    delete bundle_;  // NOLINT(asqp-naked-new)
     bundle_ = nullptr;
   }
 

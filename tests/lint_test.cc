@@ -1,0 +1,268 @@
+// Golden tests for tools/asqp_lint: known-bad snippets in, exact
+// file:line:col diagnostics out, plus suppression semantics. The linter
+// library is linked directly so these tests exercise the same code path
+// as the `lint` build target.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "asqp_lint/lint.h"
+
+namespace asqp {
+namespace lint {
+namespace {
+
+/// Lint `source` as `path`, building the function registry from the same
+/// source (declarations and uses usually travel together in the fixtures).
+std::vector<Diagnostic> Lint(const std::string& path,
+                             const std::string& source) {
+  FunctionRegistry registry;
+  CollectStatusFunctions(source, &registry);
+  return LintSource(path, source, registry);
+}
+
+std::vector<std::string> Render(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  out.reserve(diags.size());
+  for (const Diagnostic& d : diags) out.push_back(d.ToString());
+  return out;
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(LintRegistryTest, CollectsStatusAndResultReturningFunctions) {
+  FunctionRegistry registry;
+  CollectStatusFunctions(
+      "util::Status Save(int x);\n"
+      "Status Plain();\n"
+      "util::Result<std::vector<int>> Load(const std::string& p);\n"
+      "static Result<Foo> Make();\n"
+      "void NotTracked();\n"
+      "int AlsoNot(int);\n",
+      &registry);
+  EXPECT_EQ(registry.status_returning.count("Save"), 1u);
+  EXPECT_EQ(registry.status_returning.count("Plain"), 1u);
+  EXPECT_EQ(registry.status_returning.count("Load"), 1u);
+  EXPECT_EQ(registry.status_returning.count("Make"), 1u);
+  EXPECT_EQ(registry.status_returning.count("NotTracked"), 0u);
+  EXPECT_EQ(registry.status_returning.count("AlsoNot"), 0u);
+}
+
+// --- asqp-discarded-status -------------------------------------------------
+
+TEST(LintDiscardTest, FlagsDiscardedCallWithExactLocation) {
+  const std::string src =
+      "util::Status Save(int x);\n"   // line 1
+      "void F() {\n"                  // line 2
+      "  Save(1);\n"                  // line 3, col 3
+      "}\n";
+  const auto diags = Lint("src/io/io.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/io/io.cc");
+  EXPECT_EQ(diags[0].line, 3u);
+  EXPECT_EQ(diags[0].col, 3u);
+  EXPECT_EQ(diags[0].rule, "asqp-discarded-status");
+  EXPECT_EQ(Render(diags)[0].substr(0, 52),
+            "src/io/io.cc:3:3: error: [asqp-discarded-status] res");
+}
+
+TEST(LintDiscardTest, FlagsMethodAndQualifiedCalls) {
+  const std::string src =
+      "struct W { util::Status Flush(); };\n"
+      "util::Status io::Sync(int);\n"
+      "void F(W* w, W& r) {\n"
+      "  w->Flush();\n"    // line 4
+      "  r.Flush();\n"     // line 5
+      "  io::Sync(2);\n"   // line 6
+      "}\n";
+  const auto diags = Lint("src/io/io.cc", src);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].line, 4u);
+  EXPECT_EQ(diags[1].line, 5u);
+  EXPECT_EQ(diags[2].line, 6u);
+  EXPECT_EQ(diags[2].col, 7u);  // the `Sync` token, not the `io` qualifier
+}
+
+TEST(LintDiscardTest, ConsumedOrSanctionedCallsAreClean) {
+  const std::string src =
+      "util::Status Save(int x);\n"
+      "util::Status G() {\n"
+      "  ASQP_RETURN_NOT_OK(Save(1));\n"       // ASQP_* macro: sanctioned
+      "  util::Status s = Save(2);\n"          // assigned
+      "  if (Save(3).ok()) { (void)Save(4); }\n"  // tested / void-cast
+      "  return Save(5);\n"                    // returned
+      "}\n";
+  EXPECT_TRUE(Lint("src/io/io.cc", src).empty());
+}
+
+TEST(LintDiscardTest, MultiLineCallIsStillOneStatement) {
+  const std::string src =
+      "util::Status Save(int x, int y);\n"
+      "void F() {\n"
+      "  Save(1,\n"
+      "       2);\n"
+      "}\n";
+  const auto diags = Lint("src/io/io.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3u);
+}
+
+// --- suppression -----------------------------------------------------------
+
+TEST(LintSuppressionTest, NolintWithMatchingRuleSuppresses) {
+  const std::string src =
+      "util::Status Save(int x);\n"
+      "void F() {\n"
+      "  Save(1);  // NOLINT(asqp-discarded-status)\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/io/io.cc", src).empty());
+}
+
+TEST(LintSuppressionTest, BareNolintSuppressesEverything) {
+  const std::string src =
+      "util::Status Save(int x);\n"
+      "void F() {\n"
+      "  Save(1);  // NOLINT\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/io/io.cc", src).empty());
+}
+
+TEST(LintSuppressionTest, WrongRuleNameDoesNotSuppress) {
+  const std::string src =
+      "util::Status Save(int x);\n"
+      "void F() {\n"
+      "  Save(1);  // NOLINT(asqp-naked-new)\n"
+      "}\n";
+  ASSERT_EQ(Lint("src/io/io.cc", src).size(), 1u);
+}
+
+TEST(LintSuppressionTest, NolintNextLineSuppressesTheLineBelow) {
+  const std::string src =
+      "util::Status Save(int x);\n"
+      "void F() {\n"
+      "  // NOLINTNEXTLINE(asqp-discarded-status)\n"
+      "  Save(1);\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/io/io.cc", src).empty());
+}
+
+// --- asqp-nondeterminism ---------------------------------------------------
+
+TEST(LintNondeterminismTest, FlagsBannedGenerators) {
+  const std::string src =
+      "void F() {\n"
+      "  int x = rand();\n"            // line 2
+      "  std::random_device rd;\n"     // line 3
+      "  std::mt19937 gen;\n"          // line 4: unseeded
+      "  std::mt19937 ok(42);\n"       // seeded: allowed
+      "  std::mt19937_64 also{7};\n"   // seeded: allowed
+      "}\n";
+  const auto diags = Lint("tests/foo_test.cc", src);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].line, 2u);
+  EXPECT_EQ(diags[1].line, 3u);
+  EXPECT_EQ(diags[2].line, 4u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "asqp-nondeterminism");
+}
+
+TEST(LintNondeterminismTest, WallClockOnlyBannedInLibraryCode) {
+  const std::string src =
+      "void F() { auto t = std::chrono::system_clock::now(); }\n";
+  EXPECT_EQ(Lint("src/core/model.cc", src).size(), 1u);
+  EXPECT_TRUE(Lint("src/util/stopwatch.h", src).empty());
+  EXPECT_TRUE(Lint("tests/foo_test.cc", src).empty());
+  EXPECT_TRUE(Lint("bench/bench_fig2.cc", src).empty());
+}
+
+// --- asqp-naked-new --------------------------------------------------------
+
+TEST(LintNakedNewTest, FlagsNewAndDeleteOutsideUtil) {
+  const std::string src =
+      "void F() {\n"
+      "  int* p = new int(3);\n"  // line 2, col 12
+      "  delete p;\n"             // line 3, col 3
+      "}\n";
+  const auto diags = Lint("src/exec/executor.cc", src);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "asqp-naked-new");
+  EXPECT_EQ(diags[0].line, 2u);
+  EXPECT_EQ(diags[0].col, 12u);
+  EXPECT_EQ(diags[1].line, 3u);
+  EXPECT_EQ(diags[1].col, 3u);
+}
+
+TEST(LintNakedNewTest, UtilAndDeletedFunctionsAreExempt) {
+  const std::string alloc = "void F() { int* p = new int; delete p; }\n";
+  EXPECT_TRUE(Lint("src/util/fault_injector.cc", alloc).empty());
+  const std::string deleted =
+      "struct T {\n"
+      "  T(const T&) = delete;\n"
+      "  T& operator=(const T&) = delete;\n"
+      "};\n";
+  EXPECT_TRUE(Lint("src/exec/executor.h", deleted).empty());
+}
+
+// --- asqp-catch-all --------------------------------------------------------
+
+TEST(LintCatchAllTest, FlagsSwallowingHandler) {
+  const std::string src =
+      "void F() {\n"
+      "  try { G(); } catch (...) {\n"  // line 2, col 16
+      "  }\n"
+      "}\n";
+  const auto diags = Lint("src/exec/executor.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "asqp-catch-all");
+  EXPECT_EQ(diags[0].line, 2u);
+  EXPECT_EQ(diags[0].col, 16u);
+}
+
+TEST(LintCatchAllTest, RethrowOrConvertIsClean) {
+  EXPECT_TRUE(Lint("src/a/b.cc",
+                   "void F() { try { G(); } catch (...) { throw; } }\n")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("src/a/b.cc",
+           "void F() {\n"
+           "  try { G(); } catch (...) { e = std::current_exception(); }\n"
+           "}\n")
+          .empty());
+  EXPECT_TRUE(
+      Lint("src/a/b.cc",
+           "util::Status F() {\n"
+           "  try { G(); } catch (...) {\n"
+           "    return util::Status::ExecutionError(\"boom\");\n"
+           "  }\n"
+           "  return util::Status::OK();\n"
+           "}\n")
+          .empty());
+}
+
+// --- lexical robustness ----------------------------------------------------
+
+TEST(LintLexerTest, IgnoresCommentsStringsAndPreprocessor) {
+  const std::string src =
+      "#include <random>  // has random_device in the path\n"
+      "#define MAKE_RNG() std::random_device{}\n"
+      "const char* s = \"rand() system_clock new delete\";\n"
+      "// rand() in a comment\n"
+      "/* new delete catch (...) { } */\n"
+      "char c = 'r';\n";
+  EXPECT_TRUE(Lint("src/core/model.cc", src).empty());
+}
+
+TEST(LintLexerTest, RawStringsDoNotLeakTokens) {
+  const std::string src =
+      "const char* sql = R\"(SELECT rand() FROM t; new delete)\";\n";
+  EXPECT_TRUE(Lint("src/core/model.cc", src).empty());
+}
+
+TEST(LintLexerTest, DigitSeparatorsDoNotSplitTokens) {
+  const std::string src = "constexpr long kBig = 1'000'000;\n";
+  EXPECT_TRUE(Lint("src/core/model.cc", src).empty());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace asqp

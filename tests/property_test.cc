@@ -17,7 +17,8 @@ namespace {
 
 /// Shared small bundles, one per dataset, built once.
 const data::DatasetBundle& Bundle(const std::string& name) {
-  static auto* bundles = new std::map<std::string, data::DatasetBundle>();
+  // Leaky singleton: shared across tests, freed at process exit.
+  static auto* bundles = new std::map<std::string, data::DatasetBundle>();  // NOLINT(asqp-naked-new)
   auto it = bundles->find(name);
   if (it != bundles->end()) return it->second;
   data::DatasetOptions options;

@@ -67,6 +67,52 @@ TEST_F(FaultPointTest, SkipDelaysFiring) {
   EXPECT_FALSE(ASQP_FAULT_POINT("resilience.skip.point"));
 }
 
+TEST_F(FaultPointTest, ArmFromSpecArmsWellFormedEntries) {
+  auto& inj = util::FaultInjector::Global();
+  EXPECT_EQ(inj.ArmFromSpec("spec.a, spec.b:2 , spec.c:1:1"), 3u);
+
+  EXPECT_TRUE(ASQP_FAULT_POINT("spec.a"));   // default count=1
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.a"));  // spent
+
+  EXPECT_TRUE(ASQP_FAULT_POINT("spec.b"));
+  EXPECT_TRUE(ASQP_FAULT_POINT("spec.b"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.b"));
+
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.c"));  // skipped once
+  EXPECT_TRUE(ASQP_FAULT_POINT("spec.c"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.c"));
+}
+
+TEST_F(FaultPointTest, ArmFromSpecAllowsAlwaysFireCount) {
+  auto& inj = util::FaultInjector::Global();
+  EXPECT_EQ(inj.ArmFromSpec("spec.always:-1"), 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ASQP_FAULT_POINT("spec.always"));
+  }
+}
+
+TEST_F(FaultPointTest, ArmFromSpecSkipsMalformedEntries) {
+  auto& inj = util::FaultInjector::Global();
+  // Non-integer count ("1e3" must not atoi to 1), empty point name,
+  // negative skip, too many fields, trailing junk — all skipped; the one
+  // well-formed entry still arms.
+  EXPECT_EQ(inj.ArmFromSpec("spec.bad:1e3, :5, spec.neg:1:-1, "
+                            "spec.many:1:2:3, spec.junk:2x, spec.ok"),
+            1u);
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.bad"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.neg"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.many"));
+  EXPECT_FALSE(ASQP_FAULT_POINT("spec.junk"));
+  EXPECT_TRUE(ASQP_FAULT_POINT("spec.ok"));
+}
+
+TEST_F(FaultPointTest, ArmFromSpecEmptyListArmsNothing) {
+  auto& inj = util::FaultInjector::Global();
+  EXPECT_EQ(inj.ArmFromSpec(""), 0u);
+  EXPECT_EQ(inj.ArmFromSpec(" , ,"), 0u);
+  EXPECT_FALSE(util::FaultInjector::enabled());
+}
+
 // ------------------------------------------- executor deadline/cancel/row
 
 class ExecResilienceTest : public FaultPointTest {

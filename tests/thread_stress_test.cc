@@ -1,0 +1,207 @@
+// Concurrency stress tests, designed to run under -DASQP_SANITIZE=thread:
+// ThreadPool lifecycle and ParallelFor edge cases (zero items, fewer items
+// than workers, exceptions on the calling thread vs. a worker), plus the
+// trainer's parallel rollout accumulation. Iteration counts scale down
+// under TSan (ASQP_SANITIZE_THREAD) to keep the suite fast despite the
+// sanitizer's slowdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "rl/action_space.h"
+#include "rl/env.h"
+#include "rl/trainer.h"
+#include "tests/testing.h"
+#include "util/thread_pool.h"
+
+namespace asqp {
+namespace {
+
+#ifdef ASQP_SANITIZE_THREAD
+constexpr int kRounds = 20;
+#else
+constexpr int kRounds = 100;
+#endif
+
+TEST(ThreadStressTest, ParallelForZeroItemsReturnsImmediately) {
+  util::ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "fn must not run for n == 0"; });
+  // A zero-item ParallelFor must not consume a pending exception either:
+  // it is a no-op, not a join point.
+  pool.Submit([] { throw std::runtime_error("pending"); });
+  pool.ParallelFor(0, [](size_t) {});
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+}
+
+TEST(ThreadStressTest, ParallelForFewerItemsThanWorkers) {
+  util::ThreadPool pool(8);
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::atomic<int>> hits(3);
+    pool.ParallelFor(3, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadStressTest, ParallelForSingleItemRunsOnCaller) {
+  // n == 1 enqueues no helper tasks; the calling thread does the work.
+  util::ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(1, [&seen](size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadStressTest, CallerThreadExceptionPropagatesAndPoolSurvives) {
+  util::ThreadPool pool(4);
+  // With n == 1 the exception is raised on the calling thread.
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](size_t) { throw std::runtime_error("caller"); }),
+      std::runtime_error);
+  // The pool must remain usable: no stuck in_flight count, no stale error.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(16, [&ran](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadStressTest, WorkerExceptionPropagatesFirstWins) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < kRounds / 4; ++round) {
+    std::atomic<int> ran{0};
+    bool threw = false;
+    try {
+      pool.ParallelFor(64, [&ran](size_t i) {
+        if (i % 8 == 0) throw std::runtime_error("item " + std::to_string(i));
+        ran.fetch_add(1);
+      });
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_EQ(std::string(e.what()).rfind("item ", 0), 0u);
+    }
+    EXPECT_TRUE(threw);
+    // Exactly one exception escapes per ParallelFor; the pool is reusable.
+    std::atomic<int> after{0};
+    pool.ParallelFor(8, [&after](size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 8);
+  }
+}
+
+TEST(ThreadStressTest, EveryIndexClaimedExactlyOnceUnderContention) {
+  util::ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  constexpr size_t kItems = 512;
+  for (int round = 0; round < kRounds / 4; ++round) {
+    std::vector<std::atomic<int>> hits(kItems);
+    pool.ParallelFor(kItems, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kItems; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadStressTest, SubmitWaitIdleHammer) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < kRounds; ++round) {
+    for (int t = 0; t < 32; ++t) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(counter.load(), kRounds * 32);
+}
+
+TEST(ThreadStressTest, PoolDestructionWithQueuedWorkJoinsCleanly) {
+  std::atomic<int> done{0};
+  for (int round = 0; round < kRounds / 10; ++round) {
+    util::ThreadPool pool(3);
+    for (int t = 0; t < 24; ++t) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(done.load(), (kRounds / 10) * 24);
+}
+
+// --- parallel rollout accumulation (the trainer's use of the pool) --------
+
+/// Toy action space copied from rl_test.cc: actions 0-2 fully cover the
+/// three queries, budget 6 fits exactly three actions.
+rl::ActionSpace MakeToySpace(size_t num_actions = 12) {
+  rl::ActionSpace space;
+  space.table_names = {"t"};
+  space.budget = 6;
+  space.num_queries = 3;
+  space.query_target = {2.0f, 2.0f, 2.0f};
+  space.query_weight = {1.0f / 3, 1.0f / 3, 1.0f / 3};
+  for (size_t a = 0; a < num_actions; ++a) {
+    rl::PoolTuple p1{{{0, static_cast<uint32_t>(2 * a)}}};
+    rl::PoolTuple p2{{{0, static_cast<uint32_t>(2 * a + 1)}}};
+    space.pool.push_back(p1);
+    space.pool.push_back(p2);
+    space.action_tuples.push_back({static_cast<uint32_t>(2 * a),
+                                   static_cast<uint32_t>(2 * a + 1)});
+    space.action_cost.push_back(2);
+  }
+  space.contribution.assign(num_actions * 3, 0.0f);
+  for (size_t a = 0; a < 3; ++a) space.contribution[a * 3 + a] = 2.0f;
+  return space;
+}
+
+TEST(ThreadStressTest, ParallelRolloutAccumulationIsRaceFree) {
+  // Many workers sharing one policy snapshot while each accumulates into
+  // its own RolloutBuffer slot — the pattern TSan must find clean.
+  rl::ActionSpace space = MakeToySpace(24);
+  rl::TrainerConfig config;
+  config.algorithm = rl::Algorithm::kPpo;
+#ifdef ASQP_SANITIZE_THREAD
+  config.iterations = 4;
+#else
+  config.iterations = 10;
+#endif
+  config.episodes_per_iteration = 16;
+  config.num_workers = 8;
+  config.hidden_dim = 16;
+  config.seed = 11;
+  rl::EnvFactory factory = [&space] {
+    return std::make_unique<rl::GslEnv>(&space, 0);
+  };
+  ASSERT_OK_AND_ASSIGN(rl::TrainResult result, rl::Train(factory, config));
+  EXPECT_EQ(result.iterations_run, config.iterations);
+  EXPECT_EQ(result.episodes_run,
+            config.iterations * config.episodes_per_iteration);
+}
+
+TEST(ThreadStressTest, ParallelTrainingRunsAreIndependent) {
+  // Two concurrent Train() calls (distinct pools, distinct action spaces)
+  // must not interfere — guards against hidden global mutable state.
+  auto run = [](uint64_t seed, size_t* episodes) {
+    rl::ActionSpace space = MakeToySpace(12);
+    rl::TrainerConfig config;
+    config.algorithm = rl::Algorithm::kA2c;
+    config.iterations = 3;
+    config.episodes_per_iteration = 8;
+    config.num_workers = 4;
+    config.hidden_dim = 16;
+    config.seed = seed;
+    rl::EnvFactory factory = [&space] {
+      return std::make_unique<rl::GslEnv>(&space, 0);
+    };
+    util::Result<rl::TrainResult> result = rl::Train(factory, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    *episodes = result.value().episodes_run;
+  };
+  size_t episodes_a = 0;
+  size_t episodes_b = 0;
+  std::thread a([&] { run(21, &episodes_a); });
+  std::thread b([&] { run(22, &episodes_b); });
+  a.join();
+  b.join();
+  EXPECT_EQ(episodes_a, 24u);
+  EXPECT_EQ(episodes_b, 24u);
+}
+
+}  // namespace
+}  // namespace asqp

@@ -1,0 +1,612 @@
+#include "asqp_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace asqp {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// C++ token scanner (structure mirrors src/sql/lexer.cc: one forward pass,
+// flat token vector, positions kept for diagnostics).
+// ---------------------------------------------------------------------------
+
+enum class TokenType : uint8_t {
+  kIdent,   // identifiers and keywords, undifferentiated
+  kNumber,  // pp-number (integers, floats, digit separators, exponents)
+  kString,  // string literal (escaped or raw), value not unescaped
+  kChar,    // character literal
+  kPunct,   // operators / punctuation; `::` `->` `...` kept as one token
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t line = 0;  // 1-based
+  size_t col = 0;   // 1-based
+};
+
+/// Per-line NOLINT suppressions: line -> rule names ("*" = every rule).
+using SuppressionMap = std::unordered_map<size_t, std::unordered_set<std::string>>;
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Record `// NOLINT`, `// NOLINT(rule,...)`, and the NEXTLINE variant.
+void ParseNolint(const std::string& comment, size_t line,
+                 SuppressionMap* suppressions) {
+  size_t pos = comment.find("NOLINT");
+  if (pos == std::string::npos) return;
+  size_t target = line;
+  size_t after = pos + 6;  // past "NOLINT"
+  if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+    target = line + 1;
+    after = pos + 14;
+  }
+  auto& rules = (*suppressions)[target];
+  if (after < comment.size() && comment[after] == '(') {
+    const size_t close = comment.find(')', after);
+    const std::string list =
+        comment.substr(after + 1, close == std::string::npos
+                                      ? std::string::npos
+                                      : close - after - 1);
+    std::string name;
+    std::stringstream ss(list);
+    while (std::getline(ss, name, ',')) {
+      const size_t b = name.find_first_not_of(" \t");
+      const size_t e = name.find_last_not_of(" \t");
+      if (b != std::string::npos) rules.insert(name.substr(b, e - b + 1));
+    }
+  } else {
+    rules.insert("*");
+  }
+}
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& source) : src_(source) {}
+
+  void Run(std::vector<Token>* tokens, SuppressionMap* suppressions) {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        Advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        SkipPreprocessorLine();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        const size_t start_line = line_;
+        std::string text;
+        while (i_ < src_.size() && src_[i_] != '\n') {
+          text += src_[i_];
+          Advance();
+        }
+        ParseNolint(text, start_line, suppressions);
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        const size_t start_line = line_;
+        std::string text;
+        Advance();
+        Advance();
+        while (i_ < src_.size() &&
+               !(src_[i_] == '*' && Peek(1) == '/')) {
+          text += src_[i_];
+          Advance();
+        }
+        Advance();  // '*'
+        Advance();  // '/'
+        ParseNolint(text, start_line, suppressions);
+        continue;
+      }
+      Token tok;
+      tok.line = line_;
+      tok.col = col_;
+      if (IsIdentStart(c)) {
+        std::string word;
+        while (i_ < src_.size() && IsIdentChar(src_[i_])) {
+          word += src_[i_];
+          Advance();
+        }
+        // Raw-string prefix: R"( ... )" (also u8R / uR / UR / LR).
+        if (!word.empty() && word.back() == 'R' && i_ < src_.size() &&
+            src_[i_] == '"') {
+          tok.type = TokenType::kString;
+          tok.text = ScanRawString();
+        } else {
+          tok.type = TokenType::kIdent;
+          tok.text = std::move(word);
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        // pp-number: digits, idents, '.', digit separators, exponent signs.
+        std::string num;
+        while (i_ < src_.size()) {
+          const char d = src_[i_];
+          if (IsIdentChar(d) || d == '.' ||
+              (d == '\'' && IsIdentChar(Peek(1)))) {
+            const bool exponent =
+                (d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                (Peek(1) == '+' || Peek(1) == '-');
+            num += d;
+            Advance();
+            if (exponent) {
+              num += src_[i_];
+              Advance();
+            }
+          } else {
+            break;
+          }
+        }
+        tok.type = TokenType::kNumber;
+        tok.text = std::move(num);
+      } else if (c == '"') {
+        tok.type = TokenType::kString;
+        tok.text = ScanQuoted('"');
+      } else if (c == '\'') {
+        tok.type = TokenType::kChar;
+        tok.text = ScanQuoted('\'');
+      } else {
+        tok.type = TokenType::kPunct;
+        if (c == ':' && Peek(1) == ':') {
+          tok.text = "::";
+          Advance();
+          Advance();
+        } else if (c == '-' && Peek(1) == '>') {
+          tok.text = "->";
+          Advance();
+          Advance();
+        } else if (c == '.' && Peek(1) == '.' && Peek(2) == '.') {
+          tok.text = "...";
+          Advance();
+          Advance();
+          Advance();
+        } else {
+          tok.text = std::string(1, c);
+          Advance();
+        }
+      }
+      tokens->push_back(std::move(tok));
+    }
+    Token end;
+    end.type = TokenType::kEnd;
+    end.line = line_;
+    end.col = col_;
+    tokens->push_back(std::move(end));
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (i_ >= src_.size()) return;
+    if (src_[i_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+
+  void SkipPreprocessorLine() {
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\\' && Peek(1) == '\n') {
+        Advance();
+        Advance();
+        continue;
+      }
+      if (src_[i_] == '\n') break;
+      Advance();
+    }
+  }
+
+  std::string ScanQuoted(char quote) {
+    std::string text;
+    Advance();  // opening quote
+    while (i_ < src_.size() && src_[i_] != quote && src_[i_] != '\n') {
+      if (src_[i_] == '\\') Advance();
+      text += src_[i_];
+      Advance();
+    }
+    Advance();  // closing quote (or newline on a malformed literal)
+    return text;
+  }
+
+  std::string ScanRawString() {
+    // At the opening '"' of R"delim( ... )delim".
+    Advance();
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') {
+      delim += src_[i_];
+      Advance();
+    }
+    Advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string text;
+    while (i_ < src_.size() && src_.compare(i_, close.size(), close) != 0) {
+      text += src_[i_];
+      Advance();
+    }
+    for (size_t k = 0; k < close.size() && i_ < src_.size(); ++k) Advance();
+    return text;
+  }
+
+  const std::string& src_;
+  size_t i_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+  bool at_line_start_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.type == TokenType::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.type == TokenType::kIdent && t.text == text;
+}
+
+/// Skip a balanced punct pair starting at `i` (tokens[i] must be `open`).
+/// Returns the index one past the matching closer, or tokens.size().
+size_t SkipBalanced(const std::vector<Token>& tokens, size_t i,
+                    const char* open, const char* close) {
+  size_t depth = 0;
+  for (; i < tokens.size(); ++i) {
+    if (IsPunct(tokens[i], open)) {
+      ++depth;
+    } else if (IsPunct(tokens[i], close)) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+/// Path scoping. Paths are repo-relative with forward slashes.
+bool IsUnderUtil(const std::string& path) {
+  return path.rfind("src/util/", 0) == 0;
+}
+bool IsLibraryCode(const std::string& path) {
+  return path.rfind("src/", 0) == 0;
+}
+
+class Linter {
+ public:
+  Linter(const std::string& path, const FunctionRegistry& registry,
+         const std::vector<Token>& tokens, const SuppressionMap& suppressions)
+      : path_(path),
+        registry_(registry),
+        tokens_(tokens),
+        suppressions_(suppressions) {}
+
+  std::vector<Diagnostic> Run() {
+    CheckDiscardedStatus();
+    CheckNondeterminism();
+    CheckNakedNew();
+    CheckCatchAll();
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return std::tie(a.line, a.col, a.rule) <
+                       std::tie(b.line, b.col, b.rule);
+              });
+    return std::move(diags_);
+  }
+
+ private:
+  void Report(const Token& at, const std::string& rule, std::string message) {
+    auto it = suppressions_.find(at.line);
+    if (it != suppressions_.end() &&
+        (it->second.count("*") > 0 || it->second.count(rule) > 0)) {
+      return;
+    }
+    diags_.push_back(Diagnostic{path_, at.line, at.col, rule,
+                                std::move(message)});
+  }
+
+  // --- asqp-discarded-status -----------------------------------------------
+  // A statement of the form `chain.of.Calls(args);` whose final callee is a
+  // known Status/Result-returning function discards the result. Calls whose
+  // statement begins with an ASQP_* macro (ASQP_RETURN_NOT_OK, ...) are the
+  // sanctioned consumption points and are skipped.
+  void CheckDiscardedStatus() {
+    bool at_statement_start = true;
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (at_statement_start && t.type == TokenType::kIdent) {
+        const size_t matched = MatchDiscardedCall(i);
+        if (matched > 0) {
+          i = matched - 1;  // resume at the ';'
+          at_statement_start = true;
+          continue;
+        }
+      }
+      at_statement_start =
+          IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}") ||
+          IsIdent(t, "else") || IsIdent(t, "do") || IsIdent(t, "try");
+    }
+  }
+
+  /// Try to match `ident (:: ident | . ident | -> ident)* ( ... ) ;` at
+  /// token `i`. On a match whose callee is registered (and whose leading
+  /// identifier is not an ASQP_* macro), report and return the index of the
+  /// trailing ';'. Returns 0 when the shape does not match or is benign.
+  size_t MatchDiscardedCall(size_t i) {
+    const std::string& head = tokens_[i].text;
+    size_t callee = i;
+    size_t j = i + 1;
+    while (j + 1 < tokens_.size() &&
+           (IsPunct(tokens_[j], "::") || IsPunct(tokens_[j], ".") ||
+            IsPunct(tokens_[j], "->")) &&
+           tokens_[j + 1].type == TokenType::kIdent) {
+      callee = j + 1;
+      j += 2;
+    }
+    if (j >= tokens_.size() || !IsPunct(tokens_[j], "(")) return 0;
+    const size_t after = SkipBalanced(tokens_, j, "(", ")");
+    if (after >= tokens_.size() || !IsPunct(tokens_[after], ";")) return 0;
+    if (head.rfind("ASQP_", 0) == 0) return 0;
+    const std::string& name = tokens_[callee].text;
+    if (registry_.status_returning.count(name) == 0) return 0;
+    Report(tokens_[callee], "asqp-discarded-status",
+           "result of Status/Result-returning call '" + name +
+               "' is discarded; consume it, ASQP_RETURN_NOT_OK it, or "
+               "cast to void with a comment");
+    return after;
+  }
+
+  // --- asqp-nondeterminism -------------------------------------------------
+  void CheckNondeterminism() {
+    static const std::unordered_set<std::string> kBannedEverywhere = {
+        "rand",         "srand",          "drand48",
+        "lrand48",      "random_device",  "default_random_engine",
+        "random_shuffle"};
+    static const std::unordered_set<std::string> kWallClock = {
+        "system_clock", "gettimeofday", "clock_gettime",
+        "localtime",    "gmtime",       "mktime"};
+    const bool library = IsLibraryCode(path_) && !IsUnderUtil(path_);
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.type != TokenType::kIdent) continue;
+      if (kBannedEverywhere.count(t.text) > 0) {
+        Report(t, "asqp-nondeterminism",
+               "'" + t.text +
+                   "' is non-deterministic; use util::Rng with an explicit "
+                   "seed");
+        continue;
+      }
+      if (t.text == "mt19937" || t.text == "mt19937_64") {
+        CheckMt19937(i);
+        continue;
+      }
+      if (library && kWallClock.count(t.text) > 0) {
+        Report(t, "asqp-nondeterminism",
+               "wall-clock read ('" + t.text +
+                   "') in library code; use util::Stopwatch / util::Deadline "
+                   "(steady_clock) or accept a Deadline parameter");
+        continue;
+      }
+      if (library && t.text == "time" && i > 0 &&
+          IsPunct(tokens_[i - 1], "::") && IsPunct(tokens_[i + 1], "(")) {
+        Report(t, "asqp-nondeterminism",
+               "wall-clock read ('time') in library code");
+      }
+    }
+  }
+
+  /// `std::mt19937 gen;` / `mt19937()` / `mt19937{}` are unseeded (the
+  /// default seed hides reproducibility bugs); a constructor argument makes
+  /// it explicit and is allowed (though util::Rng is preferred).
+  void CheckMt19937(size_t i) {
+    size_t j = i + 1;
+    if (j < tokens_.size() && tokens_[j].type == TokenType::kIdent) ++j;
+    if (j >= tokens_.size()) return;
+    const bool unseeded =
+        IsPunct(tokens_[j], ";") ||
+        (IsPunct(tokens_[j], "(") && j + 1 < tokens_.size() &&
+         IsPunct(tokens_[j + 1], ")")) ||
+        (IsPunct(tokens_[j], "{") && j + 1 < tokens_.size() &&
+         IsPunct(tokens_[j + 1], "}"));
+    if (unseeded) {
+      Report(tokens_[i], "asqp-nondeterminism",
+             "unseeded '" + tokens_[i].text +
+                 "'; pass an explicit seed (or use util::Rng)");
+    }
+  }
+
+  // --- asqp-naked-new ------------------------------------------------------
+  void CheckNakedNew() {
+    if (IsUnderUtil(path_)) return;
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.type != TokenType::kIdent) continue;
+      if (t.text != "new" && t.text != "delete") continue;
+      // `= delete;` (deleted function) and `operator new/delete` are
+      // declarations, not allocations.
+      if (i > 0 && IsIdent(tokens_[i - 1], "operator")) continue;
+      if (t.text == "delete" && i > 0 && IsPunct(tokens_[i - 1], "=") &&
+          (IsPunct(tokens_[i + 1], ";") || IsPunct(tokens_[i + 1], ","))) {
+        continue;
+      }
+      Report(t, "asqp-naked-new",
+             "naked '" + t.text +
+                 "' outside src/util; use std::make_unique / make_shared or "
+                 "a container");
+    }
+  }
+
+  // --- asqp-catch-all ------------------------------------------------------
+  void CheckCatchAll() {
+    for (size_t i = 0; i + 3 < tokens_.size(); ++i) {
+      if (!IsIdent(tokens_[i], "catch")) continue;
+      if (!IsPunct(tokens_[i + 1], "(") || !IsPunct(tokens_[i + 2], "...") ||
+          !IsPunct(tokens_[i + 3], ")")) {
+        continue;
+      }
+      size_t body = i + 4;
+      if (body >= tokens_.size() || !IsPunct(tokens_[body], "{")) continue;
+      const size_t end = SkipBalanced(tokens_, body, "{", "}");
+      bool converts = false;
+      for (size_t k = body + 1; k + 1 < end; ++k) {
+        const Token& b = tokens_[k];
+        if (b.type != TokenType::kIdent) continue;
+        if (b.text == "throw" || b.text == "rethrow_exception" ||
+            b.text == "current_exception" || b.text == "exception_ptr" ||
+            b.text == "abort" || b.text == "terminate" ||
+            b.text.rfind("ASQP_", 0) == 0 ||
+            b.text.find("Status") != std::string::npos ||
+            b.text.find("Error") != std::string::npos) {
+          converts = true;
+          break;
+        }
+      }
+      if (!converts) {
+        Report(tokens_[i], "asqp-catch-all",
+               "catch (...) swallows the exception; rethrow, convert to a "
+               "Status, or capture with std::current_exception");
+      }
+      i = end > i ? end - 1 : i;
+    }
+  }
+
+  const std::string& path_;
+  const FunctionRegistry& registry_;
+  const std::vector<Token>& tokens_;
+  const SuppressionMap& suppressions_;
+  std::vector<Diagnostic> diags_;
+};
+
+std::vector<std::filesystem::path> CollectSourceFiles(
+    const std::string& root) {
+  static const char* kDirs[] = {"src", "tests", "bench", "examples", "tools"};
+  std::vector<std::filesystem::path> files;
+  for (const char* dir : kDirs) {
+    const std::filesystem::path base = std::filesystem::path(root) / dir;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(base, ec)) continue;
+    for (auto it = std::filesystem::recursive_directory_iterator(base, ec);
+         it != std::filesystem::recursive_directory_iterator();
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cc" || ext == ".h") files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFileOrEmpty(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream ss;
+  ss << file << ":" << line << ":" << col << ": error: [" << rule << "] "
+     << message;
+  return ss.str();
+}
+
+void CollectStatusFunctions(const std::string& source,
+                            FunctionRegistry* registry) {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+  Scanner(source).Run(&tokens, &suppressions);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].type != TokenType::kIdent) continue;
+    size_t j = 0;
+    if (tokens[i].text == "Status") {
+      j = i + 1;
+    } else if (tokens[i].text == "Result" && IsPunct(tokens[i + 1], "<")) {
+      // Skip the balanced template argument list. `>>` closers appear as
+      // two '>' tokens, so plain depth counting is enough.
+      size_t depth = 0;
+      size_t k = i + 1;
+      for (; k < tokens.size(); ++k) {
+        if (IsPunct(tokens[k], "<")) ++depth;
+        if (IsPunct(tokens[k], ">") && --depth == 0) break;
+      }
+      j = k + 1;
+    } else {
+      continue;
+    }
+    // The declared name may be namespace- or class-qualified
+    // (`Status io::Sync(...)`, `Status Table::AppendRow(...)`); register
+    // the final identifier of the chain.
+    while (j + 2 < tokens.size() && tokens[j].type == TokenType::kIdent &&
+           IsPunct(tokens[j + 1], "::") &&
+           tokens[j + 2].type == TokenType::kIdent) {
+      j += 2;
+    }
+    if (j + 1 < tokens.size() && tokens[j].type == TokenType::kIdent &&
+        IsPunct(tokens[j + 1], "(")) {
+      registry->status_returning.insert(tokens[j].text);
+    }
+  }
+}
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& source,
+                                   const FunctionRegistry& registry) {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+  Scanner(source).Run(&tokens, &suppressions);
+  return Linter(path, registry, tokens, suppressions).Run();
+}
+
+size_t LintTree(const std::string& root, std::vector<Diagnostic>* out) {
+  const std::vector<std::filesystem::path> files = CollectSourceFiles(root);
+  FunctionRegistry registry;
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const auto& file : files) {
+    std::string rel =
+        std::filesystem::relative(file, root).generic_string();
+    sources.emplace_back(std::move(rel), ReadFileOrEmpty(file));
+    CollectStatusFunctions(sources.back().second, &registry);
+  }
+  size_t violations = 0;
+  for (const auto& [rel, source] : sources) {
+    for (const Diagnostic& d : LintSource(rel, source, registry)) {
+      if (out != nullptr) out->push_back(d);
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace lint
+}  // namespace asqp

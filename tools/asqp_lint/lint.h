@@ -1,0 +1,72 @@
+// asqp-lint: an in-tree token-level static analyzer enforcing repo
+// invariants that the compiler cannot (or that we want diagnosed even in
+// code paths a build config does not compile). The scanner follows the
+// skeleton of src/sql/lexer.cc — a single forward pass producing a flat
+// token vector — extended with C++ lexical details (comments, raw strings,
+// preprocessor lines) and line:col tracking for diagnostics.
+//
+// Rules (all diagnostics print `file:line:col: error: [asqp-<rule>] ...`):
+//   asqp-discarded-status   a statement-level call to a function returning
+//                           Status / Result<T> whose value is discarded,
+//                           outside an ASQP_* macro invocation
+//   asqp-nondeterminism     banned randomness (rand, srand, random_device,
+//                           default_random_engine, unseeded mt19937) plus
+//                           wall-clock reads in library code (src/ outside
+//                           src/util)
+//   asqp-naked-new          `new` / `delete` outside src/util (the library
+//                           owns memory through containers and smart
+//                           pointers; only util's leaky singletons and
+//                           pimpl constructors may allocate directly)
+//   asqp-catch-all          `catch (...)` whose handler neither rethrows
+//                           nor converts (no throw / rethrow_exception /
+//                           current_exception / Status construction)
+//
+// Suppression: `// NOLINT` or `// NOLINT(asqp-<rule>[, ...])` on the
+// diagnosed line, or `// NOLINTNEXTLINE(...)` on the line above.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace asqp {
+namespace lint {
+
+struct Diagnostic {
+  std::string file;
+  size_t line = 0;  // 1-based
+  size_t col = 0;   // 1-based
+  std::string rule;  // "asqp-discarded-status", ...
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Names of free functions / methods declared anywhere in the tree with a
+/// Status or Result<T> return type. Built by a first pass over every file
+/// so the discard rule needs no hand-maintained list.
+struct FunctionRegistry {
+  std::unordered_set<std::string> status_returning;
+};
+
+/// Scan `source` for Status/Result-returning declarations and add their
+/// names to `registry`.
+void CollectStatusFunctions(const std::string& source,
+                            FunctionRegistry* registry);
+
+/// Lint one translation unit. `path` is used both for diagnostics and for
+/// path-scoped rules (naked-new exemption under src/util, wall-clock ban
+/// limited to library code). Paths are matched on their repo-relative
+/// form, so pass paths relative to the repo root.
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& source,
+                                   const FunctionRegistry& registry);
+
+/// Walk `root`'s source directories (src/ tests/ bench/ examples/ tools/),
+/// build the registry, lint every .cc/.h file, and print diagnostics to
+/// stdout. Returns the number of violations (0 = clean tree).
+size_t LintTree(const std::string& root, std::vector<Diagnostic>* out);
+
+}  // namespace lint
+}  // namespace asqp

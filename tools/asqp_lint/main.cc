@@ -1,0 +1,73 @@
+// asqp-lint CLI. `asqp_lint --root <repo>` walks src/ tests/ bench/
+// examples/ tools/ and exits non-zero when any invariant is violated; see
+// lint.h for the rule set and DESIGN.md §5 for the rationale.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asqp_lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: asqp_lint [--root <dir>] [file...]\n"
+            << "  --root <dir>  repository root to walk (default: .)\n"
+            << "  file...       lint only these files (registry built from "
+               "them)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      return Usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+
+  std::vector<asqp::lint::Diagnostic> diags;
+  size_t violations = 0;
+  if (files.empty()) {
+    violations = asqp::lint::LintTree(root, &diags);
+  } else {
+    asqp::lint::FunctionRegistry registry;
+    std::vector<std::pair<std::string, std::string>> sources;
+    for (const std::string& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::cerr << "asqp-lint: cannot open " << file << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      sources.emplace_back(file, ss.str());
+      asqp::lint::CollectStatusFunctions(sources.back().second, &registry);
+    }
+    for (const auto& [path, source] : sources) {
+      for (auto& d : asqp::lint::LintSource(path, source, registry)) {
+        diags.push_back(std::move(d));
+        ++violations;
+      }
+    }
+  }
+
+  for (const auto& d : diags) std::cout << d.ToString() << "\n";
+  if (violations > 0) {
+    std::cerr << "asqp-lint: " << violations << " violation(s)\n";
+    return 1;
+  }
+  std::cerr << "asqp-lint: clean\n";
+  return 0;
+}
