@@ -21,7 +21,7 @@ int main() {
   const data::DatasetBundle bundle = LoadDataset("imdb", setup);
   util::Rng rng(setup.seed);
   const metric::Workload usable =
-      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+      FilterNonEmpty(*bundle.db, bundle.workload);
   auto [train, test] = usable.TrainTestSplit(0.7, &rng);
 
   auto run_with = [&](core::AsqpConfig config) {

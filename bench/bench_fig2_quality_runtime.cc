@@ -11,6 +11,7 @@
 #include "aqp/vae.h"
 #include "baselines/selector.h"
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "sql/binder.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -114,7 +115,8 @@ struct Agg {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 2", "Quality and running time: ASQP-RL and ASQP-Light "
               "vs all baselines on IMDB and MAS (mean±std over 3 "
               "train/test partitions)");
@@ -125,7 +127,7 @@ int main() {
   for (const std::string& dataset : {std::string("imdb"), std::string("mas")}) {
     const data::DatasetBundle bundle = LoadDataset(dataset, setup);
     const metric::Workload usable =
-        FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+        FilterNonEmpty(*bundle.db, bundle.workload);
 
     // Row label -> aggregated columns across partitions.
     std::vector<std::string> row_order = {"ASQP-RL", "ASQP-Light", "VAE"};
@@ -195,8 +197,18 @@ int main() {
       PrintRow({name, score[name].Show(), Fmt(setup_time[name].mean(), 1),
                 Fmt(query_avg[name].mean(), 2)},
                widths);
+      BenchRecord record;
+      record.name = "fig2/" + dataset + "/" + name;
+      record.params.emplace_back("dataset", dataset);
+      record.params.emplace_back("baseline", name);
+      record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+      record.params.emplace_back("partitions", std::to_string(kPartitions));
+      record.wall_seconds = setup_time[name].mean();
+      record.score = score[name].mean();
+      writer.Add(std::move(record));
     }
     std::printf("\n");
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

@@ -22,7 +22,7 @@ int main() {
     const data::DatasetBundle bundle = LoadDataset(dataset, setup);
     util::Rng rng(setup.seed);
     const metric::Workload usable =
-        FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+        FilterNonEmpty(*bundle.db, bundle.workload);
     auto [train, test] = usable.TrainTestSplit(0.7, &rng);
     std::printf("--- dataset %s ---\n", dataset.c_str());
     PrintRow({"Env", "Agent", "Score", "Time(s)"}, widths);

@@ -31,8 +31,7 @@ int main() {
   theme.band_lo = 0.78;  // a narrow, selective numeric region
   theme.band_hi = 0.97;
   const metric::Workload interest = FilterNonEmpty(
-      *bundle.db, generator.GenerateWorkload(10, theme, setup.seed + 77),
-      setup.frame_size);
+      *bundle.db, generator.GenerateWorkload(10, theme, setup.seed + 77));
 
   metric::ScoreEvaluator evaluator(
       bundle.db.get(), metric::ScoreOptions{.frame_size = setup.frame_size});

@@ -61,7 +61,7 @@ int main() {
   std::vector<metric::Workload> cluster_test;
   for (const std::string& area : areas) {
     metric::Workload cluster =
-        FilterNonEmpty(*bundle.db, AreaCluster(area), setup.frame_size);
+        FilterNonEmpty(*bundle.db, AreaCluster(area));
     util::Rng rng(setup.seed + util::Fnv1a(area));
     auto [train, test] = cluster.TrainTestSplit(0.6, &rng);
     cluster_train.push_back(std::move(train));

@@ -17,7 +17,7 @@ int main() {
   const data::DatasetBundle bundle = LoadDataset("imdb", setup);
   util::Rng rng(setup.seed);
   const metric::Workload usable =
-      FilterNonEmpty(*bundle.db, bundle.workload, setup.frame_size);
+      FilterNonEmpty(*bundle.db, bundle.workload);
   auto [train, test] = usable.TrainTestSplit(0.7, &rng);
 
   // Paper sweep is {1k, 5k, 10k, 15k} on 34M tuples; scale the sweep to

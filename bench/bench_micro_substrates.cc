@@ -1,10 +1,16 @@
 // Microbenchmarks (google-benchmark) for the hot substrate paths that the
-// paper's end-to-end numbers rest on: hash join, Eq.-1 score evaluation,
+// paper's end-to-end numbers rest on: hash join (sequential and
+// morsel-parallel across thread counts), Eq.-1 score evaluation,
 // query/tuple embedding, k-means, and one PPO policy step.
+//
+// Pass `--json out.json` (or set ASQP_BENCH_JSON) to also emit the
+// measurements as machine-readable records; CI's bench-smoke job diffs
+// them against bench/baselines/BENCH_micro.json via tools/bench_compare.
 #include <benchmark/benchmark.h>
 
 #include "cluster/kmeans.h"
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "embed/embedder.h"
 #include "metric/score.h"
 #include "nn/mlp.h"
@@ -55,6 +61,36 @@ void BM_ThreeWayJoin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThreeWayJoin);
+
+void BM_MorselParallelHashJoin(benchmark::State& state) {
+  // The tentpole measurement: the same two-table probe-heavy join as
+  // BM_HashJoinTwoTables, executed morsel-parallel at Arg(0) threads.
+  // Identical output across thread counts is asserted in
+  // tests/parallel_exec_test.cc; this records the speedup curve.
+  const auto& bundle = Imdb();
+  exec::ExecOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.morsel_rows = 4096;
+  exec::QueryEngine engine(options);
+  storage::DatabaseView view(bundle.db.get());
+  auto bound = sql::ParseAndBind(
+      "SELECT t.name, ci.role FROM title t, cast_info ci "
+      "WHERE ci.movie_id = t.id AND t.production_year >= 2000",
+      *bundle.db);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = engine.Execute(bound.value(), view);
+    if (rs.ok()) rows += static_cast<int64_t>(rs.value().num_rows());
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_MorselParallelHashJoin)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_ScoreEvaluation(benchmark::State& state) {
   const auto& bundle = Imdb();
@@ -134,6 +170,43 @@ void BM_PolicyForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_PolicyForwardBackward);
 
+/// Console reporter that additionally captures every per-iteration run as
+/// a BenchRecord (aggregates and errored runs are skipped).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::BenchJsonWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      record.params.emplace_back("bench_scale",
+                                 std::to_string(bench::BenchScale()));
+      const auto iters = run.iterations > 0 ? run.iterations : 1;
+      record.wall_seconds =
+          run.real_accumulated_time / static_cast<double>(iters);
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) record.rows_per_sec = it->second;
+      writer_->Add(std::move(record));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::BenchJsonWriter* writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchJsonWriter writer = bench::BenchJsonWriter::FromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!writer.Flush()) return 1;
+  return 0;
+}

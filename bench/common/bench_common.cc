@@ -1,7 +1,9 @@
 #include "common/bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "sql/binder.h"
 #include "util/stopwatch.h"
@@ -77,15 +79,33 @@ core::AsqpConfig MakeAsqpConfig(const ScaledSetup& setup, bool light) {
   return config;
 }
 
+size_t BenchExecThreads() {
+  const char* env = std::getenv("ASQP_BENCH_THREADS");
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(hw == 0 ? 1 : hw, 8);
+}
+
 metric::Workload FilterNonEmpty(const storage::Database& db,
-                                const metric::Workload& workload,
-                                int frame_size) {
-  metric::ScoreEvaluator evaluator(&db,
-                                   metric::ScoreOptions{.frame_size = frame_size});
+                                const metric::Workload& workload) {
+  // Harness setup used to re-execute every workload query sequentially in
+  // each bench binary; it now runs through the morsel-parallel engine so
+  // bench wall-times measure the system under test, not the harness.
+  exec::ExecOptions options;
+  options.num_threads = BenchExecThreads();
+  exec::QueryEngine engine(options);
+  storage::DatabaseView view(&db);
   metric::Workload out;
   for (const auto& wq : workload.queries()) {
-    auto size = evaluator.FullResultSize(wq.stmt);
-    if (size.ok() && size.value() > 0) out.Add(wq.stmt.Clone(), wq.weight);
+    auto bound = sql::Bind(wq.stmt, db);
+    if (!bound.ok()) continue;
+    auto rs = engine.Execute(bound.value(), view);
+    if (rs.ok() && rs.value().num_rows() > 0) {
+      out.Add(wq.stmt.Clone(), wq.weight);
+    }
   }
   out.NormalizeWeights();
   return out;

@@ -45,12 +45,18 @@ data::DatasetBundle LoadDataset(const std::string& name,
 /// Default ASQP configuration matched to the setup (light = ASQP-Light).
 core::AsqpConfig MakeAsqpConfig(const ScaledSetup& setup, bool light = false);
 
+/// Execution threads used by harness setup work (FilterNonEmpty):
+/// min(hardware_concurrency, 8), overridable via ASQP_BENCH_THREADS.
+size_t BenchExecThreads();
+
 /// Drop workload queries whose full-database result is empty (they score
 /// 1.0 for every method and only blur the comparison) or that fail to
-/// bind. Weights are re-normalized.
+/// bind. Weights are re-normalized. Queries execute through the
+/// morsel-parallel engine (BenchExecThreads() threads) so this setup cost
+/// does not dominate bench wall-times; the kept set is identical to a
+/// sequential pass (asserted in tests/parallel_exec_test.cc).
 metric::Workload FilterNonEmpty(const storage::Database& db,
-                                const metric::Workload& workload,
-                                int frame_size);
+                                const metric::Workload& workload);
 
 /// Score + average per-query latency of answering 10 workload queries
 /// over the subset.

@@ -1,0 +1,121 @@
+#include "common/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace asqp {
+namespace bench {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+BenchJsonWriter BenchJsonWriter::FromArgs(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    const char* arg = argv[r];
+    if (std::strcmp(arg, "--json") == 0 && r + 1 < *argc) {
+      path = argv[++r];
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      path = arg + 7;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (path.empty()) {
+    const char* env = std::getenv("ASQP_BENCH_JSON");
+    if (env != nullptr) path = env;
+  }
+  return BenchJsonWriter(path);
+}
+
+void BenchJsonWriter::Add(BenchRecord record) {
+  if (!enabled()) return;
+  records_.push_back(std::move(record));
+}
+
+std::string BenchJsonWriter::ToJson() const {
+  // Built with chained += (not operator+ on temporaries): GCC 12's -O2
+  // -Werror=restrict false-positives on `const char* + std::string&&`.
+  std::string out = "[\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out += "  {\"name\": \"";
+    out += JsonEscape(r.name);
+    out += "\", \"params\": {";
+    for (size_t p = 0; p < r.params.size(); ++p) {
+      if (p > 0) out += ", ";
+      out += '"';
+      out += JsonEscape(r.params[p].first);
+      out += "\": \"";
+      out += JsonEscape(r.params[p].second);
+      out += '"';
+    }
+    out += "}, \"wall_seconds\": ";
+    out += FmtDouble(r.wall_seconds);
+    out += ", \"rows_per_sec\": ";
+    out += FmtDouble(r.rows_per_sec);
+    out += ", \"score\": ";
+    out += FmtDouble(r.score);
+    out += '}';
+    if (i + 1 < records_.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+bool BenchJsonWriter::Flush() const {
+  if (!enabled()) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 path_.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    std::fprintf(stderr, "bench_json: short write to %s\n", path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bench
+}  // namespace asqp

@@ -1,0 +1,72 @@
+// Machine-readable benchmark output: every bench binary can emit its
+// measurements as a JSON array of records so CI (tools/bench_compare) can
+// diff runs against a checked-in baseline instead of eyeballing tables.
+//
+// Record schema (documented in DESIGN.md, "Benchmark JSON schema"):
+//   {
+//     "name":         unique benchmark id within the file,
+//     "params":       {string: string} free-form run parameters,
+//     "wall_seconds": real seconds per iteration (lower is better),
+//     "rows_per_sec": throughput, 0 when not applicable,
+//     "score":        Eq. 1 quality metric, 0 when not applicable
+//   }
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace asqp {
+namespace bench {
+
+/// \brief One benchmark measurement.
+struct BenchRecord {
+  std::string name;
+  /// Free-form run parameters (scale, dataset, thread count, ...). Kept as
+  /// an ordered vector so the serialized output is deterministic.
+  std::vector<std::pair<std::string, std::string>> params;
+  double wall_seconds = 0.0;
+  double rows_per_sec = 0.0;
+  double score = 0.0;
+};
+
+/// Escape `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string JsonEscape(const std::string& s);
+
+/// \brief Accumulates BenchRecords and writes them as a JSON array.
+///
+/// The output path comes from `--json <path>` on the command line or the
+/// ASQP_BENCH_JSON environment variable; with neither, the writer is
+/// disabled and Add/Flush are cheap no-ops, so bench binaries can call
+/// them unconditionally.
+class BenchJsonWriter {
+ public:
+  /// Parse `--json <path>` (or `--json=<path>`) out of (argc, argv); the
+  /// consumed arguments are removed so downstream flag parsers
+  /// (google-benchmark's Initialize) never see them. Falls back to the
+  /// ASQP_BENCH_JSON environment variable when the flag is absent.
+  static BenchJsonWriter FromArgs(int* argc, char** argv);
+
+  explicit BenchJsonWriter(std::string path = "") : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  void Add(BenchRecord record);
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Serialize the records (pretty-printed, one record per line block).
+  std::string ToJson() const;
+
+  /// Write ToJson() to the configured path. Returns false and reports on
+  /// stderr when the file cannot be written; true (no-op) when disabled.
+  bool Flush() const;
+
+ private:
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace bench
+}  // namespace asqp

@@ -583,8 +583,14 @@ Result<exec::ResultSet> Spn::EstimateAggregateQuery(
     for (const sql::SelectItem& item : query.stmt.items) {
       switch (item.agg) {
         case sql::AggFunc::kNone:
-          row.emplace_back(group_value.has_value() ? storage::Value(*group_value)
-                                                   : storage::Value());
+          // if/else instead of a ternary: GCC 12's -O2 maybe-uninitialized
+          // pass false-positives on the ternary's moved-from variant
+          // temporary.
+          if (group_value.has_value()) {
+            row.emplace_back(*group_value);
+          } else {
+            row.emplace_back();
+          }
           break;
         case sql::AggFunc::kCount:
           row.emplace_back(static_cast<int64_t>(std::llround(count)));

@@ -69,6 +69,12 @@ struct AsqpConfig {
   /// Answer() (seconds; 0 = unlimited). On timeout the mediator falls back
   /// to an unbounded full-database execution and flags the result.
   double answer_deadline_seconds = 0.0;
+  /// Execution threads for the mediator's query engine and the
+  /// pre-processing representative executions (morsel-parallel scans +
+  /// hash-join probe; see exec::ExecOptions::num_threads). 1 = sequential
+  /// (the default — callers opt in to parallel answering explicitly).
+  /// Results are identical across thread counts.
+  size_t exec_threads = 1;
 
   uint64_t seed = 1;
 

@@ -10,12 +10,23 @@
 namespace asqp {
 namespace core {
 
+namespace {
+
+exec::ExecOptions ExecOptionsFor(const AsqpConfig& config) {
+  exec::ExecOptions options;
+  options.num_threads = config.exec_threads;
+  return options;
+}
+
+}  // namespace
+
 AsqpModel::AsqpModel(const storage::Database* db, AsqpConfig config,
                      PreprocessResult preprocess, rl::Policy policy)
     : db_(db),
       config_(std::move(config)),
       preprocess_(std::move(preprocess)),
-      policy_(std::move(policy)) {
+      policy_(std::move(policy)),
+      engine_(ExecOptionsFor(config_)) {
   std::vector<double> coverage(preprocess_.representative_embeddings.size(),
                                0.0);
   estimator_ = std::make_unique<AnswerabilityEstimator>(

@@ -139,7 +139,11 @@ Result<PreprocessResult> Preprocess(const storage::Database& db,
   const size_t execute_count = std::max<size_t>(
       1, static_cast<size_t>(config.representative_fraction *
                              static_cast<double>(clustering.medoids.size())));
-  exec::QueryEngine engine;
+  // Representative executions are the exec-heavy part of setup; they run
+  // morsel-parallel when the configuration opts in (config.exec_threads).
+  exec::ExecOptions exec_options;
+  exec_options.num_threads = config.exec_threads;
+  exec::QueryEngine engine(exec_options);
   storage::DatabaseView full_view(&db);
 
   std::vector<RawTuple> raw_pool;

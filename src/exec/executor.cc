@@ -1,12 +1,15 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "exec/evaluator.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace asqp {
 namespace exec {
@@ -47,11 +50,13 @@ std::string ValueKey(const Value& v) {
 class Execution {
  public:
   Execution(const BoundQuery& q, const DatabaseView& view,
-            const ExecOptions& options, const util::ExecContext& context)
+            const ExecOptions& options, const util::ExecContext& context,
+            util::ThreadPool* pool)
       : q_(q),
         view_(view),
         options_(options),
         context_(context),
+        pool_(pool),
         ticker_(context, /*stride=*/256) {}
 
   Result<ResultSet> Run() {
@@ -80,33 +85,115 @@ class Execution {
 
  private:
   /// Per-table filtered scan: collect visible row ids passing the table's
-  /// single-table conjuncts.
+  /// single-table conjuncts. With a pool, each table's visible range is
+  /// split into morsels filtered into thread-local buffers and merged in
+  /// morsel order, matching the sequential left-to-right output exactly.
   Status FilterScans() {
     const size_t n = q_.num_tables();
     candidates_.resize(n);
-    scratch_rows_.assign(n, 0);
     for (size_t t = 0; t < n; ++t) {
       const Table& table = *q_.tables[t];
       const size_t visible = view_.VisibleRows(table);
       const auto& filters = q_.filters[t];
-      JoinedRow jr{&q_.tables, scratch_rows_.data()};
       auto& out = candidates_[t];
-      out.reserve(visible / 4 + 1);
-      for (size_t ord = 0; ord < visible; ++ord) {
-        ASQP_RETURN_NOT_OK(ticker_.Tick("table scan"));
-        const uint32_t row = view_.PhysicalRow(table, ord);
-        scratch_rows_[t] = row;
-        bool pass = true;
-        for (const ExprPtr& f : filters) {
-          if (!EvaluatePredicate(*f, jr)) {
-            pass = false;
-            break;
+      const auto scan_range = [&, t](size_t begin, size_t end,
+                                     std::vector<uint32_t>* rows,
+                                     util::DeadlineTicker* ticker) -> Status {
+        std::vector<uint32_t> scratch(n, 0);
+        JoinedRow jr{&q_.tables, scratch.data()};
+        for (size_t ord = begin; ord < end; ++ord) {
+          ASQP_RETURN_NOT_OK(ticker->Tick("table scan"));
+          const uint32_t row = view_.PhysicalRow(table, ord);
+          scratch[t] = row;
+          bool pass = true;
+          for (const ExprPtr& f : filters) {
+            if (!EvaluatePredicate(*f, jr)) {
+              pass = false;
+              break;
+            }
           }
+          if (pass) rows->push_back(row);
         }
-        if (pass) out.push_back(row);
+        return Status::OK();
+      };
+
+      if (pool_ != nullptr && visible > 1) {
+        const size_t morsel = options_.morsel_rows;
+        std::vector<std::vector<uint32_t>> parts((visible + morsel - 1) /
+                                                 morsel);
+        ASQP_RETURN_NOT_OK(pool_->ParallelForChunked(
+            visible, morsel,
+            [&](size_t chunk, size_t begin, size_t end) -> Status {
+              util::DeadlineTicker ticker(context_, /*stride=*/256);
+              std::vector<uint32_t> local;
+              local.reserve((end - begin) / 4 + 1);
+              ASQP_RETURN_NOT_OK(scan_range(begin, end, &local, &ticker));
+              parts[chunk] = std::move(local);
+              return Status::OK();
+            }));
+        size_t total = 0;
+        for (const auto& p : parts) total += p.size();
+        out.reserve(total);
+        for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+      } else {
+        out.reserve(visible / 4 + 1);
+        ASQP_RETURN_NOT_OK(scan_range(0, visible, &out, &ticker_));
       }
     }
     return Status::OK();
+  }
+
+  /// Rewrite `joined_`-sized input through `fn(begin, end, out, ticker)`
+  /// morsel-parallel: each morsel appends into a thread-local TupleSet and
+  /// the per-morsel outputs are concatenated in morsel order, so the
+  /// replacement is identical to a sequential left-to-right pass. The
+  /// accumulated output is checked against max_intermediate_rows (`what`
+  /// names the stage in the error). Falls back to one sequential range
+  /// (reusing the sticky member ticker) without a pool.
+  Result<TupleSet> MorselRewrite(
+      const char* what,
+      const std::function<Status(size_t begin, size_t end, TupleSet* out,
+                                 util::DeadlineTicker* ticker)>& fn) {
+    TupleSet merged;
+    merged.num_tables = joined_.num_tables;
+    const size_t input = joined_.size();
+    if (pool_ != nullptr && input > 1) {
+      const size_t morsel = options_.morsel_rows;
+      std::vector<TupleSet> parts((input + morsel - 1) / morsel);
+      std::atomic<size_t> total{0};
+      ASQP_RETURN_NOT_OK(pool_->ParallelForChunked(
+          input, morsel,
+          [&](size_t chunk, size_t begin, size_t end) -> Status {
+            util::DeadlineTicker ticker(context_, /*stride=*/256);
+            TupleSet local;
+            local.num_tables = joined_.num_tables;
+            ASQP_RETURN_NOT_OK(fn(begin, end, &local, &ticker));
+            const size_t so_far =
+                total.fetch_add(local.size(), std::memory_order_relaxed) +
+                local.size();
+            if (so_far > options_.max_intermediate_rows) {
+              return Status::ExecutionError(
+                  util::Format("%s: intermediate join result exceeds %zu rows",
+                               what, options_.max_intermediate_rows));
+            }
+            parts[chunk] = std::move(local);
+            return Status::OK();
+          }));
+      size_t total_flat = 0;
+      for (const TupleSet& p : parts) total_flat += p.flat.size();
+      merged.flat.reserve(total_flat);
+      for (TupleSet& p : parts) {
+        merged.flat.insert(merged.flat.end(), p.flat.begin(), p.flat.end());
+      }
+    } else {
+      ASQP_RETURN_NOT_OK(fn(0, input, &merged, &ticker_));
+      if (merged.size() > options_.max_intermediate_rows) {
+        return Status::ExecutionError(
+            util::Format("%s: intermediate join result exceeds %zu rows", what,
+                         options_.max_intermediate_rows));
+      }
+    }
+    return merged;
   }
 
   /// Greedy hash-join: start from the smallest filtered table, repeatedly
@@ -240,36 +327,49 @@ class Execution {
       if (!has_null) build.emplace(std::move(key), row);
     }
 
-    // Probe with current tuples.
-    std::vector<uint32_t> tmp(n, 0);
-    for (size_t i = 0; i < joined_.size(); ++i) {
-      ASQP_RETURN_NOT_OK(ticker_.Tick("hash-join probe"));
-      const uint32_t* src = joined_.tuple(i);
-      std::string key;
-      bool has_null = false;
-      for (const KeyPair& kp : keys) {
-        const Value v =
-            q_.tables[kp.probe_table]->column(kp.probe_col).ValueAt(src[kp.probe_table]);
-        if (v.is_null()) {
-          has_null = true;
-          break;
-        }
-        key += ValueKey(v);
-        key += '\x01';
-      }
-      if (has_null) continue;
-      auto [lo, hi] = build.equal_range(key);
-      for (auto it = lo; it != hi; ++it) {
-        std::copy(src, src + n, tmp.begin());
-        tmp[t] = it->second;
-        next.Append(tmp.data());
-        if (next.size() > options_.max_intermediate_rows) {
-          return Status::ExecutionError(util::Format(
-              "intermediate join result exceeds %zu rows",
-              options_.max_intermediate_rows));
-        }
-      }
-    }
+    // Probe with current tuples. The build table above is shared read-only
+    // across morsels; each morsel appends matches to its own TupleSet. The
+    // in-loop cap check bounds any single morsel's output even before the
+    // merged total is validated.
+    ASQP_ASSIGN_OR_RETURN(
+        next,
+        MorselRewrite(
+            "hash-join probe",
+            [&](size_t begin, size_t end, TupleSet* out,
+                util::DeadlineTicker* ticker) -> Status {
+              std::vector<uint32_t> tmp(n, 0);
+              std::string key;
+              for (size_t i = begin; i < end; ++i) {
+                ASQP_RETURN_NOT_OK(ticker->Tick("hash-join probe"));
+                const uint32_t* src = joined_.tuple(i);
+                key.clear();
+                bool has_null = false;
+                for (const KeyPair& kp : keys) {
+                  const Value v = q_.tables[kp.probe_table]
+                                      ->column(kp.probe_col)
+                                      .ValueAt(src[kp.probe_table]);
+                  if (v.is_null()) {
+                    has_null = true;
+                    break;
+                  }
+                  key += ValueKey(v);
+                  key += '\x01';
+                }
+                if (has_null) continue;
+                auto [lo, hi] = build.equal_range(key);
+                for (auto it = lo; it != hi; ++it) {
+                  std::copy(src, src + n, tmp.begin());
+                  tmp[t] = it->second;
+                  out->Append(tmp.data());
+                  if (out->size() > options_.max_intermediate_rows) {
+                    return Status::ExecutionError(util::Format(
+                        "intermediate join result exceeds %zu rows",
+                        options_.max_intermediate_rows));
+                  }
+                }
+              }
+              return Status::OK();
+            }));
     joined_ = std::move(next);
     return Status::OK();
   }
@@ -287,16 +387,22 @@ class Execution {
       }
       if (!ready) continue;
       (*done)[r] = true;
-      TupleSet next;
-      next.num_tables = joined_.num_tables;
-      JoinedRow jr{&q_.tables, nullptr};
-      for (size_t i = 0; i < joined_.size(); ++i) {
-        ASQP_RETURN_NOT_OK(ticker_.Tick("residual filter"));
-        jr.row_ids = joined_.tuple(i);
-        if (EvaluatePredicate(*q_.residual[r], jr)) {
-          next.Append(joined_.tuple(i));
-        }
-      }
+      ASQP_ASSIGN_OR_RETURN(
+          TupleSet next,
+          MorselRewrite(
+              "residual filter",
+              [&](size_t begin, size_t end, TupleSet* out,
+                  util::DeadlineTicker* ticker) -> Status {
+                JoinedRow jr{&q_.tables, nullptr};
+                for (size_t i = begin; i < end; ++i) {
+                  ASQP_RETURN_NOT_OK(ticker->Tick("residual filter"));
+                  jr.row_ids = joined_.tuple(i);
+                  if (EvaluatePredicate(*q_.residual[r], jr)) {
+                    out->Append(joined_.tuple(i));
+                  }
+                }
+                return Status::OK();
+              }));
       joined_ = std::move(next);
     }
     return Status::OK();
@@ -326,6 +432,11 @@ class Execution {
 
   Result<ResultSet> Project() {
     ResultSet out(OutputNames());
+    size_t expect = joined_.size();
+    if (q_.stmt.limit >= 0) {
+      expect = std::min(expect, static_cast<size_t>(q_.stmt.limit));
+    }
+    out.Reserve(expect);
     JoinedRow jr{&q_.tables, nullptr};
 
     const bool need_order = !q_.stmt.order_by.empty();
@@ -562,19 +673,28 @@ class Execution {
   const DatabaseView& view_;
   const ExecOptions& options_;
   const util::ExecContext& context_;
+  util::ThreadPool* pool_;  // null = sequential
   util::DeadlineTicker ticker_;
 
   std::vector<std::vector<uint32_t>> candidates_;
-  std::vector<uint32_t> scratch_rows_;
   TupleSet joined_;
 };
 
 }  // namespace
 
+QueryEngine::QueryEngine(ExecOptions options) : options_(options) {
+  if (options_.morsel_rows == 0) options_.morsel_rows = 1;
+  if (options_.num_threads > 1) {
+    // The calling thread participates in ParallelForChunked, so
+    // num_threads - 1 pool workers give num_threads total.
+    pool_ = std::make_shared<util::ThreadPool>(options_.num_threads - 1);
+  }
+}
+
 Result<ResultSet> QueryEngine::Execute(const BoundQuery& query,
                                        const DatabaseView& view,
                                        const util::ExecContext& context) const {
-  Execution exec(query, view, options_, context);
+  Execution exec(query, view, options_, context, pool_.get());
   return exec.Run();
 }
 
@@ -589,7 +709,7 @@ Result<ResultSet> QueryEngine::ExecuteSql(
 Result<ProvenancedJoin> QueryEngine::ExecuteWithProvenance(
     const BoundQuery& query, const DatabaseView& view, size_t max_tuples,
     const util::ExecContext& context) const {
-  Execution exec(query, view, options_, context);
+  Execution exec(query, view, options_, context, pool_.get());
   return exec.RunWithProvenance(max_tuples);
 }
 

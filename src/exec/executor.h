@@ -5,9 +5,20 @@
 // the join graph is disconnected) -> residual predicates (applied as soon
 // as their tables are joined) -> aggregation or projection -> DISTINCT ->
 // ORDER BY -> LIMIT.
+//
+// Parallelism: with ExecOptions::num_threads > 1 the scan/filter stage, the
+// hash-join *probe* side, and residual predicate filters run
+// morsel-parallel over a thread pool owned by the engine. Base-table rows
+// (and intermediate join tuples) are split into fixed-size morsels, each
+// morsel filters/probes into a thread-local buffer, and the per-morsel
+// outputs are concatenated in morsel order — so the produced ResultSet is
+// bit-for-bit identical to the sequential engine's. The hash-join build
+// side, cross products, aggregation, and projection stay sequential (the
+// probe dominates the hot path; a partitioned build is future work).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "exec/result_set.h"
@@ -17,12 +28,25 @@
 #include "util/status.h"
 
 namespace asqp {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace exec {
 
 struct ExecOptions {
   /// Abort with ExecutionError when an intermediate join result exceeds
   /// this many rows (guards against accidental cross-product blowups).
   size_t max_intermediate_rows = 20'000'000;
+  /// Total execution threads for morsel-parallel scans, hash-join probes,
+  /// and residual filters. 0 or 1 = fully sequential (no pool is created;
+  /// the default, so library users opt in explicitly). The calling thread
+  /// participates, so `num_threads` is the total concurrency, not the
+  /// helper count. Results are identical across any thread count.
+  size_t num_threads = 1;
+  /// Rows per morsel dispatched to the pool. Smaller morsels improve load
+  /// balance and deadline latency; larger ones amortize dispatch overhead.
+  size_t morsel_rows = 16 * 1024;
 };
 
 /// \brief Join result with provenance: for every joined tuple, the physical
@@ -39,7 +63,7 @@ struct ProvenancedJoin {
 
 class QueryEngine {
  public:
-  explicit QueryEngine(ExecOptions options = {}) : options_(options) {}
+  explicit QueryEngine(ExecOptions options = {});
 
   /// Execute a bound query against `view`. The ExecContext's deadline /
   /// cancellation flag / row budget are polled inside the scan, join,
@@ -63,8 +87,14 @@ class QueryEngine {
       size_t max_tuples = 0,
       const util::ExecContext& context = util::ExecContext()) const;
 
+  const ExecOptions& options() const { return options_; }
+
  private:
   ExecOptions options_;
+  /// Worker pool for morsel-parallel execution; null when num_threads <= 1.
+  /// Shared (not unique) so QueryEngine stays copyable — copies reuse the
+  /// same pool, which is safe because ParallelFor* is self-contained.
+  std::shared_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace exec

@@ -21,6 +21,10 @@ class ResultSet {
   size_t num_columns() const { return column_names_.size(); }
   size_t num_rows() const { return rows_.size(); }
 
+  /// Reserve capacity for `rows` output rows (the executor calls this once
+  /// the joined cardinality is known, before materializing values).
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
   void AddRow(std::vector<storage::Value> row) { rows_.push_back(std::move(row)); }
   const std::vector<storage::Value>& row(size_t i) const { return rows_[i]; }
   std::vector<std::vector<storage::Value>>& mutable_rows() { return rows_; }

@@ -75,6 +75,34 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   WaitIdle();
 }
 
+Status ThreadPool::ParallelForChunked(
+    size_t n, size_t chunk_size,
+    const std::function<Status(size_t chunk, size_t begin, size_t end)>& fn) {
+  if (n == 0) return Status::OK();
+  if (chunk_size == 0) chunk_size = 1;
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  // Each chunk writes only its own slot, so the vector needs no lock; the
+  // ParallelFor barrier publishes every slot before the scan below.
+  std::vector<Status> statuses(num_chunks);
+  std::atomic<bool> failed{false};
+  ParallelFor(num_chunks, [&](size_t chunk) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const size_t begin = chunk * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    Status st = fn(chunk, begin, end);
+    if (!st.ok()) {
+      statuses[chunk] = std::move(st);
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (failed.load(std::memory_order_relaxed)) {
+    for (Status& st : statuses) {
+      if (!st.ok()) return std::move(st);
+    }
+  }
+  return Status::OK();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

@@ -1,6 +1,6 @@
 // Fixed-size thread pool used for parallel rollout collection (the paper's
-// asynchronous actor-learners) and for the multi-process brute-force /
-// greedy baselines.
+// asynchronous actor-learners), for the multi-process brute-force / greedy
+// baselines, and for morsel-parallel query execution (exec::QueryEngine).
 #pragma once
 
 #include <condition_variable>
@@ -11,6 +11,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace asqp {
 namespace util {
@@ -43,6 +45,19 @@ class ThreadPool {
   ///     been claimed and every running `fn` has returned — the shared
   ///     iteration state never outlives the call (no leak under TSan).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Split [0, n) into chunks of `chunk_size` and run
+  /// `fn(chunk, begin, end)` across the pool (the calling thread
+  /// participates, like ParallelFor). Each chunk returns a Status rather
+  /// than throwing — no exception crosses the pool boundary from `fn`.
+  /// Statuses are collected per chunk and the first non-OK Status in
+  /// *chunk order* is returned, so the propagated error is deterministic
+  /// regardless of scheduling. Once any chunk fails, chunks that have not
+  /// started yet are skipped (best-effort early exit); chunks already
+  /// running finish normally. n == 0 returns OK immediately.
+  [[nodiscard]] Status ParallelForChunked(
+      size_t n, size_t chunk_size,
+      const std::function<Status(size_t chunk, size_t begin, size_t end)>& fn);
 
  private:
   void WorkerLoop();

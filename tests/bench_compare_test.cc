@@ -1,0 +1,152 @@
+// bench_compare (tools/bench_compare): the JSON parser must round-trip
+// what bench/common/bench_json.cc emits, and the comparison policy must
+// fail exactly on wall-time regressions past the tolerance while
+// tolerating new benchmarks, stale baselines, and noise-fast entries.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_compare/compare.h"
+#include "common/bench_json.h"
+
+namespace asqp {
+namespace benchcmp {
+namespace {
+
+BenchEntry Entry(const std::string& name, double wall) {
+  BenchEntry e;
+  e.name = name;
+  e.wall_seconds = wall;
+  return e;
+}
+
+TEST(BenchCompareParse, RoundTripsEmitterOutput) {
+  bench::BenchJsonWriter writer("unused-path");
+  bench::BenchRecord record;
+  record.name = "BM_MorselParallelHashJoin/4";
+  record.params.emplace_back("bench_scale", "0");
+  record.params.emplace_back("quote\"key", "line1\nline2\ttab");
+  record.wall_seconds = 0.00123456789;
+  record.rows_per_sec = 1.5e6;
+  record.score = 0.64;
+  writer.Add(record);
+  bench::BenchRecord empty;
+  empty.name = "BM_Empty";
+  writer.Add(empty);
+
+  std::vector<BenchEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBenchJson(writer.ToJson(), &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "BM_MorselParallelHashJoin/4");
+  ASSERT_EQ(parsed[0].params.size(), 2u);
+  EXPECT_EQ(parsed[0].params[0],
+            (std::pair<std::string, std::string>("bench_scale", "0")));
+  EXPECT_EQ(parsed[0].params[1].first, "quote\"key");
+  EXPECT_EQ(parsed[0].params[1].second, "line1\nline2\ttab");
+  EXPECT_DOUBLE_EQ(parsed[0].wall_seconds, 0.00123456789);
+  EXPECT_DOUBLE_EQ(parsed[0].rows_per_sec, 1.5e6);
+  EXPECT_DOUBLE_EQ(parsed[0].score, 0.64);
+  EXPECT_EQ(parsed[1].name, "BM_Empty");
+  EXPECT_DOUBLE_EQ(parsed[1].wall_seconds, 0.0);
+}
+
+TEST(BenchCompareParse, EmptyArrayAndUnknownKeys) {
+  std::vector<BenchEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBenchJson("[]", &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.empty());
+
+  // Unknown keys (future schema growth) and non-object params tolerated.
+  const std::string forward =
+      "[{\"name\": \"a\", \"wall_seconds\": 2.5, \"extra\": [1, {\"x\": "
+      "true}, null], \"params\": null}]";
+  parsed.clear();
+  ASSERT_TRUE(ParseBenchJson(forward, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "a");
+  EXPECT_DOUBLE_EQ(parsed[0].wall_seconds, 2.5);
+}
+
+TEST(BenchCompareParse, RejectsMalformedInput) {
+  std::vector<BenchEntry> parsed;
+  std::string error;
+  EXPECT_FALSE(ParseBenchJson("", &parsed, &error));
+  parsed.clear();
+  EXPECT_FALSE(ParseBenchJson("[{\"name\": \"a\"", &parsed, &error));
+  parsed.clear();
+  EXPECT_FALSE(ParseBenchJson("[{\"wall_seconds\": 1.0}]", &parsed, &error));
+  EXPECT_NE(error.find("name"), std::string::npos) << error;
+  parsed.clear();
+  EXPECT_FALSE(ParseBenchJson(
+      "[{\"name\": \"a\"}, {\"name\": \"a\"}]", &parsed, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(BenchCompare, PassesWithinTolerance) {
+  const std::vector<BenchEntry> baseline = {Entry("join", 0.010),
+                                            Entry("scan", 0.020)};
+  // 20% slower than baseline: inside the default 25% tolerance.
+  const std::vector<BenchEntry> current = {Entry("join", 0.012),
+                                           Entry("scan", 0.019)};
+  const CompareOptions options;
+  const CompareResult result = Compare(baseline, current, options);
+  EXPECT_TRUE(result.ok(options)) << Report(result, options);
+  EXPECT_EQ(result.compared, 2u);
+  EXPECT_TRUE(result.regressions.empty());
+}
+
+TEST(BenchCompare, FailsPastTolerance) {
+  const std::vector<BenchEntry> baseline = {Entry("join", 0.010)};
+  const std::vector<BenchEntry> current = {Entry("join", 0.013)};
+  const CompareOptions options;  // tolerance 0.25 -> limit 0.0125
+  const CompareResult result = Compare(baseline, current, options);
+  EXPECT_FALSE(result.ok(options));
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].name, "join");
+  EXPECT_NEAR(result.regressions[0].ratio, 1.3, 1e-9);
+  EXPECT_NE(Report(result, options).find("REGRESSION join"),
+            std::string::npos);
+}
+
+TEST(BenchCompare, TighterToleranceFlipsVerdict) {
+  const std::vector<BenchEntry> baseline = {Entry("join", 0.010)};
+  const std::vector<BenchEntry> current = {Entry("join", 0.011)};
+  CompareOptions options;
+  options.tolerance = 0.05;
+  const CompareResult result = Compare(baseline, current, options);
+  EXPECT_FALSE(result.ok(options));
+  ASSERT_EQ(result.regressions.size(), 1u);
+}
+
+TEST(BenchCompare, SkipsNoiseFastBaselines) {
+  // Baseline under min_wall_seconds: a 100x "regression" is timer noise.
+  const std::vector<BenchEntry> baseline = {Entry("tiny", 1e-6)};
+  const std::vector<BenchEntry> current = {Entry("tiny", 1e-4)};
+  const CompareOptions options;
+  const CompareResult result = Compare(baseline, current, options);
+  EXPECT_TRUE(result.ok(options));
+  EXPECT_EQ(result.compared, 0u);
+  ASSERT_EQ(result.skipped.size(), 1u);
+  EXPECT_EQ(result.skipped[0], "tiny");
+}
+
+TEST(BenchCompare, ToleratesNewAndMissingBenchmarks) {
+  const std::vector<BenchEntry> baseline = {Entry("old", 0.010)};
+  const std::vector<BenchEntry> current = {Entry("brand_new", 0.500)};
+  CompareOptions options;
+  const CompareResult result = Compare(baseline, current, options);
+  EXPECT_TRUE(result.ok(options));
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_EQ(result.missing[0], "old");
+  ASSERT_EQ(result.added.size(), 1u);
+  EXPECT_EQ(result.added[0], "brand_new");
+
+  options.fail_on_missing = true;
+  EXPECT_FALSE(result.ok(options));
+}
+
+}  // namespace
+}  // namespace benchcmp
+}  // namespace asqp

@@ -1,0 +1,354 @@
+#include "bench_compare/compare.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace asqp {
+namespace benchcmp {
+
+namespace {
+
+/// Recursive-descent parser over the bench-JSON subset. Values we do not
+/// care about (nested arrays, bools, null) are parsed and discarded so a
+/// hand-annotated baseline still loads.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseTopLevel(std::vector<BenchEntry>* out) {
+    SkipWhitespace();
+    if (!Expect('[')) return false;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      BenchEntry entry;
+      if (!ParseRecord(&entry)) return false;
+      out->push_back(std::move(entry));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWhitespace();
+        continue;
+      }
+      break;
+    }
+    return Expect(']');
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "line %zu: ", line_);
+    *error_ = buf + what;
+    return false;
+  }
+
+  bool Expect(char c) {
+    SkipWhitespace();
+    if (Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWhitespace();
+    if (Peek() != '"') return Fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            // The emitter only \u-escapes control characters; decode the
+            // low byte and drop the (always-zero) high byte.
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            *out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        if (c == '\n') ++line_;
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWhitespace();
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected number");
+    *out = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseLiteral(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  /// Parse and discard any JSON value.
+  bool SkipValue() {
+    SkipWhitespace();
+    const char c = Peek();
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{') {
+      ++pos_;
+      SkipWhitespace();
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!ParseString(&key) || !Expect(':') || !SkipValue()) return false;
+        SkipWhitespace();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWhitespace();
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        if (!SkipValue()) return false;
+        SkipWhitespace();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect(']');
+      }
+    }
+    if (c == 't') return ParseLiteral("true");
+    if (c == 'f') return ParseLiteral("false");
+    if (c == 'n') return ParseLiteral("null");
+    double ignored;
+    return ParseNumber(&ignored);
+  }
+
+  bool ParseParams(BenchEntry* entry) {
+    if (!Expect('{')) return false;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      std::string value;
+      if (!ParseString(&key) || !Expect(':') || !ParseString(&value)) {
+        return false;
+      }
+      entry->params.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWhitespace();
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  bool ParseRecord(BenchEntry* entry) {
+    if (!Expect('{')) return false;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Expect(':')) return false;
+      if (key == "name") {
+        if (!ParseString(&entry->name)) return false;
+      } else if (key == "params") {
+        SkipWhitespace();
+        if (Peek() == '{') {
+          if (!ParseParams(entry)) return false;
+        } else if (!SkipValue()) {
+          return false;
+        }
+      } else if (key == "wall_seconds") {
+        if (!ParseNumber(&entry->wall_seconds)) return false;
+      } else if (key == "rows_per_sec") {
+        if (!ParseNumber(&entry->rows_per_sec)) return false;
+      } else if (key == "score") {
+        if (!ParseNumber(&entry->score)) return false;
+      } else if (!SkipValue()) {  // forward compatibility: unknown keys
+        return false;
+      }
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWhitespace();
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+std::string FmtSeconds(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ParseBenchJson(const std::string& text, std::vector<BenchEntry>* out,
+                    std::string* error) {
+  Parser parser(text, error);
+  if (!parser.ParseTopLevel(out)) return false;
+  std::set<std::string> seen;
+  for (const BenchEntry& entry : *out) {
+    if (entry.name.empty()) {
+      *error = "record without a \"name\"";
+      return false;
+    }
+    if (!seen.insert(entry.name).second) {
+      *error = "duplicate benchmark name: " + entry.name;
+      return false;
+    }
+  }
+  return true;
+}
+
+CompareResult Compare(const std::vector<BenchEntry>& baseline,
+                      const std::vector<BenchEntry>& current,
+                      const CompareOptions& options) {
+  CompareResult result;
+  std::map<std::string, const BenchEntry*> current_by_name;
+  for (const BenchEntry& entry : current) {
+    current_by_name[entry.name] = &entry;
+  }
+  std::set<std::string> baseline_names;
+  for (const BenchEntry& base : baseline) {
+    baseline_names.insert(base.name);
+    const auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) {
+      result.missing.push_back(base.name);
+      continue;
+    }
+    if (base.wall_seconds < options.min_wall_seconds) {
+      result.skipped.push_back(base.name);
+      continue;
+    }
+    ++result.compared;
+    const BenchEntry& cur = *it->second;
+    if (cur.wall_seconds > base.wall_seconds * (1.0 + options.tolerance)) {
+      Regression regression;
+      regression.name = base.name;
+      regression.baseline_wall = base.wall_seconds;
+      regression.current_wall = cur.wall_seconds;
+      regression.ratio = cur.wall_seconds / base.wall_seconds;
+      result.regressions.push_back(std::move(regression));
+    }
+  }
+  for (const BenchEntry& entry : current) {
+    if (baseline_names.count(entry.name) == 0) {
+      result.added.push_back(entry.name);
+    }
+  }
+  return result;
+}
+
+std::string Report(const CompareResult& result,
+                   const CompareOptions& options) {
+  std::string out;
+  char buf[256];
+  for (const Regression& r : result.regressions) {
+    std::snprintf(buf, sizeof(buf),
+                  "REGRESSION %s: %s -> %s (%.2fx, tolerance %.0f%%)\n",
+                  r.name.c_str(), FmtSeconds(r.baseline_wall).c_str(),
+                  FmtSeconds(r.current_wall).c_str(), r.ratio,
+                  options.tolerance * 100.0);
+    out += buf;
+  }
+  for (const std::string& name : result.missing) {
+    out += (options.fail_on_missing ? "MISSING " : "missing (stale baseline?) ");
+    out += name + "\n";
+  }
+  for (const std::string& name : result.added) {
+    out += "new (not in baseline) " + name + "\n";
+  }
+  for (const std::string& name : result.skipped) {
+    out += "skipped (below min wall time) " + name + "\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%zu compared, %zu regression(s), %zu missing, %zu new, "
+                "%zu skipped\n",
+                result.compared, result.regressions.size(),
+                result.missing.size(), result.added.size(),
+                result.skipped.size());
+  out += buf;
+  return out;
+}
+
+}  // namespace benchcmp
+}  // namespace asqp

@@ -1,0 +1,87 @@
+// bench_compare: CI gate over the machine-readable benchmark records
+// emitted by bench/common/bench_json.h. Parses two JSON files (a
+// checked-in baseline, e.g. bench/baselines/BENCH_micro.json, and the
+// current run's output) and fails when any benchmark's wall time
+// regressed past a relative tolerance.
+//
+// Like asqp_lint, this is dependency-free plain C++: the JSON parser
+// below handles exactly the subset the emitter produces (an array of
+// flat objects with string/number/object-of-string values) plus enough
+// generality — nested values, bools, null, escapes — to not choke on
+// hand-edited baselines.
+//
+// Comparison policy:
+//   - matched by record "name"; a name may appear only once per file
+//   - wall-time regression: current > baseline * (1 + tolerance) fails
+//   - entries with baseline wall time below `min_wall_seconds` are
+//     skipped (sub-100us timings are noise-dominated in CI)
+//   - benchmarks only in the current run are reported as "new" and pass
+//     (adding a benchmark must not require touching the baseline)
+//   - benchmarks only in the baseline are reported as "missing" and
+//     pass by default (removal means the baseline is stale, not that
+//     performance regressed); CI can tighten with --fail-on-missing
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace asqp {
+namespace benchcmp {
+
+/// One benchmark record, mirroring bench::BenchRecord's JSON schema.
+struct BenchEntry {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  double wall_seconds = 0.0;
+  double rows_per_sec = 0.0;
+  double score = 0.0;
+};
+
+/// Parse a bench-JSON array. Returns false and sets *error (with a
+/// line-ish position hint) on malformed input or duplicate names.
+bool ParseBenchJson(const std::string& text, std::vector<BenchEntry>* out,
+                    std::string* error);
+
+struct CompareOptions {
+  /// Allowed relative wall-time growth: current <= baseline * (1 + tol).
+  double tolerance = 0.25;
+  /// Baseline entries faster than this are skipped as timer noise.
+  double min_wall_seconds = 1e-4;
+  /// Treat benchmarks present in the baseline but absent from the
+  /// current run as failures.
+  bool fail_on_missing = false;
+};
+
+struct Regression {
+  std::string name;
+  double baseline_wall = 0.0;
+  double current_wall = 0.0;
+  /// current / baseline (> 1 + tolerance by construction).
+  double ratio = 0.0;
+};
+
+struct CompareResult {
+  std::vector<Regression> regressions;
+  std::vector<std::string> missing;  // in baseline, absent from current
+  std::vector<std::string> added;    // in current, absent from baseline
+  std::vector<std::string> skipped;  // under min_wall_seconds
+  size_t compared = 0;
+
+  bool ok(const CompareOptions& options) const {
+    return regressions.empty() &&
+           (!options.fail_on_missing || missing.empty());
+  }
+};
+
+/// Compare current against baseline under `options`.
+CompareResult Compare(const std::vector<BenchEntry>& baseline,
+                      const std::vector<BenchEntry>& current,
+                      const CompareOptions& options);
+
+/// Human-readable multi-line report (one line per finding + a summary).
+std::string Report(const CompareResult& result, const CompareOptions& options);
+
+}  // namespace benchcmp
+}  // namespace asqp

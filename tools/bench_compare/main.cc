@@ -1,0 +1,95 @@
+// CLI for the benchmark regression gate (see compare.h for policy).
+//
+//   bench_compare --baseline bench/baselines/BENCH_micro.json
+//                 --current BENCH_micro.json
+//                 [--tolerance 0.25] [--min-wall-seconds 1e-4]
+//                 [--fail-on-missing]
+//
+// Exit codes: 0 = within tolerance, 1 = regression (or missing benchmark
+// with --fail-on-missing), 2 = usage / unreadable / malformed input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_compare/compare.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline <json> --current <json> "
+               "[--tolerance <frac>] [--min-wall-seconds <s>] "
+               "[--fail-on-missing]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  asqp::benchcmp::CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (std::strcmp(arg, "--baseline") == 0 && has_next) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(arg, "--current") == 0 && has_next) {
+      current_path = argv[++i];
+    } else if (std::strcmp(arg, "--tolerance") == 0 && has_next) {
+      options.tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--min-wall-seconds") == 0 && has_next) {
+      options.min_wall_seconds = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--fail-on-missing") == 0) {
+      options.fail_on_missing = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return Usage(argv[0]);
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(current_path, &current_text)) {
+    std::fprintf(stderr, "cannot read current %s\n", current_path.c_str());
+    return 2;
+  }
+
+  std::vector<asqp::benchcmp::BenchEntry> baseline;
+  std::vector<asqp::benchcmp::BenchEntry> current;
+  std::string error;
+  if (!asqp::benchcmp::ParseBenchJson(baseline_text, &baseline, &error)) {
+    std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(), error.c_str());
+    return 2;
+  }
+  if (!asqp::benchcmp::ParseBenchJson(current_text, &current, &error)) {
+    std::fprintf(stderr, "%s: %s\n", current_path.c_str(), error.c_str());
+    return 2;
+  }
+
+  const asqp::benchcmp::CompareResult result =
+      asqp::benchcmp::Compare(baseline, current, options);
+  std::fputs(asqp::benchcmp::Report(result, options).c_str(), stdout);
+  return result.ok(options) ? 0 : 1;
+}
