@@ -9,12 +9,14 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "util/random.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Design ablations",
               "Score impact of the pipeline's design choices (IMDB)");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -28,6 +30,17 @@ int main() {
     AsqpRun run = RunAsqp(bundle, train, test, config);
     return std::pair<double, double>(run.eval.score, run.setup_seconds);
   };
+  const auto record_point = [&](const std::string& knob,
+                                const std::string& value, double score,
+                                double setup_seconds) {
+    BenchRecord record;
+    record.name = "ablation/imdb/" + knob + "_" + value;
+    record.params.emplace_back(knob, value);
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = score;
+    record.wall_seconds = setup_seconds;
+    writer.Add(std::move(record));
+  };
 
   std::printf("action group size (tuples bundled per action):\n");
   PrintRow({"group", "score", "setup(s)"}, {8, 10, 10});
@@ -36,6 +49,7 @@ int main() {
     config.action_group_size = group;
     auto [score, time] = run_with(config);
     PrintRow({std::to_string(group), Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+    record_point("action_group_size", std::to_string(group), score, time);
   }
 
   std::printf("\npool target (action-space size before grouping):\n");
@@ -45,6 +59,7 @@ int main() {
     config.pool_target = pool;
     auto [score, time] = run_with(config);
     PrintRow({std::to_string(pool), Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+    record_point("pool_target", std::to_string(pool), score, time);
   }
 
   std::printf("\nper-query coverage quota in pool selection:\n");
@@ -54,6 +69,7 @@ int main() {
     config.reserve_query_quota = quota;
     auto [score, time] = run_with(config);
     PrintRow({quota ? "on" : "off", Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+    record_point("reserve_query_quota", quota ? "on" : "off", score, time);
   }
 
   std::printf("\nparallel actor-learners (rollout workers):\n");
@@ -64,6 +80,7 @@ int main() {
     auto [score, time] = run_with(config);
     PrintRow({std::to_string(workers), Fmt(score), Fmt(time, 1)},
              {8, 10, 10});
+    record_point("num_workers", std::to_string(workers), score, time);
   }
 
   std::printf("\ndiversity regularizer coefficient (Section 5.1):\n");
@@ -73,6 +90,8 @@ int main() {
     config.trainer.diversity_coef = coef;
     auto [score, time] = run_with(config);
     PrintRow({Fmt(coef, 2), Fmt(score), Fmt(time, 1)}, {8, 10, 10});
+    record_point("diversity_coef", Fmt(coef, 2), score, time);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

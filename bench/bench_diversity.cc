@@ -7,6 +7,7 @@
 
 #include "baselines/selector.h"
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "metric/diversity.h"
 #include "sql/binder.h"
 #include "util/random.h"
@@ -40,7 +41,8 @@ double AvgDiversity(const storage::Database& db,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Diversity (Section 6.2)",
               "Average pairwise Jaccard distance of query answers (IMDB)");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -50,16 +52,30 @@ int main() {
       FilterNonEmpty(*bundle.db, bundle.workload);
   auto [train, test] = usable.TrainTestSplit(0.7, &rng);
 
+  const auto record_source = [&](const std::string& source,
+                                 double diversity) {
+    BenchRecord record;
+    record.name = "diversity/imdb/" + source;
+    record.params.emplace_back("source", source);
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = diversity;
+    writer.Add(std::move(record));
+  };
+
   PrintRow({"source", "diversity"}, {12, 10});
-  PrintRow({"database", Fmt(AvgDiversity(*bundle.db, test, nullptr))},
-           {12, 10});
+  {
+    const double diversity = AvgDiversity(*bundle.db, test, nullptr);
+    PrintRow({"database", Fmt(diversity)}, {12, 10});
+    record_source("database", diversity);
+  }
 
   {
     AsqpRun run = RunAsqp(bundle, train, test, MakeAsqpConfig(setup, false));
     if (run.model != nullptr) {
-      PrintRow({"ASQP-RL", Fmt(AvgDiversity(*bundle.db, test,
-                                            &run.model->approximation_set()))},
-               {12, 10});
+      const double diversity =
+          AvgDiversity(*bundle.db, test, &run.model->approximation_set());
+      PrintRow({"ASQP-RL", Fmt(diversity)}, {12, 10});
+      record_source("ASQP-RL", diversity);
     }
   }
   for (const auto& selector : baselines::AllBaselines()) {
@@ -72,9 +88,10 @@ int main() {
     context.deadline = util::Deadline::AfterSeconds(setup.baseline_deadline_s);
     auto set = selector->Select(context);
     if (!set.ok()) continue;
-    PrintRow({selector->name(),
-              Fmt(AvgDiversity(*bundle.db, test, &set.value()))},
-             {12, 10});
+    const double diversity = AvgDiversity(*bundle.db, test, &set.value());
+    PrintRow({selector->name(), Fmt(diversity)}, {12, 10});
+    record_source(selector->name(), diversity);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

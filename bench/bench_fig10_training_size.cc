@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "util/random.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 10",
               "Quality (a) and training time (b) vs executed training size");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -20,6 +22,19 @@ int main() {
       FilterNonEmpty(*bundle.db, bundle.workload);
   auto [train, test] = usable.TrainTestSplit(0.7, &rng);
 
+  const auto record_point = [&](const std::string& name,
+                                const std::string& key,
+                                const std::string& value, double score,
+                                double setup_seconds) {
+    BenchRecord record;
+    record.name = "fig10/imdb/" + name;
+    record.params.emplace_back(key, value);
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = score;
+    record.wall_seconds = setup_seconds;
+    writer.Add(std::move(record));
+  };
+
   PrintRow({"train-frac", "score", "setup(s)"}, {12, 10, 10});
   for (double fraction : {1.0, 0.75, 0.5, 0.25}) {
     core::AsqpConfig config = MakeAsqpConfig(setup, false);
@@ -27,6 +42,8 @@ int main() {
     AsqpRun run = RunAsqp(bundle, train, test, config);
     PrintRow({Fmt(fraction, 2), Fmt(run.eval.score), Fmt(run.setup_seconds, 1)},
              {12, 10, 10});
+    record_point("train_frac_" + Fmt(fraction, 2), "train_frac",
+                 Fmt(fraction, 2), run.eval.score, run.setup_seconds);
   }
 
   std::printf("\nadaptive configuration (Section 4.5) at time budgets:\n");
@@ -40,6 +57,9 @@ int main() {
     AsqpRun run = RunAsqp(bundle, train, test, config);
     PrintRow({Fmt(budget, 2), Fmt(run.eval.score), Fmt(run.setup_seconds, 1)},
              {12, 10, 10});
+    record_point("budget_" + Fmt(budget, 2), "time_budget", Fmt(budget, 2),
+                 run.eval.score, run.setup_seconds);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

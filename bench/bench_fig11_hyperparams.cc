@@ -6,12 +6,14 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "util/random.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 11",
               "Hyper-parameter sweeps: entropy coef, learning rate, KL coef");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -24,13 +26,24 @@ int main() {
   auto run_with = [&](const core::AsqpConfig& config) {
     return RunAsqp(bundle, train, test, config).eval.score;
   };
+  const auto record_point = [&](const std::string& knob,
+                                const std::string& value, double score) {
+    BenchRecord record;
+    record.name = "fig11/imdb/" + knob + "_" + value;
+    record.params.emplace_back(knob, value);
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = score;
+    writer.Add(std::move(record));
+  };
 
   std::printf("entropy coefficient sweep:\n");
   PrintRow({"entropy", "score"}, {10, 10});
   for (double entropy : {0.0, 0.001, 0.0015, 0.01, 0.015, 0.02}) {
     core::AsqpConfig config = MakeAsqpConfig(setup, false);
     config.trainer.entropy_coef = entropy;
-    PrintRow({Fmt(entropy, 4), Fmt(run_with(config))}, {10, 10});
+    const double score = run_with(config);
+    PrintRow({Fmt(entropy, 4), Fmt(score)}, {10, 10});
+    record_point("entropy", Fmt(entropy, 4), score);
   }
 
   std::printf("\nlearning rate sweep:\n");
@@ -38,7 +51,9 @@ int main() {
   for (double lr : {5e-5, 5e-4, 5e-3, 5e-2}) {
     core::AsqpConfig config = MakeAsqpConfig(setup, false);
     config.trainer.learning_rate = lr;
-    PrintRow({Fmt(lr, 5), Fmt(run_with(config))}, {10, 10});
+    const double score = run_with(config);
+    PrintRow({Fmt(lr, 5), Fmt(score)}, {10, 10});
+    record_point("lr", Fmt(lr, 5), score);
   }
 
   std::printf("\nKL coefficient sweep:\n");
@@ -46,7 +61,10 @@ int main() {
   for (double kl : {0.2, 0.3, 0.5, 0.7, 0.9}) {
     core::AsqpConfig config = MakeAsqpConfig(setup, false);
     config.trainer.kl_coef = kl;
-    PrintRow({Fmt(kl, 2), Fmt(run_with(config))}, {10, 10});
+    const double score = run_with(config);
+    PrintRow({Fmt(kl, 2), Fmt(score)}, {10, 10});
+    record_point("kl", Fmt(kl, 2), score);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

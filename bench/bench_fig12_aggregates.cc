@@ -12,6 +12,7 @@
 #include "aqp/spn.h"
 #include "aqp/vae.h"
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "metric/relative_error.h"
 #include "sql/binder.h"
 
@@ -125,7 +126,8 @@ struct CategoryErrors {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 12",
               "Aggregate relative error by operator: ASQP-RL vs VAE (gAQP) "
               "vs SPN (DeepDB) on FLIGHTS");
@@ -261,12 +263,28 @@ int main() {
               asqp_fraction, setup.k);
   PrintRow({"category", "ASQP-RL", "ASQP+pilot", "VAE(gAQP)", "SPN(DeepDB)"},
            {10, 10, 10, 10, 12});
+  const auto record_error = [&](const std::string& method,
+                                const std::string& category,
+                                double mean_error) {
+    BenchRecord record;
+    record.name = "fig12/flights/" + method + "/" + category;
+    record.params.emplace_back("method", method);
+    record.params.emplace_back("category", category);
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.error = mean_error;
+    writer.Add(std::move(record));
+  };
   for (const char* category :
        {"G+SUM", "SUM", "G+AVG", "AVG", "G+CNT", "CNT"}) {
     PrintRow({category, Fmt(asqp_err.Mean(category)),
               Fmt(asqp_pilot_err.Mean(category)), Fmt(vae_err.Mean(category)),
               Fmt(spn_err.Mean(category))},
              {10, 10, 10, 10, 12});
+    record_error("asqp_rl", category, asqp_err.Mean(category));
+    record_error("asqp_pilot", category, asqp_pilot_err.Mean(category));
+    record_error("vae", category, vae_err.Mean(category));
+    record_error("spn", category, spn_err.Mean(category));
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

@@ -6,13 +6,15 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 3",
               "RL ablation: environment x agent (score / total time)");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -51,12 +53,24 @@ int main() {
         config.hybrid_refine_horizon = setup.k / 8;
         util::Stopwatch watch;
         AsqpRun run = RunAsqp(bundle, train, test, config);
+        const double elapsed = watch.ElapsedSeconds();
         PrintRow({env.env_name, agent.agent_name, Fmt(run.eval.score),
-                  Fmt(watch.ElapsedSeconds(), 1)},
+                  Fmt(elapsed, 1)},
                  widths);
+        BenchRecord record;
+        record.name = "fig3/" + dataset + "/" + env.env_name + "/" +
+                      agent.agent_name;
+        record.params.emplace_back("dataset", dataset);
+        record.params.emplace_back("env", env.env_name);
+        record.params.emplace_back("agent", agent.agent_name);
+        record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+        record.wall_seconds = elapsed;
+        record.score = run.eval.score;
+        writer.Add(std::move(record));
       }
     }
     std::printf("\n");
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

@@ -10,13 +10,15 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "metric/score.h"
 #include "util/random.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 5", "Answerability estimator precision/recall and "
               "full-system fallback variants");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -61,6 +63,15 @@ int main() {
     PrintRow({Fmt(fraction, 2), Fmt(precision, 2), Fmt(recall, 2),
               Fmt(accuracy, 2)},
              {12, 10, 10, 10});
+    BenchRecord record;
+    record.name = "fig5/imdb/train_frac_" + Fmt(fraction, 2);
+    record.params.emplace_back("train_frac", Fmt(fraction, 2));
+    record.params.emplace_back("precision", Fmt(precision, 4));
+    record.params.emplace_back("recall", Fmt(recall, 4));
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = accuracy;
+    record.error = 1.0 - accuracy;
+    writer.Add(std::move(record));
     if (fraction == 1.0) full_model = std::move(run.model);
   }
 
@@ -85,7 +96,15 @@ int main() {
       }
       PrintRow({Fmt(threshold, 1), Fmt(score), std::to_string(fallbacks)},
                {12, 10, 14});
+      BenchRecord record;
+      record.name = "fig5/imdb/threshold_" + Fmt(threshold, 1);
+      record.params.emplace_back("threshold", Fmt(threshold, 1));
+      record.params.emplace_back("db_fallbacks", std::to_string(fallbacks));
+      record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+      record.score = score;
+      writer.Add(std::move(record));
     }
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

@@ -8,13 +8,15 @@
 
 #include "baselines/selector.h"
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "metric/score.h"
 #include "util/random.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 6",
               "No-workload mode on FLIGHTS: quality vs feedback rounds");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -67,11 +69,23 @@ int main() {
   }
   core::AsqpModel& model = *report->model;
 
+  const auto record_round = [&](size_t round, double asqp_score) {
+    BenchRecord record;
+    record.name = "fig6/flights/round_" + std::to_string(round);
+    record.params.emplace_back("round", std::to_string(round));
+    record.params.emplace_back("qrd_score", Fmt(qrd_score, 4));
+    record.params.emplace_back("ran_score", Fmt(ran_score, 4));
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = asqp_score;
+    writer.Add(std::move(record));
+  };
+
   PrintRow({"round", "ASQP-RL", "QRD", "RAN"}, {8, 10, 10, 10});
-  PrintRow({"0",
-            Fmt(evaluator.Score(interest, model.approximation_set()).ValueOr(0.0)),
-            Fmt(qrd_score), Fmt(ran_score)},
+  const double round0 =
+      evaluator.Score(interest, model.approximation_set()).ValueOr(0.0);
+  PrintRow({"0", Fmt(round0), Fmt(qrd_score), Fmt(ran_score)},
            {8, 10, 10, 10});
+  record_round(0, round0);
 
   metric::Workload contributed;
   const size_t rounds = std::min<size_t>(5, interest.size());
@@ -80,11 +94,13 @@ int main() {
     contributed.Add(interest.query(round).stmt.Clone());
     contributed.NormalizeWeights();
     if (!model.FineTune(contributed).ok()) continue;
-    PrintRow({std::to_string(round + 1),
-              Fmt(evaluator.Score(interest, model.approximation_set())
-                      .ValueOr(0.0)),
-              Fmt(qrd_score), Fmt(ran_score)},
+    const double round_score =
+        evaluator.Score(interest, model.approximation_set()).ValueOr(0.0);
+    PrintRow({std::to_string(round + 1), Fmt(round_score), Fmt(qrd_score),
+              Fmt(ran_score)},
              {8, 10, 10, 10});
+    record_round(round + 1, round_score);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "metric/score.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -50,7 +51,8 @@ metric::Workload AreaCluster(const std::string& area) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 7",
               "Interest drift: quality before/after fine-tuning per cluster");
   const ScaledSetup setup = SetupForScale(BenchScale());
@@ -81,18 +83,27 @@ int main() {
   }
   core::AsqpModel& model = *report->model;
 
-  auto print_state = [&](const std::string& stage) {
+  auto print_state = [&](const std::string& stage, const std::string& tag) {
     std::vector<std::string> row = {stage};
     for (size_t c = 0; c < areas.size(); ++c) {
-      row.push_back(Fmt(evaluator
-                            .Score(cluster_test[c], model.approximation_set())
-                            .ValueOr(0.0)));
+      const double score = evaluator
+                               .Score(cluster_test[c],
+                                      model.approximation_set())
+                               .ValueOr(0.0);
+      row.push_back(Fmt(score));
+      BenchRecord record;
+      record.name = "fig7/mas/" + tag + "/" + areas[c];
+      record.params.emplace_back("stage", stage);
+      record.params.emplace_back("cluster", areas[c]);
+      record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+      record.score = score;
+      writer.Add(std::move(record));
     }
     PrintRow(row, {26, 10, 10, 10});
   };
 
   PrintRow({"stage", "databases", "ml", "systems"}, {26, 10, 10, 10});
-  print_state("trained on databases");
+  print_state("trained on databases", "trained");
 
   for (size_t c = 1; c < areas.size(); ++c) {
     // The whole drifted session arrives through the mediator (train and
@@ -111,7 +122,8 @@ int main() {
                 areas[c].c_str(), to_db, arrived,
                 model.NeedsFineTuning() ? "FIRED" : "not fired");
     if (!model.FineTune(cluster_train[c]).ok()) continue;
-    print_state("fine-tuned on " + areas[c]);
+    print_state("fine-tuned on " + areas[c], "finetuned_" + areas[c]);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

@@ -6,12 +6,14 @@
 
 #include "baselines/selector.h"
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "util/random.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 8", "Quality vs memory budget k (IMDB)");
   const ScaledSetup setup = SetupForScale(BenchScale());
   const data::DatasetBundle bundle = LoadDataset("imdb", setup);
@@ -29,6 +31,17 @@ int main() {
   const std::vector<int> widths(header.size(), 10);
   PrintRow(header, widths);
 
+  const auto record_point = [&](const std::string& name, size_t k,
+                                double score) {
+    BenchRecord record;
+    record.name = "fig8/imdb/" + name + "/k_" + std::to_string(k);
+    record.params.emplace_back("baseline", name);
+    record.params.emplace_back("k", std::to_string(k));
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = score;
+    writer.Add(std::move(record));
+  };
+
   {
     std::vector<std::string> row = {"ASQP-RL"};
     for (size_t k : ks) {
@@ -36,6 +49,7 @@ int main() {
       config.k = k;
       AsqpRun run = RunAsqp(bundle, train, test, config);
       row.push_back(Fmt(run.eval.score));
+      record_point("ASQP-RL", k, run.eval.score);
     }
     PrintRow(row, widths);
   }
@@ -51,13 +65,18 @@ int main() {
       context.deadline =
           util::Deadline::AfterSeconds(setup.baseline_deadline_s);
       auto set = selector->Select(context);
-      row.push_back(set.ok()
-                        ? Fmt(EvaluateSubset(*bundle.db, test, set.value(),
-                                             setup.frame_size)
-                                  .score)
-                        : "N/A");
+      if (set.ok()) {
+        const double score =
+            EvaluateSubset(*bundle.db, test, set.value(), setup.frame_size)
+                .score;
+        row.push_back(Fmt(score));
+        record_point(selector->name(), k, score);
+      } else {
+        row.push_back("N/A");
+      }
     }
     PrintRow(row, widths);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

@@ -6,12 +6,14 @@
 
 #include "baselines/selector.h"
 #include "common/bench_common.h"
+#include "common/bench_json.h"
 #include "util/random.h"
 
 using namespace asqp;
 using namespace asqp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
   PrintHeader("Figure 9", "Quality vs frame size F (IMDB, fixed k)");
   const ScaledSetup setup = SetupForScale(BenchScale());
   const data::DatasetBundle bundle = LoadDataset("imdb", setup);
@@ -26,6 +28,17 @@ int main() {
   const std::vector<int> widths(header.size(), 10);
   PrintRow(header, widths);
 
+  const auto record_point = [&](const std::string& name, int f,
+                                double score) {
+    BenchRecord record;
+    record.name = "fig9/imdb/" + name + "/F_" + std::to_string(f);
+    record.params.emplace_back("baseline", name);
+    record.params.emplace_back("frame_size", std::to_string(f));
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.score = score;
+    writer.Add(std::move(record));
+  };
+
   {
     std::vector<std::string> row = {"ASQP-RL"};
     for (int f : frames) {
@@ -33,6 +46,7 @@ int main() {
       config.frame_size = f;
       AsqpRun run = RunAsqp(bundle, train, test, config);
       row.push_back(Fmt(run.eval.score));
+      record_point("ASQP-RL", f, run.eval.score);
     }
     PrintRow(row, widths);
   }
@@ -48,12 +62,17 @@ int main() {
       context.deadline =
           util::Deadline::AfterSeconds(setup.baseline_deadline_s);
       auto set = selector->Select(context);
-      row.push_back(set.ok() ? Fmt(EvaluateSubset(*bundle.db, test,
-                                                  set.value(), f)
-                                       .score)
-                             : "N/A");
+      if (set.ok()) {
+        const double score =
+            EvaluateSubset(*bundle.db, test, set.value(), f).score;
+        row.push_back(Fmt(score));
+        record_point(selector->name(), f, score);
+      } else {
+        row.push_back("N/A");
+      }
     }
     PrintRow(row, widths);
   }
+  if (!writer.Flush()) return 1;
   return 0;
 }

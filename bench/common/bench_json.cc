@@ -91,6 +91,8 @@ std::string BenchJsonWriter::ToJson() const {
     out += FmtDouble(r.rows_per_sec);
     out += ", \"score\": ";
     out += FmtDouble(r.score);
+    out += ", \"error\": ";
+    out += FmtDouble(r.error);
     out += '}';
     if (i + 1 < records_.size()) out += ',';
     out += '\n';

@@ -8,7 +8,9 @@
 //     "params":       {string: string} free-form run parameters,
 //     "wall_seconds": real seconds per iteration (lower is better),
 //     "rows_per_sec": throughput, 0 when not applicable,
-//     "score":        Eq. 1 quality metric, 0 when not applicable
+//     "score":        Eq. 1 quality metric, 0 when not applicable,
+//     "error":        approximation error / quality loss, 0 when exact or
+//                     not applicable
 //   }
 #pragma once
 
@@ -28,6 +30,9 @@ struct BenchRecord {
   double wall_seconds = 0.0;
   double rows_per_sec = 0.0;
   double score = 0.0;
+  /// Approximation error (e.g. relative aggregate error, score loss vs a
+  /// reference); 0 when the measurement is exact or has no error notion.
+  double error = 0.0;
 };
 
 /// Escape `s` for embedding inside a JSON string literal (quotes,

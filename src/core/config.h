@@ -75,6 +75,12 @@ struct AsqpConfig {
   /// (the default — callers opt in to parallel answering explicitly).
   /// Results are identical across thread counts.
   size_t exec_threads = 1;
+  /// Rows per execution morsel (see exec::ExecOptions::morsel_rows). The
+  /// morsel decomposition is part of the deterministic plan: aggregation
+  /// folds per-morsel partials in morsel order even sequentially, so this
+  /// knob — unlike exec_threads — can affect the last ulp of a
+  /// floating-point SUM/AVG. 0 = engine default (16384).
+  size_t exec_morsel_rows = 0;
 
   uint64_t seed = 1;
 

@@ -15,6 +15,7 @@ namespace {
 exec::ExecOptions ExecOptionsFor(const AsqpConfig& config) {
   exec::ExecOptions options;
   options.num_threads = config.exec_threads;
+  if (config.exec_morsel_rows > 0) options.morsel_rows = config.exec_morsel_rows;
   return options;
 }
 

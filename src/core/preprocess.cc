@@ -143,6 +143,9 @@ Result<PreprocessResult> Preprocess(const storage::Database& db,
   // morsel-parallel when the configuration opts in (config.exec_threads).
   exec::ExecOptions exec_options;
   exec_options.num_threads = config.exec_threads;
+  if (config.exec_morsel_rows > 0) {
+    exec_options.morsel_rows = config.exec_morsel_rows;
+  }
   exec::QueryEngine engine(exec_options);
   storage::DatabaseView full_view(&db);
 

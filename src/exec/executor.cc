@@ -47,6 +47,24 @@ std::string ValueKey(const Value& v) {
   return key;
 }
 
+/// Hash-join build output: `parts[p]` maps a serialized join-key tuple to
+/// the build rows carrying that key, in candidate (= filtered-scan) order.
+/// With a single partition the probe skips hashing; with 2^k partitions a
+/// key lives in partition Fnv1a(key) & (parts.size() - 1). Both layouts
+/// hold identical per-key row vectors, so probe output never depends on
+/// which build path (sequential or radix-partitioned) produced the table.
+struct JoinBuild {
+  std::vector<std::unordered_map<std::string, std::vector<uint32_t>>> parts;
+
+  const std::vector<uint32_t>* Find(const std::string& key) const {
+    const auto& part = parts.size() == 1
+                           ? parts[0]
+                           : parts[util::Fnv1a(key) & (parts.size() - 1)];
+    const auto it = part.find(key);
+    return it == part.end() ? nullptr : &it->second;
+  }
+};
+
 class Execution {
  public:
   Execution(const BoundQuery& q, const DatabaseView& view,
@@ -172,9 +190,10 @@ class Execution {
                 total.fetch_add(local.size(), std::memory_order_relaxed) +
                 local.size();
             if (so_far > options_.max_intermediate_rows) {
-              return Status::ExecutionError(
-                  util::Format("%s: intermediate join result exceeds %zu rows",
-                               what, options_.max_intermediate_rows));
+              return Status::ExecutionError(util::Format(
+                  "%s: intermediate join result exceeds %zu rows "
+                  "(%zu rows produced before the cap)",
+                  what, options_.max_intermediate_rows, so_far));
             }
             parts[chunk] = std::move(local);
             return Status::OK();
@@ -188,9 +207,10 @@ class Execution {
     } else {
       ASQP_RETURN_NOT_OK(fn(0, input, &merged, &ticker_));
       if (merged.size() > options_.max_intermediate_rows) {
-        return Status::ExecutionError(
-            util::Format("%s: intermediate join result exceeds %zu rows", what,
-                         options_.max_intermediate_rows));
+        return Status::ExecutionError(util::Format(
+            "%s: intermediate join result exceeds %zu rows "
+            "(%zu rows produced before the cap)",
+            what, options_.max_intermediate_rows, merged.size()));
       }
     }
     return merged;
@@ -283,48 +303,72 @@ class Execution {
     next.num_tables = n;
 
     if (keys.empty()) {
-      // Cross product.
-      const size_t projected = joined_.size() * candidates_[t].size();
-      if (projected > options_.max_intermediate_rows) {
-        return Status::ExecutionError(
-            "cross product would exceed the intermediate row cap");
-      }
-      std::vector<uint32_t> tmp(n, 0);
-      for (size_t i = 0; i < joined_.size(); ++i) {
-        ASQP_RETURN_NOT_OK(ticker_.Tick("cross product"));
-        const uint32_t* src = joined_.tuple(i);
-        std::copy(src, src + n, tmp.begin());
-        for (uint32_t row : candidates_[t]) {
-          tmp[t] = row;
-          next.Append(tmp.data());
-        }
-      }
+      // Cross product, morsel-parallel over the outer tuples: each morsel
+      // emits |morsel| x |candidates| tuples into its own buffer. The row
+      // cap is enforced incrementally (per outer row inside a morsel, then
+      // on the accumulated total) instead of projected up front, so the
+      // error reports how many rows were actually produced before the cap
+      // and a mid-flight deadline cancels within one morsel.
+      const std::vector<uint32_t>& cand = candidates_[t];
+      ASQP_ASSIGN_OR_RETURN(
+          next,
+          MorselRewrite(
+              "cross product",
+              [&](size_t begin, size_t end, TupleSet* out,
+                  util::DeadlineTicker* ticker) -> Status {
+                std::vector<uint32_t> tmp(n, 0);
+                for (size_t i = begin; i < end; ++i) {
+                  ASQP_RETURN_NOT_OK(ticker->Tick("cross product"));
+                  const uint32_t* src = joined_.tuple(i);
+                  std::copy(src, src + n, tmp.begin());
+                  for (uint32_t row : cand) {
+                    tmp[t] = row;
+                    out->Append(tmp.data());
+                  }
+                  if (out->size() > options_.max_intermediate_rows) {
+                    return Status::ExecutionError(util::Format(
+                        "cross product: intermediate join result exceeds "
+                        "%zu rows (%zu rows produced before the cap)",
+                        options_.max_intermediate_rows, out->size()));
+                  }
+                }
+                return Status::OK();
+              }));
       joined_ = std::move(next);
       return Status::OK();
     }
 
-    // Build hash table on table t's candidate rows.
+    // Build hash table on table t's candidate rows: key -> rows in
+    // candidate order. The parallel path radix-partitions per morsel and
+    // merges in morsel order, producing byte-identical per-key vectors.
     const Table& build_table = *q_.tables[t];
     if (ASQP_FAULT_POINT("exec.join.alloc")) {
       return Status::ResourceExhausted(
           "injected fault: hash-join build allocation failed");
     }
-    std::unordered_multimap<std::string, uint32_t> build;
-    build.reserve(candidates_[t].size() * 2);
-    for (uint32_t row : candidates_[t]) {
-      ASQP_RETURN_NOT_OK(ticker_.Tick("hash-join build"));
-      std::string key;
-      bool has_null = false;
+    const auto build_key = [&](uint32_t row, std::string* key) -> bool {
+      key->clear();
       for (const KeyPair& kp : keys) {
         const Value v = build_table.column(kp.build_col).ValueAt(row);
-        if (v.is_null()) {
-          has_null = true;
-          break;
-        }
-        key += ValueKey(v);
-        key += '\x01';
+        if (v.is_null()) return false;  // NULL never joins
+        *key += ValueKey(v);
+        *key += '\x01';
       }
-      if (!has_null) build.emplace(std::move(key), row);
+      return true;
+    };
+    JoinBuild build;
+    const std::vector<uint32_t>& cand = candidates_[t];
+    if (pool_ != nullptr && cand.size() > 1) {
+      ASQP_RETURN_NOT_OK(ParallelBuild(build_key, cand, &build));
+    } else {
+      build.parts.resize(1);
+      auto& part = build.parts[0];
+      part.reserve(cand.size() * 2);
+      std::string key;
+      for (uint32_t row : cand) {
+        ASQP_RETURN_NOT_OK(ticker_.Tick("hash-join build"));
+        if (build_key(row, &key)) part[key].push_back(row);
+      }
     }
 
     // Probe with current tuples. The build table above is shared read-only
@@ -356,10 +400,11 @@ class Execution {
                   key += '\x01';
                 }
                 if (has_null) continue;
-                auto [lo, hi] = build.equal_range(key);
-                for (auto it = lo; it != hi; ++it) {
+                const std::vector<uint32_t>* matches = build.Find(key);
+                if (matches == nullptr) continue;
+                for (const uint32_t match : *matches) {
                   std::copy(src, src + n, tmp.begin());
-                  tmp[t] = it->second;
+                  tmp[t] = match;
                   out->Append(tmp.data());
                   if (out->size() > options_.max_intermediate_rows) {
                     return Status::ExecutionError(util::Format(
@@ -372,6 +417,69 @@ class Execution {
             }));
     joined_ = std::move(next);
     return Status::OK();
+  }
+
+  /// Radix-partitioned parallel hash-join build. Map step: each morsel of
+  /// candidate rows serializes its join keys and scatters (key, row) pairs
+  /// into per-morsel partition buffers (partition = Fnv1a(key) masked to a
+  /// power of two). Merge step: one task per partition appends its buffers
+  /// into the final per-partition hash table walking morsels in morsel
+  /// order — a key lives in exactly one partition, so every per-key row
+  /// vector ends up in candidate order, byte-identical to the sequential
+  /// build.
+  Status ParallelBuild(
+      const std::function<bool(uint32_t, std::string*)>& build_key,
+      const std::vector<uint32_t>& cand, JoinBuild* build) {
+    size_t partitions = options_.build_partitions;
+    if (partitions == 0) {
+      partitions = 1;
+      while (partitions < options_.num_threads * 4 && partitions < 64) {
+        partitions <<= 1;
+      }
+    }
+    // Round down to a power of two so Find() can mask instead of mod.
+    while ((partitions & (partitions - 1)) != 0) partitions &= partitions - 1;
+
+    using Bucket = std::vector<std::pair<std::string, uint32_t>>;
+    const size_t morsel = options_.morsel_rows;
+    const size_t num_chunks = (cand.size() + morsel - 1) / morsel;
+    std::vector<std::vector<Bucket>> chunk_buckets(num_chunks);
+    ASQP_RETURN_NOT_OK(pool_->ParallelForChunked(
+        cand.size(), morsel,
+        [&](size_t chunk, size_t begin, size_t end) -> Status {
+          if (ASQP_FAULT_POINT("exec.join.partition")) {
+            return Status::ResourceExhausted(
+                "injected fault: hash-join partition buffer allocation "
+                "failed");
+          }
+          util::DeadlineTicker ticker(context_, /*stride=*/256);
+          std::vector<Bucket> buckets(partitions);
+          std::string key;
+          for (size_t i = begin; i < end; ++i) {
+            ASQP_RETURN_NOT_OK(ticker.Tick("hash-join build"));
+            if (!build_key(cand[i], &key)) continue;
+            buckets[util::Fnv1a(key) & (partitions - 1)].emplace_back(key,
+                                                                      cand[i]);
+          }
+          chunk_buckets[chunk] = std::move(buckets);
+          return Status::OK();
+        }));
+    build->parts.resize(partitions);
+    return pool_->ParallelForChunked(
+        partitions, 1, [&](size_t, size_t p, size_t) -> Status {
+          util::DeadlineTicker ticker(context_, /*stride=*/256);
+          auto& part = build->parts[p];
+          size_t entries = 0;
+          for (const auto& buckets : chunk_buckets) entries += buckets[p].size();
+          part.reserve(entries * 2);
+          for (auto& buckets : chunk_buckets) {
+            for (auto& [key, row] : buckets[p]) {
+              ASQP_RETURN_NOT_OK(ticker.Tick("hash-join build merge"));
+              part[std::move(key)].push_back(row);
+            }
+          }
+          return Status::OK();
+        });
   }
 
   Status ApplyReadyResiduals(const std::vector<bool>& in_join,
@@ -430,57 +538,108 @@ class Execution {
     return names;
   }
 
+  /// Per-morsel partial projection output: evaluated select-item rows plus
+  /// (when sorting) their ORDER BY keys, aligned by index.
+  struct ProjPartial {
+    std::vector<std::vector<Value>> rows;
+    std::vector<std::vector<Value>> keys;
+  };
+
   Result<ResultSet> Project() {
     ResultSet out(OutputNames());
-    size_t expect = joined_.size();
-    if (q_.stmt.limit >= 0) {
-      expect = std::min(expect, static_cast<size_t>(q_.stmt.limit));
-    }
-    out.Reserve(expect);
-    JoinedRow jr{&q_.tables, nullptr};
-
+    const size_t input = joined_.size();
     const bool need_order = !q_.stmt.order_by.empty();
+    const bool has_limit = q_.stmt.limit >= 0;
+    const size_t limit = has_limit ? static_cast<size_t>(q_.stmt.limit) : 0;
+
+    size_t expect = input;
+    if (has_limit) expect = std::min(expect, limit);
+    out.Reserve(expect);
+
+    // Without ORDER BY and DISTINCT each input tuple yields exactly one
+    // output row, so a LIMIT needs only the input prefix — the parallel
+    // equivalent of the sequential early-exit fast path.
+    size_t process = input;
+    if (has_limit && !need_order && !q_.stmt.distinct) {
+      process = std::min(process, limit);
+    }
+
     std::vector<std::vector<Value>> order_keys;
     std::unordered_set<std::string> distinct_seen;
 
-    for (size_t i = 0; i < joined_.size(); ++i) {
-      ASQP_RETURN_NOT_OK(ticker_.Tick("projection"));
-      // Fast path: without ORDER BY, stop as soon as LIMIT rows are kept.
-      if (!need_order && q_.stmt.limit >= 0 &&
-          out.num_rows() >= static_cast<size_t>(q_.stmt.limit)) {
-        break;
-      }
-      jr.row_ids = joined_.tuple(i);
-      std::vector<Value> row;
-      for (const SelectItem& item : q_.stmt.items) {
-        if (item.star) {
-          for (size_t t = 0; t < q_.num_tables(); ++t) {
-            const Table& table = *q_.tables[t];
-            for (size_t c = 0; c < table.num_columns(); ++c) {
-              row.push_back(table.column(c).ValueAt(jr.row_ids[t]));
+    // Evaluate select items (and ORDER BY keys) for tuples [begin, end)
+    // into `partial`; runs thread-local on the pool.
+    const auto eval_range = [&](size_t begin, size_t end, ProjPartial* partial,
+                                util::DeadlineTicker* ticker) -> Status {
+      JoinedRow jr{&q_.tables, nullptr};
+      partial->rows.reserve(end - begin);
+      if (need_order) partial->keys.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        ASQP_RETURN_NOT_OK(ticker->Tick("projection"));
+        jr.row_ids = joined_.tuple(i);
+        std::vector<Value> row;
+        for (const SelectItem& item : q_.stmt.items) {
+          if (item.star) {
+            for (size_t t = 0; t < q_.num_tables(); ++t) {
+              const Table& table = *q_.tables[t];
+              for (size_t c = 0; c < table.num_columns(); ++c) {
+                row.push_back(table.column(c).ValueAt(jr.row_ids[t]));
+              }
             }
+          } else {
+            row.push_back(EvaluateScalar(*item.expr, jr));
           }
-        } else {
-          row.push_back(EvaluateScalar(*item.expr, jr));
         }
-      }
-      if (q_.stmt.distinct) {
-        std::string key;
-        for (const Value& v : row) {
-          key += ValueKey(v);
-          key += '\x01';
+        if (need_order) {
+          std::vector<Value> keys;
+          keys.reserve(q_.stmt.order_by.size());
+          for (const auto& o : q_.stmt.order_by) {
+            keys.push_back(EvaluateScalar(*o.expr, jr));
+          }
+          partial->keys.push_back(std::move(keys));
         }
-        if (!distinct_seen.insert(std::move(key)).second) continue;
+        partial->rows.push_back(std::move(row));
       }
-      if (need_order) {
-        std::vector<Value> keys;
-        keys.reserve(q_.stmt.order_by.size());
-        for (const auto& o : q_.stmt.order_by) {
-          keys.push_back(EvaluateScalar(*o.expr, jr));
+      return Status::OK();
+    };
+
+    // Fold one morsel's evaluated rows onto the result; always runs on the
+    // calling thread in morsel order, so DISTINCT deduplicates in input
+    // order and the LIMIT fast path keeps exactly the sequential prefix.
+    const auto merge_partial = [&](ProjPartial* partial) -> Status {
+      for (size_t i = 0; i < partial->rows.size(); ++i) {
+        ASQP_RETURN_NOT_OK(ticker_.Tick("projection merge"));
+        if (!need_order && has_limit && out.num_rows() >= limit) break;
+        std::vector<Value>& row = partial->rows[i];
+        if (q_.stmt.distinct) {
+          std::string key;
+          for (const Value& v : row) {
+            key += ValueKey(v);
+            key += '\x01';
+          }
+          if (!distinct_seen.insert(std::move(key)).second) continue;
         }
-        order_keys.push_back(std::move(keys));
+        if (need_order) order_keys.push_back(std::move(partial->keys[i]));
+        out.AddRow(std::move(row));
       }
-      out.AddRow(std::move(row));
+      return Status::OK();
+    };
+
+    if (pool_ != nullptr && process > 1) {
+      ASQP_RETURN_NOT_OK(pool_->ParallelReduceOrdered<ProjPartial>(
+          process, options_.morsel_rows,
+          [&](size_t, size_t begin, size_t end, ProjPartial* partial)
+              -> Status {
+            util::DeadlineTicker ticker(context_, /*stride=*/256);
+            return eval_range(begin, end, partial, &ticker);
+          },
+          [&](size_t, ProjPartial* partial) -> Status {
+            return merge_partial(partial);
+          }));
+    } else {
+      ProjPartial all;
+      ASQP_RETURN_NOT_OK(eval_range(0, process, &all, &ticker_));
+      ASQP_RETURN_NOT_OK(merge_partial(&all));
     }
 
     if (need_order) {
@@ -505,72 +664,167 @@ class Execution {
     return out;
   }
 
+  /// Partial aggregate state for one select item within one group. COUNT,
+  /// SUM, MIN, MAX, and AVG (= SUM/COUNT at finalize) merge associatively;
+  /// agg(DISTINCT ...) defers folding: partials carry their deduplicated
+  /// values in first-occurrence order and the fold happens once at
+  /// finalize, over the merged order, so DISTINCT floating-point sums are
+  /// accumulated in exactly the sequential order.
   struct AggState {
     int64_t count = 0;
     double sum = 0.0;
     bool has_minmax = false;
     Value min;
     Value max;
-    std::vector<Value> first_row_items;  // non-agg select items
-    std::unordered_set<std::string> seen;  // for agg(DISTINCT expr)
+    bool has_first = false;
+    Value first;  // non-agg select item: value from the group's first row
+    std::vector<Value> distinct_values;    // agg(DISTINCT): insertion order
+    std::unordered_set<std::string> seen;  // dedup keys for distinct_values
   };
 
+  /// One group's partial state: the per-item AggStates. Keyed externally
+  /// by the serialized GROUP BY tuple.
+  using AggGroup = std::vector<AggState>;
+  using AggTable = std::unordered_map<std::string, AggGroup>;
+
+  /// Merge `src` into `dst` (dst = earlier morsels, src = the next morsel
+  /// in morsel order). All merge rules keep the earlier side on ties, so
+  /// the merged state matches a sequential left-to-right accumulation.
+  static void MergeAggGroup(AggGroup* dst, AggGroup* src) {
+    for (size_t s = 0; s < dst->size(); ++s) {
+      AggState& a = (*dst)[s];
+      AggState& b = (*src)[s];
+      a.count += b.count;
+      a.sum += b.sum;
+      if (b.has_minmax) {
+        if (!a.has_minmax) {
+          a.min = std::move(b.min);
+          a.max = std::move(b.max);
+          a.has_minmax = true;
+        } else {
+          if (b.min.Compare(a.min) < 0) a.min = std::move(b.min);
+          if (b.max.Compare(a.max) > 0) a.max = std::move(b.max);
+        }
+      }
+      if (!a.has_first && b.has_first) {
+        a.first = std::move(b.first);
+        a.has_first = true;
+      }
+      for (Value& v : b.distinct_values) {
+        if (a.seen.insert(ValueKey(v)).second) {
+          a.distinct_values.push_back(std::move(v));
+        }
+      }
+    }
+  }
+
+  /// Group-and-aggregate. Parallel plan: every morsel accumulates a
+  /// thread-local group table (map step), then the partial tables merge on
+  /// the calling thread in morsel order into a std::map whose sorted key
+  /// iteration is the canonical group order (the same order the previous
+  /// single-pass implementation emitted). The sequential engine runs the
+  /// identical morsel decomposition inline, so output — including the
+  /// low-order bits of floating-point SUM/AVG partials — depends only on
+  /// morsel_rows, never on the thread count.
   Result<ResultSet> Aggregate() {
     const bool post_process =
         q_.stmt.having != nullptr || !q_.stmt.order_by.empty();
-    JoinedRow jr{&q_.tables, nullptr};
-
-    // Group rows by the GROUP BY key (single group when absent).
-    std::map<std::string, std::vector<AggState>> groups;
-    std::map<std::string, std::vector<Value>> group_keys;
-
     const size_t num_items = q_.stmt.items.size();
-    for (size_t i = 0; i < joined_.size(); ++i) {
-      ASQP_RETURN_NOT_OK(ticker_.Tick("aggregation"));
-      jr.row_ids = joined_.tuple(i);
+    const size_t input = joined_.size();
+
+    // Map step: accumulate tuples [begin, end) into `local`.
+    const auto partial_range = [&](size_t begin, size_t end, AggTable* local,
+                                   util::DeadlineTicker* ticker) -> Status {
+      if (ASQP_FAULT_POINT("exec.agg.partial")) {
+        return Status::ResourceExhausted(
+            "injected fault: partial-aggregation table allocation failed");
+      }
+      JoinedRow jr{&q_.tables, nullptr};
       std::string key;
-      std::vector<Value> key_vals;
-      for (const ExprPtr& g : q_.stmt.group_by) {
-        Value v = EvaluateScalar(*g, jr);
-        key += ValueKey(v);
-        key += '\x01';
-        key_vals.push_back(std::move(v));
-      }
-      auto [it, inserted] = groups.try_emplace(key);
-      if (inserted) {
-        it->second.resize(num_items);
-        group_keys.emplace(key, std::move(key_vals));
-      }
-      auto& states = it->second;
-      for (size_t s = 0; s < num_items; ++s) {
-        const SelectItem& item = q_.stmt.items[s];
-        AggState& st = states[s];
-        if (item.agg == AggFunc::kNone) {
-          if (st.first_row_items.empty()) {
-            st.first_row_items.push_back(
-                item.star ? Value() : EvaluateScalar(*item.expr, jr));
+      for (size_t i = begin; i < end; ++i) {
+        ASQP_RETURN_NOT_OK(ticker->Tick("aggregation"));
+        jr.row_ids = joined_.tuple(i);
+        key.clear();
+        for (const ExprPtr& g : q_.stmt.group_by) {
+          key += ValueKey(EvaluateScalar(*g, jr));
+          key += '\x01';
+        }
+        auto [it, inserted] = local->try_emplace(key);
+        if (inserted) it->second.resize(num_items);
+        AggGroup& states = it->second;
+        for (size_t s = 0; s < num_items; ++s) {
+          const SelectItem& item = q_.stmt.items[s];
+          AggState& st = states[s];
+          if (item.agg == AggFunc::kNone) {
+            if (!st.has_first) {
+              st.first = item.star ? Value() : EvaluateScalar(*item.expr, jr);
+              st.has_first = true;
+            }
+            continue;
           }
-          continue;
-        }
-        if (item.agg == AggFunc::kCount && item.star) {
+          if (item.agg == AggFunc::kCount && item.star) {
+            ++st.count;
+            continue;
+          }
+          const Value v = EvaluateScalar(*item.expr, jr);
+          if (v.is_null()) continue;
+          if (item.distinct) {
+            // Defer the fold: record each new value in first-occurrence
+            // order; finalize replays them sequentially.
+            if (st.seen.insert(ValueKey(v)).second) {
+              st.distinct_values.push_back(v);
+            }
+            continue;
+          }
           ++st.count;
-          continue;
+          st.sum += v.ToNumeric();
+          if (!st.has_minmax) {
+            st.min = v;
+            st.max = v;
+            st.has_minmax = true;
+          } else {
+            if (v.Compare(st.min) < 0) st.min = v;
+            if (v.Compare(st.max) > 0) st.max = v;
+          }
         }
-        const Value v = EvaluateScalar(*item.expr, jr);
-        if (v.is_null()) continue;
-        if (item.distinct && !st.seen.insert(ValueKey(v)).second) {
-          continue;  // agg(DISTINCT ...): skip repeated values
-        }
-        ++st.count;
-        st.sum += v.ToNumeric();
-        if (!st.has_minmax) {
-          st.min = v;
-          st.max = v;
-          st.has_minmax = true;
+      }
+      return Status::OK();
+    };
+
+    // Reduce step: fold one morsel's partial table into the canonical map.
+    std::map<std::string, AggGroup> groups;
+    const auto merge_table = [&](AggTable* local) -> Status {
+      for (auto& [key, states] : *local) {
+        ASQP_RETURN_NOT_OK(ticker_.Tick("aggregation merge"));
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted) {
+          it->second = std::move(states);
         } else {
-          if (v.Compare(st.min) < 0) st.min = v;
-          if (v.Compare(st.max) > 0) st.max = v;
+          MergeAggGroup(&it->second, &states);
         }
+      }
+      return Status::OK();
+    };
+
+    if (pool_ != nullptr && input > 1) {
+      ASQP_RETURN_NOT_OK(pool_->ParallelReduceOrdered<AggTable>(
+          input, options_.morsel_rows,
+          [&](size_t, size_t begin, size_t end, AggTable* local) -> Status {
+            util::DeadlineTicker ticker(context_, /*stride=*/256);
+            return partial_range(begin, end, local, &ticker);
+          },
+          [&](size_t, AggTable* local) -> Status {
+            return merge_table(local);
+          }));
+    } else {
+      // Same morsel decomposition, inline: chunk k maps then reduces
+      // before chunk k+1 starts — the identical left fold in morsel order.
+      const size_t morsel = options_.morsel_rows;
+      for (size_t begin = 0; begin < input; begin += morsel) {
+        AggTable local;
+        ASQP_RETURN_NOT_OK(partial_range(begin, std::min(input, begin + morsel),
+                                         &local, &ticker_));
+        ASQP_RETURN_NOT_OK(merge_table(&local));
       }
     }
 
@@ -581,10 +835,25 @@ class Execution {
       for (size_t s = 0; s < num_items; ++s) {
         const SelectItem& item = q_.stmt.items[s];
         AggState& st = states[s];
+        if (item.agg != AggFunc::kNone && item.distinct) {
+          // Replay the merged distinct values in first-occurrence order —
+          // the exact accumulation order of a sequential single pass.
+          for (const Value& v : st.distinct_values) {
+            ++st.count;
+            st.sum += v.ToNumeric();
+            if (!st.has_minmax) {
+              st.min = v;
+              st.max = v;
+              st.has_minmax = true;
+            } else {
+              if (v.Compare(st.min) < 0) st.min = v;
+              if (v.Compare(st.max) > 0) st.max = v;
+            }
+          }
+        }
         switch (item.agg) {
           case AggFunc::kNone:
-            row.push_back(st.first_row_items.empty() ? Value()
-                                                     : st.first_row_items[0]);
+            row.push_back(st.has_first ? std::move(st.first) : Value());
             break;
           case AggFunc::kCount:
             row.push_back(Value(st.count));

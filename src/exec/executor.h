@@ -6,15 +6,22 @@
 // as their tables are joined) -> aggregation or projection -> DISTINCT ->
 // ORDER BY -> LIMIT.
 //
-// Parallelism: with ExecOptions::num_threads > 1 the scan/filter stage, the
-// hash-join *probe* side, and residual predicate filters run
-// morsel-parallel over a thread pool owned by the engine. Base-table rows
-// (and intermediate join tuples) are split into fixed-size morsels, each
-// morsel filters/probes into a thread-local buffer, and the per-morsel
-// outputs are concatenated in morsel order — so the produced ResultSet is
-// bit-for-bit identical to the sequential engine's. The hash-join build
-// side, cross products, aggregation, and projection stay sequential (the
-// probe dominates the hot path; a partitioned build is future work).
+// Parallelism: with ExecOptions::num_threads > 1 every operator runs
+// morsel-parallel over a thread pool owned by the engine — scan/filter,
+// hash-join *build* (radix-partitioned: each morsel hashes its build rows
+// into per-morsel partition buffers, merged into the final per-partition
+// hash tables in morsel order), hash-join probe, cross product, residual
+// predicate filters, projection, and aggregation (per-morsel partial group
+// tables merged associatively in morsel order into a canonically ordered
+// final table). Base-table rows (and intermediate join tuples) are split
+// into fixed-size morsels, each morsel works into a thread-local buffer,
+// and the per-morsel outputs are combined in morsel order — so the
+// produced ResultSet is bit-for-bit identical at every thread count. The
+// morsel decomposition itself (morsel_rows) is part of the plan: floating
+// point SUM/AVG partials are reduced per-morsel then merged in morsel
+// order, so the reduction tree — and thus the low-order bits over
+// adversarial doubles — depends on morsel_rows but never on num_threads
+// (see DESIGN.md "Partitioned build & partial aggregation").
 #pragma once
 
 #include <cstdint>
@@ -46,7 +53,16 @@ struct ExecOptions {
   size_t num_threads = 1;
   /// Rows per morsel dispatched to the pool. Smaller morsels improve load
   /// balance and deadline latency; larger ones amortize dispatch overhead.
+  /// Aggregation always reduces per-morsel partials in morsel order (even
+  /// sequentially), so changing morsel_rows may flip the last ulp of a
+  /// floating-point SUM/AVG; changing num_threads never does.
   size_t morsel_rows = 16 * 1024;
+  /// Radix partitions for the parallel hash-join build. Build keys are
+  /// FNV-1a hashed into one of `build_partitions` buckets; per-morsel
+  /// bucket buffers merge in morsel order, one thread per partition.
+  /// 0 = auto (smallest power of two >= 4 * num_threads, capped at 64).
+  /// Ignored by the sequential engine (single partition).
+  size_t build_partitions = 0;
 };
 
 /// \brief Join result with provenance: for every joined tuple, the physical

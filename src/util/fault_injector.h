@@ -14,6 +14,10 @@
 // Registered points (see DESIGN.md "Fault model & degradation paths"):
 //   exec.deadline        ExecContext::Check reports an expired deadline
 //   exec.join.alloc      hash-join build allocation fails (ResourceExhausted)
+//   exec.join.partition  a hash-join build morsel's radix-partition buffer
+//                        allocation fails (ResourceExhausted)
+//   exec.agg.partial     a partial-aggregation morsel's group table
+//                        allocation fails (ResourceExhausted)
 //   nn.adam.nan_grad     a NaN is written into a gradient before Adam::Step
 //   io.checkpoint.write  SaveCheckpoint's stream write fails
 #pragma once

@@ -59,6 +59,36 @@ class ThreadPool {
       size_t n, size_t chunk_size,
       const std::function<Status(size_t chunk, size_t begin, size_t end)>& fn);
 
+  /// Partitioned reduce: split [0, n) into chunks of `chunk_size`, run
+  /// `map(chunk, begin, end, &local)` across the pool — each chunk owning a
+  /// default-constructed `Local` (its partition buffer) — then run
+  /// `reduce(chunk, &local)` on the *calling thread* in ascending chunk
+  /// order. Because every merge happens sequentially in chunk order, the
+  /// reduced result is deterministic regardless of how chunks were
+  /// scheduled: identical to mapping and reducing the chunks one by one on
+  /// a single thread. Error handling matches ParallelForChunked (first
+  /// non-OK map Status in chunk order wins; a failed map skips every
+  /// reduce); a non-OK reduce Status stops the merge and is returned.
+  template <typename Local>
+  [[nodiscard]] Status ParallelReduceOrdered(
+      size_t n, size_t chunk_size,
+      const std::function<Status(size_t chunk, size_t begin, size_t end,
+                                 Local* local)>& map,
+      const std::function<Status(size_t chunk, Local* local)>& reduce) {
+    if (n == 0) return Status::OK();
+    if (chunk_size == 0) chunk_size = 1;
+    const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+    std::vector<Local> locals(num_chunks);
+    ASQP_RETURN_NOT_OK(ParallelForChunked(
+        n, chunk_size, [&](size_t chunk, size_t begin, size_t end) -> Status {
+          return map(chunk, begin, end, &locals[chunk]);
+        }));
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      ASQP_RETURN_NOT_OK(reduce(chunk, &locals[chunk]));
+    }
+    return Status::OK();
+  }
+
  private:
   void WorkerLoop();
 

@@ -30,6 +30,7 @@ TEST(BenchCompareParse, RoundTripsEmitterOutput) {
   record.wall_seconds = 0.00123456789;
   record.rows_per_sec = 1.5e6;
   record.score = 0.64;
+  record.error = 0.0375;
   writer.Add(record);
   bench::BenchRecord empty;
   empty.name = "BM_Empty";
@@ -48,8 +49,10 @@ TEST(BenchCompareParse, RoundTripsEmitterOutput) {
   EXPECT_DOUBLE_EQ(parsed[0].wall_seconds, 0.00123456789);
   EXPECT_DOUBLE_EQ(parsed[0].rows_per_sec, 1.5e6);
   EXPECT_DOUBLE_EQ(parsed[0].score, 0.64);
+  EXPECT_DOUBLE_EQ(parsed[0].error, 0.0375);
   EXPECT_EQ(parsed[1].name, "BM_Empty");
   EXPECT_DOUBLE_EQ(parsed[1].wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(parsed[1].error, 0.0);
 }
 
 TEST(BenchCompareParse, EmptyArrayAndUnknownKeys) {

@@ -239,6 +239,113 @@ TEST(LintCatchAllTest, RethrowOrConvertIsClean) {
           .empty());
 }
 
+// --- asqp-unsynchronized-shared-write --------------------------------------
+
+TEST(LintSharedWriteTest, FlagsByRefMutationsInsideParallelLambda) {
+  const std::string src =
+      "void F(util::ThreadPool* pool) {\n"
+      "  size_t hits = 0;\n"
+      "  std::vector<int> rows;\n"
+      "  pool->ParallelFor(100, [&](size_t i) {\n"
+      "    hits += 1;\n"            // line 5, col 5: compound assignment
+      "    rows.push_back(1);\n"    // line 6, col 5: mutating method
+      "  });\n"
+      "}\n";
+  const auto diags = Lint("src/exec/executor.cc", src);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "asqp-unsynchronized-shared-write");
+  EXPECT_EQ(diags[0].line, 5u);
+  EXPECT_EQ(diags[0].col, 5u);
+  EXPECT_NE(diags[0].message.find("'hits'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("ParallelFor"), std::string::npos);
+  EXPECT_EQ(diags[1].line, 6u);
+  EXPECT_NE(diags[1].message.find("'rows'"), std::string::npos);
+}
+
+TEST(LintSharedWriteTest, FlagsExplicitCaptureAssignIncrementAndMember) {
+  const std::string src =
+      "void F(util::ThreadPool* pool) {\n"
+      "  int total = 0;\n"
+      "  Stats stats;\n"
+      "  size_t n = 0;\n"
+      "  pool->ParallelForChunked(100, 10,\n"
+      "      [&total, &stats, &n](size_t c, size_t b, size_t e) {\n"
+      "        total = 1;\n"          // line 7: direct assignment
+      "        stats.count = 2;\n"    // line 8: member assignment
+      "        ++n;\n"                // line 9: increment
+      "        return Status::OK();\n"
+      "      });\n"
+      "}\n";
+  const auto diags = Lint("src/exec/executor.cc", src);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].line, 7u);
+  EXPECT_NE(diags[0].message.find("'total'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("ParallelForChunked"), std::string::npos);
+  EXPECT_EQ(diags[1].line, 8u);
+  EXPECT_NE(diags[1].message.find("'stats'"), std::string::npos);
+  EXPECT_EQ(diags[2].line, 9u);
+  EXPECT_NE(diags[2].message.find("'n'"), std::string::npos);
+}
+
+TEST(LintSharedWriteTest, PerChunkSlotAtomicsAndLocalsAreClean) {
+  const std::string src =
+      "void F(util::ThreadPool* pool) {\n"
+      "  std::vector<TupleSet> parts(10);\n"
+      "  std::atomic<size_t> total{0};\n"
+      "  pool->ParallelForChunked(100, 10,\n"
+      "      [&](size_t chunk, size_t begin, size_t end) {\n"
+      "        TupleSet local;\n"                   // body-local: private
+      "        local.num_tables = 3;\n"
+      "        local.Append(nullptr);\n"
+      "        total.fetch_add(local.size());\n"    // atomic method
+      "        parts[chunk] = std::move(local);\n"  // per-chunk slot
+      "        return Status::OK();\n"
+      "      });\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/exec/executor.cc", src).empty());
+}
+
+TEST(LintSharedWriteTest, MutexGuardedBodyAndReadsAreClean) {
+  const std::string guarded =
+      "void F(util::ThreadPool* pool, std::vector<int>& out) {\n"
+      "  std::mutex mu;\n"
+      "  pool->ParallelFor(100, [&](size_t i) {\n"
+      "    std::lock_guard<std::mutex> lock(mu);\n"
+      "    out.push_back(1);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/exec/executor.cc", guarded).empty());
+  const std::string reads =
+      "void F(util::ThreadPool* pool, const std::vector<int>& in) {\n"
+      "  size_t limit = in.size();\n"
+      "  pool->ParallelFor(100, [&](size_t i) {\n"
+      "    if (i == limit || in[i] >= 3) Use(in[i], limit);\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/exec/executor.cc", reads).empty());
+}
+
+TEST(LintSharedWriteTest, LambdaOutsideParallelEntryIsNotFlagged) {
+  const std::string src =
+      "void F() {\n"
+      "  int count = 0;\n"
+      "  auto bump = [&count]() { count += 1; };\n"
+      "  std::for_each(v.begin(), v.end(), [&](int x) { count += x; });\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/exec/executor.cc", src).empty());
+}
+
+TEST(LintSharedWriteTest, NolintSuppressesSharedWrite) {
+  const std::string src =
+      "void F(util::ThreadPool* pool) {\n"
+      "  size_t hits = 0;\n"
+      "  pool->ParallelFor(100, [&](size_t i) {\n"
+      "    hits += 1;  // NOLINT(asqp-unsynchronized-shared-write)\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/exec/executor.cc", src).empty());
+}
+
 // --- lexical robustness ----------------------------------------------------
 
 TEST(LintLexerTest, IgnoresCommentsStringsAndPreprocessor) {

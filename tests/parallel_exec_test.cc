@@ -224,6 +224,139 @@ TEST(ParallelExecTest, ApproximationSetViewEquality) {
   ExpectSameResult(expected.value(), actual.value(), sql);
 }
 
+/// Three tables with one schema — sales(region STRING, units INT64,
+/// price DOUBLE) — so the same query text runs against a NULL-heavy
+/// populated table, an empty table, and a table whose group key is NULL
+/// in every row.
+std::shared_ptr<storage::Database> MakeNullHeavySalesDb() {
+  using storage::Schema;
+  using storage::Table;
+  using storage::Value;
+  using storage::ValueType;
+
+  const Schema schema({{"region", ValueType::kString},
+                       {"units", ValueType::kInt64},
+                       {"price", ValueType::kDouble}});
+  auto db = std::make_shared<storage::Database>();
+
+  const auto str = [](const char* s) { return Value(std::string(s)); };
+  const auto i64 = [](int64_t v) { return Value(v); };
+  auto sales = std::make_shared<Table>("sales", schema);
+  const std::vector<std::vector<Value>> kSales = {
+      {str("east"), i64(4), Value(2.5)},   {str("west"), i64(7), Value(1.5)},
+      {Value(), i64(4), Value(9.0)},       {str("east"), Value(), Value(2.5)},
+      {str("north"), i64(-3), Value()},    {str("west"), i64(7), Value(4.25)},
+      {Value(), Value(), Value()},         {str("east"), i64(11), Value(0.5)},
+      {str("north"), i64(0), Value(9.0)},  {str("west"), Value(), Value(1.5)},
+      {str("east"), i64(4), Value(-2.0)},  {Value(), i64(200), Value(0.125)},
+      {str("north"), i64(-3), Value(6.5)}, {str("east"), i64(9), Value()},
+      {str("west"), i64(1), Value(3.75)},  {str("south"), i64(5), Value(5.0)},
+      {Value(), i64(7), Value(2.5)},       {str("north"), Value(), Value(8.0)},
+      {str("south"), i64(5), Value()},     {str("east"), i64(2), Value(7.25)},
+      {str("west"), i64(13), Value(1.0)},  {str("south"), Value(), Value(5.0)},
+      {str("north"), i64(6), Value(0.25)}, {str("east"), i64(-8), Value(4.0)},
+  };
+  for (const auto& r : kSales) EXPECT_TRUE(sales->AppendRow(r).ok());
+
+  auto empty = std::make_shared<Table>("empty_sales", schema);
+  auto null_keys = std::make_shared<Table>("null_key_sales", schema);
+  const std::vector<std::vector<Value>> kNullKeys = {
+      {Value(), i64(3), Value(1.5)}, {Value(), Value(), Value(2.5)},
+      {Value(), i64(3), Value()},    {Value(), i64(-1), Value(1.5)},
+      {Value(), i64(8), Value(0.5)}, {Value(), Value(), Value()},
+  };
+  for (const auto& r : kNullKeys) EXPECT_TRUE(null_keys->AppendRow(r).ok());
+
+  EXPECT_TRUE(db->AddTable(sales).ok());
+  EXPECT_TRUE(db->AddTable(empty).ok());
+  EXPECT_TRUE(db->AddTable(null_keys).ok());
+  return db;
+}
+
+TEST(ParallelExecTest, AggregateMatrixSeqVsParallel) {
+  // Every aggregate function x {no GROUP BY, GROUP BY, HAVING over the
+  // aggregate, ORDER BY over the aggregate} x {NULL-heavy input, empty
+  // input, all-NULL group key}, at thread counts {2, 4, 8} against a
+  // sequential engine with the same morsel decomposition. morsel_rows=5
+  // leaves a ragged final morsel on the 24-row table.
+  const auto db = MakeNullHeavySalesDb();
+  const QueryEngine seq = MakeParallelEngine(1, /*morsel_rows=*/5);
+  const std::vector<std::string> aggs = {
+      "COUNT(*)",          "COUNT(s.units)",
+      "SUM(s.units)",      "AVG(s.price)",
+      "MIN(s.price)",      "MAX(s.units)",
+      "COUNT(DISTINCT s.region)", "SUM(DISTINCT s.units)",
+  };
+  std::vector<std::string> queries;
+  for (const std::string& table :
+       {std::string("sales"), std::string("empty_sales"),
+        std::string("null_key_sales")}) {
+    for (const std::string& agg : aggs) {
+      const std::string from = " FROM " + table + " s";
+      queries.push_back("SELECT " + agg + from);
+      queries.push_back("SELECT s.region, " + agg + from +
+                        " GROUP BY s.region");
+      queries.push_back("SELECT s.region, " + agg + " AS a" + from +
+                        " GROUP BY s.region HAVING a >= 1");
+      queries.push_back("SELECT s.region, " + agg + " AS a" + from +
+                        " GROUP BY s.region ORDER BY a LIMIT 3");
+    }
+  }
+  for (const size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    const QueryEngine par = MakeParallelEngine(threads, /*morsel_rows=*/5);
+    storage::DatabaseView view(db.get());
+    for (const std::string& sql : queries) {
+      auto expected = seq.ExecuteSql(sql, view);
+      auto actual = par.ExecuteSql(sql, view);
+      ASSERT_TRUE(expected.ok()) << sql << ": "
+                                 << expected.status().ToString();
+      ASSERT_TRUE(actual.ok()) << sql << ": " << actual.status().ToString();
+      ExpectSameResult(expected.value(), actual.value(),
+                       sql + " @" + std::to_string(threads) + " threads");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ParallelExecTest, CrossProductCapReportsPartialProgress) {
+  // A disconnected join graph forces the cross-product path; a tight
+  // intermediate-row cap must fail with an error that reports how many
+  // rows were actually produced before the cap tripped.
+  const auto db = testing::MakeTinyMovieDb();
+  ExecOptions options;
+  options.num_threads = 4;
+  options.morsel_rows = 2;
+  options.max_intermediate_rows = 20;  // 8 movies x 10 roles = 80 > 20
+  const QueryEngine par(options);
+  storage::DatabaseView view(db.get());
+  auto result =
+      par.ExecuteSql("SELECT m.title, r.actor FROM movies m, roles r", view);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kExecutionError)
+      << result.status().ToString();
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("cross product"), std::string::npos) << message;
+  EXPECT_NE(message.find("rows produced before the cap"), std::string::npos)
+      << message;
+}
+
+TEST(ParallelExecTest, DeadlineMidCrossProductCancelsWithinOneMorsel) {
+  // The cross-product rewrite ticks its deadline per outer row, so an
+  // already-expired deadline must surface as kDeadlineExceeded from the
+  // first morsel instead of materializing the full product first.
+  const auto db = testing::MakeTinyMovieDb();
+  const QueryEngine par = MakeParallelEngine(4, /*morsel_rows=*/2);
+  storage::DatabaseView view(db.get());
+  auto bound = sql::ParseAndBind(
+      "SELECT m.title, r.actor FROM movies m, roles r", *db);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const util::ExecContext context = util::ExecContext::WithDeadline(0.0);
+  auto result = par.Execute(bound.value(), view, context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+}
+
 TEST(ParallelExecTest, FilterNonEmptyMatchesSequentialSemantics) {
   // The bench harness's parallel FilterNonEmpty must keep exactly the
   // queries a sequential full-result-size pass keeps (the bugfix's

@@ -312,6 +312,7 @@ class Linter {
     CheckNondeterminism();
     CheckNakedNew();
     CheckCatchAll();
+    CheckUnsynchronizedSharedWrite();
     std::sort(diags_.begin(), diags_.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
                 return std::tie(a.line, a.col, a.rule) <
@@ -494,6 +495,172 @@ class Linter {
       }
       i = end > i ? end - 1 : i;
     }
+  }
+
+  // --- asqp-unsynchronized-shared-write ------------------------------------
+  // A lambda passed to ParallelFor / ParallelForChunked /
+  // ParallelReduceOrdered runs concurrently on pool threads. A local
+  // captured by reference and mutated inside the lambda body — direct or
+  // compound assignment, ++/--, a member assignment, or a mutating
+  // container method — is a data race unless the body synchronizes.
+  // Writes through a subscript (`parts[chunk] = ...`, the sanctioned
+  // per-chunk-slot pattern), atomic member calls, and bodies that mention
+  // a mutex/atomic are not flagged.
+  void CheckUnsynchronizedSharedWrite() {
+    static const std::unordered_set<std::string> kParallelEntry = {
+        "ParallelFor", "ParallelForChunked", "ParallelReduceOrdered"};
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i].type != TokenType::kIdent ||
+          kParallelEntry.count(tokens_[i].text) == 0) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (IsPunct(tokens_[j], "<")) {
+        // Explicit template arguments (ParallelReduceOrdered<Local>).
+        size_t depth = 0;
+        for (; j < tokens_.size(); ++j) {
+          if (IsPunct(tokens_[j], "<")) ++depth;
+          if (IsPunct(tokens_[j], ">") && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j >= tokens_.size() || !IsPunct(tokens_[j], "(")) continue;
+      const size_t call_end = SkipBalanced(tokens_, j, "(", ")");
+      for (size_t k = j + 1; k < call_end; ++k) {
+        if (!IsPunct(tokens_[k], "[")) continue;
+        const size_t lambda_end =
+            CheckParallelLambda(k, call_end, tokens_[i].text);
+        if (lambda_end == 0) continue;
+        k = lambda_end - 1;
+      }
+      i = call_end - 1;
+    }
+  }
+
+  /// Analyze one lambda whose capture list opens at `open` inside a
+  /// parallel-entry call ending at `call_end`. Returns the index one past
+  /// the lambda body, or 0 if no lambda shape was found.
+  size_t CheckParallelLambda(size_t open, size_t call_end,
+                             const std::string& entry) {
+    const size_t cap_end = SkipBalanced(tokens_, open, "[", "]");
+    if (cap_end >= call_end) return 0;
+    bool by_ref_default = false;
+    std::unordered_set<std::string> by_ref;
+    for (size_t q = open + 1; q + 1 < cap_end; ++q) {
+      if (!IsPunct(tokens_[q], "&")) continue;
+      if (tokens_[q + 1].type == TokenType::kIdent) {
+        by_ref.insert(tokens_[q + 1].text);
+      } else {
+        by_ref_default = true;  // bare [&]
+      }
+    }
+    if (open + 2 == cap_end && IsPunct(tokens_[open + 1], "&")) {
+      by_ref_default = true;
+    }
+
+    // The lambda's parameters and body-local declarations are private per
+    // invocation — never shared.
+    std::unordered_set<std::string> locals;
+    size_t p = cap_end;
+    if (p < call_end && IsPunct(tokens_[p], "(")) {
+      const size_t params_end = SkipBalanced(tokens_, p, "(", ")");
+      for (size_t q = p + 1; q + 1 < params_end; ++q) {
+        if (tokens_[q].type == TokenType::kIdent &&
+            (IsPunct(tokens_[q + 1], ",") || q + 1 == params_end - 1)) {
+          locals.insert(tokens_[q].text);
+        }
+      }
+      p = params_end;
+    }
+    while (p < call_end && !IsPunct(tokens_[p], "{")) ++p;
+    if (p >= call_end) return 0;
+    const size_t body_end = SkipBalanced(tokens_, p, "{", "}");
+
+    static const std::unordered_set<std::string> kSyncTokens = {
+        "mutex", "lock_guard", "unique_lock", "scoped_lock",
+        "Mutex", "MutexLock",  "shared_mutex"};
+    static const std::unordered_set<std::string> kAtomicMethods = {
+        "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "fetch_xor",
+        "store",     "exchange",  "compare_exchange_weak",
+        "compare_exchange_strong"};
+    static const std::unordered_set<std::string> kMutatingMethods = {
+        "push_back", "pop_back", "insert", "emplace", "emplace_back",
+        "clear",     "resize",   "erase",  "append",  "assign"};
+    static const std::unordered_set<std::string> kDeclKeywords = {
+        "return", "if",    "while", "for",   "else",  "do",
+        "switch", "case",  "new",   "delete", "throw", "goto",
+        "break",  "continue", "sizeof", "co_return", "co_await"};
+
+    // Pass 1: bail if the body synchronizes; collect body-local
+    // declarations (`Type name`, `auto name`, `Type* name`, `Type& name`).
+    for (size_t q = p + 1; q + 1 < body_end; ++q) {
+      const Token& t = tokens_[q];
+      if (t.type != TokenType::kIdent) continue;
+      if (kSyncTokens.count(t.text) > 0) return body_end;
+      const Token& prev = tokens_[q - 1];
+      const bool after_type_name = prev.type == TokenType::kIdent &&
+                                   kDeclKeywords.count(prev.text) == 0;
+      const bool after_ptr_ref =
+          (IsPunct(prev, "*") || IsPunct(prev, "&")) && q >= 2 &&
+          tokens_[q - 2].type == TokenType::kIdent &&
+          kDeclKeywords.count(tokens_[q - 2].text) == 0;
+      if (after_type_name || after_ptr_ref) locals.insert(t.text);
+    }
+
+    // Pass 2: flag unsynchronized writes to by-ref captures.
+    std::unordered_set<std::string> reported;
+    for (size_t q = p + 1; q + 1 < body_end; ++q) {
+      const Token& t = tokens_[q];
+      if (t.type != TokenType::kIdent) continue;
+      // A member name (`x.member`, `p->field`) is judged through its base
+      // identifier, not on its own.
+      if (IsPunct(tokens_[q - 1], ".") || IsPunct(tokens_[q - 1], "->")) {
+        continue;
+      }
+      if (locals.count(t.text) > 0 || reported.count(t.text) > 0) continue;
+      if (!by_ref_default && by_ref.count(t.text) == 0) continue;
+      const Token& next = tokens_[q + 1];
+      if (IsPunct(next, "[")) continue;  // per-chunk slot write
+      const Token* n2 = q + 2 < body_end ? &tokens_[q + 2] : nullptr;
+      const Token* n3 = q + 3 < body_end ? &tokens_[q + 3] : nullptr;
+      bool mutated = false;
+      if (IsPunct(next, "=") && (n2 == nullptr || !IsPunct(*n2, "=")) &&
+          !IsPunct(tokens_[q - 1], "=") && !IsPunct(tokens_[q - 1], "!") &&
+          !IsPunct(tokens_[q - 1], "<") && !IsPunct(tokens_[q - 1], ">")) {
+        mutated = true;  // x = ...
+      } else if (next.type == TokenType::kPunct && next.text.size() == 1 &&
+                 std::string("+-*/%|^&").find(next.text[0]) !=
+                     std::string::npos &&
+                 n2 != nullptr && IsPunct(*n2, "=")) {
+        mutated = true;  // x += ...
+      } else if ((IsPunct(next, "+") && n2 != nullptr && IsPunct(*n2, "+")) ||
+                 (IsPunct(next, "-") && n2 != nullptr && IsPunct(*n2, "-")) ||
+                 (q >= 2 && IsPunct(tokens_[q - 1], "+") &&
+                  IsPunct(tokens_[q - 2], "+")) ||
+                 (q >= 2 && IsPunct(tokens_[q - 1], "-") &&
+                  IsPunct(tokens_[q - 2], "-"))) {
+        mutated = true;  // x++ / ++x
+      } else if ((IsPunct(next, ".") || IsPunct(next, "->")) &&
+                 n2 != nullptr && n2->type == TokenType::kIdent &&
+                 n3 != nullptr) {
+        if (IsPunct(*n3, "(")) {
+          mutated = kMutatingMethods.count(n2->text) > 0 &&
+                    kAtomicMethods.count(n2->text) == 0;
+        } else if (IsPunct(*n3, "=") &&
+                   (q + 4 >= body_end || !IsPunct(tokens_[q + 4], "="))) {
+          mutated = true;  // x.member = ...
+        }
+      }
+      if (!mutated) continue;
+      reported.insert(t.text);
+      Report(t, "asqp-unsynchronized-shared-write",
+             "'" + t.text + "' is captured by reference and mutated inside "
+             "a " + entry + " lambda without synchronization; write into a "
+             "per-chunk slot, use an atomic, or guard it with a mutex");
+    }
+    return body_end;
   }
 
   const std::string& path_;

@@ -234,6 +234,8 @@ class Parser {
         if (!ParseNumber(&entry->rows_per_sec)) return false;
       } else if (key == "score") {
         if (!ParseNumber(&entry->score)) return false;
+      } else if (key == "error") {
+        if (!ParseNumber(&entry->error)) return false;
       } else if (!SkipValue()) {  // forward compatibility: unknown keys
         return false;
       }

@@ -37,6 +37,7 @@ struct BenchEntry {
   double wall_seconds = 0.0;
   double rows_per_sec = 0.0;
   double score = 0.0;
+  double error = 0.0;
 };
 
 /// Parse a bench-JSON array. Returns false and sets *error (with a
