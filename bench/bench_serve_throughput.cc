@@ -1,0 +1,194 @@
+// Serving-layer throughput: QPS of one ServeEngine under 1/2/4/8
+// concurrent mediator sessions, cold (cache disabled: every request is
+// admitted and executed) vs warm (fingerprint cache pre-filled: repeat
+// queries are hits), plus single-session cold/hit latency — the cache-hit
+// speedup is the serving layer's acceptance metric (>= 10x). Emits
+// machine-readable records via --json / ASQP_BENCH_JSON for CI's
+// bench-smoke gate (tools/bench_compare vs bench/baselines/BENCH_serve.json).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "common/bench_json.h"
+#include "core/trainer.h"
+#include "serve/serve_engine.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+using namespace asqp;
+using namespace asqp::bench;
+
+namespace {
+
+/// Requests each session issues per throughput round.
+size_t RequestsPerSession() {
+  switch (BenchScale()) {
+    case 0:
+      return 30;
+    case 1:
+      return 120;
+    default:
+      return 400;
+  }
+}
+
+/// Run `sessions` threads, each issuing `per_session` requests round-robin
+/// over `queries`, and return the total wall seconds.
+double RunSessions(serve::ServeEngine* engine,
+                   const std::vector<sql::SelectStatement>& queries,
+                   size_t sessions, size_t per_session) {
+  util::Stopwatch timer;
+  std::vector<std::thread> threads;
+  threads.reserve(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([engine, &queries, s, per_session] {
+      for (size_t i = 0; i < per_session; ++i) {
+        auto result = engine->Answer(queries[(s + i) % queries.size()]);
+        if (!result.ok()) {
+          std::fprintf(stderr, "serve error: %s\n",
+                       result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchJsonWriter writer = BenchJsonWriter::FromArgs(&argc, argv);
+  PrintHeader("Serving layer",
+              "ServeEngine QPS at 1/2/4/8 sessions, cold vs warm cache");
+  const ScaledSetup setup = SetupForScale(BenchScale());
+  const data::DatasetBundle bundle = LoadDataset("imdb", setup);
+  const metric::Workload workload = FilterNonEmpty(*bundle.db, bundle.workload);
+
+  core::AsqpConfig config = MakeAsqpConfig(setup);
+  core::AsqpTrainer trainer(config);
+  auto report = trainer.Train(*bundle.db, workload);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  core::AsqpModel& model = *report.value().model;
+
+  std::vector<sql::SelectStatement> queries;
+  for (const auto& wq : workload.queries()) {
+    queries.push_back(wq.stmt);
+    if (queries.size() >= 8) break;
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no usable workload queries\n");
+    return 1;
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.max_inflight = 4;
+  serve_options.queue_capacity = 64;
+  serve_options.pool_threads = BenchExecThreads() > 1
+                                   ? BenchExecThreads() - 1
+                                   : 1;
+
+  // --- Single-session latency: cold execution vs cache hit. -------------
+  double cold_seconds = 0.0;
+  double hit_seconds = 0.0;
+  {
+    serve::ServeEngine engine(&model, serve_options);
+    util::Stopwatch timer;
+    for (const auto& stmt : queries) {
+      auto result = engine.Answer(stmt);
+      if (!result.ok()) {
+        std::fprintf(stderr, "cold answer failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    cold_seconds = timer.ElapsedSeconds() / static_cast<double>(queries.size());
+    timer.Restart();
+    for (const auto& stmt : queries) {
+      auto result = engine.Answer(stmt);
+      if (!result.ok() || !result.value().from_cache) {
+        std::fprintf(stderr, "expected a cache hit on the repeat pass\n");
+        return 1;
+      }
+    }
+    hit_seconds = timer.ElapsedSeconds() / static_cast<double>(queries.size());
+  }
+  const double speedup = hit_seconds > 0 ? cold_seconds / hit_seconds : 0.0;
+
+  PrintRow({"pass", "per-query", "speedup"}, {10, 14, 10});
+  PrintRow({"cold", Fmt(cold_seconds * 1e3, 3) + " ms", "1x"}, {10, 14, 10});
+  PrintRow({"hit", Fmt(hit_seconds * 1e3, 3) + " ms", Fmt(speedup, 1) + "x"},
+           {10, 14, 10});
+
+  {
+    BenchRecord record;
+    record.name = "serve_latency_cold";
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.wall_seconds = cold_seconds;
+    writer.Add(std::move(record));
+  }
+  {
+    BenchRecord record;
+    record.name = "serve_latency_hit";
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.params.emplace_back("speedup_vs_cold", Fmt(speedup, 1));
+    record.wall_seconds = hit_seconds;
+    writer.Add(std::move(record));
+  }
+
+  // --- Throughput: sessions x {cold, warm}. -----------------------------
+  const size_t per_session = RequestsPerSession();
+  PrintRow({"sessions", "mode", "QPS", "hit ratio"}, {10, 8, 12, 10});
+  for (size_t sessions : {1u, 2u, 4u, 8u}) {
+    for (const bool warm : {false, true}) {
+      serve::ServeOptions options = serve_options;
+      if (!warm) options.cache_bytes = 0;  // cold = every request executes
+      serve::ServeEngine engine(&model, options);
+      if (warm) {
+        // Pre-fill so the measured region is all hits.
+        for (const auto& stmt : queries) {
+          auto result = engine.Answer(stmt);
+          if (!result.ok()) {
+            std::fprintf(stderr, "warmup failed: %s\n",
+                         result.status().ToString().c_str());
+            return 1;
+          }
+        }
+      }
+      const double wall =
+          RunSessions(&engine, queries, sessions, per_session);
+      const double total =
+          static_cast<double>(sessions) * static_cast<double>(per_session);
+      const double qps = wall > 0 ? total / wall : 0.0;
+      const serve::ServeEngine::Stats stats = engine.stats();
+      const double hit_ratio =
+          stats.served > 0
+              ? static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.served)
+              : 0.0;
+      PrintRow({std::to_string(sessions), warm ? "warm" : "cold",
+                Fmt(qps, 1), Fmt(hit_ratio, 2)},
+               {10, 8, 12, 10});
+
+      BenchRecord record;
+      record.name = util::Format("serve_qps_%s/%zu", warm ? "warm" : "cold",
+                                 sessions);
+      record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+      record.params.emplace_back("sessions", std::to_string(sessions));
+      record.params.emplace_back("hit_ratio", Fmt(hit_ratio, 3));
+      record.wall_seconds = wall / total;  // seconds per request
+      record.rows_per_sec = qps;           // requests per second
+      writer.Add(std::move(record));
+    }
+  }
+
+  if (!writer.Flush()) return 1;
+  return 0;
+}

@@ -82,6 +82,23 @@ struct AsqpConfig {
   /// floating-point SUM/AVG. 0 = engine default (16384).
   size_t exec_morsel_rows = 0;
 
+  // ---- Serving (serve::ServeEngine).
+  /// Concurrent Answer() calls admitted into execution at once; further
+  /// sessions queue FIFO behind them (see serve_queue_capacity). Bounds
+  /// how many queries share the process-wide execution pool.
+  size_t serve_max_inflight = 4;
+  /// Sessions allowed to queue for admission once serve_max_inflight
+  /// queries are executing; arrivals beyond this are rejected immediately
+  /// with kResourceExhausted (back-pressure, not unbounded queueing).
+  size_t serve_queue_capacity = 16;
+  /// Worker threads in the serving layer's shared execution pool (total
+  /// morsel concurrency = workers + the calling session's thread). 0 =
+  /// derive from exec_threads.
+  size_t serve_pool_threads = 0;
+  /// Byte budget for the fingerprint-keyed answer cache (LRU within the
+  /// budget; 0 disables caching).
+  size_t cache_bytes = 64ull << 20;
+
   uint64_t seed = 1;
 
   /// ASQP-Light (Section 4.5): 25% of representatives executed, higher

@@ -6,6 +6,7 @@
 #include "metric/score.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "util/thread_pool.h"
 
 namespace asqp {
 namespace core {
@@ -95,29 +96,45 @@ double AsqpModel::EstimateAnswerability(
 }
 
 util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt) {
+  return Answer(stmt, util::ExecContext());
+}
+
+util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt,
+                                             const util::ExecContext& context) {
   AnswerResult result;
   result.answerability = EstimateAnswerability(stmt);
 
   // Drift bookkeeping (Section 4.4): confidently out-of-distribution
-  // queries accumulate until fine-tuning is triggered.
+  // queries accumulate until fine-tuning is triggered. Concurrent
+  // sessions record through one mutex; everything else in this function
+  // reads immutable inference state.
   const sql::SelectStatement spj = stmt.HasAggregates()
                                        ? metric::StripAggregates(stmt)
                                        : stmt.Clone();
   if (estimator_->DeviationConfidence(spj) > config_.drift_confidence) {
+    std::lock_guard<std::mutex> lock(drift_mu_);
     drifted_queries_.push_back(spj.Clone());
   }
 
   ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
   if (result.answerability >= config_.answerable_threshold) {
     storage::DatabaseView view(db_, &set_);
-    util::ExecContext context;
-    if (config_.answer_deadline_seconds > 0.0) {
-      context = util::ExecContext::WithDeadline(config_.answer_deadline_seconds);
+    // The caller's context bounds the approximation attempt when it
+    // carries a deadline/cancellation; otherwise the configured per-query
+    // deadline applies.
+    util::ExecContext approx_context = context;
+    if (context.deadline().IsUnlimited() &&
+        config_.answer_deadline_seconds > 0.0) {
+      approx_context.set_deadline(
+          util::Deadline::AfterSeconds(config_.answer_deadline_seconds));
     }
-    util::Result<exec::ResultSet> approx = engine_.Execute(bound, view, context);
+    util::Result<exec::ResultSet> approx =
+        engine_.Execute(bound, view, approx_context);
     if (approx.ok()) {
       result.result = std::move(approx).value();
       result.used_approximation = true;
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      approx_served_.fetch_add(1, std::memory_order_relaxed);
       return result;
     }
     // Degradation path: a deadline, cancellation, or resource limit on the
@@ -136,10 +153,23 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt) {
         return approx.status();
     }
   }
+  // Full-database path: deadline-free (degradation must be able to
+  // finish) but still cooperatively cancellable by the caller.
+  util::ExecContext full_context = context;
+  full_context.set_deadline(util::Deadline::Unlimited());
   storage::DatabaseView view(db_);
-  ASQP_ASSIGN_OR_RETURN(result.result, engine_.Execute(bound, view));
+  ASQP_ASSIGN_OR_RETURN(result.result,
+                        engine_.Execute(bound, view, full_context));
   result.used_approximation = false;
+  answered_.fetch_add(1, std::memory_order_relaxed);
+  if (result.fell_back) fallbacks_.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+void AsqpModel::SetExecutionPool(std::shared_ptr<util::ThreadPool> pool) {
+  exec::ExecOptions options = ExecOptionsFor(config_);
+  options.shared_pool = std::move(pool);
+  engine_ = exec::QueryEngine(options);
 }
 
 util::Result<AnswerResult> AsqpModel::AnswerSql(const std::string& sql) {
@@ -148,12 +178,17 @@ util::Result<AnswerResult> AsqpModel::AnswerSql(const std::string& sql) {
 }
 
 bool AsqpModel::NeedsFineTuning() const {
+  std::lock_guard<std::mutex> lock(drift_mu_);
   return drifted_queries_.size() >= config_.drift_trigger;
 }
 
 util::Status AsqpModel::FineTune(const metric::Workload& new_queries) {
   // Merge the drifted / provided queries with the existing representatives
   // (recent interests weighted up) and retrain with a shortened schedule.
+  // FineTune is a writer (it swaps the policy/estimator/approximation
+  // set): callers serialize it against concurrent Answer()s — the drift
+  // lock below only protects the vector itself.
+  size_t drift_count = 0;
   metric::Workload merged;
   for (const metric::WeightedQuery& q :
        preprocess_.representatives.queries()) {
@@ -164,15 +199,19 @@ util::Status AsqpModel::FineTune(const metric::Workload& new_queries) {
   for (const metric::WeightedQuery& q : new_queries.queries()) {
     merged.Add(q.stmt.Clone(), boost);
   }
-  for (const sql::SelectStatement& q : drifted_queries_) {
-    merged.Add(q.Clone(), boost);
+  {
+    std::lock_guard<std::mutex> lock(drift_mu_);
+    for (const sql::SelectStatement& q : drifted_queries_) {
+      merged.Add(q.Clone(), boost);
+    }
+    drift_count = drifted_queries_.size();
   }
   merged.NormalizeWeights();
 
   AsqpConfig tune_config = config_;
   tune_config.trainer.iterations =
       std::max<size_t>(4, config_.trainer.iterations / 2);
-  tune_config.seed = config_.seed + 1 + drifted_queries_.size();
+  tune_config.seed = config_.seed + 1 + drift_count;
 
   ASQP_ASSIGN_OR_RETURN(PreprocessResult preprocess,
                         Preprocess(*db_, merged, tune_config));
@@ -189,9 +228,15 @@ util::Status AsqpModel::FineTune(const metric::Workload& new_queries) {
       embed::QueryEmbedder(config_.embed_dim),
       preprocess_.representative_embeddings,
       std::vector<double>(preprocess_.representative_embeddings.size(), 0.0));
-  drifted_queries_.clear();
+  {
+    std::lock_guard<std::mutex> lock(drift_mu_);
+    drifted_queries_.clear();
+  }
   MaterializeSet();
   CalibrateEstimator();
+  // Publish the new approximation-set generation last: a cached answer
+  // stamped with the old generation is stale from this point on.
+  generation_.fetch_add(1, std::memory_order_release);
   return util::Status::OK();
 }
 

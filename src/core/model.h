@@ -2,7 +2,10 @@
 // Answer() mediator, interest-drift detection, and fine-tuning.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/config.h"
@@ -31,6 +34,9 @@ struct AnswerResult {
   bool fell_back = false;
   /// Why the mediator degraded (empty when `fell_back` is false).
   std::string fallback_reason;
+  /// True when the serving layer returned a cached answer without
+  /// executing (serve::ServeEngine; always false from AsqpModel::Answer).
+  bool from_cache = false;
 };
 
 class AsqpModel {
@@ -52,7 +58,21 @@ class AsqpModel {
   /// estimator deems it answerable (estimate >= threshold), otherwise the
   /// full database. Aggregate queries are estimated via their SPJ skeleton
   /// but executed as written. Records drift statistics.
+  ///
+  /// Thread safety: concurrent Answer() calls are safe (the serving layer
+  /// runs many sessions against one model) — inference state is read-only
+  /// and drift bookkeeping is internally synchronized. FineTune() and
+  /// SetExecutionPool() are *writers* and must be externally serialized
+  /// against every concurrent Answer (serve::ServeEngine holds a
+  /// reader-writer lock for exactly this).
   [[nodiscard]] util::Result<AnswerResult> Answer(const sql::SelectStatement& stmt);
+  /// As above, but the caller's ExecContext (deadline / cancellation)
+  /// bounds the approximation-set attempt; when it is unlimited the
+  /// configured answer_deadline_seconds applies instead. The degraded
+  /// full-database fallback still honors cancellation but not the
+  /// deadline (degradation must be able to finish).
+  [[nodiscard]] util::Result<AnswerResult> Answer(const sql::SelectStatement& stmt,
+                                                  const util::ExecContext& context);
   [[nodiscard]] util::Result<AnswerResult> AnswerSql(const std::string& sql);
 
   /// Interest drift (C5): true once `drift_trigger` out-of-distribution
@@ -70,9 +90,38 @@ class AsqpModel {
     return preprocess_.representatives;
   }
   const AsqpConfig& config() const { return config_; }
+  /// The underlying full database this model mediates over.
+  const storage::Database* database() const { return db_; }
   /// Mutable access for post-training knobs (e.g. answer_deadline_seconds).
   AsqpConfig& mutable_config() { return config_; }
-  size_t drifted_query_count() const { return drifted_queries_.size(); }
+  size_t drifted_query_count() const {
+    std::lock_guard<std::mutex> lock(drift_mu_);
+    return drifted_queries_.size();
+  }
+
+  /// Monotonic approximation-set generation: bumped every time FineTune
+  /// swaps in a new policy/approximation set. The serving layer stamps
+  /// cached answers with this and treats a mismatch as invalidation.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Route this model's query execution through an externally owned pool
+  /// (the serving layer's process-wide pool; see ExecOptions::shared_pool).
+  /// Writer: must not run concurrently with Answer().
+  void SetExecutionPool(std::shared_ptr<util::ThreadPool> pool);
+
+  /// Cumulative Answer() bookkeeping (monotonic, thread-safe).
+  struct AnswerStats {
+    uint64_t answered = 0;        ///< completed Answer() calls
+    uint64_t approx_served = 0;   ///< served from the approximation set
+    uint64_t fallbacks = 0;       ///< degraded to the full database
+  };
+  AnswerStats answer_stats() const {
+    return AnswerStats{answered_.load(std::memory_order_relaxed),
+                       approx_served_.load(std::memory_order_relaxed),
+                       fallbacks_.load(std::memory_order_relaxed)};
+  }
 
  private:
   friend class AsqpTrainer;
@@ -91,7 +140,17 @@ class AsqpModel {
   exec::QueryEngine engine_;
 
   /// Out-of-distribution queries observed since the last fine-tune.
+  /// Guarded by drift_mu_: Answer() may run on many threads at once.
+  mutable std::mutex drift_mu_;
   std::vector<sql::SelectStatement> drifted_queries_;
+
+  /// Approximation-set generation (see generation()).
+  std::atomic<uint64_t> generation_{0};
+
+  /// Monotonic Answer() counters (see answer_stats()).
+  std::atomic<uint64_t> answered_{0};
+  std::atomic<uint64_t> approx_served_{0};
+  std::atomic<uint64_t> fallbacks_{0};
 };
 
 }  // namespace core

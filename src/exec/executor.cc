@@ -791,8 +791,12 @@ class Execution {
       return Status::OK();
     };
 
-    // Reduce step: fold one morsel's partial table into the canonical map.
-    std::map<std::string, AggGroup> groups;
+    // Reduce step: fold one morsel's partial table into the global hash
+    // table. Group order is imposed once at finalization (a single sort
+    // over the distinct keys) instead of per-row via std::map's log(n)
+    // ordered inserts; the emitted order — sorted serialized group keys —
+    // is byte-identical to the previous std::map iteration order.
+    AggTable groups;
     const auto merge_table = [&](AggTable* local) -> Status {
       for (auto& [key, states] : *local) {
         ASQP_RETURN_NOT_OK(ticker_.Tick("aggregation merge"));
@@ -828,8 +832,19 @@ class Execution {
       }
     }
 
+    // Canonical group order: sort the distinct keys once. Emission then
+    // walks the same sorted sequence the old std::map produced.
+    std::vector<AggTable::value_type*> ordered;
+    ordered.reserve(groups.size());
+    for (auto& kv : groups) ordered.push_back(&kv);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const AggTable::value_type* a, const AggTable::value_type* b) {
+                return a->first < b->first;
+              });
+
     ResultSet out(OutputNames());
-    for (auto& [key, states] : groups) {
+    for (AggTable::value_type* kv : ordered) {
+      AggGroup& states = kv->second;
       std::vector<Value> row;
       row.reserve(num_items);
       for (size_t s = 0; s < num_items; ++s) {
@@ -953,7 +968,12 @@ class Execution {
 
 QueryEngine::QueryEngine(ExecOptions options) : options_(options) {
   if (options_.morsel_rows == 0) options_.morsel_rows = 1;
-  if (options_.num_threads > 1) {
+  if (options_.shared_pool != nullptr) {
+    // Injected pool (the serving layer's process-wide pool): adopt it and
+    // derive the concurrency from its size (workers + calling thread).
+    pool_ = options_.shared_pool;
+    options_.num_threads = pool_->num_threads() + 1;
+  } else if (options_.num_threads > 1) {
     // The calling thread participates in ParallelForChunked, so
     // num_threads - 1 pool workers give num_threads total.
     pool_ = std::make_shared<util::ThreadPool>(options_.num_threads - 1);

@@ -63,6 +63,15 @@ struct ExecOptions {
   /// 0 = auto (smallest power of two >= 4 * num_threads, capped at 64).
   /// Ignored by the sequential engine (single partition).
   size_t build_partitions = 0;
+  /// Externally owned worker pool. When set, the engine runs its morsels
+  /// on this pool instead of creating a private one — the serving layer
+  /// hands every concurrent session the same process-wide pool so N
+  /// sessions never spawn N * num_threads threads. The pool must outlive
+  /// the engine. `num_threads` is derived from the pool (workers + the
+  /// calling thread) and any explicit value is ignored. Morsel
+  /// decomposition (morsel_rows) is unchanged, so results stay
+  /// bit-identical to a private pool of any size.
+  std::shared_ptr<util::ThreadPool> shared_pool = nullptr;
 };
 
 /// \brief Join result with provenance: for every joined tuple, the physical

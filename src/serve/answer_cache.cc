@@ -1,0 +1,135 @@
+#include "serve/answer_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace asqp {
+namespace serve {
+
+size_t EstimateAnswerBytes(const core::AnswerResult& result) {
+  size_t bytes = sizeof(core::AnswerResult);
+  bytes += result.fallback_reason.size();
+  for (const std::string& name : result.result.column_names()) {
+    bytes += sizeof(std::string) + name.size();
+  }
+  for (const auto& row : result.result.rows()) {
+    bytes += sizeof(row) + row.size() * sizeof(storage::Value);
+    for (const storage::Value& v : row) {
+      if (v.type() == storage::ValueType::kString) bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
+AnswerCache::AnswerCache(size_t byte_budget, size_t num_shards)
+    : byte_budget_(byte_budget),
+      shard_budget_(byte_budget / std::max<size_t>(1, num_shards)),
+      shards_(std::max<size_t>(1, num_shards)) {}
+
+std::shared_ptr<const core::AnswerResult> AnswerCache::Lookup(
+    const sql::QueryFingerprint& fp, uint64_t generation) {
+  Shard& shard = ShardFor(fp.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fp.hash);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  Entry& entry = *it->second;
+  if (entry.generation != generation) {
+    // FineTune swapped the approximation set since this was cached.
+    shard.bytes -= entry.bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.invalidations;
+    ++shard.misses;
+    return nullptr;
+  }
+  if (entry.canonical != fp.canonical) {
+    ++shard.hash_collisions;
+    ++shard.misses;
+    return nullptr;
+  }
+  // Move to the front of the LRU list (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return entry.answer;
+}
+
+void AnswerCache::Insert(const sql::QueryFingerprint& fp, uint64_t generation,
+                         core::AnswerResult result) {
+  const size_t bytes = EstimateAnswerBytes(result);
+  if (bytes > shard_budget_) return;  // would evict the whole shard
+  Shard& shard = ShardFor(fp.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fp.hash);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  Entry entry;
+  entry.hash = fp.hash;
+  entry.canonical = fp.canonical;
+  entry.generation = generation;
+  entry.bytes = bytes;
+  entry.answer =
+      std::make_shared<const core::AnswerResult>(std::move(result));
+  shard.lru.push_front(std::move(entry));
+  shard.index[fp.hash] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.hash);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  // A single over-budget entry cannot remain (bytes <= shard_budget_ was
+  // checked above), so the loop always terminates under budget.
+}
+
+void AnswerCache::InvalidateOlderThan(uint64_t generation) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->generation < generation) {
+        shard.bytes -= it->bytes;
+        shard.index.erase(it->hash);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void AnswerCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+AnswerCache::Stats AnswerCache::stats() const {
+  Stats out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.insertions += shard.insertions;
+    out.evictions += shard.evictions;
+    out.invalidations += shard.invalidations;
+    out.hash_collisions += shard.hash_collisions;
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace asqp

@@ -1,0 +1,109 @@
+#include "serve/serve_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace asqp {
+namespace serve {
+
+ServeOptions ServeOptions::FromConfig(const core::AsqpConfig& config) {
+  ServeOptions options;
+  options.max_inflight = std::max<size_t>(1, config.serve_max_inflight);
+  options.queue_capacity = config.serve_queue_capacity;
+  options.pool_threads =
+      config.serve_pool_threads > 0
+          ? config.serve_pool_threads
+          : std::max<size_t>(1, config.exec_threads > 1
+                                    ? config.exec_threads - 1
+                                    : 1);
+  options.cache_bytes = config.cache_bytes;
+  return options;
+}
+
+ServeEngine::ServeEngine(core::AsqpModel* model, ServeOptions options)
+    : model_(model),
+      options_(options),
+      pool_(std::make_shared<util::ThreadPool>(
+          std::max<size_t>(1, options.pool_threads))),
+      admission_(std::max<size_t>(1, options.max_inflight),
+                 options.queue_capacity),
+      cache_(options.cache_bytes,
+             std::max<size_t>(1, options.cache_shards)) {
+  model_->SetExecutionPool(pool_);
+}
+
+ServeEngine::~ServeEngine() {
+  // Detach the model from the pool we are about to destroy: the model
+  // outlives the engine and must not execute on a dead pool.
+  model_->SetExecutionPool(nullptr);
+}
+
+util::Result<core::AnswerResult> ServeEngine::Answer(
+    const sql::SelectStatement& stmt, const util::ExecContext& context) {
+  // Fingerprint the *bound* statement so table aliases normalize away.
+  // Binding is cheap (name resolution only) relative to execution, and a
+  // failed bind short-circuits before admission.
+  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound,
+                        sql::Bind(stmt, *model_->database()));
+  const sql::QueryFingerprint fp = sql::FingerprintQuery(bound.stmt);
+
+  // Cache hits bypass admission entirely: they cost a shard lock and a
+  // copy, not an execution slot.
+  if (auto hit = cache_.Lookup(fp, model_->generation())) {
+    core::AnswerResult result = *hit;
+    result.from_cache = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  // Admission: bounded in-flight executions, FIFO queue behind them, the
+  // caller's deadline/cancellation honored while waiting.
+  {
+    util::Status admitted = admission_.Acquire(context);
+    if (!admitted.ok()) {
+      if (admitted.code() == util::StatusCode::kResourceExhausted) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        admission_expired_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return admitted;
+    }
+  }
+  util::SemaphoreReleaser release(&admission_);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Reader lock: many Answers run concurrently; FineTune excludes them.
+  std::shared_lock<std::shared_mutex> reader(model_mu_);
+  const uint64_t generation = model_->generation();
+  ASQP_ASSIGN_OR_RETURN(core::AnswerResult result,
+                        model_->Answer(stmt, context));
+  // Degraded (fell-back) answers are not cached: a retry without pressure
+  // may serve the better approximation-set answer.
+  if (!result.fell_back) {
+    cache_.Insert(fp, generation, result);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+util::Result<core::AnswerResult> ServeEngine::AnswerSql(
+    const std::string& sql, const util::ExecContext& context) {
+  ASQP_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+  return Answer(stmt, context);
+}
+
+util::Status ServeEngine::FineTune(const metric::Workload& new_queries) {
+  std::unique_lock<std::shared_mutex> writer(model_mu_);
+  ASQP_RETURN_NOT_OK(model_->FineTune(new_queries));
+  // Lazy per-lookup invalidation already guarantees correctness; the
+  // eager sweep frees the stale entries' bytes immediately.
+  cache_.InvalidateOlderThan(model_->generation());
+  return util::Status::OK();
+}
+
+}  // namespace serve
+}  // namespace asqp

@@ -1,0 +1,128 @@
+// The concurrent serving layer: one ServeEngine fronts one trained
+// AsqpModel for N simultaneous mediator sessions.
+//
+// Three mechanisms turn the single-query mediator into a server:
+//   1. A process-wide util::ThreadPool shared by every session's
+//      morsel-parallel execution (injected via ExecOptions::shared_pool),
+//      so N concurrent queries use one bounded pool instead of N private
+//      ones — total execution threads never exceed the configured cap
+//      (observable via util::ThreadPool::LiveWorkerCount()).
+//   2. Admission control: a FIFO-fair semaphore bounds in-flight queries
+//      at serve_max_inflight; further sessions queue (bounded at
+//      serve_queue_capacity, honoring each waiter's ExecContext deadline/
+//      cancellation) or are rejected with kResourceExhausted.
+//   3. A sharded answer cache keyed by sql::QueryFingerprint of the bound
+//      AST: repeat queries — in any equivalent spelling — return the
+//      cached AnswerResult without executing or occupying an admission
+//      slot. Entries are stamped with the model's approximation-set
+//      generation; FineTune() bumps it, invalidating every stale entry.
+//
+// Answer() calls may run from any number of threads. FineTune() takes the
+// engine's writer lock, so in-flight queries drain before the model is
+// retrained and new arrivals wait until the swap completes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "core/config.h"
+#include "core/model.h"
+#include "serve/answer_cache.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace asqp {
+namespace serve {
+
+struct ServeOptions {
+  /// Concurrent Answer() executions admitted at once.
+  size_t max_inflight = 4;
+  /// Sessions allowed to queue behind them (excess is rejected).
+  size_t queue_capacity = 16;
+  /// Worker threads in the shared execution pool. Total morsel
+  /// concurrency per query = pool workers + the session's own thread.
+  /// 0 = 1 worker.
+  size_t pool_threads = 1;
+  /// Answer-cache byte budget (0 disables caching).
+  size_t cache_bytes = 64ull << 20;
+  size_t cache_shards = 8;
+
+  /// Derive the serving knobs from a model's AsqpConfig
+  /// (serve_max_inflight, serve_queue_capacity, serve_pool_threads /
+  /// exec_threads, cache_bytes).
+  static ServeOptions FromConfig(const core::AsqpConfig& config);
+};
+
+class ServeEngine {
+ public:
+  /// `model` must outlive the engine. The engine re-routes the model's
+  /// execution through its shared pool (AsqpModel::SetExecutionPool).
+  ServeEngine(core::AsqpModel* model, ServeOptions options);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Serve one query: fingerprint -> cache lookup -> (on miss) admission
+  /// -> AsqpModel::Answer -> cache fill. Cache hits return immediately
+  /// with AnswerResult::from_cache set, bypassing admission. `context`
+  /// bounds both the admission wait and the execution.
+  [[nodiscard]] util::Result<core::AnswerResult> Answer(
+      const sql::SelectStatement& stmt,
+      const util::ExecContext& context = util::ExecContext());
+
+  /// Parse `sql`, then Answer() it.
+  [[nodiscard]] util::Result<core::AnswerResult> AnswerSql(
+      const std::string& sql,
+      const util::ExecContext& context = util::ExecContext());
+
+  /// Retrain on drifted/new queries (AsqpModel::FineTune) under the
+  /// writer lock: waits for in-flight queries to drain, swaps the model
+  /// state, and invalidates every cached answer from older generations.
+  [[nodiscard]] util::Status FineTune(const metric::Workload& new_queries);
+
+  struct Stats {
+    uint64_t served = 0;          ///< successful Answer() calls
+    uint64_t cache_hits = 0;      ///< served straight from the cache
+    uint64_t admitted = 0;        ///< entered execution
+    uint64_t rejected = 0;        ///< admission queue full
+    uint64_t admission_expired = 0;  ///< deadline/cancel while queued
+  };
+  Stats stats() const {
+    return Stats{served_.load(std::memory_order_relaxed),
+                 cache_hits_.load(std::memory_order_relaxed),
+                 admitted_.load(std::memory_order_relaxed),
+                 rejected_.load(std::memory_order_relaxed),
+                 admission_expired_.load(std::memory_order_relaxed)};
+  }
+
+  const AnswerCache& cache() const { return cache_; }
+  AnswerCache& mutable_cache() { return cache_; }
+  const ServeOptions& options() const { return options_; }
+  core::AsqpModel* model() { return model_; }
+  /// The shared execution pool (for instrumentation/tests).
+  util::ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  core::AsqpModel* model_;
+  ServeOptions options_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  util::FifoSemaphore admission_;
+  AnswerCache cache_;
+  /// Readers: Answer() executions. Writer: FineTune().
+  std::shared_mutex model_mu_;
+
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> admission_expired_{0};
+};
+
+}  // namespace serve
+}  // namespace asqp

@@ -1,0 +1,287 @@
+#include "sql/canonicalize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace asqp {
+namespace sql {
+
+namespace {
+
+/// How a literal renders: kExact keeps the type tag (scalar positions,
+/// where INT64 vs DOUBLE changes the produced Value); kCompare normalizes
+/// numeric spelling (comparison positions, where the executor compares
+/// numerically across INT64/DOUBLE).
+enum class LiteralMode { kExact, kCompare };
+
+void AppendDouble(double d, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out->append(buf);
+}
+
+void AppendQuoted(const std::string& s, std::string* out) {
+  out->push_back('\'');
+  for (char c : s) {
+    if (c == '\'') out->push_back('\'');
+    out->push_back(c);
+  }
+  out->push_back('\'');
+}
+
+void AppendLiteral(const storage::Value& v, LiteralMode mode,
+                   std::string* out) {
+  switch (v.type()) {
+    case storage::ValueType::kNull:
+      out->append("NULL");
+      return;
+    case storage::ValueType::kString:
+      out->append("s:");
+      AppendQuoted(v.AsString(), out);
+      return;
+    case storage::ValueType::kInt64:
+      if (mode == LiteralMode::kCompare) {
+        out->append("n:");
+        out->append(std::to_string(v.AsInt64()));
+      } else {
+        out->append("i:");
+        out->append(std::to_string(v.AsInt64()));
+      }
+      return;
+    case storage::ValueType::kDouble: {
+      const double d = v.AsDouble();
+      if (mode == LiteralMode::kCompare) {
+        out->append("n:");
+        // 2000 and 2000.0 compare equal, so they must render equal: an
+        // integral double within the exact-integer range prints as an
+        // integer. (Beyond 2^53 doubles are not exact anyway.)
+        if (std::isfinite(d) && d == std::floor(d) &&
+            std::abs(d) < 9007199254740992.0) {
+          out->append(std::to_string(static_cast<int64_t>(d)));
+        } else {
+          AppendDouble(d, out);
+        }
+      } else {
+        out->append("d:");
+        AppendDouble(d, out);
+      }
+      return;
+    }
+  }
+  out->append("?");
+}
+
+std::string CanonExpr(const Expr& e, LiteralMode mode);
+
+/// Render a comparison/IN/BETWEEN operand: literals in compare mode,
+/// everything else descends in exact mode (literals inside arithmetic
+/// keep their type — `a + 5` and `a + 5.0` can yield different Values).
+std::string CanonComparand(const Expr& e) {
+  return CanonExpr(e, e.kind == ExprKind::kLiteral ? LiteralMode::kCompare
+                                                   : LiteralMode::kExact);
+}
+
+/// Flatten a same-op AND/OR chain into its operand list.
+void FlattenBool(const Expr& e, BinOp op, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.op == op) {
+    FlattenBool(*e.left, op, out);
+    FlattenBool(*e.right, op, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+std::string CanonExpr(const Expr& e, LiteralMode mode) {
+  std::string out;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      AppendLiteral(e.literal, mode, &out);
+      return out;
+    case ExprKind::kColumnRef:
+      if (e.table_idx >= 0 && e.col_idx >= 0) {
+        // Positional form: alias spelling is gone after binding.
+        out = "t" + std::to_string(e.table_idx) + ".c" +
+              std::to_string(e.col_idx);
+      } else {
+        // Unbound (e.g. HAVING refs over output columns): spelled form.
+        out = "col:" + e.qualifier + ":" + e.column;
+      }
+      return out;
+    case ExprKind::kBinary: {
+      switch (e.op) {
+        case BinOp::kAnd:
+        case BinOp::kOr: {
+          std::vector<const Expr*> operands;
+          FlattenBool(e, e.op, &operands);
+          std::vector<std::string> parts;
+          parts.reserve(operands.size());
+          for (const Expr* operand : operands) {
+            parts.push_back(CanonExpr(*operand, LiteralMode::kExact));
+          }
+          std::sort(parts.begin(), parts.end());
+          out = e.op == BinOp::kAnd ? "(AND" : "(OR";
+          for (const std::string& p : parts) {
+            out.push_back(' ');
+            out.append(p);
+          }
+          out.push_back(')');
+          return out;
+        }
+        case BinOp::kEq:
+        case BinOp::kNe: {
+          std::string l = CanonComparand(*e.left);
+          std::string r = CanonComparand(*e.right);
+          if (r < l) std::swap(l, r);
+          out = e.op == BinOp::kEq ? "(= " : "(<> ";
+          out += l + " " + r + ")";
+          return out;
+        }
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe: {
+          // Normalize direction: a > b  ==  b < a;  a >= b  ==  b <= a.
+          const bool flip = e.op == BinOp::kGt || e.op == BinOp::kGe;
+          const Expr& lhs = flip ? *e.right : *e.left;
+          const Expr& rhs = flip ? *e.left : *e.right;
+          const bool strict = e.op == BinOp::kLt || e.op == BinOp::kGt;
+          out = strict ? "(< " : "(<= ";
+          out += CanonComparand(lhs) + " " + CanonComparand(rhs) + ")";
+          return out;
+        }
+        case BinOp::kAdd:
+        case BinOp::kMul: {
+          // Commutative (IEEE addition/multiplication of two operands is
+          // order-insensitive); associativity is NOT assumed, so chains
+          // are not flattened.
+          std::string l = CanonExpr(*e.left, LiteralMode::kExact);
+          std::string r = CanonExpr(*e.right, LiteralMode::kExact);
+          if (r < l) std::swap(l, r);
+          out = e.op == BinOp::kAdd ? "(+ " : "(* ";
+          out += l + " " + r + ")";
+          return out;
+        }
+        case BinOp::kSub:
+        case BinOp::kDiv:
+          out = e.op == BinOp::kSub ? "(- " : "(/ ";
+          out += CanonExpr(*e.left, LiteralMode::kExact) + " " +
+                 CanonExpr(*e.right, LiteralMode::kExact) + ")";
+          return out;
+      }
+      return out;
+    }
+    case ExprKind::kNot:
+      return "(NOT " + CanonExpr(*e.left, LiteralMode::kExact) + ")";
+    case ExprKind::kIn: {
+      std::vector<std::string> vals;
+      vals.reserve(e.in_list.size());
+      for (const storage::Value& v : e.in_list) {
+        std::string s;
+        AppendLiteral(v, LiteralMode::kCompare, &s);
+        vals.push_back(std::move(s));
+      }
+      std::sort(vals.begin(), vals.end());
+      vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+      out = e.negated ? "(NIN " : "(IN ";
+      out += CanonComparand(*e.left) + " [";
+      for (size_t i = 0; i < vals.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.append(vals[i]);
+      }
+      out += "])";
+      return out;
+    }
+    case ExprKind::kBetween: {
+      out = e.negated ? "(NBETWEEN " : "(BETWEEN ";
+      out += CanonComparand(*e.left);
+      out.push_back(' ');
+      AppendLiteral(e.between_lo, LiteralMode::kCompare, &out);
+      out.push_back(' ');
+      AppendLiteral(e.between_hi, LiteralMode::kCompare, &out);
+      out.push_back(')');
+      return out;
+    }
+    case ExprKind::kLike: {
+      out = e.negated ? "(NLIKE " : "(LIKE ";
+      out += CanonComparand(*e.left) + " ";
+      AppendQuoted(e.like_pattern, &out);
+      out.push_back(')');
+      return out;
+    }
+    case ExprKind::kIsNull:
+      return (e.negated ? "(NOTNULL " : "(ISNULL ") +
+             CanonExpr(*e.left, LiteralMode::kExact) + ")";
+  }
+  return out;
+}
+
+void AppendSelectItem(const SelectItem& item, std::string* out) {
+  out->append(AggFuncName(item.agg));
+  out->push_back(':');
+  if (item.distinct) out->append("D:");
+  if (item.star) {
+    out->push_back('*');
+  } else if (item.expr != nullptr) {
+    out->append(CanonExpr(*item.expr, LiteralMode::kExact));
+  }
+  // The alias is the output column name — part of the result bytes.
+  if (!item.alias.empty()) {
+    out->append(" AS ");
+    out->append(item.alias);
+  }
+}
+
+}  // namespace
+
+std::string CanonicalizeStatement(const SelectStatement& stmt) {
+  std::string out = "SELECT";
+  if (stmt.distinct) out += " DISTINCT";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    out += i == 0 ? " " : "; ";
+    AppendSelectItem(stmt.items[i], &out);
+  }
+  // FROM order is significant (join seeding, `SELECT *` column order);
+  // aliases are not (refs render positionally).
+  out += " FROM";
+  for (const TableRef& t : stmt.from) {
+    out.push_back(' ');
+    out.append(t.table);
+  }
+  if (stmt.where != nullptr) {
+    out += " WHERE " + CanonExpr(*stmt.where, LiteralMode::kExact);
+  }
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY";
+    for (const ExprPtr& g : stmt.group_by) {
+      out.push_back(' ');
+      out.append(CanonExpr(*g, LiteralMode::kExact));
+    }
+  }
+  if (stmt.having != nullptr) {
+    out += " HAVING " + CanonExpr(*stmt.having, LiteralMode::kExact);
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY";
+    for (const OrderItem& o : stmt.order_by) {
+      out.push_back(' ');
+      out.append(CanonExpr(*o.expr, LiteralMode::kExact));
+      if (o.desc) out += " DESC";
+    }
+  }
+  if (stmt.limit >= 0) out += " LIMIT " + std::to_string(stmt.limit);
+  return out;
+}
+
+QueryFingerprint FingerprintQuery(const SelectStatement& bound_stmt) {
+  QueryFingerprint fp;
+  fp.canonical = CanonicalizeStatement(bound_stmt);
+  fp.hash = util::Fnv1a(fp.canonical);
+  return fp;
+}
+
+}  // namespace sql
+}  // namespace asqp

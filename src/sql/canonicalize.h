@@ -1,0 +1,64 @@
+// Query fingerprinting for the serving layer's answer cache.
+//
+// CanonicalizeStatement renders a *bound* SELECT statement (column refs
+// annotated by sql::Bind) into a canonical text form in which the
+// equivalence-preserving spelling choices of exploratory front-ends
+// collapse:
+//   - table aliases vanish: column refs render positionally as
+//     t<table_idx>.c<col_idx>, so `FROM title t WHERE t.year > 2000` and
+//     `FROM title x WHERE x.year > 2000` agree;
+//   - top-level AND/OR operand order is sorted (conjunct/disjunct chains
+//     are flattened first), and the two operands of the commutative
+//     operators =, <>, + and * are ordered canonically; > and >= flip to
+//     < and <= with swapped operands;
+//   - literals that are *compared* (a direct operand of a comparison, IN
+//     list, or BETWEEN bound) normalize their numeric spelling: the
+//     executor compares INT64 and DOUBLE numerically, so `year > 2000`
+//     and `year > 2000.0` are the same predicate and render identically.
+//     Literals in scalar position (select items, GROUP BY, arithmetic)
+//     keep their exact type — `SELECT 5` and `SELECT 5.0` produce
+//     differently-typed rows and must NOT collide;
+//   - IN lists are sorted and deduplicated (set semantics).
+//
+// Everything that can change the result bytes stays significant: select
+// item order and aliases (output column names), FROM order (join seeding
+// and `SELECT *` column order), GROUP BY order (canonical group-key
+// order), ORDER BY, DISTINCT, and LIMIT.
+//
+// The canonical text is a private s-expression dialect, not SQL — it is
+// never re-parsed, only hashed and compared for equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace asqp {
+namespace sql {
+
+/// \brief Cache key for one canonicalized query: a stable 64-bit FNV-1a
+/// hash plus the full canonical text for collision checking.
+struct QueryFingerprint {
+  uint64_t hash = 0;
+  std::string canonical;
+
+  bool operator==(const QueryFingerprint& other) const {
+    return hash == other.hash && canonical == other.canonical;
+  }
+  bool operator!=(const QueryFingerprint& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Canonical text of a bound statement (see file comment for the rules).
+/// Statements whose column refs are unbound (table_idx < 0) still
+/// canonicalize — the spelled qualifier.column is used instead of the
+/// positional form — but then alias normalization does not apply.
+std::string CanonicalizeStatement(const SelectStatement& stmt);
+
+/// Fingerprint = stable FNV-1a hash of CanonicalizeStatement + the text.
+QueryFingerprint FingerprintQuery(const SelectStatement& bound_stmt);
+
+}  // namespace sql
+}  // namespace asqp

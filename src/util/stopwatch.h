@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace asqp {
 namespace util {
@@ -54,6 +55,13 @@ class Deadline {
   }
 
   bool IsUnlimited() const { return unlimited_; }
+
+  /// Seconds until expiry: +infinity when unlimited, <= 0 once expired.
+  /// Used by waiters (admission control) to bound a timed wait.
+  double RemainingSeconds() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(end_ - Clock::now()).count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

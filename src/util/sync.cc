@@ -1,0 +1,75 @@
+#include "util/sync.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace asqp {
+namespace util {
+
+namespace {
+/// Waiters poll their ExecContext in slices so a cancellation flag raised
+/// by another thread is noticed within one slice even though nothing
+/// notifies their condition variable.
+constexpr double kWaitSliceSeconds = 0.01;
+}  // namespace
+
+Status FifoSemaphore::Acquire(const ExecContext& context) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ASQP_RETURN_NOT_OK(context.Check("admission"));
+  if (waiters_.empty() && permits_ > 0) {
+    --permits_;
+    return Status::OK();
+  }
+  if (waiters_.size() >= max_waiters_) {
+    return Status::ResourceExhausted(
+        "admission: waiter queue full (" + std::to_string(max_waiters_) +
+        " queued); retry later");
+  }
+  Waiter self;
+  waiters_.push_back(&self);
+  while (true) {
+    const double slice =
+        std::clamp(context.deadline().RemainingSeconds(), 0.0,
+                   kWaitSliceSeconds);
+    self.cv.wait_for(lock, std::chrono::duration<double>(slice));
+    if (self.granted) return Status::OK();
+    Status st = context.Check("admission");
+    if (!st.ok()) {
+      // Unlink before reporting the error so Release() never grants a
+      // permit to a departed waiter. `granted` was re-checked above under
+      // the lock, so the permit cannot have been handed over already.
+      for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+        if (*it == &self) {
+          waiters_.erase(it);
+          break;
+        }
+      }
+      return st;
+    }
+  }
+}
+
+bool FifoSemaphore::TryAcquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!waiters_.empty() || permits_ == 0) return false;
+  --permits_;
+  return true;
+}
+
+void FifoSemaphore::Release() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!waiters_.empty()) {
+    // Hand the permit directly to the oldest waiter (FIFO). The waiter's
+    // stack frame cannot unwind until it reacquires mu_, so notifying
+    // under the lock is safe.
+    Waiter* next = waiters_.front();
+    waiters_.pop_front();
+    next->granted = true;
+    next->cv.notify_one();
+  } else {
+    ++permits_;
+  }
+}
+
+}  // namespace util
+}  // namespace asqp

@@ -1,0 +1,121 @@
+// Small synchronization primitives used by the shared execution pool and
+// the serving layer's admission control: a count-down Latch (per-call
+// completion barrier for ThreadPool::ParallelFor) and a FIFO-fair,
+// deadline-aware counting semaphore with a bounded waiter queue
+// (serve::ServeEngine's in-flight query limiter).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "util/exec_context.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace util {
+
+/// \brief One-shot count-down latch. `count` arrivals via CountDown()
+/// release every thread blocked in Wait(). Unlike WaitIdle-style joins it
+/// is per-instance state, so concurrent users of a shared ThreadPool never
+/// observe each other's completions.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown(size_t n = 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    count_ = n >= count_ ? 0 : count_ - n;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  /// Block until the count reaches zero.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+/// \brief FIFO-fair counting semaphore with a bounded waiter queue and
+/// per-waiter deadlines.
+///
+/// Admission semantics (the serving layer's contract):
+///   - a free permit is granted immediately only when no waiter is queued
+///     (strict FIFO: late arrivals never overtake queued sessions);
+///   - when all permits are taken, Acquire() queues the caller unless the
+///     queue already holds `max_waiters` entries, in which case it returns
+///     kResourceExhausted immediately (back-pressure instead of unbounded
+///     queue growth);
+///   - a queued waiter honors its ExecContext: expiry returns
+///     kDeadlineExceeded, cooperative cancellation returns kCancelled, and
+///     the waiter is unlinked from the queue either way. A permit is
+///     handed directly from Release() to the front waiter, so a timed-out
+///     waiter never strands one.
+class FifoSemaphore {
+ public:
+  /// `permits` concurrent holders; at most `max_waiters` queued behind them.
+  FifoSemaphore(size_t permits, size_t max_waiters)
+      : permits_(permits), max_waiters_(max_waiters) {}
+
+  FifoSemaphore(const FifoSemaphore&) = delete;
+  FifoSemaphore& operator=(const FifoSemaphore&) = delete;
+
+  /// Block until a permit is granted or `context` trips. Every successful
+  /// Acquire must be paired with exactly one Release.
+  [[nodiscard]] Status Acquire(const ExecContext& context = ExecContext());
+
+  /// Non-blocking: grab a permit only if one is free and nobody is queued.
+  bool TryAcquire();
+
+  void Release();
+
+  size_t available() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return permits_;
+  }
+  size_t waiting() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return waiters_.size();
+  }
+  size_t max_waiters() const { return max_waiters_; }
+
+ private:
+  struct Waiter {
+    std::condition_variable cv;
+    bool granted = false;
+  };
+
+  mutable std::mutex mu_;
+  size_t permits_;
+  size_t max_waiters_;
+  /// Front = next to be granted. Entries point at stack-allocated Waiters
+  /// inside Acquire frames; a waiter unlinks itself before returning.
+  std::deque<Waiter*> waiters_;
+};
+
+/// \brief RAII releaser for a successfully acquired FifoSemaphore permit.
+class SemaphoreReleaser {
+ public:
+  explicit SemaphoreReleaser(FifoSemaphore* sem) : sem_(sem) {}
+  ~SemaphoreReleaser() {
+    if (sem_ != nullptr) sem_->Release();
+  }
+
+  SemaphoreReleaser(const SemaphoreReleaser&) = delete;
+  SemaphoreReleaser& operator=(const SemaphoreReleaser&) = delete;
+
+ private:
+  FifoSemaphore* sem_;
+};
+
+}  // namespace util
+}  // namespace asqp

@@ -4,8 +4,12 @@
 #include <atomic>
 #include <memory>
 
+#include "util/sync.h"
+
 namespace asqp {
 namespace util {
+
+std::atomic<size_t> ThreadPool::live_workers_{0};
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -13,6 +17,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  live_workers_.fetch_add(num_threads, std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -22,6 +27,7 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  live_workers_.fetch_sub(workers_.size(), std::memory_order_relaxed);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -45,34 +51,50 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Work-stealing counter shared by the caller and up to n helper tasks.
-  // It lives on the caller's stack; the WaitIdle barrier below guarantees
-  // every helper has returned before this frame unwinds, even when fn
-  // throws on the calling thread.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto drain = [next, &fn, n] {
-    for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
-         i = next->fetch_add(1, std::memory_order_relaxed)) {
-      fn(i);
-    }
+  // All iteration state is per-call so overlapping ParallelFor calls on a
+  // shared pool stay independent: each call has its own work-stealing
+  // counter, its own completion latch, and its own first-exception slot.
+  // The state is heap-shared with the helper tasks (a helper may still be
+  // between CountDown and task-return when the caller unwinds).
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    Latch done;
+    explicit ForState(size_t helpers) : done(helpers) {}
   };
   // The caller is one participant, so at most n - 1 helpers are useful.
   const size_t helpers = std::min(n - 1, workers_.size());
-  for (size_t w = 0; w < helpers; ++w) Submit(drain);
-  // A worker that throws stops claiming indices (its exception lands in
-  // first_exception_ via WorkerLoop); the remaining indices are still
-  // claimed by the other participants. A caller-thread exception is
-  // recorded into the same slot, so "first exception wins" holds across
-  // both kinds of thread.
-  try {
-    drain();
-  } catch (...) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (first_exception_ == nullptr) {
-      first_exception_ = std::current_exception();
+  auto state = std::make_shared<ForState>(helpers);
+  // A participant that throws stops claiming indices; the remaining
+  // indices are still claimed by the other participants, so the latch
+  // always releases. First exception wins across caller and helpers.
+  auto drain = [state, &fn, n] {
+    try {
+      for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+           i < n; i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(state->error_mu);
+      if (state->first_error == nullptr) {
+        state->first_error = std::current_exception();
+      }
     }
+  };
+  for (size_t w = 0; w < helpers; ++w) {
+    // Helpers capture `fn` by reference: the latch wait below keeps the
+    // caller's frame alive until every helper's drain has returned.
+    Submit([state, drain] {
+      drain();
+      state->done.CountDown();
+    });
   }
-  WaitIdle();
+  drain();
+  state->done.Wait();
+  if (state->first_error != nullptr) {
+    std::rethrow_exception(state->first_error);
+  }
 }
 
 Status ThreadPool::ParallelForChunked(

@@ -1,8 +1,17 @@
 // Fixed-size thread pool used for parallel rollout collection (the paper's
 // asynchronous actor-learners), for the multi-process brute-force / greedy
 // baselines, and for morsel-parallel query execution (exec::QueryEngine).
+//
+// One pool instance may be shared by many concurrent callers (the serving
+// layer runs every session's morsels through a single process-wide pool):
+// ParallelFor and the helpers built on it keep all per-call state — the
+// work-stealing counter, the completion latch, and the first-exception
+// slot — in a per-invocation block, so overlapping calls never observe
+// each other's completions or steal each other's exceptions. Submit /
+// WaitIdle remain a pool-global pair for callers that own the pool.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -35,15 +44,26 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Total live pool worker threads across every ThreadPool instance in
+  /// the process. Instrumentation hook for the serving layer's
+  /// oversubscription assertions: a shared-pool deployment keeps this at
+  /// the configured cap no matter how many sessions are in flight.
+  static size_t LiveWorkerCount() {
+    return live_workers_.load(std::memory_order_relaxed);
+  }
+
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
   /// The calling thread participates in the work, so `ParallelFor` makes
   /// progress even on a saturated pool. Edge cases are well-defined:
   ///   - n == 0 returns immediately (no locking, no stale-exception check);
   ///   - n < num_threads() enqueues only n helper tasks;
   ///   - an exception from `fn` on the calling thread or a worker is
-  ///     captured first-exception-wins and rethrown after every index has
-  ///     been claimed and every running `fn` has returned — the shared
-  ///     iteration state never outlives the call (no leak under TSan).
+  ///     captured first-exception-wins into *per-call* state and rethrown
+  ///     (exactly once) after every index has been claimed and every
+  ///     running `fn` has returned — the shared iteration state never
+  ///     outlives the call, and a pending Submit() exception is never
+  ///     consumed (ParallelFor is not a WaitIdle join point).
+  /// Safe to call concurrently from many threads on one shared pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Split [0, n) into chunks of `chunk_size` and run
@@ -99,9 +119,13 @@ class ThreadPool {
   std::condition_variable idle_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
-  /// First exception to escape a task since the last WaitIdle (guarded by
-  /// mu_). Without this a throwing task would std::terminate the worker.
+  /// First exception to escape a Submit()ed task since the last WaitIdle
+  /// (guarded by mu_). Without this a throwing task would std::terminate
+  /// the worker. ParallelFor exceptions use per-call state instead.
   std::exception_ptr first_exception_;
+
+  /// Process-wide live worker count (see LiveWorkerCount()).
+  static std::atomic<size_t> live_workers_;
 };
 
 }  // namespace util

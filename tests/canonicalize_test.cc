@@ -1,0 +1,198 @@
+// Tests for sql/canonicalize: equivalent spellings of a query must produce
+// the same fingerprint (so the serving layer's answer cache collapses
+// them), while anything that can change the result bytes must not.
+#include "sql/canonicalize.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sql/binder.h"
+#include "storage/database.h"
+#include "testing.h"
+
+namespace asqp {
+namespace sql {
+namespace {
+
+class CanonicalizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = asqp::testing::MakeTinyMovieDb(); }
+
+  /// Parse+bind `sql` against the tiny db and fingerprint the bound AST.
+  QueryFingerprint Fp(const std::string& sql) {
+    auto bound = ParseAndBind(sql, *db_);
+    EXPECT_TRUE(bound.ok()) << sql << ": " << bound.status().ToString();
+    return FingerprintQuery(bound.value().stmt);
+  }
+
+  void ExpectSame(const std::string& a, const std::string& b) {
+    QueryFingerprint fa = Fp(a);
+    QueryFingerprint fb = Fp(b);
+    EXPECT_EQ(fa.canonical, fb.canonical) << a << "  vs  " << b;
+    EXPECT_EQ(fa, fb);
+  }
+
+  void ExpectDifferent(const std::string& a, const std::string& b) {
+    QueryFingerprint fa = Fp(a);
+    QueryFingerprint fb = Fp(b);
+    EXPECT_NE(fa.canonical, fb.canonical) << a << "  vs  " << b;
+  }
+
+  std::shared_ptr<storage::Database> db_;
+};
+
+TEST_F(CanonicalizeTest, FingerprintIsDeterministic) {
+  const std::string sql = "SELECT m.title FROM movies m WHERE m.year > 2000";
+  QueryFingerprint a = Fp(sql);
+  QueryFingerprint b = Fp(sql);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.hash, 0u);
+  EXPECT_FALSE(a.canonical.empty());
+}
+
+TEST_F(CanonicalizeTest, TableAliasesDoNotMatter) {
+  ExpectSame("SELECT m.title FROM movies m WHERE m.year > 2000",
+             "SELECT x.title FROM movies x WHERE x.year > 2000");
+}
+
+TEST_F(CanonicalizeTest, JoinAliasesDoNotMatter) {
+  ExpectSame(
+      "SELECT m.title, r.actor FROM movies m, roles r "
+      "WHERE r.movie_id = m.id AND m.rating > 7",
+      "SELECT a.title, b.actor FROM movies a, roles b "
+      "WHERE b.movie_id = a.id AND a.rating > 7");
+}
+
+TEST_F(CanonicalizeTest, ConjunctOrderDoesNotMatter) {
+  ExpectSame(
+      "SELECT m.title FROM movies m WHERE m.year > 2000 AND m.rating > 6",
+      "SELECT m.title FROM movies m WHERE m.rating > 6 AND m.year > 2000");
+}
+
+TEST_F(CanonicalizeTest, DisjunctOrderDoesNotMatter) {
+  ExpectSame(
+      "SELECT m.title FROM movies m WHERE m.year = 2010 OR m.rating > 8",
+      "SELECT m.title FROM movies m WHERE m.rating > 8 OR m.year = 2010");
+}
+
+TEST_F(CanonicalizeTest, NestedAndChainsFlatten) {
+  // ((a AND b) AND c) vs (a AND (b AND c)) vs permuted order.
+  ExpectSame(
+      "SELECT m.title FROM movies m "
+      "WHERE (m.year > 2000 AND m.rating > 5) AND m.id > 1",
+      "SELECT m.title FROM movies m "
+      "WHERE m.id > 1 AND (m.rating > 5 AND m.year > 2000)");
+}
+
+TEST_F(CanonicalizeTest, EqualityOperandOrderDoesNotMatter) {
+  ExpectSame("SELECT m.title FROM movies m WHERE m.year = 2010",
+             "SELECT m.title FROM movies m WHERE 2010 = m.year");
+}
+
+TEST_F(CanonicalizeTest, JoinPredicateOperandOrderDoesNotMatter) {
+  ExpectSame(
+      "SELECT m.title FROM movies m, roles r WHERE r.movie_id = m.id",
+      "SELECT m.title FROM movies m, roles r WHERE m.id = r.movie_id");
+}
+
+TEST_F(CanonicalizeTest, GreaterFlipsToLess) {
+  ExpectSame("SELECT m.title FROM movies m WHERE m.year > 2000",
+             "SELECT m.title FROM movies m WHERE 2000 < m.year");
+  ExpectSame("SELECT m.title FROM movies m WHERE m.year >= 2010",
+             "SELECT m.title FROM movies m WHERE 2010 <= m.year");
+}
+
+TEST_F(CanonicalizeTest, ComparedLiteralSpellingDoesNotMatter) {
+  // The executor compares INT64 and DOUBLE numerically, so 2000 and
+  // 2000.0 are the same predicate when used as a comparison operand.
+  ExpectSame("SELECT m.title FROM movies m WHERE m.year > 2000",
+             "SELECT m.title FROM movies m WHERE m.year > 2000.0");
+  ExpectSame("SELECT m.title FROM movies m WHERE m.rating = 7.0",
+             "SELECT m.title FROM movies m WHERE m.rating = 7");
+}
+
+TEST_F(CanonicalizeTest, InListOrderAndDuplicatesDoNotMatter) {
+  ExpectSame(
+      "SELECT m.title FROM movies m WHERE m.year IN (2010, 2015, 2020)",
+      "SELECT m.title FROM movies m WHERE m.year IN (2020, 2010, 2015, 2010)");
+}
+
+TEST_F(CanonicalizeTest, ArithmeticCommutesForPlusAndTimes) {
+  ExpectSame("SELECT m.title FROM movies m WHERE m.rating + 1 > 7",
+             "SELECT m.title FROM movies m WHERE 1 + m.rating > 7");
+  ExpectSame("SELECT m.title FROM movies m WHERE m.rating * 2 > 14",
+             "SELECT m.title FROM movies m WHERE 2 * m.rating > 14");
+}
+
+// ---- Things that MUST stay distinct -----------------------------------
+
+TEST_F(CanonicalizeTest, DifferentConstantsDiffer) {
+  ExpectDifferent("SELECT m.title FROM movies m WHERE m.year > 2000",
+                  "SELECT m.title FROM movies m WHERE m.year > 2001");
+}
+
+TEST_F(CanonicalizeTest, DifferentOperatorsDiffer) {
+  ExpectDifferent("SELECT m.title FROM movies m WHERE m.year > 2000",
+                  "SELECT m.title FROM movies m WHERE m.year >= 2000");
+  ExpectDifferent("SELECT m.title FROM movies m WHERE m.year = 2010",
+                  "SELECT m.title FROM movies m WHERE m.year <> 2010");
+}
+
+TEST_F(CanonicalizeTest, DifferentColumnsDiffer) {
+  ExpectDifferent("SELECT m.title FROM movies m WHERE m.year > 7",
+                  "SELECT m.title FROM movies m WHERE m.rating > 7");
+}
+
+TEST_F(CanonicalizeTest, SelectItemOrderMatters) {
+  // Output column order is part of the result bytes.
+  ExpectDifferent("SELECT m.title, m.year FROM movies m",
+                  "SELECT m.year, m.title FROM movies m");
+}
+
+TEST_F(CanonicalizeTest, ScalarLiteralTypeMatters) {
+  // SELECT 5 and SELECT 5.0 produce differently-typed result columns.
+  ExpectDifferent("SELECT 5 FROM movies m", "SELECT 5.0 FROM movies m");
+}
+
+TEST_F(CanonicalizeTest, FromOrderMatters) {
+  // FROM order seeds the join order and the provenance layout.
+  ExpectDifferent(
+      "SELECT m.title FROM movies m, roles r WHERE r.movie_id = m.id",
+      "SELECT m.title FROM roles r, movies m WHERE r.movie_id = m.id");
+}
+
+TEST_F(CanonicalizeTest, DistinctAndLimitAndOrderByMatter) {
+  ExpectDifferent("SELECT m.year FROM movies m",
+                  "SELECT DISTINCT m.year FROM movies m");
+  ExpectDifferent("SELECT m.year FROM movies m",
+                  "SELECT m.year FROM movies m LIMIT 3");
+  ExpectDifferent("SELECT m.year FROM movies m",
+                  "SELECT m.year FROM movies m ORDER BY m.year");
+  ExpectDifferent("SELECT m.year FROM movies m ORDER BY m.year",
+                  "SELECT m.year FROM movies m ORDER BY m.year DESC");
+}
+
+TEST_F(CanonicalizeTest, AggregatesAndGroupByAreSignificant) {
+  ExpectDifferent("SELECT m.year, COUNT(*) FROM movies m GROUP BY m.year",
+                  "SELECT m.year, AVG(m.rating) FROM movies m GROUP BY m.year");
+  // Same text, different alias spelling, still equal.
+  ExpectSame("SELECT m.year, COUNT(*) FROM movies m GROUP BY m.year",
+             "SELECT z.year, COUNT(*) FROM movies z GROUP BY z.year");
+}
+
+TEST_F(CanonicalizeTest, HashMatchesCanonicalEquality) {
+  // Guard the QueryFingerprint contract: equal canonical text implies
+  // equal hash (same input bytes through FNV-1a).
+  QueryFingerprint a =
+      Fp("SELECT m.title FROM movies m WHERE m.year > 2000 AND m.rating > 6");
+  QueryFingerprint b =
+      Fp("SELECT q.title FROM movies q WHERE q.rating > 6.0 AND q.year > 2000");
+  ASSERT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace asqp

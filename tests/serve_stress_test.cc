@@ -1,0 +1,282 @@
+// Concurrent serving stress, designed to run under -DASQP_SANITIZE=thread:
+// >= 8 mediator sessions hammer one ServeEngine (mixed repeat queries,
+// equivalent spellings, out-of-distribution drift recorders) while a
+// monitor asserts the process-wide execution-thread cap is never
+// exceeded, and a FineTune races in-flight Answers through the engine's
+// writer lock. Iteration counts scale down under TSan
+// (ASQP_SANITIZE_THREAD) to keep the suite fast despite the sanitizer's
+// slowdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "serve/serve_engine.h"
+#include "tests/testing.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace asqp {
+namespace serve {
+namespace {
+
+#ifdef ASQP_SANITIZE_THREAD
+constexpr int kPerSessionQueries = 8;
+#else
+constexpr int kPerSessionQueries = 30;
+#endif
+
+constexpr size_t kSessions = 8;
+
+class ServeStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetOptions opts;
+    opts.scale = 0.05;
+    opts.workload_size = 16;
+    opts.seed = 7;
+    // Suite fixture: paired with delete in TearDownTestSuite.
+    bundle_ = new data::DatasetBundle(data::MakeImdbJob(opts));  // NOLINT(asqp-naked-new)
+
+    core::AsqpConfig config;
+    config.k = 300;
+    config.frame_size = 25;
+    config.num_representatives = 10;
+    config.pool_target = 400;
+    config.trainer.iterations = 6;
+    config.trainer.episodes_per_iteration = 4;
+    config.trainer.num_workers = 1;
+    config.trainer.learning_rate = 2e-3;
+    config.trainer.hidden_dim = 64;
+    config.seed = 3;
+    core::AsqpTrainer trainer(config);
+    auto report = trainer.Train(*bundle_->db, bundle_->workload);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    model_ = std::move(report.value().model);
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    delete bundle_;  // NOLINT(asqp-naked-new)
+    bundle_ = nullptr;
+  }
+
+  static data::DatasetBundle* bundle_;
+  static std::unique_ptr<core::AsqpModel> model_;
+};
+
+data::DatasetBundle* ServeStressTest::bundle_ = nullptr;
+std::unique_ptr<core::AsqpModel> ServeStressTest::model_ = nullptr;
+
+/// The session query mix: [i][0] is the canonical spelling, further
+/// entries are equivalent respellings that must hit the same cache entry.
+/// The person-table queries are out-of-distribution, so every execution
+/// also exercises the model's concurrent drift recording.
+const std::vector<std::vector<std::string>>& QueryMix() {
+  static const std::vector<std::vector<std::string>> mix = {
+      {"SELECT t.name FROM title t WHERE t.production_year >= 2005",
+       "SELECT x.name FROM title x WHERE 2005 <= x.production_year"},
+      {"SELECT t.name, ci.role FROM title t, cast_info ci "
+       "WHERE ci.movie_id = t.id AND t.rating > 7",
+       "SELECT a.name, b.role FROM title a, cast_info b "
+       "WHERE a.rating > 7.0 AND a.id = b.movie_id"},
+      {"SELECT p.name FROM person p WHERE p.birth_year > 1980"},
+      {"SELECT t.production_year, COUNT(*) FROM title t "
+       "GROUP BY t.production_year"},
+  };
+  return mix;
+}
+
+TEST_F(ServeStressTest, EightSessionsShareOnePoolAndOneCache) {
+  ServeOptions options;
+  options.max_inflight = 3;
+  options.queue_capacity = kSessions;  // nobody is rejected in this test
+  options.pool_threads = 2;
+  options.cache_bytes = 8 << 20;
+  options.cache_shards = 4;
+  ServeEngine engine(model_.get(), options);
+
+  // Monitor: the process-wide execution-thread count must never exceed
+  // the shared pool's cap — that is the whole point of pool sharing (no
+  // N-sessions * num_threads explosion).
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> max_live{0};
+  std::thread monitor([&stop, &max_live] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t live = util::ThreadPool::LiveWorkerCount();
+      size_t seen = max_live.load(std::memory_order_relaxed);
+      while (live > seen &&
+             !max_live.compare_exchange_weak(seen, live,
+                                             std::memory_order_relaxed)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // First-seen row keys per query index; every later success must match.
+  std::mutex expected_mu;
+  std::map<size_t, std::vector<std::string>> expected;
+  std::atomic<uint64_t> successes{0};
+  std::atomic<uint64_t> failures{0};
+
+  std::vector<std::thread> sessions;
+  sessions.reserve(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([s, &engine, &expected_mu, &expected, &successes,
+                           &failures] {
+      const auto& mix = QueryMix();
+      for (int iter = 0; iter < kPerSessionQueries; ++iter) {
+        const size_t q = (s + static_cast<size_t>(iter)) % mix.size();
+        const std::vector<std::string>& spellings = mix[q];
+        const std::string& sql =
+            spellings[static_cast<size_t>(iter) % spellings.size()];
+        auto result = engine.AnswerSql(sql);
+        if (!result.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "session " << s << ": "
+                        << result.status().ToString();
+          continue;
+        }
+        successes.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::string> keys;
+        keys.reserve(result.value().result.num_rows());
+        for (size_t r = 0; r < result.value().result.num_rows(); ++r) {
+          keys.push_back(result.value().result.RowKey(r));
+        }
+        std::lock_guard<std::mutex> lock(expected_mu);
+        auto it = expected.find(q);
+        if (it == expected.end()) {
+          expected.emplace(q, std::move(keys));
+        } else {
+          EXPECT_EQ(it->second, keys) << "query " << q << " diverged";
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  monitor.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(successes.load(), kSessions * kPerSessionQueries);
+  // The cap held: only the shared pool's workers ever existed.
+  EXPECT_LE(max_live.load(), options.pool_threads);
+
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.served, successes.load());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.admission_expired, 0u);
+  // Repeat queries hit: with 4 distinct queries and 8 * N requests, the
+  // vast majority must come from the cache.
+  EXPECT_GT(stats.cache_hits, successes.load() / 2);
+  EXPECT_EQ(stats.cache_hits + stats.admitted, stats.served);
+  // Out-of-distribution person queries recorded drift concurrently.
+  EXPECT_GT(model_->drifted_query_count(), 0u);
+}
+
+TEST_F(ServeStressTest, OverloadedQueueRejectsInsteadOfCrashing) {
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.queue_capacity = 1;  // 8 sessions into 2 slots: most are rejected
+  options.pool_threads = 1;
+  options.cache_bytes = 0;  // force every request through admission
+  ServeEngine engine(model_.get(), options);
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> sessions;
+  for (size_t s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&engine, &ok_count, &rejected] {
+      for (int iter = 0; iter < kPerSessionQueries / 2; ++iter) {
+        auto result = engine.AnswerSql(
+            "SELECT t.name, ci.role FROM title t, cast_info ci "
+            "WHERE ci.movie_id = t.id AND t.production_year >= 2000");
+        if (result.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_EQ(result.status().code(),
+                    util::StatusCode::kResourceExhausted)
+              << result.status().ToString();
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+
+  EXPECT_GT(ok_count.load(), 0u);
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_EQ(stats.served, ok_count.load());
+}
+
+TEST_F(ServeStressTest, FineTuneRacesInFlightAnswers) {
+  ServeOptions options;
+  options.max_inflight = 4;
+  options.queue_capacity = 2 * kSessions;
+  options.pool_threads = 2;
+  options.cache_bytes = 8 << 20;
+  ServeEngine engine(model_.get(), options);
+
+  ASSERT_OK_AND_ASSIGN(
+      metric::Workload drift,
+      metric::Workload::FromSql(
+          {"SELECT p.name FROM person p WHERE p.birth_year > 1975",
+           "SELECT p.name, p.birth_year FROM person p "
+           "WHERE p.birth_year < 1955"}));
+
+  const uint64_t generation_before = model_->generation();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> sessions;
+  for (size_t s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([s, &engine, &stop, &answered] {
+      const auto& mix = QueryMix();
+      size_t iter = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& spellings = mix[(s + iter) % mix.size()];
+        auto result = engine.AnswerSql(spellings[iter % spellings.size()]);
+        // Admission rejections are acceptable under this load; data races
+        // and deadlocks are what this test exists to catch.
+        if (result.ok()) answered.fetch_add(1, std::memory_order_relaxed);
+        ++iter;
+      }
+    });
+  }
+
+  // Let the sessions reach a steady state, then retrain underneath them:
+  // FineTune's writer lock drains in-flight Answers, swaps the model, and
+  // flushes the cache while the sessions keep arriving.
+  while (answered.load(std::memory_order_relaxed) < kSessions) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_OK(engine.FineTune(drift));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : sessions) t.join();
+
+  EXPECT_GT(model_->generation(), generation_before);
+  // Entries cached at the old generation were dropped (eagerly by the
+  // FineTune sweep, or lazily by a session's racing lookup).
+  EXPECT_GT(engine.cache().stats().invalidations, 0u);
+  // The engine still serves and re-warms against the new approximation
+  // set. (The first answer here may already be a hit: sessions kept
+  // serving after FineTune returned and refill the cache at the new
+  // generation.)
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult again,
+                       engine.AnswerSql(QueryMix()[0][0]));
+  (void)again;
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult warm,
+                       engine.AnswerSql(QueryMix()[0][0]));
+  EXPECT_TRUE(warm.from_cache);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace asqp

@@ -1,0 +1,341 @@
+// Serving-layer tests: AnswerCache unit behavior (LRU, byte budget,
+// generations, collisions) and ServeEngine end-to-end on a trained model
+// (cache hits byte-identical to executions, equivalent spellings share an
+// entry, FineTune invalidates, shared-pool answers identical at every
+// pool size).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "serve/answer_cache.h"
+#include "serve/serve_engine.h"
+#include "sql/canonicalize.h"
+#include "tests/testing.h"
+#include "util/exec_context.h"
+
+namespace asqp {
+namespace serve {
+namespace {
+
+// ---- AnswerCache unit tests -------------------------------------------
+
+core::AnswerResult MakeAnswer(const std::string& tag, size_t rows) {
+  exec::ResultSet rs({"tag", "n"});
+  for (size_t i = 0; i < rows; ++i) {
+    rs.mutable_rows().push_back(
+        {storage::Value(tag), storage::Value(static_cast<int64_t>(i))});
+  }
+  core::AnswerResult result;
+  result.result = std::move(rs);
+  result.used_approximation = true;
+  result.answerability = 0.5;
+  return result;
+}
+
+sql::QueryFingerprint MakeFp(uint64_t hash, const std::string& canonical) {
+  sql::QueryFingerprint fp;
+  fp.hash = hash;
+  fp.canonical = canonical;
+  return fp;
+}
+
+TEST(AnswerCacheTest, LookupReturnsInsertedAnswer) {
+  AnswerCache cache(1 << 20, /*num_shards=*/2);
+  const sql::QueryFingerprint fp = MakeFp(42, "q1");
+  EXPECT_EQ(cache.Lookup(fp, 0), nullptr);
+  cache.Insert(fp, 0, MakeAnswer("a", 3));
+  auto hit = cache.Lookup(fp, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->result.num_rows(), 3u);
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(AnswerCacheTest, StaleGenerationInvalidatesLazily) {
+  AnswerCache cache(1 << 20, 1);
+  const sql::QueryFingerprint fp = MakeFp(7, "q");
+  cache.Insert(fp, /*generation=*/0, MakeAnswer("a", 2));
+  // A lookup at a newer generation must miss AND erase the stale entry.
+  EXPECT_EQ(cache.Lookup(fp, 1), nullptr);
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(AnswerCacheTest, InvalidateOlderThanSweepsEagerly) {
+  AnswerCache cache(1 << 20, 4);
+  for (uint64_t h = 0; h < 8; ++h) {
+    cache.Insert(MakeFp(h, "q" + std::to_string(h)), /*generation=*/0,
+                 MakeAnswer("a", 1));
+  }
+  cache.Insert(MakeFp(100, "fresh"), /*generation=*/1, MakeAnswer("b", 1));
+  cache.InvalidateOlderThan(1);
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.invalidations, 8u);
+  EXPECT_NE(cache.Lookup(MakeFp(100, "fresh"), 1), nullptr);
+}
+
+TEST(AnswerCacheTest, HashCollisionWithDifferentCanonicalMisses) {
+  AnswerCache cache(1 << 20, 1);
+  cache.Insert(MakeFp(5, "canonical-a"), 0, MakeAnswer("a", 1));
+  EXPECT_EQ(cache.Lookup(MakeFp(5, "canonical-b"), 0), nullptr);
+  EXPECT_EQ(cache.stats().hash_collisions, 1u);
+  // The original entry is untouched.
+  EXPECT_NE(cache.Lookup(MakeFp(5, "canonical-a"), 0), nullptr);
+}
+
+TEST(AnswerCacheTest, EvictsLruUnderByteBudget) {
+  const size_t one_bytes = EstimateAnswerBytes(MakeAnswer("x", 4));
+  // Room for ~3 entries in a single shard.
+  AnswerCache cache(3 * one_bytes + one_bytes / 2, 1);
+  cache.Insert(MakeFp(1, "q1"), 0, MakeAnswer("x", 4));
+  cache.Insert(MakeFp(2, "q2"), 0, MakeAnswer("x", 4));
+  cache.Insert(MakeFp(3, "q3"), 0, MakeAnswer("x", 4));
+  // Touch q1 so q2 becomes the LRU victim.
+  EXPECT_NE(cache.Lookup(MakeFp(1, "q1"), 0), nullptr);
+  cache.Insert(MakeFp(4, "q4"), 0, MakeAnswer("x", 4));
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, cache.byte_budget());
+  EXPECT_EQ(cache.Lookup(MakeFp(2, "q2"), 0), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(MakeFp(1, "q1"), 0), nullptr);  // kept (recent)
+  EXPECT_NE(cache.Lookup(MakeFp(4, "q4"), 0), nullptr);
+}
+
+TEST(AnswerCacheTest, OversizedAnswerIsNotCached) {
+  AnswerCache cache(256, 1);  // smaller than any realistic answer
+  cache.Insert(MakeFp(1, "big"), 0, MakeAnswer("x", 100));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(MakeFp(1, "big"), 0), nullptr);
+}
+
+TEST(AnswerCacheTest, ZeroBudgetDisablesCaching) {
+  AnswerCache cache(0, 4);
+  cache.Insert(MakeFp(1, "q"), 0, MakeAnswer("x", 1));
+  EXPECT_EQ(cache.Lookup(MakeFp(1, "q"), 0), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(AnswerCacheTest, ReplaceSameFingerprintKeepsOneEntry) {
+  AnswerCache cache(1 << 20, 1);
+  cache.Insert(MakeFp(9, "q"), 0, MakeAnswer("old", 1));
+  cache.Insert(MakeFp(9, "q"), 0, MakeAnswer("new", 2));
+  auto hit = cache.Lookup(MakeFp(9, "q"), 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->result.num_rows(), 2u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(AnswerCacheTest, ClearDropsEverything) {
+  AnswerCache cache(1 << 20, 4);
+  for (uint64_t h = 0; h < 6; ++h) {
+    cache.Insert(MakeFp(h, "q" + std::to_string(h)), 0, MakeAnswer("x", 1));
+  }
+  cache.Clear();
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+// ---- ServeEngine on a trained model -----------------------------------
+
+class ServeEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetOptions opts;
+    opts.scale = 0.05;
+    opts.workload_size = 16;
+    opts.seed = 7;
+    // Suite fixture: paired with delete in TearDownTestSuite.
+    bundle_ = new data::DatasetBundle(data::MakeImdbJob(opts));  // NOLINT(asqp-naked-new)
+
+    core::AsqpConfig config;
+    config.k = 300;
+    config.frame_size = 25;
+    config.num_representatives = 10;
+    config.pool_target = 400;
+    config.trainer.iterations = 8;
+    config.trainer.episodes_per_iteration = 4;
+    config.trainer.num_workers = 1;
+    config.trainer.learning_rate = 2e-3;
+    config.trainer.hidden_dim = 64;
+    config.seed = 3;
+    core::AsqpTrainer trainer(config);
+    auto report = trainer.Train(*bundle_->db, bundle_->workload);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    model_ = std::move(report.value().model);
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    delete bundle_;  // NOLINT(asqp-naked-new)
+    bundle_ = nullptr;
+  }
+
+  static ServeOptions SmallServe() {
+    ServeOptions options;
+    options.max_inflight = 2;
+    options.queue_capacity = 8;
+    options.pool_threads = 2;
+    options.cache_bytes = 4 << 20;
+    options.cache_shards = 4;
+    return options;
+  }
+
+  static std::vector<std::string> Keys(const exec::ResultSet& rs) {
+    std::vector<std::string> keys;
+    keys.reserve(rs.num_rows());
+    for (size_t i = 0; i < rs.num_rows(); ++i) keys.push_back(rs.RowKey(i));
+    return keys;
+  }
+
+  static data::DatasetBundle* bundle_;
+  static std::unique_ptr<core::AsqpModel> model_;
+};
+
+data::DatasetBundle* ServeEngineTest::bundle_ = nullptr;
+std::unique_ptr<core::AsqpModel> ServeEngineTest::model_ = nullptr;
+
+const char kQuery[] =
+    "SELECT t.name, ci.role FROM title t, cast_info ci "
+    "WHERE ci.movie_id = t.id AND t.production_year >= 2000";
+
+TEST_F(ServeEngineTest, RepeatQueryIsServedFromCache) {
+  ServeEngine engine(model_.get(), SmallServe());
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult cold, engine.AnswerSql(kQuery));
+  EXPECT_FALSE(cold.from_cache);
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult warm, engine.AnswerSql(kQuery));
+  EXPECT_TRUE(warm.from_cache);
+  // Byte-identical: same column names, same rows in the same order.
+  EXPECT_EQ(warm.result.column_names(), cold.result.column_names());
+  EXPECT_EQ(Keys(warm.result), Keys(cold.result));
+  EXPECT_EQ(warm.used_approximation, cold.used_approximation);
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.admitted, 1u);  // the hit never took a slot
+}
+
+TEST_F(ServeEngineTest, EquivalentSpellingsShareOneEntry) {
+  ServeEngine engine(model_.get(), SmallServe());
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult first,
+                       engine.AnswerSql(
+                           "SELECT t.name, ci.role FROM title t, cast_info ci "
+                           "WHERE ci.movie_id = t.id "
+                           "AND t.production_year >= 2000"));
+  EXPECT_FALSE(first.from_cache);
+  // Different aliases, flipped join operands, flipped >= to <=, reordered
+  // conjuncts — same query, must hit.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult second,
+                       engine.AnswerSql(
+                           "SELECT x.name, y.role FROM title x, cast_info y "
+                           "WHERE 2000 <= x.production_year "
+                           "AND x.id = y.movie_id"));
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(Keys(second.result), Keys(first.result));
+  EXPECT_EQ(engine.cache().stats().entries, 1u);
+}
+
+TEST_F(ServeEngineTest, ZeroCacheBytesAlwaysExecutes) {
+  ServeOptions options = SmallServe();
+  options.cache_bytes = 0;
+  ServeEngine engine(model_.get(), options);
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult a, engine.AnswerSql(kQuery));
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult b, engine.AnswerSql(kQuery));
+  EXPECT_FALSE(a.from_cache);
+  EXPECT_FALSE(b.from_cache);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(Keys(a.result), Keys(b.result));
+}
+
+TEST_F(ServeEngineTest, AnswersAreIdenticalAcrossPoolSizes) {
+  // The acceptance bar: cached answers byte-identical to uncached ones at
+  // every thread count. Serve the same query through pools of 1, 2, and 4
+  // workers (cold + warm each) and through the bare model; every result
+  // must match row-for-row.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult direct,
+                       model_->AnswerSql(kQuery));
+  const std::vector<std::string> want = Keys(direct.result);
+  for (size_t pool_threads : {1u, 2u, 4u}) {
+    ServeOptions options = SmallServe();
+    options.pool_threads = pool_threads;
+    ServeEngine engine(model_.get(), options);
+    ASSERT_OK_AND_ASSIGN(core::AnswerResult cold, engine.AnswerSql(kQuery));
+    ASSERT_OK_AND_ASSIGN(core::AnswerResult warm, engine.AnswerSql(kQuery));
+    EXPECT_FALSE(cold.from_cache);
+    EXPECT_TRUE(warm.from_cache);
+    EXPECT_EQ(Keys(cold.result), want) << "pool_threads=" << pool_threads;
+    EXPECT_EQ(Keys(warm.result), want) << "pool_threads=" << pool_threads;
+    EXPECT_EQ(cold.result.column_names(), direct.result.column_names());
+  }
+}
+
+TEST_F(ServeEngineTest, FineTuneInvalidatesCachedAnswers) {
+  ServeEngine engine(model_.get(), SmallServe());
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult cold, engine.AnswerSql(kQuery));
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult warm, engine.AnswerSql(kQuery));
+  ASSERT_TRUE(warm.from_cache);
+  ASSERT_GE(engine.cache().stats().entries, 1u);
+
+  const uint64_t generation_before = model_->generation();
+  ASSERT_OK_AND_ASSIGN(
+      metric::Workload drift,
+      metric::Workload::FromSql(
+          {"SELECT p.name FROM person p WHERE p.birth_year > 1980",
+           "SELECT p.name, p.birth_year FROM person p "
+           "WHERE p.birth_year < 1950"}));
+  ASSERT_OK(engine.FineTune(drift));
+  EXPECT_GT(model_->generation(), generation_before);
+  // The eager sweep emptied the cache...
+  EXPECT_EQ(engine.cache().stats().entries, 0u);
+  // ...so the next Answer re-executes against the new approximation set.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult fresh, engine.AnswerSql(kQuery));
+  EXPECT_FALSE(fresh.from_cache);
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult rewarmed, engine.AnswerSql(kQuery));
+  EXPECT_TRUE(rewarmed.from_cache);
+  (void)cold;
+}
+
+TEST_F(ServeEngineTest, DegradedAnswersAreNotCached) {
+  ServeEngine engine(model_.get(), SmallServe());
+  // An impossible deadline forces the approximation attempt to degrade to
+  // the full-database fallback path; those answers must not be cached.
+  util::ExecContext context;
+  context.set_deadline(util::Deadline::AfterSeconds(0.0));
+  auto result = engine.AnswerSql(kQuery, context);
+  if (result.ok() && result.value().fell_back) {
+    EXPECT_EQ(engine.cache().stats().entries, 0u);
+  }
+  // Either way the expired context must not have poisoned the cache with
+  // a partial answer: a follow-up unlimited query is a cold execution.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult after, engine.AnswerSql(kQuery));
+  EXPECT_FALSE(after.from_cache);
+}
+
+TEST_F(ServeEngineTest, FromConfigDerivesKnobs) {
+  core::AsqpConfig config;
+  config.serve_max_inflight = 3;
+  config.serve_queue_capacity = 5;
+  config.serve_pool_threads = 0;
+  config.exec_threads = 4;
+  config.cache_bytes = 1 << 20;
+  ServeOptions options = ServeOptions::FromConfig(config);
+  EXPECT_EQ(options.max_inflight, 3u);
+  EXPECT_EQ(options.queue_capacity, 5u);
+  EXPECT_EQ(options.pool_threads, 3u);  // exec_threads - 1
+  EXPECT_EQ(options.cache_bytes, size_t{1} << 20);
+  config.serve_pool_threads = 7;
+  EXPECT_EQ(ServeOptions::FromConfig(config).pool_threads, 7u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace asqp

@@ -5,12 +5,18 @@
 //                 [--tolerance 0.25] [--min-wall-seconds 1e-4]
 //                 [--fail-on-missing]
 //
+// --baseline and --current are repeatable: CI gates several bench
+// binaries (micro substrates, serve throughput) in one invocation by
+// merging every file on each side. A benchmark name may appear only once
+// per side across all of its files.
+//
 // Exit codes: 0 = within tolerance, 1 = regression (or missing benchmark
 // with --fail-on-missing), 2 = usage / unreadable / malformed input.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bench_compare/compare.h"
@@ -32,26 +38,56 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --baseline <json> --current <json> "
+               "usage: %s --baseline <json>... --current <json>... "
                "[--tolerance <frac>] [--min-wall-seconds <s>] "
                "[--fail-on-missing]\n",
                argv0);
   return 2;
 }
 
+/// Read, parse, and merge every file in `paths` (side = "baseline" /
+/// "current" for diagnostics). Returns false after reporting on stderr.
+bool LoadSide(const std::vector<std::string>& paths, const char* side,
+              std::vector<asqp::benchcmp::BenchEntry>* out) {
+  std::unordered_set<std::string> seen;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "cannot read %s %s\n", side, path.c_str());
+      return false;
+    }
+    std::vector<asqp::benchcmp::BenchEntry> entries;
+    std::string error;
+    if (!asqp::benchcmp::ParseBenchJson(text, &entries, &error)) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+      return false;
+    }
+    for (asqp::benchcmp::BenchEntry& entry : entries) {
+      if (!seen.insert(entry.name).second) {
+        std::fprintf(stderr,
+                     "%s: duplicate benchmark name '%s' across %s files\n",
+                     path.c_str(), entry.name.c_str(), side);
+        return false;
+      }
+      out->push_back(std::move(entry));
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string baseline_path;
-  std::string current_path;
+  std::vector<std::string> baseline_paths;
+  std::vector<std::string> current_paths;
   asqp::benchcmp::CompareOptions options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const bool has_next = i + 1 < argc;
     if (std::strcmp(arg, "--baseline") == 0 && has_next) {
-      baseline_path = argv[++i];
+      baseline_paths.push_back(argv[++i]);
     } else if (std::strcmp(arg, "--current") == 0 && has_next) {
-      current_path = argv[++i];
+      current_paths.push_back(argv[++i]);
     } else if (std::strcmp(arg, "--tolerance") == 0 && has_next) {
       options.tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(arg, "--min-wall-seconds") == 0 && has_next) {
@@ -63,30 +99,12 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (baseline_path.empty() || current_path.empty()) return Usage(argv[0]);
-
-  std::string baseline_text;
-  std::string current_text;
-  if (!ReadFile(baseline_path, &baseline_text)) {
-    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
-    return 2;
-  }
-  if (!ReadFile(current_path, &current_text)) {
-    std::fprintf(stderr, "cannot read current %s\n", current_path.c_str());
-    return 2;
-  }
+  if (baseline_paths.empty() || current_paths.empty()) return Usage(argv[0]);
 
   std::vector<asqp::benchcmp::BenchEntry> baseline;
   std::vector<asqp::benchcmp::BenchEntry> current;
-  std::string error;
-  if (!asqp::benchcmp::ParseBenchJson(baseline_text, &baseline, &error)) {
-    std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(), error.c_str());
-    return 2;
-  }
-  if (!asqp::benchcmp::ParseBenchJson(current_text, &current, &error)) {
-    std::fprintf(stderr, "%s: %s\n", current_path.c_str(), error.c_str());
-    return 2;
-  }
+  if (!LoadSide(baseline_paths, "baseline", &baseline)) return 2;
+  if (!LoadSide(current_paths, "current", &current)) return 2;
 
   const asqp::benchcmp::CompareResult result =
       asqp::benchcmp::Compare(baseline, current, options);
