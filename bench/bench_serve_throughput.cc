@@ -2,9 +2,14 @@
 // concurrent mediator sessions, cold (cache disabled: every request is
 // admitted and executed) vs warm (fingerprint cache pre-filled: repeat
 // queries are hits), plus single-session cold/hit latency — the cache-hit
-// speedup is the serving layer's acceptance metric (>= 10x). Emits
-// machine-readable records via --json / ASQP_BENCH_JSON for CI's
-// bench-smoke gate (tools/bench_compare vs bench/baselines/BENCH_serve.json).
+// speedup is the serving layer's acceptance metric (>= 10x). A final
+// overload scenario offers 4x max_inflight sessions with tight deadlines
+// and fault points armed, records p50/p99/degraded-answer ratio/mean
+// error estimate, and fails if any raw kDeadlineExceeded/kCancelled
+// escapes ServeEngine::Answer. Emits machine-readable records via
+// --json / ASQP_BENCH_JSON for CI's bench-smoke gate
+// (tools/bench_compare vs bench/baselines/BENCH_serve.json).
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -15,6 +20,8 @@
 #include "common/bench_json.h"
 #include "core/trainer.h"
 #include "serve/serve_engine.h"
+#include "sql/parser.h"
+#include "util/fault_injector.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -187,6 +194,179 @@ int main(int argc, char** argv) {
       record.rows_per_sec = qps;           // requests per second
       writer.Add(std::move(record));
     }
+  }
+
+  // --- Overload: offered load 4x max_inflight, tight deadlines, fault
+  // points armed. Measures the degradation ladder's serve contract: every
+  // request resolves to a tiered answer or a typed shed/degraded status;
+  // a raw kDeadlineExceeded / kCancelled reaching a client (other than
+  // the dead-on-arrival fast path) fails the bench. ------------------------
+  {
+    const size_t sessions = 4 * serve_options.max_inflight;
+    const size_t per_session = std::max<size_t>(RequestsPerSession() / 2, 20);
+    const size_t total_requests = sessions * per_session;
+    // Tight but not dead-on-arrival: several cold executions' worth, so
+    // expiry happens while queued or mid-execution under contention.
+    const double deadline_seconds =
+        std::clamp(cold_seconds * 10.0, 0.004, 0.25);
+
+    serve::ServeOptions options = serve_options;
+    options.cache_bytes = 0;   // every request runs the ladder
+    options.queue_capacity = sessions / 2;  // queue overflow is reachable
+    serve::ServeEngine engine(&model, options);
+
+    // Mix in a learned-answerable aggregate so load shedding has a tier
+    // to shed to (the SPJ workload queries can only backpressure).
+    std::vector<sql::SelectStatement> mix = queries;
+    {
+      auto parsed = sql::Parse(
+          "SELECT COUNT(*) FROM title t WHERE t.production_year >= 2000");
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "overload aggregate parse failed: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      mix.push_back(std::move(parsed).value());
+      mix.push_back(mix.back());  // double its share of the offered load
+    }
+
+    // Transient faults on the ladder's retryable points plus simulated
+    // deadline expiry; counts chosen so a minority of requests hit one.
+    util::FaultInjector& injector = util::FaultInjector::Global();
+    injector.Reset();
+    injector.Arm("exec.join.alloc", static_cast<int>(total_requests / 8), 5);
+    injector.Arm("exec.agg.partial", static_cast<int>(total_requests / 16), 3);
+    injector.Arm("exec.deadline", static_cast<int>(total_requests / 8), 7);
+
+    struct SessionTally {
+      std::vector<double> latencies;
+      size_t tier0 = 0;          // healthy approximation-set answers
+      size_t degraded_answers = 0;  // fell back: learned or full-DB tier
+      size_t typed_degraded = 0;    // kDegraded: every tier exhausted
+      size_t backpressure = 0;      // kResourceExhausted (queue full)
+      size_t dead_on_arrival = 0;   // expired-deadline fast path
+      size_t leaks = 0;          // raw timeout/cancel reaching the client
+      double error_estimate_sum = 0.0;
+      size_t error_estimates = 0;
+    };
+    std::vector<SessionTally> tallies(sessions);
+    util::Stopwatch timer;
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&engine, &mix, &tallies, s, per_session,
+                            deadline_seconds] {
+        SessionTally& tally = tallies[s];
+        tally.latencies.reserve(per_session);
+        for (size_t i = 0; i < per_session; ++i) {
+          const util::ExecContext context =
+              util::ExecContext::WithDeadline(deadline_seconds);
+          util::Stopwatch request_timer;
+          auto result =
+              engine.Answer(mix[(s + i) % mix.size()], context);
+          tally.latencies.push_back(request_timer.ElapsedSeconds());
+          if (result.ok()) {
+            if (result.value().fell_back) {
+              ++tally.degraded_answers;
+              if (result.value().error_estimate > 0.0) {
+                tally.error_estimate_sum += result.value().error_estimate;
+                ++tally.error_estimates;
+              }
+            } else {
+              ++tally.tier0;
+            }
+            continue;
+          }
+          const util::Status& status = result.status();
+          if (status.code() == util::StatusCode::kDegraded) {
+            ++tally.typed_degraded;
+          } else if (status.code() == util::StatusCode::kResourceExhausted) {
+            ++tally.backpressure;
+          } else if (status.code() == util::StatusCode::kDeadlineExceeded &&
+                     status.message().find("on arrival") !=
+                         std::string::npos) {
+            ++tally.dead_on_arrival;
+          } else {
+            ++tally.leaks;
+            std::fprintf(stderr, "overload contract violation: %s\n",
+                         status.ToString().c_str());
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = timer.ElapsedSeconds();
+    injector.Reset();
+
+    SessionTally totals;
+    std::vector<double> latencies;
+    latencies.reserve(total_requests);
+    for (const SessionTally& tally : tallies) {
+      latencies.insert(latencies.end(), tally.latencies.begin(),
+                       tally.latencies.end());
+      totals.tier0 += tally.tier0;
+      totals.degraded_answers += tally.degraded_answers;
+      totals.typed_degraded += tally.typed_degraded;
+      totals.backpressure += tally.backpressure;
+      totals.dead_on_arrival += tally.dead_on_arrival;
+      totals.leaks += tally.leaks;
+      totals.error_estimate_sum += tally.error_estimate_sum;
+      totals.error_estimates += tally.error_estimates;
+    }
+    if (totals.leaks > 0) {
+      std::fprintf(stderr,
+                   "%zu raw deadline/cancellation status(es) escaped "
+                   "ServeEngine::Answer under overload\n",
+                   totals.leaks);
+      return 1;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const auto percentile = [&latencies](double p) {
+      if (latencies.empty()) return 0.0;
+      const size_t idx = std::min(
+          latencies.size() - 1,
+          static_cast<size_t>(p * static_cast<double>(latencies.size())));
+      return latencies[idx];
+    };
+    const double p50 = percentile(0.50);
+    const double p99 = percentile(0.99);
+    const double total = static_cast<double>(total_requests);
+    const double qps = wall > 0 ? total / wall : 0.0;
+    const double degraded_ratio =
+        (total - static_cast<double>(totals.tier0)) / total;
+    const double mean_error_estimate =
+        totals.error_estimates > 0
+            ? totals.error_estimate_sum /
+                  static_cast<double>(totals.error_estimates)
+            : 0.0;
+
+    PrintRow({"overload", "QPS", "p50", "p99", "degraded"},
+             {10, 12, 12, 12, 10});
+    PrintRow({util::Format("%zux%zu", sessions, per_session), Fmt(qps, 1),
+              Fmt(p50 * 1e3, 3) + " ms", Fmt(p99 * 1e3, 3) + " ms",
+              Fmt(degraded_ratio, 3)},
+             {10, 12, 12, 12, 10});
+
+    BenchRecord record;
+    record.name = "serve_overload/4x";
+    record.params.emplace_back("bench_scale", std::to_string(BenchScale()));
+    record.params.emplace_back("sessions", std::to_string(sessions));
+    record.params.emplace_back("deadline_ms", Fmt(deadline_seconds * 1e3, 2));
+    record.params.emplace_back("tier0", std::to_string(totals.tier0));
+    record.params.emplace_back("degraded_answers",
+                               std::to_string(totals.degraded_answers));
+    record.params.emplace_back("typed_degraded",
+                               std::to_string(totals.typed_degraded));
+    record.params.emplace_back("backpressure",
+                               std::to_string(totals.backpressure));
+    record.params.emplace_back("dead_on_arrival",
+                               std::to_string(totals.dead_on_arrival));
+    record.wall_seconds = p50;
+    record.rows_per_sec = qps;
+    record.error = mean_error_estimate;
+    record.p99_seconds = p99;
+    record.degraded_ratio = degraded_ratio;
+    writer.Add(std::move(record));
   }
 
   if (!writer.Flush()) return 1;

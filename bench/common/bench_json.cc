@@ -93,6 +93,14 @@ std::string BenchJsonWriter::ToJson() const {
     out += FmtDouble(r.score);
     out += ", \"error\": ";
     out += FmtDouble(r.error);
+    if (r.p99_seconds != 0.0) {
+      out += ", \"p99_seconds\": ";
+      out += FmtDouble(r.p99_seconds);
+    }
+    if (r.degraded_ratio != 0.0) {
+      out += ", \"degraded_ratio\": ";
+      out += FmtDouble(r.degraded_ratio);
+    }
     out += '}';
     if (i + 1 < records_.size()) out += ',';
     out += '\n';

@@ -12,6 +12,13 @@
 //     "error":        approximation error / quality loss, 0 when exact or
 //                     not applicable
 //   }
+// Optional keys, emitted only when nonzero (so files from older emitters
+// and readers stay mutually compatible):
+//   {
+//     "p99_seconds":    tail latency per request (overload scenarios),
+//     "degraded_ratio": fraction of requests answered below tier 0
+//                       (learned fallback, shed, or typed degradation)
+//   }
 #pragma once
 
 #include <string>
@@ -33,6 +40,14 @@ struct BenchRecord {
   /// Approximation error (e.g. relative aggregate error, score loss vs a
   /// reference); 0 when the measurement is exact or has no error notion.
   double error = 0.0;
+  /// Tail latency (p99 seconds per request). Optional: serialized only
+  /// when nonzero, so records without a tail-latency notion keep the
+  /// original four-field schema byte-for-byte.
+  double p99_seconds = 0.0;
+  /// Fraction of requests not answered from tier 0 (learned fallback,
+  /// load shed, or typed degradation). Optional, emitted only when
+  /// nonzero.
+  double degraded_ratio = 0.0;
 };
 
 /// Escape `s` for embedding inside a JSON string literal (quotes,

@@ -1,0 +1,165 @@
+// Tier-1 of the degradation ladder: an ML-AQP-style learned answerer
+// [Savva et al., PAPERS.md] for aggregate queries, fit over the
+// approximation set at model-build / FineTune time.
+//
+// Where the SPN (spn.h) learns a full joint model of one table for the
+// Section 6.4 comparison, the LearnedFallback is a serving-path artifact:
+// a flat per-table synopsis (per-column histograms with per-bin measure
+// sums, scaled by the sampling fraction) that answers
+// COUNT / SUM / AVG / MIN / MAX under conjunctive predicates in
+// microseconds, plus a *calibrated relative-error estimate* per operator
+// category — the bound the mediator surfaces through
+// AnswerResult::error_estimate when it degrades to this tier. Calibration
+// runs at fit time: a handful of synthetic aggregate queries per table
+// are answered by both the synopsis and the real executor, and the mean
+// observed relative error per category {CNT,SUM,AVG,MIN,MAX} x {G+,''}
+// becomes the estimate reported for future queries of that category.
+//
+// The synopsis is plain data (no pointers into the fitted tables), so it
+// is cheap to copy, safe to share across serving threads, and
+// serializable — io::SaveLearnedFallback ships it with the model.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/result_set.h"
+#include "sql/binder.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace asqp {
+namespace aqp {
+
+struct LearnedFallbackOptions {
+  /// Equi-width bins per numeric column histogram.
+  size_t num_bins = 64;
+  /// Row cap when fitting a table that has no approximation-set rows
+  /// (stride-sampled; the scale factor compensates).
+  size_t max_fit_rows = 65536;
+  /// Calibration queries generated per table per operator category pair.
+  /// 0 disables calibration (estimates fall back to `default_error`).
+  size_t calibration_queries = 2;
+  /// Tables larger than this skip calibration truth execution (the
+  /// estimates fall back to `default_error`).
+  size_t calibration_max_rows = 4u << 20;
+  /// Relative-error estimate reported for uncalibrated categories.
+  double default_error = 0.30;
+  uint64_t seed = 1;
+};
+
+/// \brief A learned aggregate answer: the estimated result plus the
+/// calibrated relative-error bound for its operator category.
+struct LearnedAnswer {
+  exec::ResultSet result;
+  /// Calibrated mean relative error for this query's category (see
+  /// LearnedFallback::CategoryOf); `default_error` when uncalibrated.
+  double error_estimate = 0.0;
+  /// The operator category the estimate was calibrated against
+  /// ("CNT", "G+SUM", ...).
+  std::string category;
+};
+
+class LearnedFallback {
+ public:
+  LearnedFallback() = default;
+
+  /// Fit per-table synopses. Tables present in `set` are fitted over
+  /// their approximation-set rows (scale = full / subset); tables absent
+  /// from it are stride-sampled up to `options.max_fit_rows`. When
+  /// `options.calibration_queries > 0`, synthetic aggregates per category
+  /// are answered by both the synopsis and the executor over `db` to
+  /// measure the per-category relative error.
+  [[nodiscard]] static util::Result<LearnedFallback> Fit(
+      const storage::Database& db, const storage::ApproximationSet& set,
+      const LearnedFallbackOptions& options);
+
+  /// True when `query` is in the supported class: single table with a
+  /// fitted synopsis, conjunctive predicates (see
+  /// Spn::PredicatesFromQuery), COUNT/SUM/AVG/MIN/MAX select items, at
+  /// most one categorical GROUP BY column, no DISTINCT / HAVING.
+  bool CanAnswer(const sql::BoundQuery& query) const;
+
+  /// Answer `query` from the synopsis. The ResultSet mirrors the
+  /// executor's column layout so metric::RelativeError can compare them.
+  [[nodiscard]] util::Result<LearnedAnswer> Answer(
+      const sql::BoundQuery& query) const;
+
+  /// The calibrated relative-error estimate a query of this shape would
+  /// report, without answering it.
+  double ErrorEstimateFor(const sql::SelectStatement& stmt) const;
+
+  /// Figure-12 operator category of an aggregate statement: the dominant
+  /// aggregate ("CNT" < "MIN"/"MAX" < "AVG" < "SUM"), prefixed "G+" when
+  /// grouped.
+  static std::string CategoryOf(const sql::SelectStatement& stmt);
+
+  size_t num_tables() const { return tables_.size(); }
+  bool has_table(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  const std::map<std::string, double>& calibrated_errors() const {
+    return calibrated_errors_;
+  }
+  double default_error() const { return options_.default_error; }
+
+  /// Text serialization (stable across platforms, like io's other
+  /// formats). Load restores an equivalent answerer without the fitted
+  /// database.
+  [[nodiscard]] util::Status SaveTo(std::ostream& out) const;
+  [[nodiscard]] static util::Result<LearnedFallback> LoadFrom(
+      std::istream& in);
+
+ private:
+  struct ColumnSynopsis {
+    std::string name;
+    bool is_numeric = false;
+    // Numeric: equi-width bins over [lo, hi] with per-bin counts and
+    // per-bin sums of the column's own values; observed extremes.
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<double> counts;
+    std::vector<double> sums;
+    double total_sum = 0.0;
+    double min_value = 0.0;
+    double max_value = 0.0;
+    // Categorical: per-category counts.
+    std::vector<std::string> categories;
+    double nulls = 0.0;
+    double non_null = 0.0;
+
+    double Selectivity(double plo, double phi) const;
+    double SelectivityCategorical(const std::set<std::string>& cats,
+                                  bool negate) const;
+  };
+
+  struct TableSynopsis {
+    std::string name;
+    double full_rows = 0.0;
+    double fitted_rows = 0.0;
+    /// full_rows / fitted_rows: COUNT/SUM answers scale up by this.
+    double scale = 1.0;
+    std::vector<ColumnSynopsis> columns;
+  };
+
+  static TableSynopsis FitTable(const storage::Table& table,
+                                const std::vector<uint32_t>& rows,
+                                const LearnedFallbackOptions& options);
+  void Calibrate(const storage::Database& db);
+
+  /// Supported-shape validation shared by CanAnswer/Answer; returns the
+  /// synopsis or the reason the query is out of class.
+  [[nodiscard]] util::Result<const TableSynopsis*> Classify(
+      const sql::BoundQuery& query) const;
+
+  LearnedFallbackOptions options_;
+  std::map<std::string, TableSynopsis> tables_;
+  /// category ("CNT", "G+SUM", ...) -> mean observed relative error.
+  std::map<std::string, double> calibrated_errors_;
+};
+
+}  // namespace aqp
+}  // namespace asqp

@@ -99,6 +99,37 @@ struct AsqpConfig {
   /// budget; 0 disables caching).
   size_t cache_bytes = 64ull << 20;
 
+  // ---- Degradation ladder (aqp::LearnedFallback + AsqpModel::Answer).
+  /// Fit an ML-AQP-style learned answerer over the approximation set at
+  /// model-build / fine-tune time, and use it as the tier between the
+  /// approximation set and the full database when the full-database
+  /// fallback is unaffordable (deadline budget, tripped breaker).
+  bool fallback_learned_enabled = true;
+  /// Bounded retries of the approximation-set attempt on *transient*
+  /// failures (resource exhaustion, injected faults, internal errors; never
+  /// deadline/cancellation). 0 disables retrying.
+  size_t fallback_retry_attempts = 2;
+  /// Base backoff before the first retry; doubles per retry, jittered
+  /// deterministically (util::RetryPolicy).
+  double fallback_retry_backoff_seconds = 0.001;
+  /// Consecutive late full-database fallbacks (finished after the caller's
+  /// deadline had already expired) that trip the circuit breaker guarding
+  /// the full-database tier. 0 disables the breaker.
+  size_t fallback_breaker_threshold = 5;
+  /// Seconds the tripped breaker stays open before a half-open trial.
+  double fallback_breaker_cooldown_seconds = 2.0;
+  /// Cost gate for the full-database tier: estimated scan throughput in
+  /// rows/second. The tier is attempted only when
+  /// (rows in the query's tables) / this <= the caller's remaining
+  /// deadline budget. 0 = no gate (always afford, matching the pre-ladder
+  /// behavior of an unlimited degraded execution).
+  double fallback_full_db_rows_per_second = 0.0;
+  /// Serving layer: when admission fails (queue full, deadline expired
+  /// while queued, cancelled while queued), answer supported aggregate
+  /// queries from the learned fallback instead of erroring (load
+  /// shedding). Unsupported queries keep the typed admission error.
+  bool serve_shed_to_learned = true;
+
   uint64_t seed = 1;
 
   /// ASQP-Light (Section 4.5): 25% of representatives executed, higher

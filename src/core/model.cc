@@ -1,7 +1,11 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <thread>
 
+#include "aqp/learned_fallback.h"
 #include "core/trainer.h"
 #include "metric/score.h"
 #include "sql/binder.h"
@@ -20,7 +24,69 @@ exec::ExecOptions ExecOptionsFor(const AsqpConfig& config) {
   return options;
 }
 
+util::CircuitBreaker::Options BreakerOptionsFor(const AsqpConfig& config) {
+  return util::CircuitBreaker::Options{
+      .failure_threshold = config.fallback_breaker_threshold,
+      .cooldown_seconds = config.fallback_breaker_cooldown_seconds};
+}
+
+/// The failure classes the ladder degrades on; anything else (bad SQL
+/// semantics, internal invariant violations surfaced as typed errors) is
+/// the caller's problem and propagates unchanged.
+bool IsDegradationClass(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kDeadlineExceeded:
+    case util::StatusCode::kCancelled:
+    case util::StatusCode::kResourceExhausted:
+    case util::StatusCode::kExecutionError:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
+
+const char* AnswerTierName(AnswerTier tier) {
+  switch (tier) {
+    case AnswerTier::kApproximation: return "approximation";
+    case AnswerTier::kFullDatabase: return "full_database";
+    case AnswerTier::kLearned: return "learned";
+  }
+  return "unknown";
+}
+
+std::string FallbackReasonFromStatus(const util::Status& status) {
+  const std::string& msg = status.message();
+  // Injected faults name their point: "injected fault(<point>): ...".
+  static constexpr char kFaultPrefix[] = "injected fault(";
+  const size_t fault = msg.find(kFaultPrefix);
+  if (fault != std::string::npos) {
+    const size_t open = fault + sizeof(kFaultPrefix) - 1;
+    const size_t close = msg.find(')', open);
+    if (close != std::string::npos) {
+      return "fault:" + msg.substr(open, close - open);
+    }
+  }
+  switch (status.code()) {
+    case util::StatusCode::kDeadlineExceeded:
+      return "deadline";
+    case util::StatusCode::kCancelled:
+      return "cancelled";
+    case util::StatusCode::kResourceExhausted:
+      return msg.find("row budget") != std::string::npos ? "row_budget"
+                                                         : "resource_exhausted";
+    case util::StatusCode::kExecutionError:
+      return "exec_error";
+    default: {
+      std::string name = util::Status::CodeName(status.code());
+      for (char& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      return name;
+    }
+  }
+}
 
 AsqpModel::AsqpModel(const storage::Database* db, AsqpConfig config,
                      PreprocessResult preprocess, rl::Policy policy)
@@ -28,7 +94,8 @@ AsqpModel::AsqpModel(const storage::Database* db, AsqpConfig config,
       config_(std::move(config)),
       preprocess_(std::move(preprocess)),
       policy_(std::move(policy)),
-      engine_(ExecOptionsFor(config_)) {
+      engine_(ExecOptionsFor(config_)),
+      breaker_(BreakerOptionsFor(config_)) {
   std::vector<double> coverage(preprocess_.representative_embeddings.size(),
                                0.0);
   estimator_ = std::make_unique<AnswerabilityEstimator>(
@@ -72,7 +139,23 @@ storage::ApproximationSet AsqpModel::GenerateApproximationSet(
   return out;
 }
 
-void AsqpModel::MaterializeSet() { set_ = GenerateApproximationSet(config_.k); }
+void AsqpModel::MaterializeSet() {
+  set_ = GenerateApproximationSet(config_.k);
+  // Refit the learned fallback tier over the fresh approximation set (a
+  // stale synopsis would answer with the *previous* generation's bias).
+  learned_.reset();
+  if (config_.fallback_learned_enabled) {
+    aqp::LearnedFallbackOptions options;
+    options.seed = config_.seed ^ 0x1ea51edfa11ULL;
+    util::Result<aqp::LearnedFallback> fitted =
+        aqp::LearnedFallback::Fit(*db_, set_, options);
+    // A failed fit degrades gracefully: the ladder simply skips tier 1.
+    if (fitted.ok()) {
+      learned_ = std::make_shared<const aqp::LearnedFallback>(
+          std::move(fitted).value());
+    }
+  }
+}
 
 void AsqpModel::CalibrateEstimator() {
   // Measure real per-representative coverage of the materialized set; the
@@ -117,6 +200,7 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt,
   }
 
   ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
+  util::Status degrade_cause = util::Status::OK();
   if (result.answerability >= config_.answerable_threshold) {
     storage::DatabaseView view(db_, &set_);
     // The caller's context bounds the approximation attempt when it
@@ -128,41 +212,177 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt,
       approx_context.set_deadline(
           util::Deadline::AfterSeconds(config_.answer_deadline_seconds));
     }
-    util::Result<exec::ResultSet> approx =
-        engine_.Execute(bound, view, approx_context);
-    if (approx.ok()) {
-      result.result = std::move(approx).value();
-      result.used_approximation = true;
-      answered_.fetch_add(1, std::memory_order_relaxed);
-      approx_served_.fetch_add(1, std::memory_order_relaxed);
-      return result;
+    // Tier 0 with bounded retries: transient failures (allocation
+    // pressure, injected faults) get a jittered backoff and another
+    // attempt, as long as the remaining deadline affords the sleep.
+    // Deadline expiry and cancellation never retry.
+    const util::RetryPolicy retry(
+        util::RetryPolicy::Options{
+            .max_retries = config_.fallback_retry_attempts,
+            .base_backoff_seconds = config_.fallback_retry_backoff_seconds},
+        config_.seed);
+    util::Status failure = util::Status::OK();
+    for (size_t attempt = 0;; ++attempt) {
+      util::Result<exec::ResultSet> approx =
+          engine_.Execute(bound, view, approx_context);
+      if (approx.ok()) {
+        result.result = std::move(approx).value();
+        result.used_approximation = true;
+        result.tier = AnswerTier::kApproximation;
+        answered_.fetch_add(1, std::memory_order_relaxed);
+        approx_served_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+      failure = approx.status();
+      if (attempt >= retry.max_retries() ||
+          !util::RetryPolicy::IsTransient(failure) ||
+          approx_context.IsCancelled()) {
+        break;
+      }
+      const double backoff = retry.BackoffSeconds(attempt + 1);
+      if (approx_context.deadline().RemainingSeconds() <= backoff) break;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
     }
     // Degradation path: a deadline, cancellation, or resource limit on the
-    // approximation-set execution falls back to the unbounded full
-    // database rather than failing the user's query. Genuine query errors
-    // (bad SQL semantics, internal faults) still propagate.
-    switch (approx.status().code()) {
-      case util::StatusCode::kDeadlineExceeded:
-      case util::StatusCode::kCancelled:
-      case util::StatusCode::kResourceExhausted:
-      case util::StatusCode::kExecutionError:
-        result.fell_back = true;
-        result.fallback_reason = approx.status().ToString();
-        break;
-      default:
-        return approx.status();
+    // approximation-set execution degrades down the ladder rather than
+    // failing the user's query. Genuine query errors (bad SQL semantics,
+    // internal faults) still propagate.
+    if (!IsDegradationClass(failure)) return failure;
+    result.fell_back = true;
+    result.fallback_reason = FallbackReasonFromStatus(failure);
+    degrade_cause = failure;
+  }
+
+  if (!result.fell_back) {
+    // Estimator-routed full-database path (answerability below the
+    // threshold): not a degradation — deadline-free but still
+    // cooperatively cancellable, errors propagate, breaker uninvolved.
+    util::ExecContext full_context = context;
+    full_context.set_deadline(util::Deadline::Unlimited());
+    storage::DatabaseView view(db_);
+    ASQP_ASSIGN_OR_RETURN(result.result,
+                          engine_.Execute(bound, view, full_context));
+    result.used_approximation = false;
+    result.tier = AnswerTier::kFullDatabase;
+    answered_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  // Tier 2, the full database, is attempted only when (a) the cost gate
+  // says the remaining deadline budget affords a full scan and (b) the
+  // circuit breaker is not open. The gate is evaluated *before* the
+  // breaker: Allow() on a half-open breaker claims the single trial slot,
+  // and a tier skipped after claiming it would leave the slot stuck.
+  bool affordable = true;
+  if (config_.fallback_full_db_rows_per_second > 0.0) {
+    double rows = 0.0;
+    for (const auto& table : bound.tables) {
+      rows += static_cast<double>(table->num_rows());
+    }
+    affordable = rows / config_.fallback_full_db_rows_per_second <=
+                 context.deadline().RemainingSeconds();
+  }
+  if (affordable && breaker_.Allow()) {
+    // Deadline-free (degradation must be able to finish) but still
+    // cooperatively cancellable by the caller.
+    util::ExecContext full_context = context;
+    full_context.set_deadline(util::Deadline::Unlimited());
+    storage::DatabaseView view(db_);
+    util::Result<exec::ResultSet> full =
+        engine_.Execute(bound, view, full_context);
+    // Breaker bookkeeping: a degraded full-database execution "fails" when
+    // the caller's *original* deadline has expired by the time it
+    // resolves — the answer arrived too late to matter, and consecutive
+    // late answers mean the tier is overloaded. Raw Expired() here, never
+    // Check(): the latter fires the exec.deadline fault point and would
+    // trip the breaker for healthy clients under chaos testing.
+    const bool late = context.deadline().Expired();
+    if (full.ok()) {
+      if (late) {
+        breaker_.RecordFailure();
+      } else {
+        breaker_.RecordSuccess();
+      }
+      result.result = std::move(full).value();
+      result.used_approximation = false;
+      result.tier = AnswerTier::kFullDatabase;
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    if (!IsDegradationClass(full.status())) {
+      // Genuine error: release a possibly-claimed half-open trial slot
+      // (the tier itself is not overloaded) and propagate.
+      breaker_.RecordSuccess();
+      return full.status();
+    }
+    if (late) {
+      breaker_.RecordFailure();
+    } else {
+      breaker_.RecordSuccess();
+    }
+    degrade_cause = full.status();
+  }
+
+  // Tier 1: the learned answerer — reached when the full database is
+  // unaffordable, breaker-blocked, or itself degraded.
+  util::Result<AnswerResult> learned =
+      AnswerLearnedTier(bound, degrade_cause, std::move(result));
+  if (learned.ok()) {
+    answered_.fetch_add(1, std::memory_order_relaxed);
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return learned;
+}
+
+util::Result<AnswerResult> AsqpModel::AnswerLearnedTier(
+    const sql::BoundQuery& bound, const util::Status& cause,
+    AnswerResult result) const {
+  // Snapshot the pointer: FineTune swaps learned_ under the serving
+  // layer's writer lock, but model-level callers may race MaterializeSet
+  // in tests — a local shared_ptr keeps the synopsis alive regardless.
+  const std::shared_ptr<const aqp::LearnedFallback> learned = learned_;
+  if (learned != nullptr && learned->CanAnswer(bound)) {
+    util::Result<aqp::LearnedAnswer> answer = learned->Answer(bound);
+    if (answer.ok()) {
+      result.result = std::move(answer.value().result);
+      result.used_approximation = false;
+      result.tier = AnswerTier::kLearned;
+      result.fell_back = true;
+      result.error_estimate = answer.value().error_estimate;
+      if (result.fallback_reason.empty()) {
+        result.fallback_reason = FallbackReasonFromStatus(cause);
+      }
+      learned_served_.fetch_add(1, std::memory_order_relaxed);
+      return result;
     }
   }
-  // Full-database path: deadline-free (degradation must be able to
-  // finish) but still cooperatively cancellable by the caller.
-  util::ExecContext full_context = context;
-  full_context.set_deadline(util::Deadline::Unlimited());
-  storage::DatabaseView view(db_);
-  ASQP_ASSIGN_OR_RETURN(result.result,
-                        engine_.Execute(bound, view, full_context));
+  return util::Status::Degraded(
+      "every degradation tier exhausted (reason: " +
+      FallbackReasonFromStatus(cause) + "); last failure: " +
+      cause.ToString());
+}
+
+util::Result<AnswerResult> AsqpModel::TryLearnedAnswer(
+    const sql::SelectStatement& stmt) const {
+  const std::shared_ptr<const aqp::LearnedFallback> learned = learned_;
+  if (learned == nullptr) {
+    return util::Status::NotFound("no learned fallback fitted");
+  }
+  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
+  if (!learned->CanAnswer(bound)) {
+    return util::Status::InvalidArgument(
+        "query outside the learned fallback's supported class");
+  }
+  ASQP_ASSIGN_OR_RETURN(aqp::LearnedAnswer answer, learned->Answer(bound));
+  AnswerResult result;
+  result.result = std::move(answer.result);
   result.used_approximation = false;
-  answered_.fetch_add(1, std::memory_order_relaxed);
-  if (result.fell_back) fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  result.tier = AnswerTier::kLearned;
+  result.fell_back = true;
+  result.error_estimate = answer.error_estimate;
+  learned_served_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 

@@ -15,10 +15,36 @@
 #include "metric/workload.h"
 #include "rl/policy.h"
 #include "storage/database.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace asqp {
+
+namespace aqp {
+class LearnedFallback;
+}  // namespace aqp
+
 namespace core {
+
+/// Which tier of the degradation ladder produced an answer.
+enum class AnswerTier {
+  kApproximation = 0,  ///< tier 0: the approximation set
+  kFullDatabase = 1,   ///< tier 2: degraded full-database execution
+  kLearned = 2,        ///< tier 1: the learned (ML-AQP-style) answerer
+};
+
+const char* AnswerTierName(AnswerTier tier);
+
+/// Normalize a failure Status into the machine-readable degradation
+/// vocabulary carried by AnswerResult::fallback_reason:
+///   kDeadlineExceeded                  -> "deadline"
+///   kCancelled                         -> "cancelled"
+///   kResourceExhausted ("row budget")  -> "row_budget"
+///   any message "injected fault(<p>)"  -> "fault:<p>"
+///   kResourceExhausted (other)         -> "resource_exhausted"
+///   kExecutionError                    -> "exec_error"
+///   anything else                      -> lowercase code name
+std::string FallbackReasonFromStatus(const util::Status& status);
 
 /// \brief Outcome of answering one user query through the mediator.
 struct AnswerResult {
@@ -26,14 +52,26 @@ struct AnswerResult {
   /// True when served from the approximation set, false when the estimator
   /// routed the query to the full database.
   bool used_approximation = false;
+  /// The ladder tier that produced `result` (kApproximation also covers
+  /// the estimator-routed full-database path when `fell_back` is false —
+  /// check `tier` for the executing tier).
+  AnswerTier tier = AnswerTier::kApproximation;
   /// The estimator's answerability score for this query.
   double answerability = 0.0;
   /// True when the approximation-set execution was attempted but abandoned
   /// (deadline, cancellation, or resource exhaustion) and the result came
-  /// from the degraded full-database path instead.
+  /// from a degraded tier (full database or learned answerer) instead.
   bool fell_back = false;
-  /// Why the mediator degraded (empty when `fell_back` is false).
+  /// Why the mediator degraded, normalized by FallbackReasonFromStatus
+  /// ("deadline", "cancelled", "row_budget", "fault:<point>", ...; the
+  /// serving layer's shed paths use "shed:<cause>"). Empty when
+  /// `fell_back` is false.
   std::string fallback_reason;
+  /// Estimated relative error of `result`: 0 for exact tiers
+  /// (approximation set answers are exact over the subset; full-database
+  /// answers are exact, period), the calibrated per-category bound for
+  /// learned answers (aqp::LearnedFallback).
+  double error_estimate = 0.0;
   /// True when the serving layer returned a cached answer without
   /// executing (serve::ServeEngine; always false from AsqpModel::Answer).
   bool from_cache = false;
@@ -75,6 +113,16 @@ class AsqpModel {
                                                   const util::ExecContext& context);
   [[nodiscard]] util::Result<AnswerResult> AnswerSql(const std::string& sql);
 
+  /// Answer `stmt` from the learned fallback tier alone (no execution, no
+  /// admission): used by the serving layer to shed load when a query
+  /// cannot be admitted. Fails (kNotFound / kInvalidArgument) when the
+  /// learned answerer is absent or the query is outside its class.
+  ///
+  /// Thread safety: a *reader* — the serving layer calls it under the same
+  /// reader lock as Answer() (FineTune swaps the learned answerer).
+  [[nodiscard]] util::Result<AnswerResult> TryLearnedAnswer(
+      const sql::SelectStatement& stmt) const;
+
   /// Interest drift (C5): true once `drift_trigger` out-of-distribution
   /// queries with deviation confidence > `drift_confidence` accumulated.
   bool NeedsFineTuning() const;
@@ -115,13 +163,27 @@ class AsqpModel {
   struct AnswerStats {
     uint64_t answered = 0;        ///< completed Answer() calls
     uint64_t approx_served = 0;   ///< served from the approximation set
-    uint64_t fallbacks = 0;       ///< degraded to the full database
+    uint64_t fallbacks = 0;       ///< degraded off the approximation set
+    uint64_t retries = 0;         ///< approximation-tier retry attempts
+    uint64_t learned_served = 0;  ///< answered by the learned fallback
   };
   AnswerStats answer_stats() const {
     return AnswerStats{answered_.load(std::memory_order_relaxed),
                        approx_served_.load(std::memory_order_relaxed),
-                       fallbacks_.load(std::memory_order_relaxed)};
+                       fallbacks_.load(std::memory_order_relaxed),
+                       retries_.load(std::memory_order_relaxed),
+                       learned_served_.load(std::memory_order_relaxed)};
   }
+
+  /// The learned fallback answerer (null until MaterializeSet has run or
+  /// when fallback_learned_enabled is false).
+  std::shared_ptr<const aqp::LearnedFallback> learned_fallback() const {
+    return learned_;
+  }
+
+  /// The circuit breaker guarding the full-database tier (tests drive its
+  /// clock; see util::CircuitBreaker::SetNowFnForTest).
+  util::CircuitBreaker& circuit_breaker() { return breaker_; }
 
  private:
   friend class AsqpTrainer;
@@ -131,6 +193,14 @@ class AsqpModel {
   void MaterializeSet();
   void CalibrateEstimator();
 
+  /// Tier 1 of the ladder: answer `bound` from the learned fallback.
+  /// `cause` is the failure that forced degradation past the full
+  /// database; when the learned answerer cannot take the query either,
+  /// the ladder ends in Status::Degraded carrying both failures.
+  [[nodiscard]] util::Result<AnswerResult> AnswerLearnedTier(
+      const sql::BoundQuery& bound, const util::Status& cause,
+      AnswerResult result) const;
+
   const storage::Database* db_;
   AsqpConfig config_;
   PreprocessResult preprocess_;
@@ -138,6 +208,11 @@ class AsqpModel {
   storage::ApproximationSet set_;
   std::unique_ptr<AnswerabilityEstimator> estimator_;
   exec::QueryEngine engine_;
+  /// Learned fallback tier, rebuilt by MaterializeSet (FineTune swaps it;
+  /// the serving layer's reader lock covers the swap).
+  std::shared_ptr<const aqp::LearnedFallback> learned_;
+  /// Breaker guarding degradation-path full-database executions.
+  util::CircuitBreaker breaker_;
 
   /// Out-of-distribution queries observed since the last fine-tune.
   /// Guarded by drift_mu_: Answer() may run on many threads at once.
@@ -151,6 +226,8 @@ class AsqpModel {
   std::atomic<uint64_t> answered_{0};
   std::atomic<uint64_t> approx_served_{0};
   std::atomic<uint64_t> fallbacks_{0};
+  mutable std::atomic<uint64_t> retries_{0};
+  mutable std::atomic<uint64_t> learned_served_{0};
 };
 
 }  // namespace core

@@ -344,7 +344,7 @@ class Execution {
     const Table& build_table = *q_.tables[t];
     if (ASQP_FAULT_POINT("exec.join.alloc")) {
       return Status::ResourceExhausted(
-          "injected fault: hash-join build allocation failed");
+          "injected fault(exec.join.alloc): hash-join build allocation failed");
     }
     const auto build_key = [&](uint32_t row, std::string* key) -> bool {
       key->clear();
@@ -449,8 +449,8 @@ class Execution {
         [&](size_t chunk, size_t begin, size_t end) -> Status {
           if (ASQP_FAULT_POINT("exec.join.partition")) {
             return Status::ResourceExhausted(
-                "injected fault: hash-join partition buffer allocation "
-                "failed");
+                "injected fault(exec.join.partition): hash-join partition buffer "
+                "allocation failed");
           }
           util::DeadlineTicker ticker(context_, /*stride=*/256);
           std::vector<Bucket> buckets(partitions);
@@ -737,7 +737,8 @@ class Execution {
                                    util::DeadlineTicker* ticker) -> Status {
       if (ASQP_FAULT_POINT("exec.agg.partial")) {
         return Status::ResourceExhausted(
-            "injected fault: partial-aggregation table allocation failed");
+            "injected fault(exec.agg.partial): partial-aggregation table "
+            "allocation failed");
       }
       JoinedRow jr{&q_.tables, nullptr};
       std::string key;

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "aqp/learned_fallback.h"
 #include "rl/policy.h"
 #include "sql/parser.h"
 #include "util/fault_injector.h"
@@ -493,7 +494,8 @@ Status SaveCheckpoint(const rl::TrainCheckpoint& checkpoint,
   }
   if (ASQP_FAULT_POINT("io.checkpoint.write")) {
     return Status::ExecutionError(util::Format(
-        "injected fault: checkpoint write to %s failed", path.c_str()));
+        "injected fault(io.checkpoint.write): checkpoint write to %s failed",
+        path.c_str()));
   }
   const std::string tmp = path + ".tmp";
   {
@@ -608,6 +610,45 @@ Result<rl::Policy> LoadPolicy(const std::string& path) {
     ASQP_ASSIGN_OR_RETURN(policy.critic, ReadMlp(in, "critic"));
   }
   return policy;
+}
+
+Status SaveLearnedFallback(const aqp::LearnedFallback& fallback,
+                           const std::string& path) {
+  if (ASQP_FAULT_POINT("io.fallback.write")) {
+    return Status::ExecutionError(util::Format(
+        "injected fault(io.fallback.write): learned-fallback write to %s "
+        "failed",
+        path.c_str()));
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::InvalidArgument(
+          util::Format("cannot write %s", tmp.c_str()));
+    }
+    ASQP_RETURN_NOT_OK(fallback.SaveTo(out));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::ExecutionError(
+          util::Format("write to %s failed", tmp.c_str()));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::ExecutionError(
+        util::Format("cannot rename %s into place", tmp.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<aqp::LearnedFallback> LoadLearnedFallback(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(util::Format("cannot open %s", path.c_str()));
+  }
+  return aqp::LearnedFallback::LoadFrom(in);
 }
 
 }  // namespace io

@@ -83,4 +83,22 @@ namespace io {
 [[nodiscard]] util::Result<rl::TrainCheckpoint> LoadCheckpoint(const std::string& path);
 
 }  // namespace io
+
+namespace aqp {
+class LearnedFallback;
+}  // namespace aqp
+
+namespace io {
+
+/// Persist a learned fallback answerer (aqp::LearnedFallback) so an
+/// offline-fitted synopsis can ship with the approximation set. Written
+/// to `path + ".tmp"` and renamed into place (crash-safe, like
+/// SaveCheckpoint); the "io.fallback.write" fault point simulates a
+/// failed write.
+[[nodiscard]] util::Status SaveLearnedFallback(const aqp::LearnedFallback& fallback,
+                                               const std::string& path);
+[[nodiscard]] util::Result<aqp::LearnedFallback> LoadLearnedFallback(
+    const std::string& path);
+
+}  // namespace io
 }  // namespace asqp

@@ -20,6 +20,7 @@ ServeOptions ServeOptions::FromConfig(const core::AsqpConfig& config) {
                                     ? config.exec_threads - 1
                                     : 1);
   options.cache_bytes = config.cache_bytes;
+  options.shed_to_learned = config.serve_shed_to_learned;
   return options;
 }
 
@@ -43,6 +44,22 @@ ServeEngine::~ServeEngine() {
 
 util::Result<core::AnswerResult> ServeEngine::Answer(
     const sql::SelectStatement& stmt, const util::ExecContext& context) {
+  // Load-shedding fast path: a request that is already dead on arrival
+  // never costs the admission queue or an execution slot. Raw deadline /
+  // cancellation reads here, never ExecContext::Check() — the latter
+  // fires the exec.deadline fault point and would turn away healthy
+  // clients under chaos testing.
+  if (context.IsCancelled()) {
+    expired_fast_path_.fetch_add(1, std::memory_order_relaxed);
+    return util::Status::Cancelled(
+        "serve: request already cancelled on arrival");
+  }
+  if (context.deadline().Expired()) {
+    expired_fast_path_.fetch_add(1, std::memory_order_relaxed);
+    return util::Status::DeadlineExceeded(
+        "serve: deadline already expired on arrival");
+  }
+
   // Fingerprint the *bound* statement so table aliases normalize away.
   // Binding is cheap (name resolution only) relative to execution, and a
   // failed bind short-circuits before admission.
@@ -61,16 +78,43 @@ util::Result<core::AnswerResult> ServeEngine::Answer(
   }
 
   // Admission: bounded in-flight executions, FIFO queue behind them, the
-  // caller's deadline/cancellation honored while waiting.
+  // caller's deadline/cancellation honored while waiting. A request that
+  // cannot be admitted is load-shed to the learned fallback when the
+  // query is in its class; otherwise queue-full keeps its typed
+  // back-pressure error and expiry/cancellation while queued becomes a
+  // typed kDegraded (the budget is gone — there is nothing to retry).
   {
     util::Status admitted = admission_.Acquire(context);
     if (!admitted.ok()) {
-      if (admitted.code() == util::StatusCode::kResourceExhausted) {
+      const bool queue_full =
+          admitted.code() == util::StatusCode::kResourceExhausted;
+      if (queue_full) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
       } else {
         admission_expired_.fetch_add(1, std::memory_order_relaxed);
       }
-      return admitted;
+      const char* shed_reason =
+          queue_full ? "shed:queue_full"
+          : admitted.code() == util::StatusCode::kCancelled
+              ? "shed:cancelled"
+              : "shed:admission_deadline";
+      if (options_.shed_to_learned) {
+        std::shared_lock<std::shared_mutex> reader(model_mu_);
+        util::Result<core::AnswerResult> shed =
+            model_->TryLearnedAnswer(stmt);
+        if (shed.ok()) {
+          shed.value().fallback_reason = shed_reason;
+          shed_learned_.fetch_add(1, std::memory_order_relaxed);
+          served_.fetch_add(1, std::memory_order_relaxed);
+          return shed;
+        }
+      }
+      if (queue_full) return admitted;
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      return util::Status::Degraded(
+          "admission budget exhausted while queued and the learned tier "
+          "cannot answer: " +
+          admitted.ToString());
     }
   }
   util::SemaphoreReleaser release(&admission_);
@@ -79,8 +123,36 @@ util::Result<core::AnswerResult> ServeEngine::Answer(
   // Reader lock: many Answers run concurrently; FineTune excludes them.
   std::shared_lock<std::shared_mutex> reader(model_mu_);
   const uint64_t generation = model_->generation();
-  ASQP_ASSIGN_OR_RETURN(core::AnswerResult result,
-                        model_->Answer(stmt, context));
+  util::Result<core::AnswerResult> answered = model_->Answer(stmt, context);
+  if (!answered.ok()) {
+    const util::Status& failure = answered.status();
+    if (failure.code() == util::StatusCode::kDeadlineExceeded ||
+        failure.code() == util::StatusCode::kCancelled) {
+      // Belt and suspenders: the ladder degrades deadline/cancellation
+      // failures itself, but one racing the ladder's tier boundaries can
+      // still leak — convert it here so an admitted client never sees a
+      // raw timeout.
+      if (options_.shed_to_learned) {
+        util::Result<core::AnswerResult> shed =
+            model_->TryLearnedAnswer(stmt);
+        if (shed.ok()) {
+          shed.value().fallback_reason =
+              "shed:" + core::FallbackReasonFromStatus(failure);
+          shed_learned_.fetch_add(1, std::memory_order_relaxed);
+          served_.fetch_add(1, std::memory_order_relaxed);
+          return shed;
+        }
+      }
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      return util::Status::Degraded(
+          "no tier could answer within the budget: " + failure.ToString());
+    }
+    if (failure.code() == util::StatusCode::kDegraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return failure;
+  }
+  core::AnswerResult result = std::move(answered).value();
   // Degraded (fell-back) answers are not cached: a retry without pressure
   // may serve the better approximation-set answer.
   if (!result.fell_back) {

@@ -16,6 +16,15 @@
 //      cached AnswerResult without executing or occupying an admission
 //      slot. Entries are stamped with the model's approximation-set
 //      generation; FineTune() bumps it, invalidating every stale entry.
+//   4. Overload control (the serve side of the degradation ladder): a
+//      request whose deadline is already dead is turned away before it
+//      costs an admission slot; a request that cannot be admitted (queue
+//      full, expired/cancelled while queued) is load-shed to the model's
+//      learned fallback when it can take the query; and a deadline or
+//      cancellation that leaks out of the ladder is converted to a
+//      learned answer or a typed kDegraded — under overload a client gets
+//      an answer (possibly approximate, with an error estimate) or a
+//      typed degradation, never a raw timeout.
 //
 // Answer() calls may run from any number of threads. FineTune() takes the
 // engine's writer lock, so in-flight queries drain before the model is
@@ -51,10 +60,16 @@ struct ServeOptions {
   /// Answer-cache byte budget (0 disables caching).
   size_t cache_bytes = 64ull << 20;
   size_t cache_shards = 8;
+  /// Load shedding: when admission fails (queue full, deadline expired or
+  /// cancelled while queued) or a deadline/cancellation leaks out of the
+  /// ladder, answer supported aggregate queries from the model's learned
+  /// fallback instead of erroring. Unsupported queries keep the typed
+  /// admission error (queue full) or degrade to kDegraded.
+  bool shed_to_learned = true;
 
   /// Derive the serving knobs from a model's AsqpConfig
   /// (serve_max_inflight, serve_queue_capacity, serve_pool_threads /
-  /// exec_threads, cache_bytes).
+  /// exec_threads, cache_bytes, serve_shed_to_learned).
   static ServeOptions FromConfig(const core::AsqpConfig& config);
 };
 
@@ -92,13 +107,19 @@ class ServeEngine {
     uint64_t admitted = 0;        ///< entered execution
     uint64_t rejected = 0;        ///< admission queue full
     uint64_t admission_expired = 0;  ///< deadline/cancel while queued
+    uint64_t shed_learned = 0;    ///< load-shed to the learned fallback
+    uint64_t degraded = 0;        ///< every tier exhausted (kDegraded)
+    uint64_t expired_fast_path = 0;  ///< dead on arrival, never admitted
   };
   Stats stats() const {
     return Stats{served_.load(std::memory_order_relaxed),
                  cache_hits_.load(std::memory_order_relaxed),
                  admitted_.load(std::memory_order_relaxed),
                  rejected_.load(std::memory_order_relaxed),
-                 admission_expired_.load(std::memory_order_relaxed)};
+                 admission_expired_.load(std::memory_order_relaxed),
+                 shed_learned_.load(std::memory_order_relaxed),
+                 degraded_.load(std::memory_order_relaxed),
+                 expired_fast_path_.load(std::memory_order_relaxed)};
   }
 
   const AnswerCache& cache() const { return cache_; }
@@ -122,6 +143,9 @@ class ServeEngine {
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> admission_expired_{0};
+  std::atomic<uint64_t> shed_learned_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> expired_fast_path_{0};
 };
 
 }  // namespace serve

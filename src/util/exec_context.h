@@ -66,9 +66,14 @@ class ExecContext {
     if (IsCancelled()) {
       return Status::Cancelled(std::string(what) + ": cancellation requested");
     }
-    if (deadline_.Expired() || ASQP_FAULT_POINT("exec.deadline")) {
+    if (deadline_.Expired()) {
       return Status::DeadlineExceeded(std::string(what) +
                                       ": deadline exceeded");
+    }
+    if (ASQP_FAULT_POINT("exec.deadline")) {
+      return Status::DeadlineExceeded(
+          "injected fault(exec.deadline): " + std::string(what) +
+          ": deadline exceeded");
     }
     return Status::OK();
   }

@@ -20,6 +20,12 @@
 //                        allocation fails (ResourceExhausted)
 //   nn.adam.nan_grad     a NaN is written into a gradient before Adam::Step
 //   io.checkpoint.write  SaveCheckpoint's stream write fails
+//   io.fallback.write    SaveLearnedFallback's stream write fails
+//
+// Execution-path fault messages name their point —
+// "injected fault(<point>): ..." — so the degradation ladder can surface
+// a machine-readable "fault:<point>" in AnswerResult::fallback_reason
+// (core::FallbackReasonFromStatus).
 #pragma once
 
 #include <atomic>

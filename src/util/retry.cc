@@ -1,0 +1,147 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace asqp {
+namespace util {
+namespace {
+
+/// splitmix64 finalizer: a stateless hash good enough to decorrelate
+/// per-attempt jitter without carrying generator state (the policy stays
+/// copyable-const and thread-safe for free).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double MonotonicNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool RetryPolicy::IsTransient(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kExecutionError:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffSeconds(size_t attempt) const {
+  if (attempt == 0) return 0.0;
+  double backoff = options_.base_backoff_seconds;
+  for (size_t i = 1; i < attempt; ++i) backoff *= 2.0;
+  backoff = std::min(backoff, options_.max_backoff_seconds);
+  const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    const uint64_t h = Mix64(seed_ ^ (0x517cc1b727220a95ULL * attempt));
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+    backoff *= 1.0 - jitter + 2.0 * jitter * u;
+  }
+  return backoff;
+}
+
+CircuitBreaker::CircuitBreaker(Options options, NowFn now)
+    : options_(options),
+      now_(now ? std::move(now) : NowFn(&MonotonicNowSeconds)) {}
+
+bool CircuitBreaker::Allow() {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_() - opened_at_ >= options_.cooldown_seconds) {
+        state_ = State::kHalfOpen;
+        trial_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      if (!trial_in_flight_) {
+        trial_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  failures_ = 0;
+  state_ = State::kClosed;
+  trial_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ = now_();
+        ++trips_;
+      }
+      break;
+    case State::kHalfOpen:
+      // The half-open trial failed: re-open and restart the cooldown.
+      state_ = State::kOpen;
+      opened_at_ = now_();
+      trial_in_flight_ = false;
+      ++failures_;
+      ++trips_;
+      break;
+    case State::kOpen:
+      // A failure reported by a request admitted before the trip; the
+      // breaker is already open, just count it.
+      ++failures_;
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+size_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+void CircuitBreaker::SetNowFnForTest(NowFn now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = std::move(now);
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace util
+}  // namespace asqp

@@ -1,0 +1,144 @@
+// Overload-control primitives for the degradation ladder: a bounded
+// retry policy with deterministic jittered exponential backoff (transient
+// failures on the approximation-set tier), and a circuit breaker guarding
+// the full-database fallback tier (trips after consecutive deadline
+// misses, half-opens after a cooldown).
+//
+// Both primitives are deliberately clock-injectable: the breaker takes a
+// monotonic now-function so tests drive its open -> half-open -> closed
+// transitions with a fake clock, and the retry policy never reads a clock
+// at all (its backoff schedule is pure data; the caller decides whether
+// the remaining deadline affords the sleep).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace asqp {
+namespace util {
+
+/// \brief Bounded retry with deterministic jittered exponential backoff.
+///
+/// The policy is pure data: BackoffSeconds(attempt) is a deterministic
+/// function of (options, seed, attempt), so a retried execution stays
+/// reproducible under ASQP_SEED-style harnesses. Jitter decorrelates
+/// concurrent sessions retrying the same transient fault (armed
+/// ASQP_FAULT_POINTS, allocation failures) without a shared RNG.
+class RetryPolicy {
+ public:
+  struct Options {
+    /// Retries after the initial attempt (0 disables retrying).
+    size_t max_retries = 2;
+    /// First backoff; each further retry doubles it.
+    double base_backoff_seconds = 0.001;
+    /// Cap on any single backoff.
+    double max_backoff_seconds = 0.050;
+    /// Jitter fraction in [0, 1]: each backoff is scaled by a
+    /// deterministic factor in [1 - jitter, 1 + jitter].
+    double jitter = 0.5;
+  };
+
+  RetryPolicy(Options options, uint64_t seed)
+      : options_(options), seed_(seed) {}
+
+  /// True when `status` is a transient failure worth retrying: resource
+  /// exhaustion (allocation failures, injected faults) and internal
+  /// execution faults. Deadline expiry and cancellation are never
+  /// transient — retrying them only burns more of a budget that is
+  /// already gone — and genuine query errors (parse/bind/semantic) are
+  /// deterministic, so retrying cannot help.
+  static bool IsTransient(const Status& status);
+
+  /// Jittered backoff before retry `attempt` (1-based). Deterministic in
+  /// (options, seed, attempt).
+  double BackoffSeconds(size_t attempt) const;
+
+  size_t max_retries() const { return options_.max_retries; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  uint64_t seed_;
+};
+
+/// \brief Circuit breaker for the full-database fallback tier.
+///
+/// State machine (classic three-state breaker):
+///
+///   kClosed    -- failures counted; `failure_threshold` consecutive
+///                 failures trip the breaker to kOpen. A success resets
+///                 the count.
+///   kOpen      -- Allow() refuses until `cooldown_seconds` have elapsed
+///                 since the trip, then transitions to kHalfOpen.
+///   kHalfOpen  -- Allow() grants exactly one trial; further Allow()
+///                 calls refuse until the trial resolves. RecordSuccess()
+///                 closes the breaker; RecordFailure() re-opens it (and
+///                 restarts the cooldown).
+///
+/// A `failure_threshold` of 0 disables the breaker entirely: Allow() is
+/// always true and nothing is ever counted.
+///
+/// Thread safety: all methods are internally synchronized; concurrent
+/// Answer() sessions share one breaker.
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive failures that trip the breaker (0 = disabled).
+    size_t failure_threshold = 5;
+    /// Seconds in kOpen before a half-open trial is allowed.
+    double cooldown_seconds = 2.0;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Monotonic clock in seconds. The default reads steady_clock; tests
+  /// inject a fake for deterministic open -> half-open transitions.
+  using NowFn = std::function<double()>;
+
+  explicit CircuitBreaker(Options options, NowFn now = nullptr);
+
+  /// True when the guarded tier may be attempted now. In kOpen, a call
+  /// past the cooldown transitions to kHalfOpen and claims the single
+  /// trial slot; the caller that received `true` must report the outcome
+  /// via RecordSuccess()/RecordFailure().
+  bool Allow();
+
+  /// The guarded operation (or the condition it protects against)
+  /// succeeded: reset the failure count and close the breaker.
+  void RecordSuccess();
+
+  /// One more failure: trips a closed breaker at the threshold and
+  /// re-opens a half-open one immediately.
+  void RecordFailure();
+
+  State state() const;
+  /// Times the breaker transitioned kClosed/kHalfOpen -> kOpen.
+  uint64_t trips() const;
+  /// Current consecutive-failure count (diagnostics).
+  size_t consecutive_failures() const;
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+  /// Replace the clock (tests only; not thread-safe against concurrent
+  /// Allow/Record calls — install before use).
+  void SetNowFnForTest(NowFn now);
+
+  static const char* StateName(State state);
+
+ private:
+  Options options_;
+  NowFn now_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  size_t failures_ = 0;
+  uint64_t trips_ = 0;
+  double opened_at_ = 0.0;
+  /// In kHalfOpen: the single trial has been handed out and is pending.
+  bool trial_in_flight_ = false;
+};
+
+}  // namespace util
+}  // namespace asqp

@@ -24,6 +24,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kResourceExhausted,
+  kDegraded,
   kInternal,
 };
 
@@ -87,6 +88,13 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// Every degradation tier was exhausted: the request was understood and
+  /// admitted, but no tier (approximation set, learned model, full DB)
+  /// could produce an answer within its budget. Callers can retry later or
+  /// relax the deadline; the message carries the last tier's failure.
+  static Status Degraded(std::string msg) {
+    return Status(StatusCode::kDegraded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -116,6 +124,7 @@ class [[nodiscard]] Status {
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kCancelled: return "Cancelled";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kDegraded: return "Degraded";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";

@@ -15,7 +15,16 @@ constexpr double kWaitSliceSeconds = 0.01;
 
 Status FifoSemaphore::Acquire(const ExecContext& context) {
   std::unique_lock<std::mutex> lock(mu_);
-  ASQP_RETURN_NOT_OK(context.Check("admission"));
+  // Raw deadline / cancellation reads at entry, never Check(): Check()
+  // fires the exec.deadline fault point, which must not turn away a
+  // healthy caller when permits are free. The wait loop below still
+  // polls Check() — expiry while queued is real backpressure.
+  if (context.IsCancelled()) {
+    return Status::Cancelled("admission: cancellation requested");
+  }
+  if (context.deadline().Expired()) {
+    return Status::DeadlineExceeded("admission: deadline exceeded");
+  }
   if (waiters_.empty() && permits_ > 0) {
     --permits_;
     return Status::OK();

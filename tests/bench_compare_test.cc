@@ -135,6 +135,111 @@ TEST(BenchCompare, SkipsNoiseFastBaselines) {
   EXPECT_EQ(result.skipped[0], "tiny");
 }
 
+TEST(BenchCompareParse, OptionalOverloadFieldsRoundTripAndDefaultToZero) {
+  bench::BenchJsonWriter writer("unused-path");
+  bench::BenchRecord overload;
+  overload.name = "serve_overload";
+  overload.wall_seconds = 0.002;
+  overload.p99_seconds = 0.015;
+  overload.degraded_ratio = 0.25;
+  writer.Add(overload);
+  bench::BenchRecord plain;
+  plain.name = "serve_plain";
+  plain.wall_seconds = 0.001;
+  writer.Add(plain);
+
+  const std::string json = writer.ToJson();
+  // Zero-valued optional fields are omitted entirely: old readers see
+  // the original schema for records that never measured overload.
+  EXPECT_NE(json.find("\"p99_seconds\": 0.015"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded_ratio\": 0.25"), std::string::npos) << json;
+  const size_t plain_at = json.find("serve_plain");
+  ASSERT_NE(plain_at, std::string::npos);
+  EXPECT_EQ(json.find("p99_seconds", plain_at), std::string::npos) << json;
+  EXPECT_EQ(json.find("degraded_ratio", plain_at), std::string::npos) << json;
+
+  std::vector<BenchEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBenchJson(json, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed[0].p99_seconds, 0.015);
+  EXPECT_DOUBLE_EQ(parsed[0].degraded_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(parsed[1].p99_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(parsed[1].degraded_ratio, 0.0);
+}
+
+TEST(BenchCompare, GatesP99LikeWallTime) {
+  BenchEntry base = Entry("overload", 0.002);
+  base.p99_seconds = 0.010;
+  BenchEntry cur = Entry("overload", 0.002);
+  cur.p99_seconds = 0.020;  // 2x the baseline tail: past 25% tolerance
+  const CompareOptions options;
+  const CompareResult result = Compare({base}, {cur}, options);
+  EXPECT_FALSE(result.ok(options));
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].metric, "p99_seconds");
+  EXPECT_NEAR(result.regressions[0].ratio, 2.0, 1e-9);
+  EXPECT_NE(Report(result, options).find("[p99_seconds]"),
+            std::string::npos);
+
+  cur.p99_seconds = 0.012;  // within tolerance
+  EXPECT_TRUE(Compare({base}, {cur}, options).ok(options));
+}
+
+TEST(BenchCompare, GatesDegradedRatioWithAbsoluteSlack) {
+  BenchEntry base = Entry("overload", 0.002);
+  base.degraded_ratio = 0.20;
+  BenchEntry cur = Entry("overload", 0.002);
+  cur.degraded_ratio = 0.45;  // +0.25 over baseline: past the 0.10 slack
+  const CompareOptions options;
+  const CompareResult result = Compare({base}, {cur}, options);
+  EXPECT_FALSE(result.ok(options));
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].metric, "degraded_ratio");
+  EXPECT_NE(Report(result, options).find("[degraded_ratio]"),
+            std::string::npos);
+
+  cur.degraded_ratio = 0.28;  // within slack
+  EXPECT_TRUE(Compare({base}, {cur}, options).ok(options));
+  cur.degraded_ratio = 0.0;  // improvement is always fine
+  EXPECT_TRUE(Compare({base}, {cur}, options).ok(options));
+}
+
+TEST(BenchCompare, OldBaselinesNeverGateTheNewFields) {
+  // A baseline written before p99/degraded_ratio existed parses them as
+  // 0; a current run that now reports them must still pass.
+  const std::string old_baseline =
+      "[{\"name\": \"overload\", \"params\": {}, \"wall_seconds\": 0.002, "
+      "\"rows_per_sec\": 0, \"score\": 0, \"error\": 0}]";
+  std::vector<BenchEntry> baseline;
+  std::string error;
+  ASSERT_TRUE(ParseBenchJson(old_baseline, &baseline, &error)) << error;
+
+  BenchEntry cur = Entry("overload", 0.002);
+  cur.p99_seconds = 5.0;      // huge, but there is no baseline to gate on
+  cur.degraded_ratio = 0.99;
+  const CompareOptions options;
+  const CompareResult result = Compare(baseline, {cur}, options);
+  EXPECT_TRUE(result.ok(options)) << Report(result, options);
+  EXPECT_EQ(result.compared, 1u);
+}
+
+TEST(BenchCompare, SubNoiseWallStillGatesRecordedTailLatency) {
+  // A cache-hit-style record whose mean is timer noise can still carry a
+  // meaningful recorded p99; only the noisy metric is skipped.
+  BenchEntry base = Entry("hits", 1e-6);
+  base.p99_seconds = 0.010;
+  BenchEntry cur = Entry("hits", 1e-4);  // 100x mean: noise, not gated
+  cur.p99_seconds = 0.030;               // 3x tail: real, gated
+  const CompareOptions options;
+  const CompareResult result = Compare({base}, {cur}, options);
+  EXPECT_FALSE(result.ok(options));
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].metric, "p99_seconds");
+  EXPECT_EQ(result.compared, 1u);
+  EXPECT_TRUE(result.skipped.empty());
+}
+
 TEST(BenchCompare, ToleratesNewAndMissingBenchmarks) {
   const std::vector<BenchEntry> baseline = {Entry("old", 0.010)};
   const std::vector<BenchEntry> current = {Entry("brand_new", 0.500)};

@@ -19,6 +19,7 @@
 #include "rl/action_space.h"
 #include "rl/env.h"
 #include "rl/trainer.h"
+#include "serve/serve_engine.h"
 #include "sql/parser.h"
 #include "tests/testing.h"
 #include "util/exec_context.h"
@@ -447,6 +448,169 @@ TEST_F(FaultPointTest, AnswerFallsBackToFullDatabaseOnTimeout) {
   EXPECT_TRUE(healthy.used_approximation);
   EXPECT_FALSE(healthy.fell_back);
 }
+
+// ------------------------------------- serve-path fault-point coverage
+
+/// One case per fault point reachable from ServeEngine::Answer.
+struct ServeFaultCase {
+  const char* name;   ///< gtest parameter label
+  const char* point;  ///< fault point to arm
+  const char* sql;    ///< query whose execution path crosses the point
+  /// True when the fault is transient (kResourceExhausted): a one-shot
+  /// arming must be absorbed by the approximation tier's retry. False for
+  /// deadline faults, which degrade immediately.
+  bool transient;
+  /// Client-visible outcome when the fault fires on *every* call.
+  enum class Persistent { kFullDatabase, kLearned, kDegraded } persistent;
+};
+
+/// Shared trained model: the suite is read-mostly (ServeEngine per test),
+/// and per-test teardown disarms faults and re-closes the breaker.
+class ServeFaultPointTest : public ::testing::TestWithParam<ServeFaultCase> {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetOptions opts;
+    opts.scale = 0.03;
+    opts.workload_size = 8;
+    opts.seed = 5;
+    // Suite fixture: paired with delete in TearDownTestSuite.
+    bundle_ = new data::DatasetBundle(data::MakeImdbJob(opts));  // NOLINT(asqp-naked-new)
+
+    core::AsqpConfig config;
+    config.k = 150;
+    config.frame_size = 20;
+    config.num_representatives = 6;
+    config.pool_target = 250;
+    config.trainer.iterations = 3;
+    config.trainer.num_workers = 1;
+    config.trainer.hidden_dim = 32;
+    // Route everything through the approximation tier; the configured
+    // deadline is what the exec.deadline fault pretends has expired.
+    config.answerable_threshold = 0.0;
+    config.answer_deadline_seconds = 3600.0;
+    core::AsqpTrainer trainer(config);
+    auto report = trainer.Train(*bundle_->db, bundle_->workload);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    model_ = std::move(report.value().model);
+    ASSERT_NE(model_->learned_fallback(), nullptr);
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    delete bundle_;  // NOLINT(asqp-naked-new)
+    bundle_ = nullptr;
+  }
+  void TearDown() override {
+    util::FaultInjector::Global().Reset();
+    model_->circuit_breaker().RecordSuccess();
+  }
+
+  static serve::ServeOptions Options() {
+    serve::ServeOptions options;
+    options.max_inflight = 2;
+    options.queue_capacity = 4;
+    // A pool, so the radix-partitioned join build (exec.join.partition)
+    // is on the serve path.
+    options.pool_threads = 2;
+    options.cache_bytes = 0;  // every request executes
+    return options;
+  }
+
+  static data::DatasetBundle* bundle_;
+  static std::unique_ptr<core::AsqpModel> model_;
+};
+
+data::DatasetBundle* ServeFaultPointTest::bundle_ = nullptr;
+std::unique_ptr<core::AsqpModel> ServeFaultPointTest::model_ = nullptr;
+
+TEST_P(ServeFaultPointTest, OneShotFaultIsRetriedOrDegradedGracefully) {
+  const ServeFaultCase& c = GetParam();
+  serve::ServeEngine engine(model_.get(), Options());
+  const core::AsqpModel::AnswerStats before = model_->answer_stats();
+
+  util::FaultInjector::Global().Arm(c.point, /*count=*/1);
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult result, engine.AnswerSql(c.sql));
+  EXPECT_GT(util::FaultInjector::Global().fire_count(c.point), 0)
+      << c.point << " was never reached from the serve path";
+  if (c.transient) {
+    // Absorbed by the approximation tier's retry: the client sees a
+    // normal answer and only the retry counter betrays the fault.
+    EXPECT_EQ(result.tier, core::AnswerTier::kApproximation);
+    EXPECT_FALSE(result.fell_back);
+    EXPECT_GE(model_->answer_stats().retries, before.retries + 1);
+  } else {
+    // Deadline faults never retry: the full database answers, flagged.
+    EXPECT_EQ(result.tier, core::AnswerTier::kFullDatabase);
+    EXPECT_TRUE(result.fell_back);
+    EXPECT_NE(result.fallback_reason.find("deadline"), std::string::npos);
+  }
+}
+
+TEST_P(ServeFaultPointTest, PersistentFaultEndsInTypedDegradation) {
+  const ServeFaultCase& c = GetParam();
+  serve::ServeEngine engine(model_.get(), Options());
+
+  util::FaultInjector::Global().Arm(c.point, /*count=*/-1);
+  util::Result<core::AnswerResult> result = engine.AnswerSql(c.sql);
+  const std::string want_reason = std::string("fault:") + c.point;
+  switch (c.persistent) {
+    case ServeFaultCase::Persistent::kFullDatabase:
+      // The degraded full-database execution runs without a deadline
+      // ticker, out of the fault's reach.
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value().tier, core::AnswerTier::kFullDatabase);
+      EXPECT_TRUE(result.value().fell_back);
+      EXPECT_EQ(result.value().fallback_reason, want_reason);
+      break;
+    case ServeFaultCase::Persistent::kLearned:
+      // Both executing tiers are poisoned; the learned answerer serves
+      // the aggregate with its calibrated error bound.
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value().tier, core::AnswerTier::kLearned);
+      EXPECT_TRUE(result.value().fell_back);
+      EXPECT_EQ(result.value().fallback_reason, want_reason);
+      EXPECT_GT(result.value().error_estimate, 0.0);
+      break;
+    case ServeFaultCase::Persistent::kDegraded:
+      // Every tier exhausted and the query is outside the learned class:
+      // the client gets the typed kDegraded, never a raw fault.
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kDegraded);
+      EXPECT_NE(result.status().message().find(want_reason),
+                std::string::npos);
+      break;
+  }
+
+  // Disarmed, the same query is healthy again.
+  util::FaultInjector::Global().Reset();
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult healthy, engine.AnswerSql(c.sql));
+  EXPECT_EQ(healthy.tier, core::AnswerTier::kApproximation);
+  EXPECT_FALSE(healthy.fell_back);
+}
+
+constexpr char kServeJoinSql[] =
+    "SELECT t.name, ci.role FROM title t, cast_info ci "
+    "WHERE ci.movie_id = t.id AND t.production_year >= 2000";
+constexpr char kServeAggSql[] =
+    "SELECT COUNT(*) FROM title t WHERE t.production_year >= 2000";
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReachablePoints, ServeFaultPointTest,
+    ::testing::Values(
+        ServeFaultCase{"deadline", "exec.deadline", kServeJoinSql,
+                       /*transient=*/false,
+                       ServeFaultCase::Persistent::kFullDatabase},
+        ServeFaultCase{"join_alloc", "exec.join.alloc", kServeJoinSql,
+                       /*transient=*/true,
+                       ServeFaultCase::Persistent::kDegraded},
+        ServeFaultCase{"join_partition", "exec.join.partition", kServeJoinSql,
+                       /*transient=*/true,
+                       ServeFaultCase::Persistent::kDegraded},
+        ServeFaultCase{"agg_partial", "exec.agg.partial", kServeAggSql,
+                       /*transient=*/true,
+                       ServeFaultCase::Persistent::kLearned}),
+    [](const ::testing::TestParamInfo<ServeFaultCase>& info) {
+      return std::string(info.param.name);
+    });
 
 }  // namespace
 }  // namespace asqp

@@ -21,6 +21,7 @@
 #include "data/dataset.h"
 #include "serve/serve_engine.h"
 #include "tests/testing.h"
+#include "util/fault_injector.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -275,6 +276,134 @@ TEST_F(ServeStressTest, FineTuneRacesInFlightAnswers) {
   ASSERT_OK_AND_ASSIGN(core::AnswerResult warm,
                        engine.AnswerSql(QueryMix()[0][0]));
   EXPECT_TRUE(warm.from_cache);
+}
+
+TEST_F(ServeStressTest, ChaosOverloadNeverLeaksRawTimeoutsToClients) {
+  // The degradation contract under chaos: 4x the admission capacity, a
+  // tight live deadline per request, the cache disabled (every request
+  // pays admission + execution), and faults armed on every execution
+  // point this path can reach — every deadline check lies, every join
+  // build and partial-aggregation allocation fails. Every client must
+  // still get an answer (possibly from a degraded tier, with an error
+  // estimate) or a *typed* degradation: kDegraded, queue-full
+  // kResourceExhausted back-pressure, or the dead-on-arrival fast-path
+  // rejection. A raw deadline/cancellation from inside the ladder must
+  // never reach a client.
+  util::FaultInjector::Global().Reset();
+  util::FaultInjector::Global().Arm("exec.deadline", /*count=*/-1);
+  util::FaultInjector::Global().Arm("exec.join.alloc", /*count=*/-1);
+  util::FaultInjector::Global().Arm("exec.agg.partial", /*count=*/-1);
+
+#ifdef ASQP_SANITIZE_THREAD
+  const double kDeadlineSeconds = 0.25;
+#else
+  const double kDeadlineSeconds = 0.05;
+#endif
+
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.queue_capacity = 2;  // 8 sessions into 4 slots: 4x overload
+  options.pool_threads = 2;
+  options.cache_bytes = 0;
+  ServeEngine engine(model_.get(), options);
+
+  // One spelling per shape: a single-table SPJ (the full-database tier
+  // can still answer it), a join (every tier below the learned one is
+  // fault-poisoned, and a join is outside the learned class — ends in
+  // kDegraded), and a learned-class aggregate (sheddable).
+  const std::vector<std::string> chaos_mix = {
+      "SELECT t.name FROM title t WHERE t.production_year >= 2005",
+      "SELECT t.name, ci.role FROM title t, cast_info ci "
+      "WHERE ci.movie_id = t.id AND t.rating > 7",
+      "SELECT COUNT(*) FROM title t WHERE t.production_year >= 2000",
+  };
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> degraded_count{0};
+  std::atomic<uint64_t> backpressure_count{0};
+  std::atomic<uint64_t> dead_on_arrival{0};
+  std::atomic<uint64_t> contract_violations{0};
+  std::mutex violations_mu;
+  std::vector<std::string> violations;
+
+  std::vector<std::thread> sessions;
+  sessions.reserve(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([s, &engine, &chaos_mix, &ok_count,
+                           &degraded_count, &backpressure_count,
+                           &dead_on_arrival, &contract_violations,
+                           &violations_mu, &violations,
+                           kDeadlineSeconds] {
+      for (int iter = 0; iter < kPerSessionQueries; ++iter) {
+        const std::string& sql =
+            chaos_mix[(s + static_cast<size_t>(iter)) % chaos_mix.size()];
+        util::ExecContext context;
+        context.set_deadline(util::Deadline::AfterSeconds(kDeadlineSeconds));
+        auto result = engine.AnswerSql(sql, context);
+        if (result.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          // A learned-tier answer always carries its calibrated bound.
+          if (result.value().tier == core::AnswerTier::kLearned) {
+            EXPECT_GT(result.value().error_estimate, 0.0);
+            EXPECT_TRUE(result.value().fell_back);
+          }
+          continue;
+        }
+        const util::Status& failure = result.status();
+        switch (failure.code()) {
+          case util::StatusCode::kDegraded:
+            degraded_count.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case util::StatusCode::kResourceExhausted:
+            backpressure_count.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case util::StatusCode::kDeadlineExceeded:
+            // Only the typed dead-on-arrival fast path may surface this;
+            // a deadline from inside the ladder is a contract violation.
+            if (failure.message().find("on arrival") != std::string::npos) {
+              dead_on_arrival.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            [[fallthrough]];
+          default: {
+            contract_violations.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(violations_mu);
+            violations.push_back(failure.ToString());
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  util::FaultInjector::Global().Reset();
+  // Chaos may have tripped the full-database breaker; close it so later
+  // tests see a healthy ladder.
+  model_->circuit_breaker().RecordSuccess();
+
+  std::string violation_digest;
+  for (const std::string& v : violations) {
+    violation_digest += "\n  " + v;
+  }
+  EXPECT_EQ(contract_violations.load(), 0u) << violation_digest;
+  const uint64_t total = ok_count.load() + degraded_count.load() +
+                         backpressure_count.load() + dead_on_arrival.load() +
+                         contract_violations.load();
+  EXPECT_EQ(total, kSessions * kPerSessionQueries);
+  // The chaos was real: faults forced answers off the approximation tier,
+  // and some clients were served anyway.
+  EXPECT_GT(ok_count.load(), 0u);
+  EXPECT_GT(degraded_count.load() + backpressure_count.load() +
+                engine.stats().shed_learned + engine.stats().degraded,
+            0u);
+  EXPECT_EQ(engine.stats().served, ok_count.load());
+
+  // The engine recovers once the faults are gone: a healthy query on a
+  // fresh deadline is answered normally.
+  util::ExecContext healthy;
+  healthy.set_deadline(util::Deadline::AfterSeconds(30.0));
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult after,
+                       engine.AnswerSql(chaos_mix[0], healthy));
+  EXPECT_FALSE(after.from_cache);
 }
 
 }  // namespace

@@ -320,6 +320,37 @@ TEST_F(ServeEngineTest, DegradedAnswersAreNotCached) {
   EXPECT_FALSE(after.from_cache);
 }
 
+TEST_F(ServeEngineTest, DeadOnArrivalRequestsNeverTakeAnAdmissionSlot) {
+  ServeEngine engine(model_.get(), SmallServe());
+  // Already-expired deadline: turned away with a typed error before
+  // binding, caching, or admission are even consulted.
+  util::ExecContext expired;
+  expired.set_deadline(util::Deadline::AfterSeconds(0.0));
+  util::Result<core::AnswerResult> late = engine.AnswerSql(kQuery, expired);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), util::StatusCode::kDeadlineExceeded);
+
+  // Already-cancelled: same fast path, typed kCancelled.
+  util::ExecContext cancelled;
+  cancelled.RequestCancel();
+  util::Result<core::AnswerResult> gone =
+      engine.AnswerSql(kQuery, cancelled);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), util::StatusCode::kCancelled);
+
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.expired_fast_path, 2u);
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(engine.cache().stats().entries, 0u);
+
+  // The engine is unharmed: a live request still executes normally.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult healthy, engine.AnswerSql(kQuery));
+  EXPECT_FALSE(healthy.from_cache);
+  EXPECT_EQ(engine.stats().admitted, 1u);
+}
+
 TEST_F(ServeEngineTest, FromConfigDerivesKnobs) {
   core::AsqpConfig config;
   config.serve_max_inflight = 3;
@@ -334,6 +365,9 @@ TEST_F(ServeEngineTest, FromConfigDerivesKnobs) {
   EXPECT_EQ(options.cache_bytes, size_t{1} << 20);
   config.serve_pool_threads = 7;
   EXPECT_EQ(ServeOptions::FromConfig(config).pool_threads, 7u);
+  EXPECT_TRUE(options.shed_to_learned);  // default on
+  config.serve_shed_to_learned = false;
+  EXPECT_FALSE(ServeOptions::FromConfig(config).shed_to_learned);
 }
 
 }  // namespace

@@ -236,6 +236,10 @@ class Parser {
         if (!ParseNumber(&entry->score)) return false;
       } else if (key == "error") {
         if (!ParseNumber(&entry->error)) return false;
+      } else if (key == "p99_seconds") {
+        if (!ParseNumber(&entry->p99_seconds)) return false;
+      } else if (key == "degraded_ratio") {
+        if (!ParseNumber(&entry->degraded_ratio)) return false;
       } else if (!SkipValue()) {  // forward compatibility: unknown keys
         return false;
       }
@@ -297,19 +301,51 @@ CompareResult Compare(const std::vector<BenchEntry>& baseline,
       result.missing.push_back(base.name);
       continue;
     }
-    if (base.wall_seconds < options.min_wall_seconds) {
-      result.skipped.push_back(base.name);
-      continue;
-    }
-    ++result.compared;
     const BenchEntry& cur = *it->second;
-    if (cur.wall_seconds > base.wall_seconds * (1.0 + options.tolerance)) {
-      Regression regression;
-      regression.name = base.name;
-      regression.baseline_wall = base.wall_seconds;
-      regression.current_wall = cur.wall_seconds;
-      regression.ratio = cur.wall_seconds / base.wall_seconds;
-      result.regressions.push_back(std::move(regression));
+    bool counted = false;
+    if (base.wall_seconds >= options.min_wall_seconds) {
+      counted = true;
+      if (cur.wall_seconds > base.wall_seconds * (1.0 + options.tolerance)) {
+        Regression regression;
+        regression.name = base.name;
+        regression.baseline_wall = base.wall_seconds;
+        regression.current_wall = cur.wall_seconds;
+        regression.ratio = cur.wall_seconds / base.wall_seconds;
+        result.regressions.push_back(std::move(regression));
+      }
+    }
+    // Overload fields are gated only when the baseline records them:
+    // a baseline written before the fields existed parses them as 0 and
+    // never fails a run that started emitting them.
+    if (base.p99_seconds >= options.min_wall_seconds) {
+      counted = true;
+      if (cur.p99_seconds > base.p99_seconds * (1.0 + options.tolerance)) {
+        Regression regression;
+        regression.name = base.name;
+        regression.metric = "p99_seconds";
+        regression.baseline_wall = base.p99_seconds;
+        regression.current_wall = cur.p99_seconds;
+        regression.ratio = cur.p99_seconds / base.p99_seconds;
+        result.regressions.push_back(std::move(regression));
+      }
+    }
+    if (base.degraded_ratio > 0.0) {
+      counted = true;
+      if (cur.degraded_ratio >
+          base.degraded_ratio + options.degraded_ratio_slack) {
+        Regression regression;
+        regression.name = base.name;
+        regression.metric = "degraded_ratio";
+        regression.baseline_wall = base.degraded_ratio;
+        regression.current_wall = cur.degraded_ratio;
+        regression.ratio = cur.degraded_ratio - base.degraded_ratio;
+        result.regressions.push_back(std::move(regression));
+      }
+    }
+    if (counted) {
+      ++result.compared;
+    } else {
+      result.skipped.push_back(base.name);
     }
   }
   for (const BenchEntry& entry : current) {
@@ -325,11 +361,21 @@ std::string Report(const CompareResult& result,
   std::string out;
   char buf[256];
   for (const Regression& r : result.regressions) {
-    std::snprintf(buf, sizeof(buf),
-                  "REGRESSION %s: %s -> %s (%.2fx, tolerance %.0f%%)\n",
-                  r.name.c_str(), FmtSeconds(r.baseline_wall).c_str(),
-                  FmtSeconds(r.current_wall).c_str(), r.ratio,
-                  options.tolerance * 100.0);
+    if (r.metric == "degraded_ratio") {
+      std::snprintf(buf, sizeof(buf),
+                    "REGRESSION %s [degraded_ratio]: %.3f -> %.3f "
+                    "(+%.3f, slack %.3f)\n",
+                    r.name.c_str(), r.baseline_wall, r.current_wall, r.ratio,
+                    options.degraded_ratio_slack);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "REGRESSION %s [%s]: %s -> %s (%.2fx, tolerance "
+                    "%.0f%%)\n",
+                    r.name.c_str(), r.metric.c_str(),
+                    FmtSeconds(r.baseline_wall).c_str(),
+                    FmtSeconds(r.current_wall).c_str(), r.ratio,
+                    options.tolerance * 100.0);
+    }
     out += buf;
   }
   for (const std::string& name : result.missing) {

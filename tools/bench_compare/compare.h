@@ -20,6 +20,10 @@
 //   - benchmarks only in the baseline are reported as "missing" and
 //     pass by default (removal means the baseline is stale, not that
 //     performance regressed); CI can tighten with --fail-on-missing
+//   - optional overload fields: p99_seconds is gated like wall time;
+//     degraded_ratio fails when it grows more than an absolute slack
+//     over the baseline. Both are gated only when the baseline entry
+//     records them, so pre-existing baseline files keep passing
 #pragma once
 
 #include <cstddef>
@@ -31,6 +35,9 @@ namespace asqp {
 namespace benchcmp {
 
 /// One benchmark record, mirroring bench::BenchRecord's JSON schema.
+/// p99_seconds / degraded_ratio are optional in the serialized form
+/// (absent reads as 0), so baselines written before those fields existed
+/// parse unchanged.
 struct BenchEntry {
   std::string name;
   std::vector<std::pair<std::string, std::string>> params;
@@ -38,6 +45,8 @@ struct BenchEntry {
   double rows_per_sec = 0.0;
   double score = 0.0;
   double error = 0.0;
+  double p99_seconds = 0.0;
+  double degraded_ratio = 0.0;
 };
 
 /// Parse a bench-JSON array. Returns false and sets *error (with a
@@ -47,9 +56,15 @@ bool ParseBenchJson(const std::string& text, std::vector<BenchEntry>* out,
 
 struct CompareOptions {
   /// Allowed relative wall-time growth: current <= baseline * (1 + tol).
+  /// Also applied to p99_seconds when the baseline entry records one.
   double tolerance = 0.25;
-  /// Baseline entries faster than this are skipped as timer noise.
+  /// Baseline entries faster than this are skipped as timer noise (per
+  /// metric: a record's mean can be gated while its sub-noise p99 is not).
   double min_wall_seconds = 1e-4;
+  /// Allowed absolute growth in degraded_ratio: current <= baseline +
+  /// slack. Only enforced when the baseline entry records a nonzero
+  /// ratio, so baselines written before the field existed never gate it.
+  double degraded_ratio_slack = 0.10;
   /// Treat benchmarks present in the baseline but absent from the
   /// current run as failures.
   bool fail_on_missing = false;
@@ -57,9 +72,13 @@ struct CompareOptions {
 
 struct Regression {
   std::string name;
+  /// Which field regressed: "wall_seconds", "p99_seconds", or
+  /// "degraded_ratio". One record can contribute several regressions.
+  std::string metric = "wall_seconds";
   double baseline_wall = 0.0;
   double current_wall = 0.0;
-  /// current / baseline (> 1 + tolerance by construction).
+  /// current / baseline (> 1 + tolerance by construction; for
+  /// degraded_ratio, current - baseline > slack instead).
   double ratio = 0.0;
 };
 

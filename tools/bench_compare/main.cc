@@ -3,7 +3,7 @@
 //   bench_compare --baseline bench/baselines/BENCH_micro.json
 //                 --current BENCH_micro.json
 //                 [--tolerance 0.25] [--min-wall-seconds 1e-4]
-//                 [--fail-on-missing]
+//                 [--degraded-slack 0.10] [--fail-on-missing]
 //
 // --baseline and --current are repeatable: CI gates several bench
 // binaries (micro substrates, serve throughput) in one invocation by
@@ -40,7 +40,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --baseline <json>... --current <json>... "
                "[--tolerance <frac>] [--min-wall-seconds <s>] "
-               "[--fail-on-missing]\n",
+               "[--degraded-slack <frac>] [--fail-on-missing]\n",
                argv0);
   return 2;
 }
@@ -92,6 +92,8 @@ int main(int argc, char** argv) {
       options.tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(arg, "--min-wall-seconds") == 0 && has_next) {
       options.min_wall_seconds = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--degraded-slack") == 0 && has_next) {
+      options.degraded_ratio_slack = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(arg, "--fail-on-missing") == 0) {
       options.fail_on_missing = true;
     } else {
