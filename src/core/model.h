@@ -15,6 +15,7 @@
 #include "metric/workload.h"
 #include "rl/policy.h"
 #include "storage/database.h"
+#include "util/annotations.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -214,10 +215,10 @@ class AsqpModel {
   /// Breaker guarding degradation-path full-database executions.
   util::CircuitBreaker breaker_;
 
-  /// Out-of-distribution queries observed since the last fine-tune.
-  /// Guarded by drift_mu_: Answer() may run on many threads at once.
+  /// Out-of-distribution queries observed since the last fine-tune
+  /// (Answer() may run on many threads at once).
   mutable std::mutex drift_mu_;
-  std::vector<sql::SelectStatement> drifted_queries_;
+  std::vector<sql::SelectStatement> drifted_queries_ ASQP_GUARDED_BY(drift_mu_);
 
   /// Approximation-set generation (see generation()).
   std::atomic<uint64_t> generation_{0};

@@ -17,6 +17,7 @@
 
 #include "core/model.h"
 #include "sql/canonicalize.h"
+#include "util/annotations.h"
 
 namespace asqp {
 namespace serve {
@@ -88,15 +89,16 @@ class AnswerCache {
     std::mutex mu;
     /// Front = most recently used. One entry per hash (collision-checked
     /// against the canonical text).
-    std::list<Entry> lru;
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t invalidations = 0;
-    uint64_t hash_collisions = 0;
+    std::list<Entry> lru ASQP_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        ASQP_GUARDED_BY(mu);
+    size_t bytes ASQP_GUARDED_BY(mu) = 0;
+    uint64_t hits ASQP_GUARDED_BY(mu) = 0;
+    uint64_t misses ASQP_GUARDED_BY(mu) = 0;
+    uint64_t insertions ASQP_GUARDED_BY(mu) = 0;
+    uint64_t evictions ASQP_GUARDED_BY(mu) = 0;
+    uint64_t invalidations ASQP_GUARDED_BY(mu) = 0;
+    uint64_t hash_collisions ASQP_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t hash) {

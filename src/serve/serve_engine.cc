@@ -60,21 +60,31 @@ util::Result<core::AnswerResult> ServeEngine::Answer(
         "serve: deadline already expired on arrival");
   }
 
-  // Fingerprint the *bound* statement so table aliases normalize away.
-  // Binding is cheap (name resolution only) relative to execution, and a
-  // failed bind short-circuits before admission.
-  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound,
-                        sql::Bind(stmt, *model_->database()));
-  const sql::QueryFingerprint fp = sql::FingerprintQuery(bound.stmt);
+  // Pre-admission reader scope: binding and the cache probe read the
+  // model (database schema, generation), so they must see a stable model
+  // — a concurrent FineTune may otherwise swap the policy or bump the
+  // generation mid-fingerprint. The lock is released before admission:
+  // queued waiters must not hold a reader lock or FineTune's writer
+  // acquisition would deadlock against a full admission queue.
+  sql::QueryFingerprint fp;
+  {
+    std::shared_lock<std::shared_mutex> reader(model_mu_);
+    // Fingerprint the *bound* statement so table aliases normalize away.
+    // Binding is cheap (name resolution only) relative to execution, and
+    // a failed bind short-circuits before admission.
+    ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound,
+                          sql::Bind(stmt, *model_->database()));
+    fp = sql::FingerprintQuery(bound.stmt);
 
-  // Cache hits bypass admission entirely: they cost a shard lock and a
-  // copy, not an execution slot.
-  if (auto hit = cache_.Lookup(fp, model_->generation())) {
-    core::AnswerResult result = *hit;
-    result.from_cache = true;
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    served_.fetch_add(1, std::memory_order_relaxed);
-    return result;
+    // Cache hits bypass admission entirely: they cost a shard lock and a
+    // copy, not an execution slot.
+    if (auto hit = cache_.Lookup(fp, model_->generation())) {
+      core::AnswerResult result = *hit;
+      result.from_cache = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
   }
 
   // Admission: bounded in-flight executions, FIFO queue behind them, the

@@ -40,6 +40,7 @@
 #include "core/config.h"
 #include "core/model.h"
 #include "serve/answer_cache.h"
+#include "util/annotations.h"
 #include "util/exec_context.h"
 #include "util/status.h"
 #include "util/sync.h"
@@ -125,17 +126,20 @@ class ServeEngine {
   const AnswerCache& cache() const { return cache_; }
   AnswerCache& mutable_cache() { return cache_; }
   const ServeOptions& options() const { return options_; }
-  core::AsqpModel* model() { return model_; }
+  /// Unsynchronized escape hatch for setup/instrumentation in tests and
+  /// benches; do not use while Answer/FineTune are in flight.
+  core::AsqpModel* model() { return model_; }  // NOLINT(asqp-guard-violation)
   /// The shared execution pool (for instrumentation/tests).
   util::ThreadPool* pool() { return pool_.get(); }
 
  private:
-  core::AsqpModel* model_;
+  /// Readers (shared_lock): Answer() binds, fingerprints, and executes
+  /// against a stable model. Writer (unique_lock): FineTune().
+  core::AsqpModel* model_ ASQP_GUARDED_BY(model_mu_);
   ServeOptions options_;
   std::shared_ptr<util::ThreadPool> pool_;
   util::FifoSemaphore admission_;
   AnswerCache cache_;
-  /// Readers: Answer() executions. Writer: FineTune().
   std::shared_mutex model_mu_;
 
   std::atomic<uint64_t> served_{0};

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "util/annotations.h"
+#include "util/fault_points.h"
 #include "util/string_util.h"
 
 namespace asqp {
@@ -15,12 +17,12 @@ std::atomic<bool> FaultInjector::enabled_{false};
 
 struct FaultInjector::Impl {
   struct Point {
-    int remaining = 0;  // calls left to fire (-1 = always)
-    int skip = 0;       // calls to ignore first
-    int fired = 0;
+    int remaining ASQP_GUARDED_BY(mu) = 0;  // calls left to fire (-1 = always)
+    int skip ASQP_GUARDED_BY(mu) = 0;       // calls to ignore first
+    int fired ASQP_GUARDED_BY(mu) = 0;
   };
   mutable std::mutex mu;
-  std::unordered_map<std::string, Point> points;
+  std::unordered_map<std::string, Point> points ASQP_GUARDED_BY(mu);
 };
 
 namespace {
@@ -107,6 +109,15 @@ bool FaultInjector::ShouldFail(const char* point) {
 }
 
 void FaultInjector::Arm(const std::string& point, int count, int skip) {
+  if (!IsRegisteredFaultPoint(point)) {
+    // Arming is test/ops tooling, so a typo'd point name must be loud: the
+    // injection would otherwise silently never fire. Registration lives in
+    // util/fault_points.h and is enforced at lint time for source literals.
+    std::fprintf(stderr,
+                 "FaultInjector: arming unregistered fault point '%s' "
+                 "(not in util/fault_points.h; it will never fire)\n",
+                 point.c_str());
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->points[point] = Impl::Point{count, skip, 0};

@@ -11,6 +11,11 @@
 // Each entry is "<point>[:<count>[:<skip>]]": the point fires on `count`
 // calls (default 1, -1 = always) after the first `skip` calls (default 0).
 //
+// Every point name used in an ASQP_FAULT_POINT(...) guard must be
+// registered in util/fault_points.h (the checked registry; enforced by
+// asqp-lint rule asqp-unregistered-fault-point). Arm() warns on stderr
+// when handed an unregistered name, since that injection can never fire.
+//
 // Registered points (see DESIGN.md "Fault model & degradation paths"):
 //   exec.deadline        ExecContext::Check reports an expired deadline
 //   exec.join.alloc      hash-join build allocation fails (ResourceExhausted)

@@ -1,0 +1,47 @@
+// Central registry of every ASQP_FAULT_POINT in the tree.
+//
+// Fault points are addressed by string (ASQP_FAULT_POINTS env spec,
+// FaultInjector::Arm), so a typo'd name silently never fires. This file
+// closes that hole: tools/asqp_lint's asqp-unregistered-fault-point rule
+// fails on any ASQP_FAULT_POINT("...") literal that is not listed here,
+// tests/fault_points_test.cc asserts every listed point is exercised by
+// at least one test, and FaultInjector::Arm warns at runtime when an
+// unregistered point is armed.
+//
+// To add a fault point: add the literal below (one per line — the lint
+// scanner reads the string literals of this file verbatim; do not build
+// the names with macros or concatenation), use it at the injection site,
+// and arm it from a test so the cross-check stays green.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace asqp {
+namespace util {
+
+inline constexpr const char* kFaultPoints[] = {
+    // Execution path.
+    "exec.deadline",        // util/exec_context.h: every ExecContext::Check
+    "exec.join.alloc",      // exec/executor.cc: hash-join build allocation
+    "exec.join.partition",  // exec/executor.cc: parallel radix partitioning
+    "exec.agg.partial",     // exec/executor.cc: per-morsel partial aggregation
+    // Training path.
+    "nn.adam.nan_grad",     // nn/mlp.cc: gradient poisoned to NaN
+    // Persistence path.
+    "io.checkpoint.write",  // io/io.cc: checkpoint tmp-file write
+    "io.fallback.write",    // io/io.cc: learned-fallback tmp-file write
+};
+
+inline constexpr size_t kNumFaultPoints =
+    sizeof(kFaultPoints) / sizeof(kFaultPoints[0]);
+
+constexpr bool IsRegisteredFaultPoint(std::string_view point) {
+  for (const char* registered : kFaultPoints) {
+    if (point == registered) return true;
+  }
+  return false;
+}
+
+}  // namespace util
+}  // namespace asqp

@@ -16,6 +16,7 @@
 #include <functional>
 #include <mutex>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace asqp {
@@ -129,15 +130,15 @@ class CircuitBreaker {
   static const char* StateName(State state);
 
  private:
-  Options options_;
-  NowFn now_;
+  Options options_;  // immutable after construction
   mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  size_t failures_ = 0;
-  uint64_t trips_ = 0;
-  double opened_at_ = 0.0;
+  NowFn now_ ASQP_GUARDED_BY(mu_);
+  State state_ ASQP_GUARDED_BY(mu_) = State::kClosed;
+  size_t failures_ ASQP_GUARDED_BY(mu_) = 0;
+  uint64_t trips_ ASQP_GUARDED_BY(mu_) = 0;
+  double opened_at_ ASQP_GUARDED_BY(mu_) = 0.0;
   /// In kHalfOpen: the single trial has been handed out and is pending.
-  bool trial_in_flight_ = false;
+  bool trial_in_flight_ ASQP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace util

@@ -10,6 +10,7 @@
 #include <deque>
 #include <mutex>
 
+#include "util/annotations.h"
 #include "util/exec_context.h"
 #include "util/status.h"
 
@@ -42,7 +43,7 @@ class Latch {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  size_t count_;
+  size_t count_ ASQP_GUARDED_BY(mu_);
 };
 
 /// \brief FIFO-fair counting semaphore with a bounded waiter queue and
@@ -71,12 +72,13 @@ class FifoSemaphore {
 
   /// Block until a permit is granted or `context` trips. Every successful
   /// Acquire must be paired with exactly one Release.
-  [[nodiscard]] Status Acquire(const ExecContext& context = ExecContext());
+  [[nodiscard]] Status Acquire(const ExecContext& context = ExecContext())
+      ASQP_EXCLUDES(mu_);
 
   /// Non-blocking: grab a permit only if one is free and nobody is queued.
-  bool TryAcquire();
+  bool TryAcquire() ASQP_EXCLUDES(mu_);
 
-  void Release();
+  void Release() ASQP_EXCLUDES(mu_);
 
   size_t available() const {
     std::unique_lock<std::mutex> lock(mu_);
@@ -91,15 +93,15 @@ class FifoSemaphore {
  private:
   struct Waiter {
     std::condition_variable cv;
-    bool granted = false;
+    bool granted ASQP_GUARDED_BY(mu_) = false;
   };
 
   mutable std::mutex mu_;
-  size_t permits_;
-  size_t max_waiters_;
+  size_t permits_ ASQP_GUARDED_BY(mu_);
+  size_t max_waiters_;  // immutable after construction
   /// Front = next to be granted. Entries point at stack-allocated Waiters
   /// inside Acquire frames; a waiter unlinks itself before returning.
-  std::deque<Waiter*> waiters_;
+  std::deque<Waiter*> waiters_ ASQP_GUARDED_BY(mu_);
 };
 
 /// \brief RAII releaser for a successfully acquired FifoSemaphore permit.

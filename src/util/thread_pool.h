@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace asqp {
@@ -113,16 +114,16 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_ ASQP_GUARDED_BY(mu_);
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable idle_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  /// First exception to escape a Submit()ed task since the last WaitIdle
-  /// (guarded by mu_). Without this a throwing task would std::terminate
-  /// the worker. ParallelFor exceptions use per-call state instead.
-  std::exception_ptr first_exception_;
+  size_t in_flight_ ASQP_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ ASQP_GUARDED_BY(mu_) = false;
+  /// First exception to escape a Submit()ed task since the last WaitIdle.
+  /// Without this a throwing task would std::terminate the worker.
+  /// ParallelFor exceptions use per-call state instead.
+  std::exception_ptr first_exception_ ASQP_GUARDED_BY(mu_);
 
   /// Process-wide live worker count (see LiveWorkerCount()).
   static std::atomic<size_t> live_workers_;

@@ -177,10 +177,8 @@ class QueryFuzzer {
   QueryFuzzer(const FuzzDataset& dataset, util::Rng* rng)
       : dataset_(dataset), rng_(rng) {
     for (const workloadgen::FkEdge& fk : dataset.fks) {
-      // The fuzzer's own void AddTable(name), not Database::AddTable —
-      // the lint rule matches by name only.
-      AddTable(fk.child_table);    // NOLINT(asqp-discarded-status)
-      AddTable(fk.parent_table);   // NOLINT(asqp-discarded-status)
+      AddTable(fk.child_table);
+      AddTable(fk.parent_table);
     }
   }
 

@@ -54,7 +54,6 @@ TEST(ThreadStressTest, ParallelForSingleItemRunsOnCaller) {
   const std::thread::id caller = std::this_thread::get_id();
   std::thread::id seen;
   // Single item: only this thread writes `seen`, no concurrent access.
-  // NOLINTNEXTLINE(asqp-unsynchronized-shared-write)
   pool.ParallelFor(1, [&seen](size_t) { seen = std::this_thread::get_id(); });
   EXPECT_EQ(seen, caller);
 }

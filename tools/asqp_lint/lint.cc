@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -290,6 +292,43 @@ size_t SkipBalanced(const std::vector<Token>& tokens, size_t i,
   return tokens.size();
 }
 
+/// Skip a balanced template argument list starting at a `<`. `>>` lexes as
+/// two '>' tokens, so plain depth counting works. Bails (returning the
+/// boundary index) on `;` / `{` / `}` — the `<` was a comparison, not an
+/// argument list.
+size_t SkipAngles(const std::vector<Token>& tokens, size_t i, size_t end) {
+  size_t depth = 0;
+  for (size_t j = i; j < end; ++j) {
+    if (IsPunct(tokens[j], "<")) {
+      ++depth;
+    } else if (IsPunct(tokens[j], ">")) {
+      if (--depth == 0) return j + 1;
+    } else if (IsPunct(tokens[j], ";") || IsPunct(tokens[j], "{") ||
+               IsPunct(tokens[j], "}")) {
+      return j;
+    }
+  }
+  return end;
+}
+
+/// Skip to one past the next `;` at bracket depth zero.
+size_t SkipToSemi(const std::vector<Token>& tokens, size_t i, size_t end) {
+  int paren = 0, brace = 0, square = 0;
+  for (size_t j = i; j < end; ++j) {
+    const Token& t = tokens[j];
+    if (t.type != TokenType::kPunct) continue;
+    if (t.text == "(") ++paren;
+    else if (t.text == ")") --paren;
+    else if (t.text == "{") ++brace;
+    else if (t.text == "}") --brace;
+    else if (t.text == "[") ++square;
+    else if (t.text == "]") --square;
+    else if (t.text == ";" && paren <= 0 && brace <= 0 && square <= 0)
+      return j + 1;
+  }
+  return end;
+}
+
 /// Path scoping. Paths are repo-relative with forward slashes.
 bool IsUnderUtil(const std::string& path) {
   return path.rfind("src/util/", 0) == 0;
@@ -297,22 +336,797 @@ bool IsUnderUtil(const std::string& path) {
 bool IsLibraryCode(const std::string& path) {
   return path.rfind("src/", 0) == 0;
 }
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+const std::unordered_set<std::string>& LockTypes() {
+  static const std::unordered_set<std::string> kLockTypes = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  return kLockTypes;
+}
+
+const std::unordered_set<std::string>& DeclKeywords() {
+  static const std::unordered_set<std::string> kDeclKeywords = {
+      "return", "if",    "while", "for",    "else",  "do",
+      "switch", "case",  "new",   "delete", "throw", "goto",
+      "break",  "continue", "sizeof", "co_return", "co_await"};
+  return kDeclKeywords;
+}
+
+// ---------------------------------------------------------------------------
+// Structure parser: a recursive-descent walk over the token stream tracking
+// namespaces, class bodies, member declarations, and function bodies. Both
+// the index builder (DeclCollector) and the lock-discipline checker
+// (GuardChecker) derive from it; the hooks fire with the unqualified class
+// name ("" at namespace / free-function scope).
+// ---------------------------------------------------------------------------
+
+class StructureParser {
+ public:
+  explicit StructureParser(const std::vector<Token>& tokens)
+      : tokens_(tokens) {}
+  virtual ~StructureParser() = default;
+
+  void Traverse() {
+    size_t end = tokens_.size();
+    while (end > 0 && tokens_[end - 1].type == TokenType::kEnd) --end;
+    ParseRegion(0, end, "");
+  }
+
+ protected:
+  /// A data member of `cls`. `guard_mu` is the ASQP_GUARDED_BY argument
+  /// ("" when unannotated); flags say whether the declared type mentioned
+  /// std::mutex / std::atomic (or condition_variable).
+  virtual void OnField(const std::string& /*cls*/, const std::string& /*name*/,
+                       const std::string& /*guard_mu*/, bool /*is_mutex*/,
+                       bool /*is_atomic*/, const Token& /*at*/) {}
+  virtual void OnExcludesMethod(const std::string& /*cls*/,
+                                const std::string& /*method*/,
+                                const std::string& /*mu*/) {}
+  /// `cls` was declared with `enclosing` as its lexical parent ("" at
+  /// namespace scope) — or, for `struct Outer::Inner`, its qualifier.
+  virtual void OnClass(const std::string& /*cls*/,
+                       const std::string& /*enclosing*/) {}
+  /// A function body: tokens_[body_open] is '{', tokens_[body_close] the
+  /// matching '}'. `cls` is the owning class (from lexical scope or a
+  /// `Class::Method` qualifier), `is_ctor_dtor` covers constructors,
+  /// destructors, and initializer lists (member writes there are
+  /// pre-publication and exempt from guard rules).
+  virtual void OnFunctionBody(const std::string& /*cls*/,
+                              const std::string& /*name*/,
+                              bool /*is_ctor_dtor*/,
+                              const std::unordered_set<std::string>& /*params*/,
+                              size_t /*body_open*/, size_t /*body_close*/) {}
+
+  const std::vector<Token>& tokens_;
+
+ private:
+  void ParseRegion(size_t begin, size_t end, const std::string& cls) {
+    size_t i = begin;
+    while (i < end) {
+      const size_t next = ParseElement(i, end, cls);
+      i = next > i ? next : i + 1;  // always make progress
+    }
+  }
+
+  size_t ParseElement(size_t i, size_t end, const std::string& cls) {
+    const Token& t = tokens_[i];
+    if (t.type == TokenType::kPunct) {
+      if (t.text == "{") return SkipBalanced(tokens_, i, "{", "}");
+      if (t.text == "[") return SkipBalanced(tokens_, i, "[", "]");
+      return i + 1;  // stray ';', '}' of an outer region, etc.
+    }
+    if (t.type != TokenType::kIdent) return i + 1;
+    const std::string& w = t.text;
+    if ((w == "public" || w == "private" || w == "protected") && i + 1 < end &&
+        IsPunct(tokens_[i + 1], ":")) {
+      return i + 2;
+    }
+    if (w == "template") {
+      if (i + 1 < end && IsPunct(tokens_[i + 1], "<")) {
+        return SkipAngles(tokens_, i + 1, end);
+      }
+      return i + 1;
+    }
+    if (w == "using" || w == "typedef" || w == "friend" ||
+        w == "static_assert") {
+      return SkipToSemi(tokens_, i, end);
+    }
+    if (w == "namespace") return ParseNamespace(i, end, cls);
+    if (w == "enum") {
+      size_t j = i + 1;
+      while (j < end && !IsPunct(tokens_[j], "{") && !IsPunct(tokens_[j], ";"))
+        ++j;
+      if (j < end && IsPunct(tokens_[j], "{"))
+        j = SkipBalanced(tokens_, j, "{", "}");
+      return SkipToSemi(tokens_, j, end);
+    }
+    if (w == "class" || w == "struct" || w == "union") {
+      return ParseClass(i, end, cls);
+    }
+    return ParseDeclOrFunction(i, end, cls);
+  }
+
+  size_t ParseNamespace(size_t i, size_t end, const std::string& cls) {
+    size_t j = i + 1;
+    while (j < end &&
+           (tokens_[j].type == TokenType::kIdent || IsPunct(tokens_[j], "::")))
+      ++j;
+    if (j < end && IsPunct(tokens_[j], "{")) {
+      const size_t close = SkipBalanced(tokens_, j, "{", "}");
+      ParseRegion(j + 1, close > 0 ? close - 1 : j + 1, cls);
+      return close;
+    }
+    return SkipToSemi(tokens_, i, end);  // namespace alias
+  }
+
+  size_t ParseClass(size_t i, size_t end, const std::string& cls) {
+    size_t j = i + 1;
+    if (j < end && IsPunct(tokens_[j], "[")) {
+      j = SkipBalanced(tokens_, j, "[", "]");  // [[nodiscard]] etc.
+    }
+    std::vector<std::string> chain;  // Outer::Inner qualifiers + name
+    while (j < end && tokens_[j].type == TokenType::kIdent &&
+           tokens_[j].text != "final") {
+      chain.push_back(tokens_[j].text);
+      ++j;
+      if (j < end && IsPunct(tokens_[j], "::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j < end && IsIdent(tokens_[j], "final")) ++j;
+    if (j < end && IsPunct(tokens_[j], ":")) {
+      // Base clause: scan to the body, skipping template arguments.
+      while (j < end && !IsPunct(tokens_[j], "{") && !IsPunct(tokens_[j], ";")) {
+        if (IsPunct(tokens_[j], "<")) {
+          j = SkipAngles(tokens_, j, end);
+          continue;
+        }
+        ++j;
+      }
+    }
+    if (j >= end || !IsPunct(tokens_[j], "{") || chain.empty()) {
+      // Forward declaration (`class X;`), elaborated type in a declaration
+      // (`struct stat st;`), or an anonymous aggregate — skip its extent.
+      if (j < end && IsPunct(tokens_[j], "{")) {
+        j = SkipBalanced(tokens_, j, "{", "}");
+      }
+      return SkipToSemi(tokens_, j, end);
+    }
+    const std::string name = chain.back();
+    const std::string enclosing =
+        chain.size() >= 2 ? chain[chain.size() - 2] : cls;
+    OnClass(name, enclosing);
+    const size_t close = SkipBalanced(tokens_, j, "{", "}");
+    ParseRegion(j + 1, close > 0 ? close - 1 : j + 1, name);
+    // `struct X { ... } member_;` declares a field of the enclosing class.
+    size_t k = close;
+    std::string trailing;
+    size_t trailing_tok = 0;
+    while (k < end && !IsPunct(tokens_[k], ";")) {
+      if (tokens_[k].type == TokenType::kIdent) {
+        trailing = tokens_[k].text;
+        trailing_tok = k;
+      }
+      ++k;
+    }
+    if (!trailing.empty() && !cls.empty()) {
+      OnField(cls, trailing, "", false, false, tokens_[trailing_tok]);
+    }
+    return k < end ? k + 1 : end;
+  }
+
+  /// Parse the parenthesized argument of ASQP_GUARDED_BY / ASQP_EXCLUDES at
+  /// `i` (the macro name token); store the final path component of the
+  /// argument (`shard.mu` -> `mu`) in *mu and return the index past ')'.
+  size_t ParseMacroMutex(size_t i, size_t end, std::string* mu) {
+    size_t j = i + 1;
+    if (j >= end || !IsPunct(tokens_[j], "(")) return i + 1;
+    const size_t close = SkipBalanced(tokens_, j, "(", ")");
+    for (size_t q = j + 1; q + 1 < close; ++q) {
+      if (tokens_[q].type == TokenType::kIdent) *mu = tokens_[q].text;
+    }
+    return close;
+  }
+
+  size_t SkipOperator(size_t i, size_t end) {
+    // `operator==(...)`, `operator()(...)`, conversion operators. Find the
+    // parameter list, then skip declaration or body. Operator bodies are
+    // not walked — none of the annotated classes overload operators.
+    size_t j = i + 1;
+    if (j + 1 < end && IsPunct(tokens_[j], "(") && IsPunct(tokens_[j + 1], ")")) {
+      j += 2;  // operator()
+    } else {
+      while (j < end && !IsPunct(tokens_[j], "(") && !IsPunct(tokens_[j], ";"))
+        ++j;
+    }
+    if (j >= end || !IsPunct(tokens_[j], "(")) return SkipToSemi(tokens_, j, end);
+    j = SkipBalanced(tokens_, j, "(", ")");
+    while (j < end && !IsPunct(tokens_[j], ";") && !IsPunct(tokens_[j], "{"))
+      ++j;
+    if (j < end && IsPunct(tokens_[j], "{"))
+      return SkipBalanced(tokens_, j, "{", "}");
+    return SkipToSemi(tokens_, j, end);
+  }
+
+  size_t ParseDeclOrFunction(size_t i, size_t end, const std::string& cls) {
+    size_t j = i;
+    std::string last_ident, guard_field, guard_mu;
+    bool saw_mutex = false, saw_atomic = false;
+    size_t name_tok = i;
+    while (j < end) {
+      const Token& t = tokens_[j];
+      if (t.type == TokenType::kIdent) {
+        const std::string& w = t.text;
+        if (w == "operator") return SkipOperator(j, end);
+        if (w == "ASQP_GUARDED_BY") {
+          guard_field = last_ident;
+          j = ParseMacroMutex(j, end, &guard_mu);
+          continue;
+        }
+        if (w == "ASQP_EXCLUDES") {
+          // On a declaration reached outside the function branch (e.g. a
+          // macro-heavy decl); treat generically below via the function
+          // path. Here just skip it.
+          std::string ignored;
+          j = ParseMacroMutex(j, end, &ignored);
+          continue;
+        }
+        if (w == "mutex" || w == "shared_mutex" || w == "recursive_mutex" ||
+            w == "timed_mutex") {
+          saw_mutex = true;
+        }
+        if (w == "atomic" || w == "atomic_flag" || w == "condition_variable" ||
+            w == "condition_variable_any") {
+          saw_atomic = true;
+        }
+        last_ident = w;
+        name_tok = j;
+        ++j;
+        if (j < end && IsPunct(tokens_[j], "<")) {
+          j = SkipAngles(tokens_, j, end);
+        }
+        continue;
+      }
+      if (IsPunct(t, "[")) {
+        j = SkipBalanced(tokens_, j, "[", "]");
+        continue;
+      }
+      if (IsPunct(t, "(")) {
+        if (!last_ident.empty()) {
+          return ParseFunctionRest(j, end, cls, last_ident, name_tok);
+        }
+        return SkipToSemi(tokens_, j, end);
+      }
+      if (IsPunct(t, "=")) {
+        EmitField(cls, guard_field.empty() ? last_ident : guard_field,
+                  guard_mu, saw_mutex, saw_atomic, name_tok);
+        return SkipToSemi(tokens_, j, end);
+      }
+      if (IsPunct(t, "{")) {
+        // Brace-initialized member: `std::atomic<int> x_{0};`
+        EmitField(cls, guard_field.empty() ? last_ident : guard_field,
+                  guard_mu, saw_mutex, saw_atomic, name_tok);
+        const size_t close = SkipBalanced(tokens_, j, "{", "}");
+        return SkipToSemi(tokens_, close, end);
+      }
+      if (IsPunct(t, ";")) {
+        EmitField(cls, guard_field.empty() ? last_ident : guard_field,
+                  guard_mu, saw_mutex, saw_atomic, name_tok);
+        return j + 1;
+      }
+      ++j;  // '::', '*', '&', '~', ',', '<' from a bailed SkipAngles, ...
+    }
+    return end;
+  }
+
+  void EmitField(const std::string& cls, const std::string& field,
+                 const std::string& mu, bool is_mutex, bool is_atomic,
+                 size_t name_tok) {
+    if (cls.empty() || field.empty()) return;
+    OnField(cls, field, mu, is_mutex, is_atomic, tokens_[name_tok]);
+  }
+
+  size_t ParseFunctionRest(size_t paren, size_t end, const std::string& cls,
+                           const std::string& name, size_t name_tok) {
+    const bool is_dtor = name_tok > 0 && IsPunct(tokens_[name_tok - 1], "~");
+    // Walk back over `Qualifier::` chains to find the owning class of an
+    // out-of-line definition (`AnswerCache::Lookup`, `util::CircuitBreaker::
+    // Allow` — the innermost qualifier wins).
+    std::string owner = cls;
+    {
+      size_t b = is_dtor ? name_tok - 1 : name_tok;
+      std::string innermost;
+      while (b >= 2 && IsPunct(tokens_[b - 1], "::") &&
+             tokens_[b - 2].type == TokenType::kIdent) {
+        if (innermost.empty()) innermost = tokens_[b - 2].text;
+        b -= 2;
+      }
+      if (!innermost.empty()) owner = innermost;
+    }
+    const bool is_ctor_dtor = is_dtor || name == owner;
+    const size_t params_end = SkipBalanced(tokens_, paren, "(", ")");
+    std::unordered_set<std::string> params;
+    {
+      size_t depth = 0;
+      for (size_t q = paren; q < params_end; ++q) {
+        const Token& t = tokens_[q];
+        if (IsPunct(t, "(")) {
+          ++depth;
+          continue;
+        }
+        if (IsPunct(t, ")")) {
+          --depth;
+          continue;
+        }
+        if (IsPunct(t, "<")) {
+          const size_t a = SkipAngles(tokens_, q, params_end);
+          if (a > q) q = a - 1;
+          continue;
+        }
+        if (depth != 1 || t.type != TokenType::kIdent) continue;
+        if (q + 1 < params_end &&
+            (IsPunct(tokens_[q + 1], ",") || IsPunct(tokens_[q + 1], ")") ||
+             IsPunct(tokens_[q + 1], "="))) {
+          params.insert(t.text);
+        }
+      }
+    }
+    // Post-parameter qualifiers.
+    size_t k = params_end;
+    std::string excl_mu;
+    while (k < end) {
+      const Token& t = tokens_[k];
+      if (t.type == TokenType::kIdent) {
+        const std::string& w = t.text;
+        if (w == "const" || w == "override" || w == "final" ||
+            w == "volatile" || w == "mutable" || w == "try") {
+          ++k;
+          continue;
+        }
+        if (w == "noexcept") {
+          ++k;
+          if (k < end && IsPunct(tokens_[k], "("))
+            k = SkipBalanced(tokens_, k, "(", ")");
+          continue;
+        }
+        if (w == "ASQP_EXCLUDES") {
+          k = ParseMacroMutex(k, end, &excl_mu);
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(t, "&")) {
+        ++k;
+        continue;
+      }
+      if (IsPunct(t, "->")) {  // trailing return type
+        ++k;
+        while (k < end &&
+               (tokens_[k].type == TokenType::kIdent ||
+                IsPunct(tokens_[k], "::") || IsPunct(tokens_[k], "*") ||
+                IsPunct(tokens_[k], "&"))) {
+          ++k;
+          if (k < end && IsPunct(tokens_[k], "<"))
+            k = SkipAngles(tokens_, k, end);
+        }
+        continue;
+      }
+      break;
+    }
+    if (!excl_mu.empty() && !owner.empty()) {
+      OnExcludesMethod(owner, name, excl_mu);
+    }
+    if (k >= end) return end;
+    if (IsPunct(tokens_[k], ";")) return k + 1;  // pure declaration
+    if (IsPunct(tokens_[k], "=")) {
+      return SkipToSemi(tokens_, k, end);  // = default / = delete / = 0
+    }
+    if (IsPunct(tokens_[k], ":")) {
+      // Constructor initializer list: advance to the body '{' — a '{'
+      // preceded by ')' or '}' opens the body; any other '{' is a member
+      // brace-init.
+      ++k;
+      while (k < end) {
+        if (IsPunct(tokens_[k], "(")) {
+          k = SkipBalanced(tokens_, k, "(", ")");
+          continue;
+        }
+        if (IsPunct(tokens_[k], "<")) {
+          const size_t a = SkipAngles(tokens_, k, end);
+          if (a > k) {
+            k = a;
+            continue;
+          }
+        }
+        if (IsPunct(tokens_[k], "{")) {
+          if (k > 0 &&
+              (IsPunct(tokens_[k - 1], ")") || IsPunct(tokens_[k - 1], "}"))) {
+            break;
+          }
+          k = SkipBalanced(tokens_, k, "{", "}");
+          continue;
+        }
+        if (IsPunct(tokens_[k], ";")) return k + 1;  // malformed; bail
+        ++k;
+      }
+    }
+    if (k < end && IsPunct(tokens_[k], "{")) {
+      const size_t close = SkipBalanced(tokens_, k, "{", "}");
+      if (close > 0) {
+        OnFunctionBody(owner, name, is_ctor_dtor, params, k, close - 1);
+      }
+      return close;
+    }
+    // Not a function after all (e.g. a macro invocation element).
+    return SkipToSemi(tokens_, k, end);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DeclCollector: pass-1 structure walk filling the GuardIndex.
+// ---------------------------------------------------------------------------
+
+class DeclCollector : public StructureParser {
+ public:
+  DeclCollector(const std::string& path, const std::vector<Token>& tokens,
+                const SuppressionMap& suppressions, GuardIndex* out)
+      : StructureParser(tokens),
+        path_(path),
+        suppressions_(suppressions),
+        out_(out) {}
+
+ protected:
+  void OnClass(const std::string& cls, const std::string& enclosing) override {
+    if (!enclosing.empty()) out_->parents[cls].insert(enclosing);
+  }
+
+  void OnField(const std::string& cls, const std::string& name,
+               const std::string& guard_mu, bool is_mutex, bool is_atomic,
+               const Token& at) override {
+    if (!guard_mu.empty()) {
+      out_->guarded_fields[cls][name] = guard_mu;
+    }
+    // Atomics and condition variables need no guard and cannot carry one;
+    // keep them out of the completeness universe.
+    if (!is_atomic) out_->fields[cls].insert(name);
+    if (is_mutex && IsLibraryCode(path_) && !Suppressed(at.line)) {
+      out_->mutex_decls.push_back(
+          GuardIndex::MutexDecl{cls, name, path_, at.line, at.col});
+    }
+  }
+
+  void OnExcludesMethod(const std::string& cls, const std::string& method,
+                        const std::string& mu) override {
+    out_->excluded_methods[cls][method] = mu;
+  }
+
+ private:
+  bool Suppressed(size_t line) const {
+    auto it = suppressions_.find(line);
+    return it != suppressions_.end() &&
+           (it->second.count("*") > 0 ||
+            it->second.count("asqp-missing-guard") > 0);
+  }
+
+  const std::string& path_;
+  const SuppressionMap& suppressions_;
+  GuardIndex* out_;
+};
+
+// ---------------------------------------------------------------------------
+// GuardChecker: pass-2 structure walk enforcing asqp-guard-violation and
+// the write-completeness half of asqp-missing-guard inside function bodies.
+// ---------------------------------------------------------------------------
+
+using ReportFn = std::function<void(const Token&, const std::string& rule,
+                                    std::string message)>;
+
+class GuardChecker : public StructureParser {
+ public:
+  GuardChecker(const std::string& path, const std::vector<Token>& tokens,
+               const AnalysisIndex& index, ReportFn report)
+      : StructureParser(tokens),
+        library_(IsLibraryCode(path)),
+        index_(index),
+        report_(std::move(report)) {
+    for (const auto& [child, parents] : index_.guards.parents) {
+      for (const auto& parent : parents) children_[parent].insert(child);
+    }
+  }
+
+ protected:
+  void OnFunctionBody(const std::string& cls, const std::string& /*name*/,
+                      bool is_ctor_dtor,
+                      const std::unordered_set<std::string>& params,
+                      size_t body_open, size_t body_close) override {
+    const std::vector<std::string> scope = ScopeSet(cls);
+    std::unordered_set<std::string> locals = params;
+    std::unordered_set<std::string> value_locals;
+    std::vector<std::vector<std::string>> held(1);
+
+    for (size_t q = body_open + 1; q <= body_close && q < tokens_.size(); ++q) {
+      const Token& t = tokens_[q];
+      if (t.type == TokenType::kPunct) {
+        if (t.text == "{") {
+          held.emplace_back();
+        } else if (t.text == "}") {
+          if (held.size() > 1) held.pop_back();
+        }
+        continue;
+      }
+      if (t.type != TokenType::kIdent) continue;
+      const std::string& w = t.text;
+      if (LockTypes().count(w) > 0) {
+        const size_t adv = HandleLockDecl(q, body_close, &held, &locals);
+        if (adv > q) q = adv;
+        continue;
+      }
+      if (w == "auto" && q + 1 <= body_close && IsPunct(tokens_[q + 1], "[")) {
+        // Structured binding: every introduced name is a local.
+        const size_t e = SkipBalanced(tokens_, q + 1, "[", "]");
+        for (size_t b = q + 2; b + 1 < e; ++b) {
+          if (tokens_[b].type == TokenType::kIdent) {
+            locals.insert(tokens_[b].text);
+            value_locals.insert(tokens_[b].text);
+          }
+        }
+        q = e > q ? e - 1 : q;
+        continue;
+      }
+      if (q == 0) continue;
+      const Token& prev = tokens_[q - 1];
+      const bool after_type_name = prev.type == TokenType::kIdent &&
+                                   DeclKeywords().count(prev.text) == 0;
+      const bool after_ptr_ref =
+          (IsPunct(prev, "*") || IsPunct(prev, "&")) && q >= 2 &&
+          tokens_[q - 2].type == TokenType::kIdent &&
+          DeclKeywords().count(tokens_[q - 2].text) == 0;
+      if (after_type_name || after_ptr_ref) {
+        locals.insert(w);
+        if (after_type_name) value_locals.insert(w);
+        continue;
+      }
+      if (is_ctor_dtor) continue;  // pre/post-publication writes are exempt
+      if (IsPunct(prev, "::")) continue;  // qualified name, not a member
+      const bool member = IsPunct(prev, ".") || IsPunct(prev, "->");
+      std::string base;
+      if (member && q >= 2 && tokens_[q - 2].type == TokenType::kIdent) {
+        base = tokens_[q - 2].text;
+      }
+      const bool own = !member || base == "this";
+      if (!member && locals.count(w) > 0) continue;  // local shadows field
+      if (member && !base.empty() && base != "this" &&
+          value_locals.count(base) > 0) {
+        continue;  // value-local copy: its members are private to the copy
+      }
+      // Self-deadlock: calling a same-class ASQP_EXCLUDES(mu) method while
+      // holding mu.
+      if (own && q + 1 <= body_close && IsPunct(tokens_[q + 1], "(")) {
+        const std::string* excl = LookupIn(index_.guards.excluded_methods,
+                                           scope, w);
+        if (excl != nullptr && HeldMutex(held, *excl)) {
+          report_(t, "asqp-guard-violation",
+                  "'" + w + "' is ASQP_EXCLUDES(" + *excl +
+                      ") but is called while '" + *excl +
+                      "' is held (self-deadlock)");
+          continue;
+        }
+      }
+      const std::string* mu = LookupIn(index_.guards.guarded_fields, scope, w);
+      if (mu != nullptr) {
+        if (!HeldMutex(held, *mu)) {
+          report_(t, "asqp-guard-violation",
+                  "field '" + w + "' is ASQP_GUARDED_BY(" + *mu +
+                      ") but accessed without holding '" + *mu + "'");
+        }
+        continue;
+      }
+      // Completeness: a field written while some mutex is held but carrying
+      // no annotation rots the contract (src/ only).
+      if (library_ && HeldAny(held) && IsFieldOf(scope, w) && IsWriteAt(q)) {
+        report_(t, "asqp-missing-guard",
+                "field '" + w +
+                    "' is written under a held lock but has no "
+                    "ASQP_GUARDED_BY annotation (see src/util/annotations.h)");
+      }
+    }
+  }
+
+ private:
+  /// cls plus every transitively nested class (Shard in AnswerCache, ...):
+  /// a method of the outer class may touch nested-class members through a
+  /// reference, and nested state names the owner's protocol.
+  std::vector<std::string> ScopeSet(const std::string& cls) const {
+    std::vector<std::string> scope;
+    if (cls.empty()) return scope;
+    scope.push_back(cls);
+    for (size_t i = 0; i < scope.size(); ++i) {
+      auto it = children_.find(scope[i]);
+      if (it == children_.end()) continue;
+      for (const auto& child : it->second) {
+        if (std::find(scope.begin(), scope.end(), child) == scope.end()) {
+          scope.push_back(child);
+        }
+      }
+    }
+    return scope;
+  }
+
+  template <typename Map>
+  static const std::string* LookupIn(const Map& map,
+                                     const std::vector<std::string>& scope,
+                                     const std::string& name) {
+    for (const auto& cls : scope) {
+      auto it = map.find(cls);
+      if (it == map.end()) continue;
+      auto jt = it->second.find(name);
+      if (jt != it->second.end()) return &jt->second;
+    }
+    return nullptr;
+  }
+
+  bool IsFieldOf(const std::vector<std::string>& scope,
+                 const std::string& name) const {
+    for (const auto& cls : scope) {
+      auto it = index_.guards.fields.find(cls);
+      if (it != index_.guards.fields.end() && it->second.count(name) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool HeldMutex(const std::vector<std::vector<std::string>>& held,
+                        const std::string& mu) {
+    for (const auto& frame : held) {
+      if (std::find(frame.begin(), frame.end(), mu) != frame.end()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool HeldAny(const std::vector<std::vector<std::string>>& held) {
+    for (const auto& frame : held) {
+      if (!frame.empty()) return true;
+    }
+    return false;
+  }
+
+  /// `std::lock_guard<std::mutex> lock(mu_);` — record the locked mutexes
+  /// (last path component of each argument) in the current scope frame and
+  /// the lock variable as a local. defer_lock / try_to_lock arguments mean
+  /// the mutex is NOT held at declaration; adopt_lock means it is.
+  size_t HandleLockDecl(size_t q, size_t body_close,
+                        std::vector<std::vector<std::string>>* held,
+                        std::unordered_set<std::string>* locals) {
+    size_t j = q + 1;
+    if (j <= body_close && IsPunct(tokens_[j], "<")) {
+      j = SkipAngles(tokens_, j, body_close + 1);
+    }
+    if (j > body_close || tokens_[j].type != TokenType::kIdent) return q;
+    const std::string var = tokens_[j].text;
+    ++j;
+    if (j > body_close ||
+        (!IsPunct(tokens_[j], "(") && !IsPunct(tokens_[j], "{"))) {
+      return q;  // a mention of the type, not a declaration
+    }
+    const bool paren = IsPunct(tokens_[j], "(");
+    const size_t close = paren ? SkipBalanced(tokens_, j, "(", ")")
+                               : SkipBalanced(tokens_, j, "{", "}");
+    std::vector<std::string> mutexes;
+    std::string last_ident;
+    bool deferred = false;
+    size_t depth = 0;
+    for (size_t b = j; b < close; ++b) {
+      const Token& t = tokens_[b];
+      if (t.type == TokenType::kPunct) {
+        if (t.text == "(" || t.text == "{" || t.text == "[") ++depth;
+        else if (t.text == ")" || t.text == "}" || t.text == "]") --depth;
+        else if (t.text == "," && depth == 1 && !last_ident.empty()) {
+          mutexes.push_back(last_ident);
+          last_ident.clear();
+        }
+        continue;
+      }
+      if (t.type != TokenType::kIdent) continue;
+      if (t.text == "defer_lock" || t.text == "try_to_lock") {
+        deferred = true;
+        last_ident.clear();
+      } else if (t.text == "adopt_lock") {
+        last_ident.clear();  // tag, not a mutex; prior args stay held
+      } else {
+        last_ident = t.text;
+      }
+    }
+    if (!last_ident.empty()) mutexes.push_back(last_ident);
+    locals->insert(var);
+    if (!deferred) {
+      for (auto& mu : mutexes) held->back().push_back(mu);
+    }
+    return close > q ? close - 1 : q;
+  }
+
+  const bool library_;
+  const AnalysisIndex& index_;
+  ReportFn report_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> children_;
+
+ public:
+  /// Write detection at token q (a field name): assignment, compound
+  /// assignment, ++/--, subscript-then-assign, or a mutating container
+  /// method. Shared with the Linter's parallel-lambda rule philosophy but
+  /// scoped to one token.
+  bool IsWriteAt(size_t q) const {
+    size_t v = q;  // rightmost token of the written lvalue
+    if (v + 1 < tokens_.size() && IsPunct(tokens_[v + 1], "[")) {
+      const size_t e = SkipBalanced(tokens_, v + 1, "[", "]");
+      v = e > 0 ? e - 1 : v;
+    }
+    if (v + 1 >= tokens_.size()) return false;
+    const Token& next = tokens_[v + 1];
+    const Token* n2 = v + 2 < tokens_.size() ? &tokens_[v + 2] : nullptr;
+    if (IsPunct(next, "=") && (n2 == nullptr || !IsPunct(*n2, "="))) {
+      return true;
+    }
+    if (next.type == TokenType::kPunct && next.text.size() == 1 &&
+        std::string("+-*/%|^&").find(next.text[0]) != std::string::npos &&
+        n2 != nullptr && IsPunct(*n2, "=")) {
+      return true;
+    }
+    if ((IsPunct(next, "+") && n2 != nullptr && IsPunct(*n2, "+")) ||
+        (IsPunct(next, "-") && n2 != nullptr && IsPunct(*n2, "-"))) {
+      return true;  // x++
+    }
+    // ++x / --x: for a member access `++shard.bytes` the operator sits
+    // before the base identifier.
+    size_t lead = q;
+    if (q >= 2 && (IsPunct(tokens_[q - 1], ".") || IsPunct(tokens_[q - 1], "->"))) {
+      lead = q - 2;
+    }
+    if (lead >= 2 && ((IsPunct(tokens_[lead - 1], "+") &&
+                       IsPunct(tokens_[lead - 2], "+")) ||
+                      (IsPunct(tokens_[lead - 1], "-") &&
+                       IsPunct(tokens_[lead - 2], "-")))) {
+      return true;
+    }
+    if ((IsPunct(next, ".") || IsPunct(next, "->")) && n2 != nullptr &&
+        n2->type == TokenType::kIdent && v + 3 < tokens_.size() &&
+        IsPunct(tokens_[v + 3], "(")) {
+      static const std::unordered_set<std::string> kMutating = {
+          "push_back", "pop_back", "insert",  "emplace", "emplace_back",
+          "clear",     "resize",   "erase",   "append",  "assign",
+          "push_front", "pop_front", "push",  "pop",     "splice"};
+      return kMutating.count(n2->text) > 0;
+    }
+    return false;
+  }
+};
 
 class Linter {
  public:
-  Linter(const std::string& path, const FunctionRegistry& registry,
+  Linter(const std::string& path, const AnalysisIndex& index,
          const std::vector<Token>& tokens, const SuppressionMap& suppressions)
       : path_(path),
-        registry_(registry),
+        index_(index),
         tokens_(tokens),
         suppressions_(suppressions) {}
 
   std::vector<Diagnostic> Run() {
+    CollectLocalVoidFunctions();
     CheckDiscardedStatus();
     CheckNondeterminism();
     CheckNakedNew();
     CheckCatchAll();
     CheckUnsynchronizedSharedWrite();
+    CheckGuardDiscipline();
+    CheckUnpolledLoops();
+    CheckFaultPoints();
     std::sort(diags_.begin(), diags_.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
                 return std::tie(a.line, a.col, a.rule) <
@@ -330,6 +1144,27 @@ class Linter {
     }
     diags_.push_back(Diagnostic{path_, at.line, at.col, rule,
                                 std::move(message)});
+  }
+
+  /// Names declared in THIS file with a void return type. A bare call to
+  /// one can never discard a Status even if another TU declares a
+  /// same-named Status-returning function (the registry is name-keyed
+  /// tree-wide, so without this a local helper shadowing e.g.
+  /// Database::AddTable would be a false positive).
+  void CollectLocalVoidFunctions() {
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (!IsIdent(tokens_[i], "void")) continue;
+      size_t j = i + 1;
+      while (j + 2 < tokens_.size() && tokens_[j].type == TokenType::kIdent &&
+             IsPunct(tokens_[j + 1], "::") &&
+             tokens_[j + 2].type == TokenType::kIdent) {
+        j += 2;
+      }
+      if (j + 1 < tokens_.size() && tokens_[j].type == TokenType::kIdent &&
+          IsPunct(tokens_[j + 1], "(")) {
+        local_void_.insert(tokens_[j].text);
+      }
+    }
   }
 
   // --- asqp-discarded-status -----------------------------------------------
@@ -375,7 +1210,8 @@ class Linter {
     if (after >= tokens_.size() || !IsPunct(tokens_[after], ";")) return 0;
     if (head.rfind("ASQP_", 0) == 0) return 0;
     const std::string& name = tokens_[callee].text;
-    if (registry_.status_returning.count(name) == 0) return 0;
+    if (index_.functions.status_returning.count(name) == 0) return 0;
+    if (callee == i && local_void_.count(name) > 0) return 0;
     Report(tokens_[callee], "asqp-discarded-status",
            "result of Status/Result-returning call '" + name +
                "' is discarded; consume it, ASQP_RETURN_NOT_OK it, or "
@@ -505,7 +1341,8 @@ class Linter {
   // container method — is a data race unless the body synchronizes.
   // Writes through a subscript (`parts[chunk] = ...`, the sanctioned
   // per-chunk-slot pattern), atomic member calls, and bodies that mention
-  // a mutex/atomic are not flagged.
+  // a mutex/atomic are not flagged. Calls whose literal count argument is
+  // 0 or 1 run entirely on the caller thread and are exempt.
   void CheckUnsynchronizedSharedWrite() {
     static const std::unordered_set<std::string> kParallelEntry = {
         "ParallelFor", "ParallelForChunked", "ParallelReduceOrdered"};
@@ -528,6 +1365,12 @@ class Linter {
       }
       if (j >= tokens_.size() || !IsPunct(tokens_[j], "(")) continue;
       const size_t call_end = SkipBalanced(tokens_, j, "(", ")");
+      if (j + 2 < tokens_.size() && tokens_[j + 1].type == TokenType::kNumber &&
+          (tokens_[j + 1].text == "0" || tokens_[j + 1].text == "1") &&
+          IsPunct(tokens_[j + 2], ",")) {
+        i = call_end - 1;  // caller-thread-only: no concurrency
+        continue;
+      }
       for (size_t k = j + 1; k < call_end; ++k) {
         if (!IsPunct(tokens_[k], "[")) continue;
         const size_t lambda_end =
@@ -588,10 +1431,6 @@ class Linter {
     static const std::unordered_set<std::string> kMutatingMethods = {
         "push_back", "pop_back", "insert", "emplace", "emplace_back",
         "clear",     "resize",   "erase",  "append",  "assign"};
-    static const std::unordered_set<std::string> kDeclKeywords = {
-        "return", "if",    "while", "for",   "else",  "do",
-        "switch", "case",  "new",   "delete", "throw", "goto",
-        "break",  "continue", "sizeof", "co_return", "co_await"};
 
     // Pass 1: bail if the body synchronizes; collect body-local
     // declarations (`Type name`, `auto name`, `Type* name`, `Type& name`).
@@ -601,11 +1440,11 @@ class Linter {
       if (kSyncTokens.count(t.text) > 0) return body_end;
       const Token& prev = tokens_[q - 1];
       const bool after_type_name = prev.type == TokenType::kIdent &&
-                                   kDeclKeywords.count(prev.text) == 0;
+                                   DeclKeywords().count(prev.text) == 0;
       const bool after_ptr_ref =
           (IsPunct(prev, "*") || IsPunct(prev, "&")) && q >= 2 &&
           tokens_[q - 2].type == TokenType::kIdent &&
-          kDeclKeywords.count(tokens_[q - 2].text) == 0;
+          DeclKeywords().count(tokens_[q - 2].text) == 0;
       if (after_type_name || after_ptr_ref) locals.insert(t.text);
     }
 
@@ -663,12 +1502,108 @@ class Linter {
     return body_end;
   }
 
+  // --- asqp-guard-violation / asqp-missing-guard (write completeness) ------
+  void CheckGuardDiscipline() {
+    GuardChecker checker(
+        path_, tokens_, index_,
+        [this](const Token& at, const std::string& rule, std::string msg) {
+          Report(at, rule, std::move(msg));
+        });
+    checker.Traverse();
+  }
+
+  // --- asqp-unpolled-loop --------------------------------------------------
+  // Execution- and AQP-layer loops over data must poll a deadline; a loop
+  // body with more than kUnpolledLoopStatementThreshold statements that
+  // never mentions an ExecContext / DeadlineTicker poll can starve the
+  // interactivity contract. Nested loops are counted independently — a
+  // poll anywhere inside a loop's extent (header included) satisfies it.
+  void CheckUnpolledLoops() {
+    const bool scoped = path_.rfind("src/exec/", 0) == 0 ||
+                        path_.rfind("src/aqp/", 0) == 0;
+    if (!scoped) return;
+    static const std::unordered_set<std::string> kPoll = {
+        "Tick", "Check", "CheckRows", "Expired", "DeadlineTicker",
+        "ExecContext"};
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.type != TokenType::kIdent) continue;
+      size_t body_open = 0;
+      if (t.text == "for" || t.text == "while") {
+        if (!IsPunct(tokens_[i + 1], "(")) continue;
+        const size_t header_end = SkipBalanced(tokens_, i + 1, "(", ")");
+        if (header_end >= tokens_.size() ||
+            !IsPunct(tokens_[header_end], "{")) {
+          continue;  // single-statement body, or the `while` of a do-while
+        }
+        body_open = header_end;
+      } else if (t.text == "do") {
+        if (!IsPunct(tokens_[i + 1], "{")) continue;
+        body_open = i + 1;
+      } else {
+        continue;
+      }
+      const size_t body_end = SkipBalanced(tokens_, body_open, "{", "}");
+      size_t stmts = 0;
+      for (size_t k = body_open + 1; k + 1 < body_end; ++k) {
+        if (IsPunct(tokens_[k], ";")) ++stmts;
+      }
+      size_t search_end = body_end;
+      if (t.text == "do" && body_end + 1 < tokens_.size() &&
+          IsIdent(tokens_[body_end], "while") &&
+          IsPunct(tokens_[body_end + 1], "(")) {
+        search_end = SkipBalanced(tokens_, body_end + 1, "(", ")");
+      }
+      if (stmts <= kUnpolledLoopStatementThreshold) continue;
+      bool polled = false;
+      for (size_t k = i; k < search_end; ++k) {
+        if (tokens_[k].type == TokenType::kIdent &&
+            kPoll.count(tokens_[k].text) > 0) {
+          polled = true;
+          break;
+        }
+      }
+      if (!polled) {
+        Report(t, "asqp-unpolled-loop",
+               "loop body has " + std::to_string(stmts) +
+                   " statements (threshold " +
+                   std::to_string(kUnpolledLoopStatementThreshold) +
+                   ") and never polls ExecContext/DeadlineTicker; poll the "
+                   "deadline or justify with NOLINT(asqp-unpolled-loop)");
+      }
+    }
+  }
+
+  // --- asqp-unregistered-fault-point ---------------------------------------
+  // Library code only: the registry keeps production fault points
+  // discoverable and cross-checked against tests; the injector's own unit
+  // tests (tests/resilience_test.cc) arm synthetic names on purpose.
+  void CheckFaultPoints() {
+    if (!index_.has_fault_registry || !IsLibraryCode(path_)) return;
+    for (size_t i = 0; i + 2 < tokens_.size(); ++i) {
+      if (!IsIdent(tokens_[i], "ASQP_FAULT_POINT")) continue;
+      if (!IsPunct(tokens_[i + 1], "(")) continue;
+      if (tokens_[i + 2].type != TokenType::kString) continue;
+      if (index_.fault_points.count(tokens_[i + 2].text) == 0) {
+        Report(tokens_[i + 2], "asqp-unregistered-fault-point",
+               "fault point \"" + tokens_[i + 2].text +
+                   "\" is not registered in src/util/fault_points.h; add it "
+                   "to kFaultPoints (and exercise it from a test)");
+      }
+    }
+  }
+
   const std::string& path_;
-  const FunctionRegistry& registry_;
+  const AnalysisIndex& index_;
   const std::vector<Token>& tokens_;
   const SuppressionMap& suppressions_;
+  std::unordered_set<std::string> local_void_;
   std::vector<Diagnostic> diags_;
 };
+
+// ---------------------------------------------------------------------------
+// File collection
+// ---------------------------------------------------------------------------
 
 std::vector<std::filesystem::path> CollectSourceFiles(
     const std::string& root) {
@@ -698,20 +1633,20 @@ std::string ReadFileOrEmpty(const std::filesystem::path& path) {
   return ss.str();
 }
 
-}  // namespace
-
-std::string Diagnostic::ToString() const {
-  std::ostringstream ss;
-  ss << file << ":" << line << ":" << col << ": error: [" << rule << "] "
-     << message;
-  return ss.str();
+/// Repo-relative paths we lint live under these top-level directories;
+/// anything else in the compile database (fetched third-party sources,
+/// generated files in the build tree) is out of scope.
+bool IsLintablePath(const std::string& rel) {
+  static const char* kTop[] = {"src/", "tests/", "bench/", "examples/",
+                               "tools/"};
+  for (const char* top : kTop) {
+    if (rel.rfind(top, 0) == 0) return true;
+  }
+  return false;
 }
 
-void CollectStatusFunctions(const std::string& source,
-                            FunctionRegistry* registry) {
-  std::vector<Token> tokens;
-  SuppressionMap suppressions;
-  Scanner(source).Run(&tokens, &suppressions);
+void CollectStatusFunctionsFromTokens(const std::vector<Token>& tokens,
+                                      FunctionRegistry* registry) {
   for (size_t i = 0; i + 1 < tokens.size(); ++i) {
     if (tokens[i].type != TokenType::kIdent) continue;
     size_t j = 0;
@@ -745,34 +1680,296 @@ void CollectStatusFunctions(const std::string& source,
   }
 }
 
-std::vector<Diagnostic> LintSource(const std::string& path,
-                                   const std::string& source,
-                                   const FunctionRegistry& registry) {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDiagnosticJson(const Diagnostic& d, const char* status,
+                          std::ostringstream* ss) {
+  *ss << "{\"file\":\"" << JsonEscape(d.file) << "\",\"line\":" << d.line
+      << ",\"col\":" << d.col << ",\"rule\":\"" << JsonEscape(d.rule)
+      << "\",\"message\":\"" << JsonEscape(d.message) << "\",\"status\":\""
+      << status << "\"}";
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream ss;
+  ss << file << ":" << line << ":" << col << ": error: [" << rule << "] "
+     << message;
+  return ss.str();
+}
+
+void BuildIndex(const std::string& path, const std::string& source,
+                AnalysisIndex* index) {
   std::vector<Token> tokens;
   SuppressionMap suppressions;
   Scanner(source).Run(&tokens, &suppressions);
-  return Linter(path, registry, tokens, suppressions).Run();
+  CollectStatusFunctionsFromTokens(tokens, &index->functions);
+  DeclCollector(path, tokens, suppressions, &index->guards).Traverse();
+  if (EndsWith(path, "util/fault_points.h")) {
+    for (const Token& t : tokens) {
+      if (t.type == TokenType::kString) index->fault_points.insert(t.text);
+    }
+    index->has_fault_registry = true;
+  }
 }
 
-size_t LintTree(const std::string& root, std::vector<Diagnostic>* out) {
-  const std::vector<std::filesystem::path> files = CollectSourceFiles(root);
-  FunctionRegistry registry;
-  std::vector<std::pair<std::string, std::string>> sources;
-  sources.reserve(files.size());
-  for (const auto& file : files) {
-    std::string rel =
-        std::filesystem::relative(file, root).generic_string();
-    sources.emplace_back(std::move(rel), ReadFileOrEmpty(file));
-    CollectStatusFunctions(sources.back().second, &registry);
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& source,
+                                   const AnalysisIndex& index) {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+  Scanner(source).Run(&tokens, &suppressions);
+  return Linter(path, index, tokens, suppressions).Run();
+}
+
+void CheckMutexCoverage(const AnalysisIndex& index,
+                        std::vector<Diagnostic>* out) {
+  std::unordered_map<std::string, std::unordered_set<std::string>> children;
+  for (const auto& [child, parents] : index.guards.parents) {
+    for (const auto& parent : parents) children[parent].insert(child);
   }
-  size_t violations = 0;
-  for (const auto& [rel, source] : sources) {
-    for (const Diagnostic& d : LintSource(rel, source, registry)) {
-      if (out != nullptr) out->push_back(d);
-      ++violations;
+  for (const auto& decl : index.guards.mutex_decls) {
+    std::vector<std::string> scope{decl.cls};
+    for (size_t i = 0; i < scope.size(); ++i) {
+      auto it = children.find(scope[i]);
+      if (it == children.end()) continue;
+      for (const auto& c : it->second) {
+        if (std::find(scope.begin(), scope.end(), c) == scope.end()) {
+          scope.push_back(c);
+        }
+      }
+    }
+    bool referenced = false;
+    for (const auto& cls : scope) {
+      auto g = index.guards.guarded_fields.find(cls);
+      if (g != index.guards.guarded_fields.end()) {
+        for (const auto& [field, mu] : g->second) {
+          if (mu == decl.name) referenced = true;
+        }
+      }
+      auto e = index.guards.excluded_methods.find(cls);
+      if (e != index.guards.excluded_methods.end()) {
+        for (const auto& [method, mu] : e->second) {
+          if (mu == decl.name) referenced = true;
+        }
+      }
+      if (referenced) break;
+    }
+    if (!referenced) {
+      out->push_back(Diagnostic{
+          decl.file, decl.line, decl.col, "asqp-missing-guard",
+          "mutex '" + decl.name + "' of '" + decl.cls +
+              "' guards no annotated field and no ASQP_EXCLUDES method; "
+              "declare its locking protocol (see src/util/annotations.h)"});
     }
   }
+}
+
+std::vector<std::string> CollectLintFiles(
+    const std::string& root, const std::string& compile_commands) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> rels;
+  std::unordered_set<std::string> seen;
+  const auto add = [&](const std::string& rel) {
+    if (IsLintablePath(rel) && seen.insert(rel).second) rels.push_back(rel);
+  };
+  std::string db;
+  if (!compile_commands.empty()) {
+    db = ReadFileOrEmpty(fs::path(compile_commands));
+  }
+  if (!db.empty()) {
+    // Extract every "file" value. The database is machine-generated flat
+    // JSON; a targeted string scan avoids a JSON dependency.
+    size_t pos = 0;
+    while ((pos = db.find("\"file\"", pos)) != std::string::npos) {
+      pos += 6;
+      const size_t colon = db.find(':', pos);
+      if (colon == std::string::npos) break;
+      const size_t q1 = db.find('"', colon);
+      if (q1 == std::string::npos) break;
+      const size_t q2 = db.find('"', q1 + 1);
+      if (q2 == std::string::npos) break;
+      const std::string file = db.substr(q1 + 1, q2 - q1 - 1);
+      pos = q2 + 1;
+      std::error_code ec;
+      const fs::path rel = fs::relative(fs::path(file), root, ec);
+      if (ec || rel.empty()) continue;
+      const std::string r = rel.lexically_normal().generic_string();
+      if (!EndsWith(r, ".cc") && !EndsWith(r, ".h")) continue;
+      if (fs::exists(fs::path(root) / r, ec)) add(r);
+    }
+    // Transitive closure of in-repo #include "..." headers, so annotated
+    // headers are linted even though they are not translation units.
+    for (size_t i = 0; i < rels.size(); ++i) {
+      const std::string src = ReadFileOrEmpty(fs::path(root) / rels[i]);
+      const fs::path including_dir = (fs::path(root) / rels[i]).parent_path();
+      size_t lp = 0;
+      while (lp < src.size()) {
+        size_t le = src.find('\n', lp);
+        if (le == std::string::npos) le = src.size();
+        std::string line = src.substr(lp, le - lp);
+        lp = le + 1;
+        size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos || line[b] != '#') continue;
+        b = line.find_first_not_of(" \t", b + 1);
+        if (b == std::string::npos || line.compare(b, 7, "include") != 0) {
+          continue;
+        }
+        const size_t o = line.find('"', b + 7);
+        if (o == std::string::npos) continue;  // <system> include
+        const size_t c = line.find('"', o + 1);
+        if (c == std::string::npos) continue;
+        const std::string inc = line.substr(o + 1, c - o - 1);
+        const fs::path bases[] = {
+            fs::path(root) / "src",   fs::path(root) / "tools",
+            fs::path(root) / "bench", fs::path(root) / "tests",
+            fs::path(root),           including_dir};
+        for (const fs::path& base : bases) {
+          std::error_code ec;
+          const fs::path candidate = base / inc;
+          if (!fs::exists(candidate, ec)) continue;
+          const fs::path rel = fs::relative(candidate, root, ec);
+          if (!ec && !rel.empty()) {
+            add(rel.lexically_normal().generic_string());
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (rels.empty()) {
+    for (const auto& p : CollectSourceFiles(root)) {
+      std::error_code ec;
+      const fs::path rel = fs::relative(p, root, ec);
+      if (!ec) add(rel.generic_string());
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+  return rels;
+}
+
+size_t LintTree(const std::string& root, const std::string& compile_commands,
+                std::vector<Diagnostic>* out) {
+  namespace fs = std::filesystem;
+  const std::vector<std::string> files =
+      CollectLintFiles(root, compile_commands);
+  AnalysisIndex index;
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const auto& rel : files) {
+    sources.emplace_back(rel, ReadFileOrEmpty(fs::path(root) / rel));
+    BuildIndex(rel, sources.back().second, &index);
+  }
+  std::vector<Diagnostic> diags;
+  for (const auto& [rel, source] : sources) {
+    for (Diagnostic& d : LintSource(rel, source, index)) {
+      diags.push_back(std::move(d));
+    }
+  }
+  CheckMutexCoverage(index, &diags);
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.col, a.rule) <
+                     std::tie(b.file, b.line, b.col, b.rule);
+            });
+  const size_t violations = diags.size();
+  if (out != nullptr) {
+    for (Diagnostic& d : diags) out->push_back(std::move(d));
+  }
   return violations;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline & JSON report
+// ---------------------------------------------------------------------------
+
+std::string BaselineKey(const Diagnostic& d) {
+  return d.file + "\t" + d.rule + "\t" + d.message;
+}
+
+bool LoadBaseline(const std::string& path, Baseline* baseline) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    ++baseline->entries[line];
+  }
+  return true;
+}
+
+std::string SerializeBaseline(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> keys;
+  keys.reserve(diags.size());
+  for (const Diagnostic& d : diags) keys.push_back(BaselineKey(d));
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream ss;
+  ss << "# asqp-lint baseline: grandfathered findings that predate a rule.\n"
+     << "# One `file<TAB>rule<TAB>message` per line; multiplicity counts.\n"
+     << "# Do not add entries for new code — fix the finding or NOLINT it\n"
+     << "# with a justification. Regenerate with --write-baseline.\n";
+  for (const std::string& key : keys) ss << key << "\n";
+  return ss.str();
+}
+
+void PartitionAgainstBaseline(const std::vector<Diagnostic>& diags,
+                              const Baseline& baseline,
+                              std::vector<Diagnostic>* grandfathered,
+                              std::vector<Diagnostic>* fresh) {
+  std::unordered_map<std::string, size_t> remaining = baseline.entries;
+  for (const Diagnostic& d : diags) {
+    auto it = remaining.find(BaselineKey(d));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      grandfathered->push_back(d);
+    } else {
+      fresh->push_back(d);
+    }
+  }
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& fresh,
+                              const std::vector<Diagnostic>& grandfathered) {
+  std::ostringstream ss;
+  ss << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : fresh) {
+    if (!first) ss << ",";
+    first = false;
+    AppendDiagnosticJson(d, "new", &ss);
+  }
+  for (const Diagnostic& d : grandfathered) {
+    if (!first) ss << ",";
+    first = false;
+    AppendDiagnosticJson(d, "grandfathered", &ss);
+  }
+  ss << "],\"total\":" << fresh.size() + grandfathered.size()
+     << ",\"new\":" << fresh.size()
+     << ",\"grandfathered\":" << grandfathered.size() << "}";
+  return ss.str();
 }
 
 }  // namespace lint

@@ -1,32 +1,62 @@
-// asqp-lint: an in-tree token-level static analyzer enforcing repo
-// invariants that the compiler cannot (or that we want diagnosed even in
-// code paths a build config does not compile). The scanner follows the
-// skeleton of src/sql/lexer.cc — a single forward pass producing a flat
-// token vector — extended with C++ lexical details (comments, raw strings,
-// preprocessor lines) and line:col tracking for diagnostics.
+// asqp-lint: an in-tree static analyzer enforcing repo invariants that the
+// compiler cannot (or that we want diagnosed even in code paths a build
+// config does not compile). v2 is symbol- and scope-aware: a first pass
+// over every file builds an AnalysisIndex (Status-returning functions,
+// ASQP_GUARDED_BY / ASQP_EXCLUDES declarations, the fault-point registry),
+// and the checking pass walks a brace/scope tracker over the token stream
+// so rules can reason about class membership, function bodies, locals, and
+// which mutexes are held. Still dependency-free — no libclang; the scanner
+// follows the skeleton of src/sql/lexer.cc (one forward pass, flat token
+// vector, line:col for diagnostics).
 //
 // Rules (all diagnostics print `file:line:col: error: [asqp-<rule>] ...`):
 //   asqp-discarded-status   a statement-level call to a function returning
 //                           Status / Result<T> whose value is discarded,
-//                           outside an ASQP_* macro invocation
+//                           outside an ASQP_* macro invocation; bare calls
+//                           to a void function declared in the same file
+//                           are exempt (name collisions across TUs)
 //   asqp-nondeterminism     banned randomness (rand, srand, random_device,
 //                           default_random_engine, unseeded mt19937) plus
 //                           wall-clock reads in library code (src/ outside
 //                           src/util)
-//   asqp-naked-new          `new` / `delete` outside src/util (the library
-//                           owns memory through containers and smart
-//                           pointers; only util's leaky singletons and
-//                           pimpl constructors may allocate directly)
+//   asqp-naked-new          `new` / `delete` outside src/util
 //   asqp-catch-all          `catch (...)` whose handler neither rethrows
-//                           nor converts (no throw / rethrow_exception /
-//                           current_exception / Status construction)
+//                           nor converts to a Status
+//   asqp-unsynchronized-shared-write
+//                           by-ref capture mutated in a ParallelFor /
+//                           ParallelForChunked / ParallelReduceOrdered
+//                           lambda without synchronization; calls whose
+//                           literal count is 0 or 1 run only on the caller
+//                           thread and are exempt
+//   asqp-guard-violation    read/write of an ASQP_GUARDED_BY(mu) field
+//                           outside a lock_guard / unique_lock /
+//                           scoped_lock / shared_lock scope on `mu`, or a
+//                           call to a same-class ASQP_EXCLUDES(mu) method
+//                           while holding `mu` (see src/util/annotations.h)
+//   asqp-missing-guard      annotation completeness (src/ only): a field
+//                           written under a held mutex with no
+//                           ASQP_GUARDED_BY, or a mutex member whose class
+//                           declares no protocol for it at all
+//   asqp-unpolled-loop      a loop in src/exec/ or src/aqp/ whose body
+//                           exceeds kUnpolledLoopStatementThreshold
+//                           statements and never polls an ExecContext /
+//                           DeadlineTicker (Tick / Check / CheckRows /
+//                           Expired) — the invariant behind "clients never
+//                           see a raw timeout"
+//   asqp-unregistered-fault-point
+//                           ASQP_FAULT_POINT("...") literal absent from
+//                           src/util/fault_points.h
 //
 // Suppression: `// NOLINT` or `// NOLINT(asqp-<rule>[, ...])` on the
-// diagnosed line, or `// NOLINTNEXTLINE(...)` on the line above.
+// diagnosed line, or `// NOLINTNEXTLINE(...)` on the line above. Tree-wide
+// findings that predate a rule live in tools/asqp_lint/baseline.txt:
+// baselined findings are reported as grandfathered and do not fail the
+// run; anything new does.
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -43,6 +73,10 @@ struct Diagnostic {
   std::string ToString() const;
 };
 
+/// Loops in src/exec/ and src/aqp/ with more statements than this must
+/// poll a deadline (or carry a justified NOLINT).
+inline constexpr size_t kUnpolledLoopStatementThreshold = 8;
+
 /// Names of free functions / methods declared anywhere in the tree with a
 /// Status or Result<T> return type. Built by a first pass over every file
 /// so the discard rule needs no hand-maintained list.
@@ -50,23 +84,114 @@ struct FunctionRegistry {
   std::unordered_set<std::string> status_returning;
 };
 
-/// Scan `source` for Status/Result-returning declarations and add their
-/// names to `registry`.
-void CollectStatusFunctions(const std::string& source,
-                            FunctionRegistry* registry);
+/// Lock-discipline declarations harvested from ASQP_GUARDED_BY /
+/// ASQP_EXCLUDES annotations (see src/util/annotations.h). Keyed by the
+/// unqualified class name; mutexes are stored as the final identifier of
+/// the annotation argument (`shard.mu` -> `mu`).
+struct GuardIndex {
+  /// class -> field -> guarding mutex (annotated fields only).
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::string>>
+      guarded_fields;
+  /// class -> method -> mutex that must not be held at the call.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::string>>
+      excluded_methods;
+  /// class -> every data-member name (annotated or not), for the
+  /// completeness direction of the guard rules.
+  std::unordered_map<std::string, std::unordered_set<std::string>> fields;
+  /// Mutex-typed members (std::mutex / std::shared_mutex) of src/
+  /// classes; each must be referenced by at least one annotation in its
+  /// class (or a nested class), else asqp-missing-guard fires.
+  struct MutexDecl {
+    std::string cls;
+    std::string name;
+    std::string file;
+    size_t line = 0;
+    size_t col = 0;
+  };
+  std::vector<MutexDecl> mutex_decls;
+  /// nested class -> lexically enclosing classes ("" at namespace scope;
+  /// a set because unqualified names like `Stats` recur across classes).
+  /// `struct Outer::Inner { ... }` records Inner -> Outer as well.
+  std::unordered_map<std::string, std::unordered_set<std::string>> parents;
+};
 
-/// Lint one translation unit. `path` is used both for diagnostics and for
-/// path-scoped rules (naked-new exemption under src/util, wall-clock ban
-/// limited to library code). Paths are matched on their repo-relative
-/// form, so pass paths relative to the repo root.
+/// Global pass-1 index shared by every file's checking pass.
+struct AnalysisIndex {
+  FunctionRegistry functions;
+  GuardIndex guards;
+  /// Registered fault-point literals (from src/util/fault_points.h).
+  std::unordered_set<std::string> fault_points;
+  /// True once a file ending in util/fault_points.h has been indexed;
+  /// the fault-point rule only fires when the registry was seen (so
+  /// linting a lone file does not flag every ASQP_FAULT_POINT in it).
+  bool has_fault_registry = false;
+};
+
+/// Index one file: Status/Result-returning declarations, annotations,
+/// fields and mutex members, and (for util/fault_points.h) the registry.
+void BuildIndex(const std::string& path, const std::string& source,
+                AnalysisIndex* index);
+
+/// Lint one translation unit against the global index. `path` is used
+/// both for diagnostics and for path-scoped rules; pass repo-relative
+/// paths with forward slashes.
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    const std::string& source,
-                                   const FunctionRegistry& registry);
+                                   const AnalysisIndex& index);
 
-/// Walk `root`'s source directories (src/ tests/ bench/ examples/ tools/),
-/// build the registry, lint every .cc/.h file, and print diagnostics to
-/// stdout. Returns the number of violations (0 = clean tree).
-size_t LintTree(const std::string& root, std::vector<Diagnostic>* out);
+/// The set of files to lint, repo-relative. Derived from the compile
+/// commands database when `compile_commands` names a readable file:
+/// every translation unit under `root` plus the transitive closure of
+/// their in-repo `#include "..."` headers, so new subsystems are covered
+/// the moment they are added to the build. Falls back to walking
+/// src/ tests/ bench/ examples/ tools/ when the database is absent.
+std::vector<std::string> CollectLintFiles(const std::string& root,
+                                          const std::string& compile_commands);
+
+/// The cross-file half of asqp-missing-guard: every src/ mutex member in
+/// the index must be referenced by at least one ASQP_GUARDED_BY /
+/// ASQP_EXCLUDES annotation in its class (or a nested class). Run by
+/// LintTree after indexing; exposed so tests can drive it on snippets.
+void CheckMutexCoverage(const AnalysisIndex& index,
+                        std::vector<Diagnostic>* out);
+
+/// Build the index over `root`, lint every file, and append diagnostics
+/// to `out`. Returns the number of diagnostics. `compile_commands` may be
+/// empty (directory-walk fallback).
+size_t LintTree(const std::string& root, const std::string& compile_commands,
+                std::vector<Diagnostic>* out);
+
+/// Baseline handling: a checked-in multiset of grandfathered findings.
+/// Keys deliberately exclude line/col so unrelated edits do not invalidate
+/// the baseline; multiplicity is preserved (N baselined findings of one
+/// key absorb at most N current findings).
+struct Baseline {
+  std::unordered_map<std::string, size_t> entries;
+};
+
+std::string BaselineKey(const Diagnostic& d);
+
+/// Load `path` (one `file<TAB>rule<TAB>message` per line, '#' comments).
+/// Returns false when the file cannot be read.
+bool LoadBaseline(const std::string& path, Baseline* baseline);
+
+/// Serialize diagnostics in baseline format (sorted, deduplicated into
+/// counted entries by repetition).
+std::string SerializeBaseline(const std::vector<Diagnostic>& diags);
+
+/// Split `diags` into findings absorbed by the baseline and new ones.
+void PartitionAgainstBaseline(const std::vector<Diagnostic>& diags,
+                              const Baseline& baseline,
+                              std::vector<Diagnostic>* grandfathered,
+                              std::vector<Diagnostic>* fresh);
+
+/// JSON report for CI artifacts: {"diagnostics":[...],"total":N,
+/// "new":M,"grandfathered":K}. `fresh`/`grandfathered` as produced by
+/// PartitionAgainstBaseline.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& fresh,
+                              const std::vector<Diagnostic>& grandfathered);
 
 }  // namespace lint
 }  // namespace asqp

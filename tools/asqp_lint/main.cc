@@ -1,6 +1,7 @@
-// asqp-lint CLI. `asqp_lint --root <repo>` walks src/ tests/ bench/
-// examples/ tools/ and exits non-zero when any invariant is violated; see
-// lint.h for the rule set and DESIGN.md §5 for the rationale.
+// asqp-lint CLI. `asqp_lint --root <repo>` lints every translation unit
+// (and their in-repo headers) and exits non-zero on any finding not
+// absorbed by the baseline; see lint.h for the rule set and DESIGN.md §5
+// for the rationale.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -13,22 +14,57 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: asqp_lint [--root <dir>] [file...]\n"
-            << "  --root <dir>  repository root to walk (default: .)\n"
-            << "  file...       lint only these files (registry built from "
-               "them)\n";
+  std::cerr
+      << "usage: asqp_lint [--root <dir>] [options] [file...]\n"
+      << "  --root <dir>             repository root (default: .)\n"
+      << "  --compile-commands <f>   derive the file list from this compile\n"
+      << "                           database (+ in-repo include closure);\n"
+      << "                           falls back to a directory walk\n"
+      << "  --baseline <f>           grandfathered findings; only findings\n"
+      << "                           not in the baseline fail the run\n"
+      << "  --write-baseline <f>     write current findings as the baseline\n"
+      << "                           and exit 0\n"
+      << "  --json <f>               write a JSON diagnostics report\n"
+      << "  file...                  lint only these files (index built\n"
+      << "                           from them; baseline/json still apply)\n";
   return 2;
+}
+
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "asqp-lint: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string compile_commands;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string json_path;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](std::string* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
     if (std::strcmp(argv[i], "--root") == 0) {
-      if (i + 1 >= argc) return Usage();
-      root = argv[++i];
+      if (!flag_value(&root)) return Usage();
+    } else if (std::strcmp(argv[i], "--compile-commands") == 0) {
+      if (!flag_value(&compile_commands)) return Usage();
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      if (!flag_value(&baseline_path)) return Usage();
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      if (!flag_value(&write_baseline_path)) return Usage();
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (!flag_value(&json_path)) return Usage();
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       return Usage();
@@ -38,11 +74,10 @@ int main(int argc, char** argv) {
   }
 
   std::vector<asqp::lint::Diagnostic> diags;
-  size_t violations = 0;
   if (files.empty()) {
-    violations = asqp::lint::LintTree(root, &diags);
+    asqp::lint::LintTree(root, compile_commands, &diags);
   } else {
-    asqp::lint::FunctionRegistry registry;
+    asqp::lint::AnalysisIndex index;
     std::vector<std::pair<std::string, std::string>> sources;
     for (const std::string& file : files) {
       std::ifstream in(file, std::ios::binary);
@@ -53,19 +88,50 @@ int main(int argc, char** argv) {
       std::ostringstream ss;
       ss << in.rdbuf();
       sources.emplace_back(file, ss.str());
-      asqp::lint::CollectStatusFunctions(sources.back().second, &registry);
+      asqp::lint::BuildIndex(file, sources.back().second, &index);
     }
     for (const auto& [path, source] : sources) {
-      for (auto& d : asqp::lint::LintSource(path, source, registry)) {
+      for (auto& d : asqp::lint::LintSource(path, source, index)) {
         diags.push_back(std::move(d));
-        ++violations;
       }
     }
+    asqp::lint::CheckMutexCoverage(index, &diags);
   }
 
-  for (const auto& d : diags) std::cout << d.ToString() << "\n";
-  if (violations > 0) {
-    std::cerr << "asqp-lint: " << violations << " violation(s)\n";
+  if (!write_baseline_path.empty()) {
+    if (!WriteFileOrWarn(write_baseline_path,
+                         asqp::lint::SerializeBaseline(diags))) {
+      return 2;
+    }
+    std::cerr << "asqp-lint: wrote " << diags.size() << " finding(s) to "
+              << write_baseline_path << "\n";
+    return 0;
+  }
+
+  asqp::lint::Baseline baseline;
+  if (!baseline_path.empty() &&
+      !asqp::lint::LoadBaseline(baseline_path, &baseline)) {
+    std::cerr << "asqp-lint: cannot read baseline " << baseline_path << "\n";
+    return 2;
+  }
+  std::vector<asqp::lint::Diagnostic> grandfathered;
+  std::vector<asqp::lint::Diagnostic> fresh;
+  asqp::lint::PartitionAgainstBaseline(diags, baseline, &grandfathered,
+                                       &fresh);
+
+  if (!json_path.empty() &&
+      !WriteFileOrWarn(json_path,
+                       asqp::lint::DiagnosticsToJson(fresh, grandfathered))) {
+    return 2;
+  }
+
+  for (const auto& d : fresh) std::cout << d.ToString() << "\n";
+  if (!grandfathered.empty()) {
+    std::cerr << "asqp-lint: " << grandfathered.size()
+              << " grandfathered finding(s) absorbed by the baseline\n";
+  }
+  if (!fresh.empty()) {
+    std::cerr << "asqp-lint: " << fresh.size() << " violation(s)\n";
     return 1;
   }
   std::cerr << "asqp-lint: clean\n";
