@@ -1,0 +1,288 @@
+// Planner benchmarks (google-benchmark): the same selective multi-join
+// queries executed with the cost-based planner on and off, over a
+// synthetic star schema whose fact table dwarfs its dimensions. The
+// planner's transitive filter pushdown shrinks the hash-join build side
+// from the whole fact table to the selected slice, so the *On families
+// must beat their *Off twins by a wide margin (>= 2x on the selective
+// star; see DESIGN.md "Cost-based planner").
+//
+// Both families are recorded in bench/baselines/BENCH_planner.json and
+// gated by CI's bench-smoke job with --fail-on-missing: a silently
+// disabled planner would regress every *On entry past the tolerance and
+// fail the gate.
+//
+// Pass `--json out.json` (or set ASQP_BENCH_JSON) to emit the
+// measurements as machine-readable records.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/bench_common.h"
+#include "common/bench_json.h"
+#include "exec/executor.h"
+#include "plan/planner.h"
+#include "plan/stats.h"
+#include "sql/binder.h"
+#include "storage/database.h"
+#include "util/random.h"
+
+using namespace asqp;
+
+namespace {
+
+/// Star-schema sizes per ASQP_BENCH_SCALE (0 = smoke, 1 = default,
+/// 2 = paper-shaped).
+struct StarSizes {
+  size_t dims = 400;
+  size_t facts = 30'000;
+};
+
+StarSizes SizesForScale(int scale) {
+  switch (scale) {
+    case 0: return {400, 30'000};
+    case 1: return {2'000, 300'000};
+    default: return {4'000, 1'000'000};
+  }
+}
+
+/// fact(id, dim_id, val, tag) x dim(id, cat, weight) x ext(id, region):
+/// dim and ext share the key domain, so `dim.id < K` propagates across
+/// the equality class {fact.dim_id, dim.id, ext.id}.
+struct StarBundle {
+  std::shared_ptr<storage::Database> db;
+  std::shared_ptr<const plan::StatsCatalog> stats;
+  int64_t selective_key = 0;  // < 5% of the dimension key domain
+};
+
+void Require(const util::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_planner: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+const StarBundle& Star() {
+  static const StarBundle* bundle = [] {
+    using storage::Schema;
+    using storage::Table;
+    using storage::Value;
+    using storage::ValueType;
+
+    const StarSizes sizes = SizesForScale(bench::BenchScale());
+    util::Rng rng(17);
+    auto db = std::make_shared<storage::Database>();
+
+    auto dim = std::make_shared<Table>(
+        "dim", Schema({{"id", ValueType::kInt64},
+                       {"cat", ValueType::kString},
+                       {"weight", ValueType::kDouble}}));
+    const char* kCats[] = {"north", "south", "east", "west"};
+    for (size_t i = 0; i < sizes.dims; ++i) {
+      Require(dim->AppendRow(
+          {Value(static_cast<int64_t>(i)),
+           Value(std::string(kCats[rng.NextBounded(4)])),
+           Value(rng.UniformDouble(0, 1))}));
+    }
+
+    auto ext = std::make_shared<Table>(
+        "ext", Schema({{"id", ValueType::kInt64},
+                       {"region", ValueType::kString}}));
+    for (size_t i = 0; i < sizes.dims; ++i) {
+      Require(ext->AppendRow(
+          {Value(static_cast<int64_t>(i)),
+           Value(std::string(kCats[rng.NextBounded(4)]))}));
+    }
+
+    auto fact = std::make_shared<Table>(
+        "fact", Schema({{"id", ValueType::kInt64},
+                        {"dim_id", ValueType::kInt64},
+                        {"val", ValueType::kDouble},
+                        {"tag", ValueType::kString}}));
+    const char* kTags[] = {"a", "b", "c", "d", "e", "f"};
+    for (size_t i = 0; i < sizes.facts; ++i) {
+      Require(fact->AppendRow(
+          {Value(static_cast<int64_t>(i)),
+           Value(static_cast<int64_t>(rng.NextBounded(sizes.dims))),
+           Value(rng.UniformDouble(0, 100)),
+           Value(std::string(kTags[rng.NextBounded(6)]))}));
+    }
+
+    Require(db->AddTable(dim));
+    Require(db->AddTable(ext));
+    Require(db->AddTable(fact));
+
+    // Leaky singleton: shared across benchmarks, freed at process exit.
+    auto* b = new StarBundle;  // NOLINT(asqp-naked-new)
+    b->db = std::move(db);
+    b->stats = std::make_shared<const plan::StatsCatalog>(
+        plan::StatsCatalog::Collect(*b->db));
+    b->selective_key = static_cast<int64_t>(sizes.dims / 20);
+    return b;
+  }();
+  return *bundle;
+}
+
+exec::QueryEngine MakeEngine(bool planner) {
+  exec::ExecOptions options;
+  options.enable_planner = planner;
+  if (planner) options.planner_stats = Star().stats;
+  return exec::QueryEngine(options);
+}
+
+/// The selective star join: the `d.id < K` slice (5% of the key domain)
+/// propagates onto fact.dim_id and ext.id, so the planner builds its hash
+/// tables over ~5% of each side while the unplanned path hashes the whole
+/// fact table.
+std::string SelectiveStarSql() {
+  return "SELECT f.val, d.cat, e.region FROM fact f, dim d, ext e "
+         "WHERE f.dim_id = d.id AND f.dim_id = e.id AND d.id < " +
+         std::to_string(Star().selective_key);
+}
+
+/// Two-table variant: isolates the pushdown win without the third table.
+std::string SelectivePairSql() {
+  return "SELECT f.val, d.cat FROM fact f, dim d "
+         "WHERE f.dim_id = d.id AND d.id < " +
+         std::to_string(Star().selective_key);
+}
+
+/// Point lookup through the join: equality instead of a range.
+std::string PointStarSql() {
+  return "SELECT f.val, d.cat FROM fact f, dim d "
+         "WHERE f.dim_id = d.id AND d.id = 7";
+}
+
+/// Planner on and off must agree byte-for-byte before we time anything —
+/// a speedup over different answers would be meaningless.
+void VerifyIdentical(const std::string& sql) {
+  storage::DatabaseView view(Star().db.get());
+  auto off = MakeEngine(false).ExecuteSql(sql, view);
+  auto on = MakeEngine(true).ExecuteSql(sql, view);
+  if (!off.ok() || !on.ok()) {
+    std::fprintf(stderr, "bench_planner: %s failed: %s / %s\n", sql.c_str(),
+                 off.status().ToString().c_str(),
+                 on.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (off.value().num_rows() != on.value().num_rows()) {
+    std::fprintf(stderr, "bench_planner: row count diverged on %s\n",
+                 sql.c_str());
+    std::exit(1);
+  }
+  for (size_t r = 0; r < off.value().num_rows(); ++r) {
+    if (off.value().RowKey(r) != on.value().RowKey(r)) {
+      std::fprintf(stderr, "bench_planner: row %zu diverged on %s\n", r,
+                   sql.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+void RunJoin(benchmark::State& state, const std::string& sql, bool planner) {
+  const exec::QueryEngine engine = MakeEngine(planner);
+  storage::DatabaseView view(Star().db.get());
+  auto bound = sql::ParseAndBind(sql, *Star().db);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bench_planner: bind failed: %s\n",
+                 bound.status().ToString().c_str());
+    std::exit(1);
+  }
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = engine.Execute(bound.value(), view);
+    if (rs.ok()) rows += static_cast<int64_t>(rs.value().num_rows());
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetItemsProcessed(rows);
+}
+
+void BM_PlannerSelectiveStarOff(benchmark::State& state) {
+  static const bool verified = (VerifyIdentical(SelectiveStarSql()), true);
+  (void)verified;
+  RunJoin(state, SelectiveStarSql(), /*planner=*/false);
+}
+BENCHMARK(BM_PlannerSelectiveStarOff);
+
+void BM_PlannerSelectiveStarOn(benchmark::State& state) {
+  RunJoin(state, SelectiveStarSql(), /*planner=*/true);
+}
+BENCHMARK(BM_PlannerSelectiveStarOn);
+
+void BM_PlannerSelectivePairOff(benchmark::State& state) {
+  static const bool verified = (VerifyIdentical(SelectivePairSql()), true);
+  (void)verified;
+  RunJoin(state, SelectivePairSql(), /*planner=*/false);
+}
+BENCHMARK(BM_PlannerSelectivePairOff);
+
+void BM_PlannerSelectivePairOn(benchmark::State& state) {
+  RunJoin(state, SelectivePairSql(), /*planner=*/true);
+}
+BENCHMARK(BM_PlannerSelectivePairOn);
+
+void BM_PlannerPointStarOff(benchmark::State& state) {
+  static const bool verified = (VerifyIdentical(PointStarSql()), true);
+  (void)verified;
+  RunJoin(state, PointStarSql(), /*planner=*/false);
+}
+BENCHMARK(BM_PlannerPointStarOff);
+
+void BM_PlannerPointStarOn(benchmark::State& state) {
+  RunJoin(state, PointStarSql(), /*planner=*/true);
+}
+BENCHMARK(BM_PlannerPointStarOn);
+
+void BM_PlanQueryOverhead(benchmark::State& state) {
+  // Planning itself (fold + prune + propagate + DP) must stay far below
+  // execution cost — it runs on every Execute when enabled.
+  auto bound = sql::ParseAndBind(SelectiveStarSql(), *Star().db);
+  for (auto _ : state) {
+    auto planned = plan::PlanQuery(bound.value(), Star().stats.get());
+    benchmark::DoNotOptimize(planned);
+  }
+}
+BENCHMARK(BM_PlanQueryOverhead);
+
+/// Console reporter that additionally captures every per-iteration run as
+/// a BenchRecord (aggregates and errored runs are skipped).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::BenchJsonWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      record.params.emplace_back("bench_scale",
+                                 std::to_string(bench::BenchScale()));
+      const auto iters = run.iterations > 0 ? run.iterations : 1;
+      record.wall_seconds =
+          run.real_accumulated_time / static_cast<double>(iters);
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) record.rows_per_sec = it->second;
+      writer_->Add(std::move(record));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::BenchJsonWriter* writer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchJsonWriter writer = bench::BenchJsonWriter::FromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!writer.Flush()) return 1;
+  return 0;
+}

@@ -81,6 +81,12 @@ struct AsqpConfig {
   /// knob — unlike exec_threads — can affect the last ulp of a
   /// floating-point SUM/AVG. 0 = engine default (16384).
   size_t exec_morsel_rows = 0;
+  /// Run the cost-based planner (src/plan) on the mediator's executions:
+  /// filter pushdown, constant folding, and cost-ordered joins driven by
+  /// column statistics collected at model construction. Results are
+  /// byte-identical either way (see exec::ExecOptions::enable_planner);
+  /// off is for A/B comparison.
+  bool planner = true;
 
   // ---- Serving (serve::ServeEngine).
   /// Concurrent Answer() calls admitted into execution at once; further

@@ -17,10 +17,14 @@ namespace core {
 
 namespace {
 
-exec::ExecOptions ExecOptionsFor(const AsqpConfig& config) {
+exec::ExecOptions ExecOptionsFor(
+    const AsqpConfig& config,
+    std::shared_ptr<const plan::StatsCatalog> stats) {
   exec::ExecOptions options;
   options.num_threads = config.exec_threads;
   if (config.exec_morsel_rows > 0) options.morsel_rows = config.exec_morsel_rows;
+  options.enable_planner = config.planner;
+  options.planner_stats = std::move(stats);
   return options;
 }
 
@@ -94,7 +98,10 @@ AsqpModel::AsqpModel(const storage::Database* db, AsqpConfig config,
       config_(std::move(config)),
       preprocess_(std::move(preprocess)),
       policy_(std::move(policy)),
-      engine_(ExecOptionsFor(config_)),
+      planner_stats_(db != nullptr ? std::make_shared<const plan::StatsCatalog>(
+                                         plan::StatsCatalog::Collect(*db))
+                                   : nullptr),
+      engine_(ExecOptionsFor(config_, planner_stats_)),
       breaker_(BreakerOptionsFor(config_)) {
   std::vector<double> coverage(preprocess_.representative_embeddings.size(),
                                0.0);
@@ -387,7 +394,10 @@ util::Result<AnswerResult> AsqpModel::TryLearnedAnswer(
 }
 
 void AsqpModel::SetExecutionPool(std::shared_ptr<util::ThreadPool> pool) {
-  exec::ExecOptions options = ExecOptionsFor(config_);
+  // Rebuilding the engine keeps the planner configuration and statistics:
+  // routing execution through a shared pool must not change plans (or
+  // bytes — the serving layer's cached answers assume both).
+  exec::ExecOptions options = ExecOptionsFor(config_, planner_stats_);
   options.shared_pool = std::move(pool);
   engine_ = exec::QueryEngine(options);
 }

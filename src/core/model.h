@@ -13,6 +13,7 @@
 #include "core/preprocess.h"
 #include "exec/executor.h"
 #include "metric/workload.h"
+#include "plan/stats.h"
 #include "rl/policy.h"
 #include "storage/database.h"
 #include "util/annotations.h"
@@ -208,6 +209,11 @@ class AsqpModel {
   rl::Policy policy_;
   storage::ApproximationSet set_;
   std::unique_ptr<AnswerabilityEstimator> estimator_;
+  /// Column statistics over the full database for the cost-based planner,
+  /// collected once at construction and shared with every engine rebuild
+  /// (SetExecutionPool). Declared before engine_: the constructor feeds it
+  /// into the engine's ExecOptions.
+  std::shared_ptr<const plan::StatsCatalog> planner_stats_;
   exec::QueryEngine engine_;
   /// Learned fallback tier, rebuilt by MaterializeSet (FineTune swaps it;
   /// the serving layer's reader lock covers the swap).

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "exec/evaluator.h"
+#include "plan/planner.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -80,6 +81,7 @@ class Execution {
   Result<ResultSet> Run() {
     ASQP_RETURN_NOT_OK(FilterScans());
     ASQP_RETURN_NOT_OK(Join());
+    ASQP_RETURN_NOT_OK(CanonicalizeTupleOrder());
     if (q_.stmt.HasAggregates()) return Aggregate();
     return Project();
   }
@@ -216,18 +218,36 @@ class Execution {
     return merged;
   }
 
-  /// Greedy hash-join: start from the smallest filtered table, repeatedly
-  /// attach the connected table with the fewest candidate rows.
+  /// True when `order` is a permutation of [0, n) — the only join_order
+  /// the executor honors (anything else falls back to runtime greedy).
+  static bool IsJoinPermutation(const std::vector<int>& order, size_t n) {
+    if (order.size() != n) return false;
+    std::vector<bool> seen(n, false);
+    for (int t : order) {
+      if (t < 0 || static_cast<size_t>(t) >= n || seen[t]) return false;
+      seen[t] = true;
+    }
+    return true;
+  }
+
+  /// Hash-join in a planned order (BoundQuery::join_order) when one is
+  /// present, otherwise greedy: start from the smallest filtered table,
+  /// repeatedly attach the connected table with the fewest candidate rows.
   Status Join() {
     const size_t n = q_.num_tables();
     joined_.num_tables = n;
     std::vector<bool> in_join(n, false);
     std::vector<bool> residual_done(q_.residual.size(), false);
+    const bool planned = IsJoinPermutation(q_.join_order, n);
+    attach_order_.clear();
+    attach_order_.reserve(n);
 
-    // Seed with the smallest table.
-    size_t seed = 0;
-    for (size_t t = 1; t < n; ++t) {
-      if (candidates_[t].size() < candidates_[seed].size()) seed = t;
+    // Seed: the planned sequence head, or the smallest table.
+    size_t seed = planned ? static_cast<size_t>(q_.join_order[0]) : 0;
+    if (!planned) {
+      for (size_t t = 1; t < n; ++t) {
+        if (candidates_[t].size() < candidates_[seed].size()) seed = t;
+      }
     }
     std::vector<uint32_t> tmp(n, 0);
     for (uint32_t row : candidates_[seed]) {
@@ -235,14 +255,16 @@ class Execution {
       joined_.Append(tmp.data());
     }
     in_join[seed] = true;
+    attach_order_.push_back(seed);
 
     for (size_t step = 1; step < n; ++step) {
-      // Pick the next table: connected to the joined set via at least one
-      // equi-predicate if possible, otherwise the smallest remaining
-      // (disconnected join graph -> cross product).
-      int next = -1;
+      // Pick the next table: the planned sequence when present, otherwise
+      // connected to the joined set via at least one equi-predicate if
+      // possible and smallest among those (disconnected join graph ->
+      // cross product).
+      int next = planned ? q_.join_order[step] : -1;
       bool next_connected = false;
-      for (size_t t = 0; t < n; ++t) {
+      for (size_t t = 0; !planned && t < n; ++t) {
         if (in_join[t]) continue;
         bool connected = false;
         for (const JoinPredicate& jp : q_.joins) {
@@ -265,6 +287,7 @@ class Execution {
 
       ASQP_RETURN_NOT_OK(AttachTable(static_cast<size_t>(next), in_join));
       in_join[next] = true;
+      attach_order_.push_back(static_cast<size_t>(next));
 
       // Apply residual predicates whose tables are now all joined.
       ASQP_RETURN_NOT_OK(ApplyReadyResiduals(in_join, &residual_done));
@@ -279,6 +302,47 @@ class Execution {
     // Residuals with zero referenced tables (constant predicates) or any
     // left over (single-table query case).
     ASQP_RETURN_NOT_OK(ApplyReadyResiduals(in_join, &residual_done));
+    return Status::OK();
+  }
+
+  /// Sort the joined tuples into the canonical order — lexicographic by
+  /// row id in FROM position order — so the bytes downstream (projection
+  /// row order, DISTINCT dedup order, morsel decomposition and thus the
+  /// floating-point reduction tree of SUM/AVG partials) depend only on
+  /// the tuple *set*, never on the join order that produced it. This is
+  /// what makes plan search safe: planner-on and planner-off outputs are
+  /// byte-identical by construction. Attaching tables in FROM order
+  /// already emits this order (the probe preserves input order and
+  /// per-key matches are in ascending candidate order), so the sort is
+  /// skipped when the attach sequence was the identity.
+  Status CanonicalizeTupleOrder() {
+    const size_t n = q_.num_tables();
+    if (n <= 1 || joined_.size() <= 1) return Status::OK();
+    bool identity = true;
+    for (size_t i = 0; i < attach_order_.size(); ++i) {
+      if (attach_order_[i] != i) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) return Status::OK();
+    ASQP_RETURN_NOT_OK(ticker_.Tick("canonical order"));
+    std::vector<uint32_t> index(joined_.size());
+    for (size_t i = 0; i < index.size(); ++i) {
+      index[i] = static_cast<uint32_t>(i);
+    }
+    std::sort(index.begin(), index.end(), [&](uint32_t a, uint32_t b) {
+      const uint32_t* ta = joined_.tuple(a);
+      const uint32_t* tb = joined_.tuple(b);
+      return std::lexicographical_compare(ta, ta + n, tb, tb + n);
+    });
+    TupleSet sorted;
+    sorted.num_tables = n;
+    sorted.flat.reserve(joined_.flat.size());
+    for (uint32_t i : index) {
+      sorted.Append(joined_.tuple(i));
+    }
+    joined_ = std::move(sorted);
     return Status::OK();
   }
 
@@ -963,6 +1027,9 @@ class Execution {
 
   std::vector<std::vector<uint32_t>> candidates_;
   TupleSet joined_;
+  /// The realized join sequence (seed first); drives the identity-order
+  /// fast path of CanonicalizeTupleOrder.
+  std::vector<size_t> attach_order_;
 };
 
 }  // namespace
@@ -984,8 +1051,30 @@ QueryEngine::QueryEngine(ExecOptions options) : options_(options) {
 Result<ResultSet> QueryEngine::Execute(const BoundQuery& query,
                                        const DatabaseView& view,
                                        const util::ExecContext& context) const {
+  if (options_.enable_planner) {
+    const BoundQuery planned =
+        plan::PlanQuery(query, options_.planner_stats.get());
+    Execution exec(planned, view, options_, context, pool_.get());
+    return exec.Run();
+  }
   Execution exec(query, view, options_, context, pool_.get());
   return exec.Run();
+}
+
+std::string QueryEngine::Explain(const BoundQuery& query) const {
+  if (!options_.enable_planner) {
+    return "plan: planner disabled (runtime-greedy join order)\n";
+  }
+  plan::PlanSummary summary;
+  plan::PlanQuery(query, options_.planner_stats.get(), &summary);
+  return summary.ToString();
+}
+
+Result<std::string> QueryEngine::ExplainSql(const std::string& sql,
+                                            const DatabaseView& view) const {
+  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound,
+                        sql::ParseAndBind(sql, view.db()));
+  return Explain(bound);
 }
 
 Result<ResultSet> QueryEngine::ExecuteSql(

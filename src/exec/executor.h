@@ -39,6 +39,10 @@ namespace util {
 class ThreadPool;
 }  // namespace util
 
+namespace plan {
+class StatsCatalog;
+}  // namespace plan
+
 namespace exec {
 
 struct ExecOptions {
@@ -72,6 +76,18 @@ struct ExecOptions {
   /// decomposition (morsel_rows) is unchanged, so results stay
   /// bit-identical to a private pool of any size.
   std::shared_ptr<util::ThreadPool> shared_pool = nullptr;
+  /// Run the cost-based planner (src/plan) on every Execute: constant
+  /// folding, redundant-predicate pruning, transitive filter pushdown
+  /// across join equalities, and cost-ordered join trees. Results are
+  /// byte-identical with the planner on or off (the executor canonicalizes
+  /// the joined tuple order); off is for A/B comparison and benchmarks.
+  /// ExecuteWithProvenance never plans (its callers consume the raw greedy
+  /// join-order tuples).
+  bool enable_planner = true;
+  /// Column statistics for the planner's cardinality estimates, collected
+  /// once per database (plan::StatsCatalog::Collect) and shared across
+  /// engines. Null = estimate from fixed default selectivities.
+  std::shared_ptr<const plan::StatsCatalog> planner_stats = nullptr;
 };
 
 /// \brief Join result with provenance: for every joined tuple, the physical
@@ -111,6 +127,16 @@ class QueryEngine {
       const sql::BoundQuery& query, const storage::DatabaseView& view,
       size_t max_tuples = 0,
       const util::ExecContext& context = util::ExecContext()) const;
+
+  /// EXPLAIN: run the planner on `query` and return its human-readable
+  /// plan summary (estimated cardinalities, rewrites, join order) without
+  /// executing. Honors enable_planner=false by reporting the unplanned
+  /// (runtime-greedy) pipeline.
+  std::string Explain(const sql::BoundQuery& query) const;
+
+  /// Parse + bind `sql` against `view`'s database, then Explain it.
+  [[nodiscard]] util::Result<std::string> ExplainSql(
+      const std::string& sql, const storage::DatabaseView& view) const;
 
   const ExecOptions& options() const { return options_; }
 

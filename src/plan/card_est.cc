@@ -1,0 +1,219 @@
+#include "plan/card_est.h"
+
+#include <algorithm>
+
+namespace asqp {
+namespace plan {
+
+namespace {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprKind;
+using storage::Value;
+
+double Clamp01(double s) { return std::min(1.0, std::max(0.0, s)); }
+
+/// Mirror a comparison across its operands: `lit op col` == `col op' lit`.
+BinOp Mirror(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;  // =, <> are symmetric
+  }
+}
+
+}  // namespace
+
+CardinalityEstimator::CardinalityEstimator(const StatsCatalog* catalog,
+                                           const sql::BoundQuery* query)
+    : catalog_(catalog), q_(query) {}
+
+const ColumnStatistics* CardinalityEstimator::Column(int table, int col) const {
+  if (catalog_ == nullptr || table < 0 ||
+      static_cast<size_t>(table) >= q_->num_tables()) {
+    return nullptr;
+  }
+  return catalog_->FindColumn(q_->tables[table]->name(), col);
+}
+
+double CardinalityEstimator::TableRows(int table) const {
+  if (table < 0 || static_cast<size_t>(table) >= q_->num_tables()) return 1.0;
+  if (catalog_ != nullptr) {
+    const TableStatistics* ts = catalog_->FindTable(q_->tables[table]->name());
+    if (ts != nullptr) return static_cast<double>(ts->row_count);
+  }
+  return static_cast<double>(q_->tables[table]->num_rows());
+}
+
+double CardinalityEstimator::ComparisonSelectivity(BinOp op,
+                                                   const Expr& col_ref,
+                                                   const Value& literal,
+                                                   int table) const {
+  // A comparison against NULL never passes WHERE.
+  if (literal.is_null()) return 0.0;
+  const ColumnStatistics* cs = Column(table, col_ref.col_idx);
+  const double notnull = cs != nullptr ? 1.0 - cs->null_fraction : 1.0;
+  switch (op) {
+    case BinOp::kEq:
+      if (cs != nullptr && cs->ndv > 0) {
+        return Clamp01(notnull / static_cast<double>(cs->ndv));
+      }
+      return CardDefaults::kEquality;
+    case BinOp::kNe:
+      if (cs != nullptr && cs->ndv > 0) {
+        return Clamp01(notnull * (1.0 - 1.0 / static_cast<double>(cs->ndv)));
+      }
+      return 1.0 - CardDefaults::kEquality;
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      if (cs == nullptr || !cs->has_range || !literal.is_numeric()) {
+        return CardDefaults::kRange;
+      }
+      const double v = literal.ToNumeric();
+      if (cs->max > cs->min) {
+        const double below = Clamp01((v - cs->min) / (cs->max - cs->min));
+        const bool less = op == BinOp::kLt || op == BinOp::kLe;
+        return Clamp01(notnull * (less ? below : 1.0 - below));
+      }
+      // Degenerate single-valued range: compare the one value exactly.
+      bool pass = false;
+      switch (op) {
+        case BinOp::kLt: pass = cs->min < v; break;
+        case BinOp::kLe: pass = cs->min <= v; break;
+        case BinOp::kGt: pass = cs->min > v; break;
+        default: pass = cs->min >= v; break;
+      }
+      return pass ? Clamp01(notnull) : 0.0;
+    }
+    default:
+      return CardDefaults::kRange;
+  }
+}
+
+double CardinalityEstimator::Selectivity(const Expr& pred, int table) const {
+  switch (pred.kind) {
+    case ExprKind::kBinary: {
+      switch (pred.op) {
+        case BinOp::kAnd:
+          return Clamp01(Selectivity(*pred.left, table) *
+                         Selectivity(*pred.right, table));
+        case BinOp::kOr: {
+          const double a = Selectivity(*pred.left, table);
+          const double b = Selectivity(*pred.right, table);
+          return Clamp01(a + b - a * b);
+        }
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe: {
+          if (pred.left->kind == ExprKind::kColumnRef &&
+              pred.right->kind == ExprKind::kLiteral) {
+            return ComparisonSelectivity(pred.op, *pred.left,
+                                         pred.right->literal, table);
+          }
+          if (pred.right->kind == ExprKind::kColumnRef &&
+              pred.left->kind == ExprKind::kLiteral) {
+            return ComparisonSelectivity(Mirror(pred.op), *pred.right,
+                                         pred.left->literal, table);
+          }
+          // Column-vs-column or computed operand: fixed defaults.
+          return pred.op == BinOp::kEq ? CardDefaults::kEquality
+                                       : CardDefaults::kRange;
+        }
+        default:
+          // Arithmetic in boolean position (nonzero = true).
+          return CardDefaults::kRange;
+      }
+    }
+    case ExprKind::kNot:
+      return Clamp01(1.0 - Selectivity(*pred.left, table));
+    case ExprKind::kIn: {
+      double inside = CardDefaults::kEquality *
+                      static_cast<double>(pred.in_list.size());
+      if (pred.left->kind == ExprKind::kColumnRef) {
+        const ColumnStatistics* cs = Column(table, pred.left->col_idx);
+        if (cs != nullptr && cs->ndv > 0) {
+          size_t non_null = 0;
+          for (const Value& v : pred.in_list) {
+            if (!v.is_null()) ++non_null;
+          }
+          inside = (1.0 - cs->null_fraction) * static_cast<double>(non_null) /
+                   static_cast<double>(cs->ndv);
+        }
+      }
+      inside = Clamp01(inside);
+      return pred.negated ? Clamp01(1.0 - inside) : inside;
+    }
+    case ExprKind::kBetween: {
+      if (pred.between_lo.is_null() || pred.between_hi.is_null()) {
+        return 0.0;  // BETWEEN with a NULL bound never passes
+      }
+      double inside = CardDefaults::kRange;
+      if (pred.left->kind == ExprKind::kColumnRef) {
+        const ColumnStatistics* cs = Column(table, pred.left->col_idx);
+        if (cs != nullptr && cs->has_range && pred.between_lo.is_numeric() &&
+            pred.between_hi.is_numeric()) {
+          const double lo = std::max(pred.between_lo.ToNumeric(), cs->min);
+          const double hi = std::min(pred.between_hi.ToNumeric(), cs->max);
+          if (hi < lo) {
+            inside = 0.0;
+          } else if (cs->max > cs->min) {
+            inside = Clamp01((1.0 - cs->null_fraction) * (hi - lo) /
+                             (cs->max - cs->min));
+          } else {
+            inside = Clamp01(1.0 - cs->null_fraction);
+          }
+        }
+      }
+      return pred.negated ? Clamp01(1.0 - inside) : inside;
+    }
+    case ExprKind::kLike:
+      return pred.negated ? 1.0 - CardDefaults::kLike : CardDefaults::kLike;
+    case ExprKind::kIsNull: {
+      double nf = 0.1;
+      if (pred.left->kind == ExprKind::kColumnRef) {
+        const ColumnStatistics* cs = Column(table, pred.left->col_idx);
+        if (cs != nullptr) nf = cs->null_fraction;
+      }
+      return Clamp01(pred.negated ? 1.0 - nf : nf);
+    }
+    case ExprKind::kLiteral:
+      return (!pred.literal.is_null() && pred.literal.ToNumeric() != 0.0)
+                 ? 1.0
+                 : 0.0;
+    case ExprKind::kColumnRef:
+      return 0.5;
+  }
+  return CardDefaults::kRange;
+}
+
+double CardinalityEstimator::EstimateFilteredRows(
+    int table, const std::vector<sql::ExprPtr>& filters) const {
+  double sel = 1.0;
+  for (const sql::ExprPtr& f : filters) {
+    sel *= Selectivity(*f, table);
+  }
+  return TableRows(table) * Clamp01(sel);
+}
+
+double CardinalityEstimator::JoinSelectivity(
+    const sql::JoinPredicate& jp) const {
+  const ColumnStatistics* l = Column(jp.left_table, jp.left_col);
+  const ColumnStatistics* r = Column(jp.right_table, jp.right_col);
+  const size_t ndv =
+      std::max(l != nullptr ? l->ndv : 0, r != nullptr ? r->ndv : 0);
+  if (ndv > 0) return 1.0 / static_cast<double>(ndv);
+  const double rows =
+      std::max({TableRows(jp.left_table), TableRows(jp.right_table), 1.0});
+  return 1.0 / rows;
+}
+
+}  // namespace plan
+}  // namespace asqp

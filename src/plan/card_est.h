@@ -1,0 +1,69 @@
+// Cardinality estimation over bound predicates (textbook System-R style):
+//   equality        (1 - null_fraction) / NDV
+//   range           linear interpolation against the column's [min, max]
+//   IN (v1..vn)     n / NDV (capped at 1)
+//   BETWEEN         (hi - lo) / (max - min)
+//   IS [NOT] NULL   null_fraction / 1 - null_fraction
+//   AND             product of operand selectivities (independence)
+//   OR              s1 + s2 - s1*s2
+//   NOT             1 - s
+//   equi-join       1 / max(NDV_left, NDV_right)
+// Columns without statistics fall back to fixed defaults. Estimates only
+// steer plan choice (join order); execution correctness never depends on
+// them.
+#pragma once
+
+#include <vector>
+
+#include "plan/stats.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+
+namespace asqp {
+namespace plan {
+
+/// Fallback selectivities when column statistics are unavailable.
+struct CardDefaults {
+  static constexpr double kEquality = 0.1;
+  static constexpr double kRange = 1.0 / 3.0;
+  static constexpr double kLike = 0.25;
+};
+
+class CardinalityEstimator {
+ public:
+  /// `catalog` may be null (defaults-only estimation); `query` must
+  /// outlive the estimator.
+  CardinalityEstimator(const StatsCatalog* catalog,
+                       const sql::BoundQuery* query);
+
+  /// Base row count of FROM entry `table` (from statistics, falling back
+  /// to the in-memory table size).
+  double TableRows(int table) const;
+
+  /// Selectivity in [0, 1] of one predicate whose column refs all resolve
+  /// to FROM entry `table`.
+  double Selectivity(const sql::Expr& pred, int table) const;
+
+  /// Estimated rows of FROM entry `table` after applying `filters`
+  /// (conjunction under the independence assumption).
+  double EstimateFilteredRows(int table,
+                              const std::vector<sql::ExprPtr>& filters) const;
+
+  /// Selectivity of an equi-join predicate: 1/max(ndv, ndv), falling back
+  /// to 1/max(row counts) when neither side has an NDV.
+  double JoinSelectivity(const sql::JoinPredicate& jp) const;
+
+  bool has_stats() const { return catalog_ != nullptr; }
+
+ private:
+  const ColumnStatistics* Column(int table, int col) const;
+  /// Selectivity of `col op literal` for a comparison operator.
+  double ComparisonSelectivity(sql::BinOp op, const sql::Expr& col_ref,
+                               const storage::Value& literal, int table) const;
+
+  const StatsCatalog* catalog_;
+  const sql::BoundQuery* q_;
+};
+
+}  // namespace plan
+}  // namespace asqp

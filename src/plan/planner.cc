@@ -1,0 +1,510 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "plan/card_est.h"
+#include "sql/canonicalize.h"
+#include "util/string_util.h"
+
+namespace asqp {
+namespace plan {
+
+namespace {
+
+using sql::BinOp;
+using sql::BoundQuery;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::JoinPredicate;
+using storage::Value;
+using storage::ValueType;
+
+bool IsArithmetic(BinOp op) {
+  return op == BinOp::kAdd || op == BinOp::kSub || op == BinOp::kMul ||
+         op == BinOp::kDiv;
+}
+
+bool Truthy(const Value& v) { return !v.is_null() && v.ToNumeric() != 0.0; }
+
+/// Fold `lit op lit` exactly as exec::EvaluateScalar / EvaluatePredicate
+/// would compute it in WHERE position (NULL or non-numeric arithmetic
+/// operand -> NULL; division by zero -> NULL; INT64 op INT64 stays INT64
+/// except division; comparisons with a NULL operand are false, i.e. 0).
+Value FoldBinaryLiteral(BinOp op, const Value& l, const Value& r) {
+  if (IsArithmetic(op)) {
+    if (l.is_null() || r.is_null() || !l.is_numeric() || !r.is_numeric()) {
+      return Value::Null();
+    }
+    const double a = l.ToNumeric();
+    const double b = r.ToNumeric();
+    double out = 0.0;
+    switch (op) {
+      case BinOp::kAdd: out = a + b; break;
+      case BinOp::kSub: out = a - b; break;
+      case BinOp::kMul: out = a * b; break;
+      case BinOp::kDiv:
+        if (b == 0.0) return Value::Null();
+        out = a / b;
+        break;
+      default: break;
+    }
+    if (l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64 &&
+        op != BinOp::kDiv) {
+      return Value(static_cast<int64_t>(out));
+    }
+    return Value(out);
+  }
+  // Comparison: NULL operand -> false (0).
+  if (l.is_null() || r.is_null()) return Value(int64_t{0});
+  const int cmp = l.Compare(r);
+  bool result = false;
+  switch (op) {
+    case BinOp::kEq: result = cmp == 0; break;
+    case BinOp::kNe: result = cmp != 0; break;
+    case BinOp::kLt: result = cmp < 0; break;
+    case BinOp::kLe: result = cmp <= 0; break;
+    case BinOp::kGt: result = cmp > 0; break;
+    case BinOp::kGe: result = cmp >= 0; break;
+    default: break;
+  }
+  return Value(static_cast<int64_t>(result));
+}
+
+/// Bottom-up constant folding. Never mutates the input: unchanged subtrees
+/// are shared, rewritten nodes are fresh. Folds only semantics the WHERE
+/// evaluator defines (HAVING's three-valued comparisons are out of scope —
+/// the planner never touches stmt.having).
+ExprPtr FoldConstants(const ExprPtr& e, size_t* folded) {
+  if (e == nullptr) return e;
+  switch (e->kind) {
+    case ExprKind::kBinary: {
+      const ExprPtr l = FoldConstants(e->left, folded);
+      const ExprPtr r = FoldConstants(e->right, folded);
+      if (l->kind == ExprKind::kLiteral && r->kind == ExprKind::kLiteral &&
+          e->op != BinOp::kAnd && e->op != BinOp::kOr) {
+        ++*folded;
+        return Expr::Literal(FoldBinaryLiteral(e->op, l->literal, r->literal));
+      }
+      if (l == e->left && r == e->right) return e;
+      return Expr::Binary(e->op, l, r);
+    }
+    case ExprKind::kNot: {
+      const ExprPtr c = FoldConstants(e->left, folded);
+      if (c->kind == ExprKind::kLiteral) {
+        ++*folded;
+        return Expr::Literal(
+            Value(static_cast<int64_t>(!Truthy(c->literal))));
+      }
+      if (c == e->left) return e;
+      return Expr::Not(c);
+    }
+    case ExprKind::kIn:
+    case ExprKind::kBetween:
+    case ExprKind::kLike:
+    case ExprKind::kIsNull: {
+      const ExprPtr c = FoldConstants(e->left, folded);
+      if (c == e->left) return e;
+      ExprPtr out = e->Clone();
+      out->left = c;
+      return out;
+    }
+    default:
+      return e;
+  }
+}
+
+/// True when every column reference under `e` resolves to exactly
+/// (table, col) and at least one reference exists.
+bool OnlyReferences(const Expr& e, int table, int col, bool* any) {
+  if (e.kind == ExprKind::kColumnRef) {
+    *any = true;
+    return e.table_idx == table && e.col_idx == col;
+  }
+  if (e.left != nullptr && !OnlyReferences(*e.left, table, col, any)) {
+    return false;
+  }
+  if (e.right != nullptr && !OnlyReferences(*e.right, table, col, any)) {
+    return false;
+  }
+  return true;
+}
+
+/// Clone `e` re-pointing every column reference from the source column to
+/// (dst_table, dst_col), with the spelled name updated for readable
+/// EXPLAIN/ToSql output.
+ExprPtr Retarget(const Expr& e, int dst_table, int dst_col,
+                 const BoundQuery& q) {
+  ExprPtr out = e.Clone();
+  // Iterative walk over the fresh clone (shared with nothing).
+  std::vector<Expr*> stack{out.get()};
+  while (!stack.empty()) {
+    Expr* node = stack.back();
+    stack.pop_back();
+    if (node->kind == ExprKind::kColumnRef) {
+      node->table_idx = dst_table;
+      node->col_idx = dst_col;
+      node->qualifier = q.stmt.from[dst_table].binding_name();
+      node->column = q.tables[dst_table]->schema().field(dst_col).name;
+    }
+    if (node->left != nullptr) stack.push_back(node->left.get());
+    if (node->right != nullptr) stack.push_back(node->right.get());
+  }
+  return out;
+}
+
+/// Union-find over (table, column) join-key nodes.
+class ColumnClasses {
+ public:
+  int NodeFor(int table, int col) {
+    const int64_t key = (static_cast<int64_t>(table) << 32) | col;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == key) return static_cast<int>(i);
+    }
+    keys_.push_back(key);
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return static_cast<int>(parent_.size()) - 1;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+  size_t size() const { return keys_.size(); }
+  int table(int node) const { return static_cast<int>(keys_[node] >> 32); }
+  int col(int node) const {
+    return static_cast<int>(keys_[node] & 0xffffffff);
+  }
+
+ private:
+  std::vector<int64_t> keys_;
+  std::vector<int> parent_;
+};
+
+/// Join-key equality implies *value* equality only where the executor's
+/// serialized key (type tag + ToString) is injective: INT64 and STRING.
+/// DOUBLE keys truncate to 6 decimals, so two unequal doubles can join —
+/// propagating a filter across such an edge could drop tuples the
+/// original query keeps.
+bool PropagationSafe(ValueType type) {
+  return type == ValueType::kInt64 || type == ValueType::kString;
+}
+
+struct JoinGraph {
+  size_t n = 0;
+  /// adjacency[i] bitmask of tables joined to i by an equi-predicate.
+  std::vector<uint32_t> adjacency;
+
+  explicit JoinGraph(const BoundQuery& q) : n(q.num_tables()), adjacency(n, 0) {
+    for (const JoinPredicate& jp : q.joins) {
+      adjacency[jp.left_table] |= 1u << jp.right_table;
+      adjacency[jp.right_table] |= 1u << jp.left_table;
+    }
+  }
+};
+
+/// Estimated cardinality of attaching `t` to a joined set with cardinality
+/// `card`: multiply by t's filtered rows and the selectivity of every
+/// equi-predicate connecting t to the set.
+double AttachCardinality(const BoundQuery& q, const CardinalityEstimator& est,
+                         const std::vector<double>& filtered_rows,
+                         uint32_t mask, int t, double card) {
+  double out = card * filtered_rows[t];
+  for (const JoinPredicate& jp : q.joins) {
+    const bool connects =
+        (jp.left_table == t && (mask & (1u << jp.right_table)) != 0) ||
+        (jp.right_table == t && (mask & (1u << jp.left_table)) != 0);
+    if (connects) out *= est.JoinSelectivity(jp);
+  }
+  return out;
+}
+
+/// Exact left-deep DP over subsets: minimize the sum of intermediate
+/// cardinalities. Only connected attachments are considered while any
+/// exist (matching the executor's cross-product avoidance). Cost ties
+/// resolve to the smaller seed cardinality — so when the estimates cannot
+/// tell two orders apart (e.g. any 2-table join) the plan keeps the
+/// executor's runtime-greedy smallest-first shape — then to the lowest
+/// subset/table index, so the result is deterministic.
+std::vector<int> OrderJoinsDp(const BoundQuery& q,
+                              const CardinalityEstimator& est,
+                              const std::vector<double>& filtered_rows,
+                              double* result_rows) {
+  const size_t n = q.num_tables();
+  const JoinGraph graph(q);
+  struct State {
+    double cost = std::numeric_limits<double>::infinity();
+    double card = 0.0;
+    double seed_card = std::numeric_limits<double>::infinity();
+    int last = -1;
+    uint32_t prev = 0;
+  };
+  std::vector<State> dp(size_t{1} << n);
+  for (size_t t = 0; t < n; ++t) {
+    State& s = dp[size_t{1} << t];
+    s.cost = 0.0;
+    s.card = filtered_rows[t];
+    s.seed_card = filtered_rows[t];
+    s.last = static_cast<int>(t);
+  }
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const State& cur = dp[mask];
+    if (cur.last < 0) continue;
+    uint32_t connected = 0;
+    for (size_t t = 0; t < n; ++t) {
+      if ((mask & (1u << t)) == 0 && (graph.adjacency[t] & mask) != 0) {
+        connected |= 1u << t;
+      }
+    }
+    for (size_t t = 0; t < n; ++t) {
+      if ((mask & (1u << t)) != 0) continue;
+      if (connected != 0 && (connected & (1u << t)) == 0) continue;
+      const double card =
+          AttachCardinality(q, est, filtered_rows, mask, static_cast<int>(t),
+                            cur.card);
+      const double cost = cur.cost + card;
+      State& next = dp[mask | (1u << t)];
+      if (cost < next.cost ||
+          (cost == next.cost && cur.seed_card < next.seed_card)) {
+        next.cost = cost;
+        next.card = card;
+        next.seed_card = cur.seed_card;
+        next.last = static_cast<int>(t);
+        next.prev = mask;
+      }
+    }
+  }
+  const uint32_t full = (1u << n) - 1;
+  *result_rows = dp[full].card;
+  std::vector<int> order(n);
+  uint32_t mask = full;
+  for (size_t i = n; i-- > 0;) {
+    order[i] = dp[mask].last;
+    mask = dp[mask].prev;
+  }
+  return order;
+}
+
+/// Greedy ordering for wide joins: seed with the smallest estimate, then
+/// repeatedly attach the connected table minimizing the next intermediate
+/// cardinality (any table when the remainder is disconnected).
+std::vector<int> OrderJoinsGreedy(const BoundQuery& q,
+                                  const CardinalityEstimator& est,
+                                  const std::vector<double>& filtered_rows,
+                                  double* result_rows) {
+  const size_t n = q.num_tables();
+  const JoinGraph graph(q);
+  std::vector<int> order;
+  order.reserve(n);
+  int seed = 0;
+  for (size_t t = 1; t < n; ++t) {
+    if (filtered_rows[t] < filtered_rows[seed]) seed = static_cast<int>(t);
+  }
+  order.push_back(seed);
+  uint32_t mask = 1u << seed;
+  double card = filtered_rows[seed];
+  for (size_t step = 1; step < n; ++step) {
+    int best = -1;
+    bool best_connected = false;
+    double best_card = std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t < n; ++t) {
+      if ((mask & (1u << t)) != 0) continue;
+      const bool connected = (graph.adjacency[t] & mask) != 0;
+      const double next_card = AttachCardinality(
+          q, est, filtered_rows, mask, static_cast<int>(t), card);
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected && next_card < best_card)) {
+        best = static_cast<int>(t);
+        best_connected = connected;
+        best_card = next_card;
+      }
+    }
+    order.push_back(best);
+    mask |= 1u << best;
+    card = best_card;
+  }
+  *result_rows = card;
+  return order;
+}
+
+}  // namespace
+
+std::string PlanSummary::ToString() const {
+  std::string out = util::Format(
+      "plan: %s statistics, %s join search\n",
+      stats_available ? "column" : "no", used_dp ? "exact-dp" : "greedy");
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const PlanTableInfo& info = tables[t];
+    out += util::Format(
+        "  t%zu %s: %zu rows -> est %.1f after %zu filter(s)", t,
+        info.table.c_str(), info.base_rows, info.estimated_rows,
+        info.filter_count);
+    if (info.propagated_filters > 0) {
+      out += util::Format(" (%zu propagated)", info.propagated_filters);
+    }
+    out += "\n";
+  }
+  out += "  join order:";
+  for (size_t i = 0; i < join_order.size(); ++i) {
+    out += util::Format("%s t%d", i == 0 ? "" : " ->", join_order[i]);
+  }
+  out += util::Format("\n  est result rows: %.1f\n", estimated_result_rows);
+  out += util::Format(
+      "  rewrites: folded %zu constant(s), pruned %zu duplicate(s), "
+      "propagated %zu filter(s)\n",
+      folded_constants, pruned_duplicates, propagated_filters);
+  return out;
+}
+
+sql::BoundQuery PlanQuery(const sql::BoundQuery& query,
+                          const StatsCatalog* stats, PlanSummary* summary) {
+  BoundQuery out = query;
+  PlanSummary local;
+  PlanSummary& sum = summary != nullptr ? *summary : local;
+  sum = PlanSummary{};
+  sum.stats_available = stats != nullptr;
+
+  const size_t n = out.num_tables();
+
+  // ---- Rule 1: constant folding (WHERE conjuncts only — the HAVING
+  // evaluator propagates NULL through comparisons, so folding there with
+  // WHERE semantics would change results).
+  for (auto& filters : out.filters) {
+    for (ExprPtr& f : filters) f = FoldConstants(f, &sum.folded_constants);
+  }
+  for (ExprPtr& r : out.residual) {
+    r = FoldConstants(r, &sum.folded_constants);
+  }
+
+  // ---- Rule 2: redundant-predicate pruning. Conjuncts are idempotent, so
+  // duplicates (by canonical text — BETWEEN and its paired-inequality
+  // spelling share one) drop; constant-TRUE residuals drop too. Constant
+  // FALSE stays: it zeroes the result and costs one evaluation.
+  std::vector<std::unordered_set<std::string>> seen(n);
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<ExprPtr> kept;
+    kept.reserve(out.filters[t].size());
+    for (ExprPtr& f : out.filters[t]) {
+      if (seen[t].insert(sql::CanonicalizeExpr(*f)).second) {
+        kept.push_back(std::move(f));
+      } else {
+        ++sum.pruned_duplicates;
+      }
+    }
+    out.filters[t] = std::move(kept);
+  }
+  {
+    std::unordered_set<std::string> residual_seen;
+    std::vector<ExprPtr> kept;
+    std::vector<std::vector<int>> kept_tables;
+    for (size_t r = 0; r < out.residual.size(); ++r) {
+      const ExprPtr& e = out.residual[r];
+      if (e->kind == ExprKind::kLiteral && Truthy(e->literal)) {
+        ++sum.pruned_duplicates;  // constant TRUE: a no-op conjunct
+        continue;
+      }
+      if (!residual_seen.insert(sql::CanonicalizeExpr(*e)).second) {
+        ++sum.pruned_duplicates;
+        continue;
+      }
+      kept.push_back(out.residual[r]);
+      kept_tables.push_back(out.residual_tables[r]);
+    }
+    out.residual = std::move(kept);
+    out.residual_tables = std::move(kept_tables);
+  }
+
+  // ---- Rule 3: transitive filter pushdown. Columns linked by equi-join
+  // predicates form equality classes; a single-column filter on one member
+  // applies to every member (for key-injective column types), shrinking
+  // the other tables' scans before the join.
+  std::vector<size_t> propagated_per_table(n, 0);
+  if (!out.joins.empty()) {
+    ColumnClasses classes;
+    for (const JoinPredicate& jp : out.joins) {
+      classes.Union(classes.NodeFor(jp.left_table, jp.left_col),
+                    classes.NodeFor(jp.right_table, jp.right_col));
+    }
+    struct Source {
+      int node;
+      ExprPtr pred;
+    };
+    std::vector<Source> sources;
+    for (int node = 0; node < static_cast<int>(classes.size()); ++node) {
+      const int t = classes.table(node);
+      const int c = classes.col(node);
+      for (const ExprPtr& f : out.filters[t]) {
+        bool any = false;
+        if (OnlyReferences(*f, t, c, &any) && any) {
+          sources.push_back({node, f});
+        }
+      }
+    }
+    for (const Source& src : sources) {
+      const int st = classes.table(src.node);
+      const int sc = classes.col(src.node);
+      const ValueType src_type = out.tables[st]->column(sc).type();
+      if (!PropagationSafe(src_type)) continue;
+      for (int node = 0; node < static_cast<int>(classes.size()); ++node) {
+        if (node == src.node ||
+            classes.Find(node) != classes.Find(src.node)) {
+          continue;
+        }
+        const int dt = classes.table(node);
+        const int dc = classes.col(node);
+        if (dt == st && dc == sc) continue;
+        if (out.tables[dt]->column(dc).type() != src_type) continue;
+        ExprPtr moved = Retarget(*src.pred, dt, dc, out);
+        if (!seen[dt].insert(sql::CanonicalizeExpr(*moved)).second) {
+          continue;  // already filtered identically
+        }
+        out.filters[dt].push_back(std::move(moved));
+        ++propagated_per_table[dt];
+        ++sum.propagated_filters;
+      }
+    }
+  }
+
+  // ---- Rule 4: cost-ordered join tree.
+  CardinalityEstimator est(stats, &out);
+  std::vector<double> filtered_rows(n, 0.0);
+  for (size_t t = 0; t < n; ++t) {
+    filtered_rows[t] =
+        est.EstimateFilteredRows(static_cast<int>(t), out.filters[t]);
+  }
+  if (n == 1) {
+    out.join_order = {0};
+    sum.estimated_result_rows = filtered_rows[0];
+  } else if (n > 1) {
+    sum.used_dp = n <= 6;
+    out.join_order =
+        sum.used_dp
+            ? OrderJoinsDp(out, est, filtered_rows,
+                           &sum.estimated_result_rows)
+            : OrderJoinsGreedy(out, est, filtered_rows,
+                               &sum.estimated_result_rows);
+  }
+  sum.join_order = out.join_order;
+
+  sum.tables.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    PlanTableInfo info;
+    info.table = out.tables[t]->name();
+    info.base_rows = out.tables[t]->num_rows();
+    info.estimated_rows = filtered_rows[t];
+    info.filter_count = out.filters[t].size();
+    info.propagated_filters = propagated_per_table[t];
+    sum.tables.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace asqp

@@ -1,0 +1,75 @@
+// The cost-based optimizer between sql::Binder and exec::QueryEngine.
+//
+// PlanQuery rewrites a BoundQuery without changing its result bytes:
+//   * constant folding     literal-only arithmetic/comparison subtrees in
+//                          WHERE conjuncts collapse to their value
+//                          (mirroring exec::EvaluateScalar exactly; HAVING
+//                          is never folded — its NULL semantics differ);
+//   * redundant pruning    duplicate conjuncts (by canonical text, so
+//                          BETWEEN and its paired-inequality spelling
+//                          collapse) are dropped, as are constant-true
+//                          residuals;
+//   * filter pushdown      a single-column filter propagates across the
+//                          join equality class of its column, shrinking
+//                          the other side's scan before the join (sound
+//                          because join keys match exactly by type+value;
+//                          restricted to non-DOUBLE columns where key
+//                          equality implies value equality);
+//   * join ordering        a cost-ordered sequence (exact DP over <= 6
+//                          relations, greedy beyond) minimizing the sum of
+//                          estimated intermediate cardinalities, emitted
+//                          as BoundQuery::join_order.
+//
+// Result invariance holds because the executor canonicalizes the joined
+// tuple order before projection/aggregation (see exec/executor.cc), so any
+// join order / filter schedule producing the same tuple *set* produces the
+// same result bytes. The planner never fails: without statistics it falls
+// back to default selectivities, and a degenerate query passes through
+// unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/stats.h"
+#include "sql/binder.h"
+
+namespace asqp {
+namespace plan {
+
+/// \brief One FROM entry's line in an EXPLAIN summary.
+struct PlanTableInfo {
+  std::string table;
+  size_t base_rows = 0;
+  /// Estimated rows surviving the table's filter conjuncts.
+  double estimated_rows = 0.0;
+  size_t filter_count = 0;
+  /// How many of those filters were added by transitive propagation.
+  size_t propagated_filters = 0;
+};
+
+/// \brief Observable summary of one planning pass (EXPLAIN output).
+struct PlanSummary {
+  std::vector<PlanTableInfo> tables;  // in FROM order
+  std::vector<int> join_order;        // chosen attach sequence (FROM indices)
+  bool used_dp = false;               // exact DP vs greedy search
+  bool stats_available = false;
+  double estimated_result_rows = 0.0;  // after joins, before agg/limit
+  size_t folded_constants = 0;
+  size_t pruned_duplicates = 0;
+  size_t propagated_filters = 0;
+
+  /// Human-readable EXPLAIN rendering.
+  std::string ToString() const;
+};
+
+/// Plan `query`: returns a rewritten copy (original untouched; unchanged
+/// expression subtrees are shared, rewritten ones are fresh clones).
+/// `stats` may be null — the estimator then uses fixed default
+/// selectivities. `summary`, when non-null, receives the EXPLAIN data.
+sql::BoundQuery PlanQuery(const sql::BoundQuery& query,
+                          const StatsCatalog* stats,
+                          PlanSummary* summary = nullptr);
+
+}  // namespace plan
+}  // namespace asqp

@@ -1,0 +1,52 @@
+#include "plan/stats.h"
+
+#include "workloadgen/stats.h"
+
+namespace asqp {
+namespace plan {
+
+StatsCatalog StatsCatalog::Collect(const storage::Database& db) {
+  // Reuse the workloadgen collector (one pass per column) and keep only
+  // the fields the estimator consumes.
+  const workloadgen::DatabaseStats raw = workloadgen::DatabaseStats::Collect(db);
+  StatsCatalog catalog;
+  for (const auto& [name, ts] : raw.tables()) {
+    TableStatistics out;
+    out.row_count = ts.row_count;
+    out.columns.reserve(ts.columns.size());
+    for (const workloadgen::ColumnStats& cs : ts.columns) {
+      ColumnStatistics col;
+      col.ndv = cs.distinct_count;
+      if (cs.row_count > 0) {
+        col.null_fraction = static_cast<double>(cs.null_count) /
+                            static_cast<double>(cs.row_count);
+      }
+      if (cs.is_numeric() && cs.null_count < cs.row_count) {
+        col.min = cs.min;
+        col.max = cs.max;
+        col.has_range = true;
+      }
+      out.columns.push_back(col);
+    }
+    catalog.tables_.emplace(name, std::move(out));
+  }
+  return catalog;
+}
+
+const TableStatistics* StatsCatalog::FindTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const ColumnStatistics* StatsCatalog::FindColumn(const std::string& table,
+                                                 int col) const {
+  const TableStatistics* ts = FindTable(table);
+  if (ts == nullptr || col < 0 ||
+      static_cast<size_t>(col) >= ts->columns.size()) {
+    return nullptr;
+  }
+  return &ts->columns[col];
+}
+
+}  // namespace plan
+}  // namespace asqp

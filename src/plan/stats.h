@@ -1,0 +1,60 @@
+// Statistics catalog for the cost-based planner (src/plan).
+//
+// A StatsCatalog is a compact, execution-oriented view of the per-column
+// statistics the workloadgen collector already gathers (row counts, NDV,
+// min/max, null counts): the cardinality estimator divides by NDV for
+// equality predicates, interpolates min/max for ranges, and scales by the
+// null fraction everywhere. Collect it once per database at load /
+// MaterializeSet time and share it across engines — it is immutable after
+// Collect and safe to read concurrently.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace asqp {
+namespace plan {
+
+/// \brief Planner statistics for one column.
+struct ColumnStatistics {
+  /// Exact number of distinct non-NULL values; 0 = unknown.
+  size_t ndv = 0;
+  /// Numeric range (valid only when has_range is set).
+  double min = 0.0;
+  double max = 0.0;
+  bool has_range = false;
+  /// Fraction of rows that are NULL, in [0, 1].
+  double null_fraction = 0.0;
+};
+
+/// \brief Planner statistics for one table.
+struct TableStatistics {
+  size_t row_count = 0;
+  /// Aligned with the table's schema field order.
+  std::vector<ColumnStatistics> columns;
+};
+
+/// \brief Immutable per-database statistics, keyed by table name.
+class StatsCatalog {
+ public:
+  /// Scan every table of `db` (single pass per column, via
+  /// workloadgen::DatabaseStats).
+  static StatsCatalog Collect(const storage::Database& db);
+
+  const TableStatistics* FindTable(const std::string& name) const;
+  /// Column stats by table name + schema field index; null when the table
+  /// is unknown or the index is out of range.
+  const ColumnStatistics* FindColumn(const std::string& table, int col) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableStatistics> tables_;
+};
+
+}  // namespace plan
+}  // namespace asqp

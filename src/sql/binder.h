@@ -38,6 +38,13 @@ struct BoundQuery {
   /// Tables referenced by each residual conjunct (aligned with `residual`).
   std::vector<std::vector<int>> residual_tables;
 
+  /// Join sequence chosen by the planner (plan::PlanQuery): the first
+  /// entry seeds the join, the rest attach in order. Empty (the binder's
+  /// output) = the executor picks its runtime-greedy order from actual
+  /// filtered candidate counts. The executor ignores anything that is not
+  /// a permutation of [0, num_tables).
+  std::vector<int> join_order;
+
   size_t num_tables() const { return tables.size(); }
 };
 

@@ -85,14 +85,54 @@ std::string CanonComparand(const Expr& e) {
                                                    : LiteralMode::kExact);
 }
 
-/// Flatten a same-op AND/OR chain into its operand list.
-void FlattenBool(const Expr& e, BinOp op, std::vector<const Expr*>* out) {
+/// The comparison parts a BETWEEN expands into. Under the evaluator's
+/// semantics `x BETWEEN lo AND hi` is exactly `x >= lo AND x <= hi` (both
+/// spellings are false whenever the operand or either bound is NULL), and
+/// `x NOT BETWEEN lo AND hi` with non-NULL bounds is exactly
+/// `x < lo OR x > hi`. Rendering the parts through the comparison rules
+/// (>/>= flip to </<= with swapped operands) collapses the two spellings
+/// to one fingerprint.
+void BetweenParts(const Expr& e, std::vector<std::string>* parts) {
+  const std::string operand = CanonComparand(*e.left);
+  std::string lo, hi;
+  AppendLiteral(e.between_lo, LiteralMode::kCompare, &lo);
+  AppendLiteral(e.between_hi, LiteralMode::kCompare, &hi);
+  if (!e.negated) {
+    // x >= lo == lo <= x;  x <= hi.
+    parts->push_back("(<= " + lo + " " + operand + ")");
+    parts->push_back("(<= " + operand + " " + hi + ")");
+  } else {
+    // x < lo;  x > hi == hi < x.
+    parts->push_back("(< " + operand + " " + lo + ")");
+    parts->push_back("(< " + hi + " " + operand + ")");
+  }
+}
+
+/// Whether a kBetween may expand into its comparison parts. Non-negated:
+/// always (with a NULL bound both spellings are constant-false). Negated:
+/// only when both bounds are non-NULL — NOT BETWEEN with a NULL bound is
+/// constant-false, but `x < NULL OR x > hi` can still pass via the other
+/// disjunct, so the spellings differ and must not collide.
+bool BetweenExpands(const Expr& e) {
+  return !e.negated || (!e.between_lo.is_null() && !e.between_hi.is_null());
+}
+
+/// Flatten a same-op AND/OR chain into rendered operand parts. A BETWEEN
+/// operand whose expansion op matches the chain (AND for BETWEEN, OR for
+/// NOT BETWEEN) contributes its paired-inequality parts, so both
+/// spellings flatten identically.
+void FlattenParts(const Expr& e, BinOp op, std::vector<std::string>* parts) {
   if (e.kind == ExprKind::kBinary && e.op == op) {
-    FlattenBool(*e.left, op, out);
-    FlattenBool(*e.right, op, out);
+    FlattenParts(*e.left, op, parts);
+    FlattenParts(*e.right, op, parts);
     return;
   }
-  out->push_back(&e);
+  if (e.kind == ExprKind::kBetween && BetweenExpands(e) &&
+      ((op == BinOp::kAnd && !e.negated) || (op == BinOp::kOr && e.negated))) {
+    BetweenParts(e, parts);
+    return;
+  }
+  parts->push_back(CanonExpr(e, LiteralMode::kExact));
 }
 
 std::string CanonExpr(const Expr& e, LiteralMode mode) {
@@ -115,13 +155,8 @@ std::string CanonExpr(const Expr& e, LiteralMode mode) {
       switch (e.op) {
         case BinOp::kAnd:
         case BinOp::kOr: {
-          std::vector<const Expr*> operands;
-          FlattenBool(e, e.op, &operands);
           std::vector<std::string> parts;
-          parts.reserve(operands.size());
-          for (const Expr* operand : operands) {
-            parts.push_back(CanonExpr(*operand, LiteralMode::kExact));
-          }
+          FlattenParts(e, e.op, &parts);
           std::sort(parts.begin(), parts.end());
           out = e.op == BinOp::kAnd ? "(AND" : "(OR";
           for (const std::string& p : parts) {
@@ -196,7 +231,23 @@ std::string CanonExpr(const Expr& e, LiteralMode mode) {
       return out;
     }
     case ExprKind::kBetween: {
-      out = e.negated ? "(NBETWEEN " : "(BETWEEN ";
+      if (BetweenExpands(e)) {
+        // Standalone BETWEEN renders as the AND/OR of its expansion parts,
+        // matching what the paired-inequality spelling renders at the
+        // same position.
+        std::vector<std::string> parts;
+        BetweenParts(e, &parts);
+        std::sort(parts.begin(), parts.end());
+        out = e.negated ? "(OR" : "(AND";
+        for (const std::string& p : parts) {
+          out.push_back(' ');
+          out.append(p);
+        }
+        out.push_back(')');
+        return out;
+      }
+      // Negated BETWEEN with a NULL bound: no sound expansion exists.
+      out = "(NBETWEEN ";
       out += CanonComparand(*e.left);
       out.push_back(' ');
       AppendLiteral(e.between_lo, LiteralMode::kCompare, &out);
@@ -236,6 +287,10 @@ void AppendSelectItem(const SelectItem& item, std::string* out) {
 }
 
 }  // namespace
+
+std::string CanonicalizeExpr(const Expr& expr) {
+  return CanonExpr(expr, LiteralMode::kExact);
+}
 
 std::string CanonicalizeStatement(const SelectStatement& stmt) {
   std::string out = "SELECT";

@@ -57,6 +57,12 @@ struct QueryFingerprint {
 /// positional form — but then alias normalization does not apply.
 std::string CanonicalizeStatement(const SelectStatement& stmt);
 
+/// Canonical text of a single bound expression — the same rendering
+/// CanonicalizeStatement applies to WHERE subtrees (BETWEEN expands to its
+/// paired-inequality form, so the two spellings agree). The planner uses
+/// this to detect redundant conjuncts.
+std::string CanonicalizeExpr(const Expr& expr);
+
 /// Fingerprint = stable FNV-1a hash of CanonicalizeStatement + the text.
 QueryFingerprint FingerprintQuery(const SelectStatement& bound_stmt);
 

@@ -1,8 +1,10 @@
 #include "workloadgen/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace asqp {
 namespace workloadgen {
@@ -43,12 +45,18 @@ DatabaseStats DatabaseStats::Collect(const storage::Database& db,
       if (cs.is_numeric()) {
         double sum = 0.0, sumsq = 0.0;
         size_t n = 0;
+        // Exact NDV over the 64-bit value patterns: the planner's equality
+        // and join selectivities divide by this, so it must distinguish
+        // every representable value (bit_cast keeps -0.0 vs 0.0 apart,
+        // which matches the executor's serialized join keys).
+        std::unordered_set<uint64_t> distinct;
         for (size_t r = 0; r < col.size(); ++r) {
           if (col.IsNull(r)) {
             ++cs.null_count;
             continue;
           }
           const double v = col.NumericAt(r);
+          distinct.insert(std::bit_cast<uint64_t>(v));
           if (n == 0) {
             cs.min = v;
             cs.max = v;
@@ -60,6 +68,7 @@ DatabaseStats DatabaseStats::Collect(const storage::Database& db,
           sumsq += v * v;
           ++n;
         }
+        cs.distinct_count = distinct.size();
         if (n > 0) {
           cs.mean = sum / static_cast<double>(n);
           const double var =

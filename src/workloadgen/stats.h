@@ -28,6 +28,9 @@ struct ColumnStats {
 
   // String columns: most frequent values with counts, descending.
   std::vector<std::pair<std::string, size_t>> top_values;
+  /// Exact number of distinct non-NULL values. Collected for string AND
+  /// numeric columns (numeric NDV feeds the query planner's cardinality
+  /// estimator; see plan::StatsCatalog).
   size_t distinct_count = 0;
 
   bool is_numeric() const {

@@ -119,6 +119,51 @@ TEST_F(CanonicalizeTest, InListOrderAndDuplicatesDoNotMatter) {
       "SELECT m.title FROM movies m WHERE m.year IN (2020, 2010, 2015, 2010)");
 }
 
+TEST_F(CanonicalizeTest, BetweenMatchesPairedInequalities) {
+  // BETWEEN expands into its conjunct parts inside the canonical form, so
+  // all three spellings collapse to one fingerprint (and one answer-cache
+  // entry). Sound because WHERE comparisons with NULL are false: both
+  // spellings reject NULL operands alike.
+  ExpectSame("SELECT m.title FROM movies m WHERE m.year BETWEEN 2000 AND 2010",
+             "SELECT m.title FROM movies m WHERE 2000 <= m.year AND m.year <= 2010");
+  ExpectSame("SELECT m.title FROM movies m WHERE m.year BETWEEN 2000 AND 2010",
+             "SELECT m.title FROM movies m WHERE m.year >= 2000 AND m.year <= 2010");
+}
+
+TEST_F(CanonicalizeTest, BetweenFlattensIntoSurroundingConjuncts) {
+  // The expansion participates in AND-flattening: the parts interleave
+  // and sort with sibling conjuncts.
+  ExpectSame(
+      "SELECT m.title FROM movies m "
+      "WHERE m.rating > 5 AND m.year BETWEEN 2000 AND 2010",
+      "SELECT m.title FROM movies m "
+      "WHERE m.year <= 2010 AND m.rating > 5 AND 2000 <= m.year");
+}
+
+TEST_F(CanonicalizeTest, NotBetweenMatchesDisjunction) {
+  ExpectSame(
+      "SELECT m.title FROM movies m WHERE m.year NOT BETWEEN 2000 AND 2010",
+      "SELECT m.title FROM movies m WHERE m.year < 2000 OR m.year > 2010");
+}
+
+TEST_F(CanonicalizeTest, NotBetweenWithNullBoundDoesNotCollapse) {
+  // x NOT BETWEEN NULL AND 2010 is TRUE for every row (the inner range
+  // check is false with a NULL bound, then negated), while
+  // x < NULL OR x > 2010 degenerates to x > 2010 — so the negated
+  // expansion must be gated on both bounds being non-NULL.
+  ExpectDifferent(
+      "SELECT m.title FROM movies m WHERE m.year NOT BETWEEN NULL AND 2010",
+      "SELECT m.title FROM movies m WHERE m.year < NULL OR m.year > 2010");
+}
+
+TEST_F(CanonicalizeTest, NotOfBetweenDoesNotCollapseWithNotBetween) {
+  // NOT (x BETWEEN ...) and x NOT BETWEEN ... differ on NULL operands
+  // (true vs false), so they keep distinct fingerprints.
+  ExpectDifferent(
+      "SELECT m.title FROM movies m WHERE NOT (m.year BETWEEN 2000 AND 2010)",
+      "SELECT m.title FROM movies m WHERE m.year NOT BETWEEN 2000 AND 2010");
+}
+
 TEST_F(CanonicalizeTest, ArithmeticCommutesForPlusAndTimes) {
   ExpectSame("SELECT m.title FROM movies m WHERE m.rating + 1 > 7",
              "SELECT m.title FROM movies m WHERE 1 + m.rating > 7");

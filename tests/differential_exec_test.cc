@@ -2,12 +2,14 @@
 // seeded generator produces hundreds of random queries — FK joins up to 4
 // tables, nested AND/OR/NOT predicate trees (IN / BETWEEN / LIKE /
 // IS NULL), GROUP BY / HAVING / ORDER BY / LIMIT, NULL-heavy columns,
-// occasional cross products — and every query runs on the sequential
-// engine and on {2, 4, 8}-thread parallel engines over IMDB, flights, and
-// a synthetic Zipf-skewed-key table, asserting byte-identical ResultSets.
-// All engines share one morsel_rows: the morsel decomposition is part of
-// the deterministic plan spec (see DESIGN.md "Partitioned build & partial
-// aggregation"); thread count must never change a single byte.
+// occasional cross products — and every query runs on a planner-off
+// sequential reference engine and on variant engines crossing
+// {planner off, planner on + column statistics} x {1, 2, 4, 8} threads
+// over IMDB, flights, and a synthetic Zipf-skewed-key table, asserting
+// byte-identical ResultSets. All engines share one morsel_rows: the
+// morsel decomposition is part of the deterministic plan spec (see
+// DESIGN.md "Partitioned build & partial aggregation"); neither thread
+// count nor the cost-based planner may change a single byte.
 //
 // ASQP_SEED overrides the generator seed (CI runs three values under
 // TSan), so a reported failure reproduces with the printed seed + index.
@@ -21,6 +23,7 @@
 
 #include "data/dataset.h"
 #include "exec/executor.h"
+#include "plan/stats.h"
 #include "sql/ast.h"
 #include "sql/binder.h"
 #include "storage/database.h"
@@ -61,13 +64,17 @@ uint64_t SeedFromEnv() {
   return std::strtoull(env, nullptr, 10);
 }
 
-QueryEngine MakeEngine(size_t threads) {
+QueryEngine MakeEngine(size_t threads, bool planner = true,
+                       std::shared_ptr<const plan::StatsCatalog> stats =
+                           nullptr) {
   ExecOptions options;
   // A tight intermediate cap keeps runaway join blowups cheap; capped
   // queries must still fail with the same Status code on every engine.
   options.max_intermediate_rows = 400'000;
   options.num_threads = threads;
   options.morsel_rows = kMorselRows;
+  options.enable_planner = planner;
+  options.planner_stats = std::move(stats);
   return QueryEngine(options);
 }
 
@@ -433,10 +440,10 @@ class QueryFuzzer {
   std::map<std::string, size_t> from_positions_;
 };
 
-/// Run one query on the sequential engine and every parallel engine and
-/// require identical outcomes: same ok-ness and Status code, and for ok
-/// queries byte-identical ResultSets (column names, row count, and every
-/// serialized row, order included).
+/// Run one query on the reference engine (planner off, sequential) and on
+/// every variant engine and require identical outcomes: same ok-ness and
+/// Status code, and for ok queries byte-identical ResultSets (column
+/// names, row count, and every serialized row, order included).
 void RunDifferential(const FuzzDataset& dataset, const QueryEngine& seq,
                      const std::vector<QueryEngine>& parallel,
                      const sql::SelectStatement& stmt, size_t index,
@@ -451,7 +458,11 @@ void RunDifferential(const FuzzDataset& dataset, const QueryEngine& seq,
   if (expected.ok()) ++*executed_ok;
   for (const QueryEngine& par : parallel) {
     const std::string engine_label =
-        label + " @" + std::to_string(par.options().num_threads) + " threads";
+        label + " @" + std::to_string(par.options().num_threads) +
+        " threads planner-" +
+        (par.options().enable_planner
+             ? (par.options().planner_stats != nullptr ? "on" : "on-no-stats")
+             : "off");
     auto actual = par.Execute(bound.value(), view);
     ASSERT_EQ(expected.ok(), actual.ok())
         << engine_label << ": sequential=" << expected.status().ToString()
@@ -474,18 +485,32 @@ void RunDifferential(const FuzzDataset& dataset, const QueryEngine& seq,
 
 TEST(DifferentialExecTest, SeqVsParallelOnGeneratedQueries) {
   const uint64_t seed = SeedFromEnv();
-  const QueryEngine seq = MakeEngine(1);
-  std::vector<QueryEngine> parallel;
-  for (const size_t threads : {2, 4, 8}) {
-    parallel.push_back(MakeEngine(threads));
-  }
+  // Reference: planner OFF, sequential — the unplanned runtime-greedy
+  // pipeline. Every variant (planner off at higher thread counts, planner
+  // on with real column statistics at every thread count) must reproduce
+  // its bytes exactly.
+  const QueryEngine seq = MakeEngine(1, /*planner=*/false);
   for (const FuzzDataset& dataset : MakeDatasets()) {
+    // Statistics are per-database, so the planner-on engines are built
+    // inside the dataset loop.
+    auto stats = std::make_shared<const plan::StatsCatalog>(
+        plan::StatsCatalog::Collect(*dataset.db));
+    std::vector<QueryEngine> variants;
+    for (const size_t threads : {2, 4, 8}) {
+      variants.push_back(MakeEngine(threads, /*planner=*/false));
+    }
+    for (const size_t threads : {1, 2, 4, 8}) {
+      variants.push_back(MakeEngine(threads, /*planner=*/true, stats));
+    }
+    // Planner with no statistics (fixed default selectivities) is its own
+    // estimation code path; one sequential engine covers it.
+    variants.push_back(MakeEngine(1, /*planner=*/true));
     util::Rng rng(seed ^ util::Fnv1a(dataset.name));
     QueryFuzzer fuzzer(dataset, &rng);
     size_t executed_ok = 0;
     for (size_t i = 0; i < kQueriesPerDataset; ++i) {
       const sql::SelectStatement stmt = fuzzer.Generate();
-      RunDifferential(dataset, seq, parallel, stmt, i, seed, &executed_ok);
+      RunDifferential(dataset, seq, variants, stmt, i, seed, &executed_ok);
       if (::testing::Test::HasFatalFailure()) return;
     }
     // The generator must produce mostly executable queries, or the
@@ -554,6 +579,52 @@ TEST(DifferentialExecTest, DeadlineMidBuildReturnsDeadlineExceeded) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded)
       << result.status().ToString();
+}
+
+// ---- BETWEEN <-> paired-inequality equivalence. ----
+//
+// The canonical fingerprint collapses `x BETWEEN lo AND hi` with
+// `lo <= x AND x <= hi` (and `x NOT BETWEEN lo AND hi` with
+// `x < lo OR x > hi`), so the serving layer's answer cache may hand one
+// spelling's cached bytes to the other. This test is the license for
+// that: both spellings must execute to byte-identical ResultSets, with
+// the planner on and off, including over NULL-heavy columns (comparisons
+// with NULL are false in WHERE, so both spellings reject NULLs alike).
+TEST(DifferentialExecTest, BetweenMatchesPairedInequalities) {
+  const auto db = SkewedDb();
+  storage::DatabaseView view(db.get());
+  const struct {
+    const char* between;
+    const char* spelled;
+  } kPairs[] = {
+      {"SELECT f.id, f.val FROM fact f WHERE f.cnt BETWEEN 3 AND 17",
+       "SELECT f.id, f.val FROM fact f WHERE 3 <= f.cnt AND f.cnt <= 17"},
+      {"SELECT f.id FROM fact f WHERE f.val BETWEEN 1.5 AND 8.25",
+       "SELECT f.id FROM fact f WHERE 1.5 <= f.val AND f.val <= 8.25"},
+      {"SELECT f.id FROM fact f WHERE f.cnt NOT BETWEEN 5 AND 40",
+       "SELECT f.id FROM fact f WHERE f.cnt < 5 OR f.cnt > 40"},
+      {"SELECT d.label, COUNT(*) FROM fact f, dim d "
+       "WHERE f.k = d.k AND d.k BETWEEN 2 AND 9 GROUP BY d.label",
+       "SELECT d.label, COUNT(*) FROM fact f, dim d "
+       "WHERE f.k = d.k AND 2 <= d.k AND d.k <= 9 GROUP BY d.label"},
+  };
+  for (const bool planner : {false, true}) {
+    const QueryEngine engine = MakeEngine(1, planner);
+    for (const auto& pair : kPairs) {
+      const std::string label = std::string(pair.between) + " planner=" +
+                                (planner ? "on" : "off");
+      auto a = engine.ExecuteSql(pair.between, view);
+      auto b = engine.ExecuteSql(pair.spelled, view);
+      ASSERT_TRUE(a.ok()) << label << ": " << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << label << ": " << b.status().ToString();
+      const ResultSet& want = a.value();
+      const ResultSet& got = b.value();
+      ASSERT_EQ(want.num_rows(), got.num_rows()) << label;
+      for (size_t r = 0; r < want.num_rows(); ++r) {
+        ASSERT_EQ(want.RowKey(r), got.RowKey(r)) << label << " row " << r;
+      }
+    }
+  }
 }
 
 TEST(DifferentialExecTest, CancelMidAggregationReturnsCancelled) {

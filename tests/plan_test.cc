@@ -1,0 +1,366 @@
+// Unit tests for the cost-based planner (src/plan): statistics collection,
+// the cardinality-estimator formulas, each rewrite rule (constant folding,
+// duplicate pruning, transitive filter pushdown), the DP / greedy join
+// ordering, and the EXPLAIN rendering. End-to-end byte invariance of
+// planner-on vs planner-off is proven at scale by
+// differential_exec_test.cc; this file pins the planning decisions
+// themselves.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "plan/card_est.h"
+#include "plan/planner.h"
+#include "plan/stats.h"
+#include "sql/binder.h"
+#include "sql/canonicalize.h"
+#include "storage/database.h"
+#include "testing.h"
+
+namespace asqp {
+namespace plan {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = asqp::testing::MakeTinyMovieDb();
+    stats_ = StatsCatalog::Collect(*db_);
+  }
+
+  sql::BoundQuery Bind(const std::string& sql) {
+    auto bound = sql::ParseAndBind(sql, *db_);
+    EXPECT_TRUE(bound.ok()) << sql << ": " << bound.status().ToString();
+    return std::move(bound).value();
+  }
+
+  /// Selectivity of the first filter conjunct of table 0 in `sql`.
+  double FirstFilterSelectivity(const std::string& sql,
+                                const StatsCatalog* catalog) {
+    const sql::BoundQuery q = Bind(sql);
+    EXPECT_FALSE(q.filters[0].empty()) << sql;
+    CardinalityEstimator est(catalog, &q);
+    return est.Selectivity(*q.filters[0][0], 0);
+  }
+
+  std::shared_ptr<storage::Database> db_;
+  StatsCatalog stats_;
+};
+
+// ---- Statistics collection --------------------------------------------
+
+TEST_F(PlanTest, CatalogCollectsRowCountsNdvAndRanges) {
+  ASSERT_EQ(stats_.num_tables(), 2u);
+  const TableStatistics* movies = stats_.FindTable("movies");
+  ASSERT_NE(movies, nullptr);
+  EXPECT_EQ(movies->row_count, 8u);
+
+  // movies(id, title, year, rating): year has 7 distinct values over
+  // [1999, 2021]; title is a string column (NDV but no numeric range).
+  const ColumnStatistics* year = stats_.FindColumn("movies", 2);
+  ASSERT_NE(year, nullptr);
+  EXPECT_EQ(year->ndv, 7u);
+  ASSERT_TRUE(year->has_range);
+  EXPECT_DOUBLE_EQ(year->min, 1999.0);
+  EXPECT_DOUBLE_EQ(year->max, 2021.0);
+  EXPECT_DOUBLE_EQ(year->null_fraction, 0.0);
+
+  const ColumnStatistics* title = stats_.FindColumn("movies", 1);
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->ndv, 8u);
+  EXPECT_FALSE(title->has_range);
+
+  // roles.movie_id references 6 of the 8 movies.
+  const ColumnStatistics* movie_id = stats_.FindColumn("roles", 0);
+  ASSERT_NE(movie_id, nullptr);
+  EXPECT_EQ(movie_id->ndv, 6u);
+
+  EXPECT_EQ(stats_.FindTable("nope"), nullptr);
+  EXPECT_EQ(stats_.FindColumn("movies", 99), nullptr);
+}
+
+// ---- Cardinality estimation -------------------------------------------
+
+TEST_F(PlanTest, EqualitySelectivityIsOneOverNdv) {
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE m.year = 2010",
+                       &stats_),
+                   1.0 / 7.0);
+}
+
+TEST_F(PlanTest, RangeSelectivityInterpolatesMinMax) {
+  // (2010 - 1999) / (2021 - 1999) = 0.5 of the range lies below 2010.
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE m.year < 2010",
+                       &stats_),
+                   0.5);
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE m.year > 2010",
+                       &stats_),
+                   0.5);
+  // Mirrored spelling hits the same formula.
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE 2010 > m.year",
+                       &stats_),
+                   0.5);
+}
+
+TEST_F(PlanTest, BetweenSelectivityIntersectsTheRange) {
+  EXPECT_DOUBLE_EQ(
+      FirstFilterSelectivity(
+          "SELECT m.id FROM movies m WHERE m.year BETWEEN 2004 AND 2015",
+          &stats_),
+      0.5);
+}
+
+TEST_F(PlanTest, NullComparisonNeverPasses) {
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE m.year = NULL",
+                       &stats_),
+                   0.0);
+}
+
+TEST_F(PlanTest, DefaultsApplyWithoutStatistics) {
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE m.year = 2010",
+                       nullptr),
+                   CardDefaults::kEquality);
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE m.year < 2010",
+                       nullptr),
+                   CardDefaults::kRange);
+  EXPECT_DOUBLE_EQ(FirstFilterSelectivity(
+                       "SELECT m.id FROM movies m WHERE m.title LIKE 'a%'",
+                       nullptr),
+                   CardDefaults::kLike);
+}
+
+TEST_F(PlanTest, ConjunctionMultipliesAndDisjunctionAddsOut) {
+  // AND: 0.5 * (1/7); OR: 0.5 + 1/7 - 0.5/7 (inclusion-exclusion). The
+  // binder splits top-level WHERE conjunctions into separate filter
+  // conjuncts, so the AND case rebuilds the node from the bound halves.
+  const double eq = 1.0 / 7.0;
+  const sql::BoundQuery q = Bind(
+      "SELECT m.id FROM movies m WHERE m.year < 2010 AND m.year = 2010");
+  ASSERT_EQ(q.filters[0].size(), 2u);
+  const sql::ExprPtr conj = sql::Expr::Binary(
+      sql::BinOp::kAnd, q.filters[0][0], q.filters[0][1]);
+  CardinalityEstimator est(&stats_, &q);
+  EXPECT_DOUBLE_EQ(est.Selectivity(*conj, 0), 0.5 * eq);
+  EXPECT_DOUBLE_EQ(
+      FirstFilterSelectivity("SELECT m.id FROM movies m "
+                             "WHERE m.year < 2010 OR m.year = 2010",
+                             &stats_),
+      0.5 + eq - 0.5 * eq);
+}
+
+TEST_F(PlanTest, JoinSelectivityIsOneOverMaxNdv) {
+  const sql::BoundQuery q = Bind(
+      "SELECT m.title FROM movies m, roles r WHERE r.movie_id = m.id");
+  ASSERT_EQ(q.joins.size(), 1u);
+  CardinalityEstimator est(&stats_, &q);
+  // movies.id has NDV 8, roles.movie_id has NDV 6.
+  EXPECT_DOUBLE_EQ(est.JoinSelectivity(q.joins[0]), 1.0 / 8.0);
+}
+
+TEST_F(PlanTest, FilteredRowsScaleTheTable) {
+  const sql::BoundQuery q =
+      Bind("SELECT m.id FROM movies m WHERE m.year = 2010");
+  CardinalityEstimator est(&stats_, &q);
+  EXPECT_DOUBLE_EQ(est.EstimateFilteredRows(0, q.filters[0]), 8.0 / 7.0);
+}
+
+// ---- Rewrite rules ----------------------------------------------------
+
+TEST_F(PlanTest, ConstantFoldingCollapsesLiteralArithmetic) {
+  const sql::BoundQuery q =
+      Bind("SELECT m.id FROM movies m WHERE m.year > 1000 + 999");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  EXPECT_GE(summary.folded_constants, 1u);
+  ASSERT_EQ(planned.filters[0].size(), 1u);
+  const sql::BoundQuery want =
+      Bind("SELECT m.id FROM movies m WHERE m.year > 1999");
+  EXPECT_EQ(sql::CanonicalizeExpr(*planned.filters[0][0]),
+            sql::CanonicalizeExpr(*want.filters[0][0]));
+  // The input query is untouched.
+  EXPECT_NE(sql::CanonicalizeExpr(*q.filters[0][0]),
+            sql::CanonicalizeExpr(*want.filters[0][0]));
+}
+
+TEST_F(PlanTest, ConstantTrueConjunctIsDropped) {
+  const sql::BoundQuery q = Bind("SELECT m.id FROM movies m WHERE 1 < 2");
+  const sql::BoundQuery planned = PlanQuery(q, &stats_);
+  size_t conjuncts = planned.residual.size();
+  for (const auto& filters : planned.filters) conjuncts += filters.size();
+  EXPECT_EQ(conjuncts, 0u);
+}
+
+TEST_F(PlanTest, ConstantFalseConjunctIsKept) {
+  // FALSE zeroes the result — it must survive to be evaluated.
+  const sql::BoundQuery q = Bind("SELECT m.id FROM movies m WHERE 1 > 2");
+  const sql::BoundQuery planned = PlanQuery(q, &stats_);
+  size_t conjuncts = planned.residual.size();
+  for (const auto& filters : planned.filters) conjuncts += filters.size();
+  EXPECT_EQ(conjuncts, 1u);
+}
+
+TEST_F(PlanTest, DuplicateConjunctsPruneToOne) {
+  const sql::BoundQuery q = Bind(
+      "SELECT m.id FROM movies m WHERE m.year > 2000 AND 2000 < m.year");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  EXPECT_EQ(planned.filters[0].size(), 1u);
+  EXPECT_EQ(summary.pruned_duplicates, 1u);
+}
+
+TEST_F(PlanTest, FilterPropagatesAcrossJoinEquality) {
+  const sql::BoundQuery q = Bind(
+      "SELECT m.title FROM movies m, roles r "
+      "WHERE r.movie_id = m.id AND m.id >= 5");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  EXPECT_EQ(summary.propagated_filters, 1u);
+  // roles (FROM index 1) gained the propagated movie_id >= 5 filter.
+  ASSERT_EQ(planned.filters[1].size(), 1u);
+  ASSERT_EQ(summary.tables.size(), 2u);
+  EXPECT_EQ(summary.tables[1].propagated_filters, 1u);
+  // The propagated conjunct was retargeted onto roles.movie_id
+  // (FROM index 1, column 0).
+  const sql::Expr& moved = *planned.filters[1][0];
+  ASSERT_EQ(moved.kind, sql::ExprKind::kBinary);
+  ASSERT_EQ(moved.left->kind, sql::ExprKind::kColumnRef);
+  EXPECT_EQ(moved.left->table_idx, 1);
+  EXPECT_EQ(moved.left->col_idx, 0);
+  // The original query did not gain a filter.
+  EXPECT_TRUE(q.filters[1].empty());
+}
+
+TEST_F(PlanTest, DoubleJoinKeysDoNotPropagate) {
+  // rating/salary are DOUBLE columns; the join-key serialization is not
+  // injective for doubles, so propagation across them is unsound and must
+  // not happen.
+  const sql::BoundQuery q = Bind(
+      "SELECT m.title FROM movies m, roles r "
+      "WHERE r.salary = m.rating AND m.rating > 7");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  EXPECT_EQ(summary.propagated_filters, 0u);
+  EXPECT_TRUE(planned.filters[1].empty());
+}
+
+TEST_F(PlanTest, PropagationSkipsAnAlreadyIdenticalFilter) {
+  const sql::BoundQuery q = Bind(
+      "SELECT m.title FROM movies m, roles r "
+      "WHERE r.movie_id = m.id AND m.id >= 5 AND r.movie_id >= 5");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  // Each side already carries the bound; nothing new may be added.
+  EXPECT_EQ(planned.filters[0].size(), 1u);
+  EXPECT_EQ(planned.filters[1].size(), 1u);
+}
+
+// ---- Join ordering ----------------------------------------------------
+
+TEST_F(PlanTest, DpSeedsTheSmallestTableWithoutFilters) {
+  const sql::BoundQuery q = Bind(
+      "SELECT m.title, r.actor FROM movies m, roles r "
+      "WHERE r.movie_id = m.id");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  EXPECT_TRUE(summary.used_dp);
+  // movies (8 rows) seeds before roles (10 rows).
+  EXPECT_EQ(planned.join_order, (std::vector<int>{0, 1}));
+}
+
+TEST_F(PlanTest, DpSeedsTheSelectivelyFilteredTable) {
+  const sql::BoundQuery q = Bind(
+      "SELECT m.title, r.actor FROM movies m, roles r "
+      "WHERE r.movie_id = m.id AND r.actor = 'ann'");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  // roles shrinks to 10/5 = 2 estimated rows, below movies' 8.
+  EXPECT_EQ(planned.join_order, (std::vector<int>{1, 0}));
+  EXPECT_LT(summary.tables[1].estimated_rows,
+            summary.tables[0].estimated_rows);
+}
+
+TEST_F(PlanTest, WideJoinsFallBackToGreedy) {
+  const sql::BoundQuery q = Bind(
+      "SELECT a.id FROM movies a, movies b, movies c, movies d, movies e, "
+      "movies f, movies g WHERE a.id = b.id AND b.id = c.id AND "
+      "c.id = d.id AND d.id = e.id AND e.id = f.id AND f.id = g.id");
+  PlanSummary summary;
+  const sql::BoundQuery planned = PlanQuery(q, &stats_, &summary);
+  EXPECT_FALSE(summary.used_dp);
+  // Still a valid permutation of all 7 FROM entries.
+  std::vector<int> sorted = planned.join_order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST_F(PlanTest, SingleTableGetsTrivialOrder) {
+  const sql::BoundQuery q = Bind("SELECT m.id FROM movies m");
+  const sql::BoundQuery planned = PlanQuery(q, &stats_);
+  EXPECT_EQ(planned.join_order, (std::vector<int>{0}));
+}
+
+// ---- EXPLAIN ----------------------------------------------------------
+
+TEST_F(PlanTest, ExplainRendersTheChosenPlan) {
+  exec::ExecOptions options;
+  options.planner_stats =
+      std::make_shared<const StatsCatalog>(StatsCatalog::Collect(*db_));
+  const exec::QueryEngine engine(options);
+  storage::DatabaseView view(db_.get());
+  auto text = engine.ExplainSql(
+      "SELECT m.title, r.actor FROM movies m, roles r "
+      "WHERE r.movie_id = m.id AND r.actor = 'ann'",
+      view);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("column statistics"), std::string::npos)
+      << text.value();
+  EXPECT_NE(text.value().find("exact-dp"), std::string::npos) << text.value();
+  EXPECT_NE(text.value().find("join order: t1 -> t0"), std::string::npos)
+      << text.value();
+}
+
+TEST_F(PlanTest, ExplainReportsDisabledPlanner) {
+  exec::ExecOptions options;
+  options.enable_planner = false;
+  const exec::QueryEngine engine(options);
+  storage::DatabaseView view(db_.get());
+  auto text = engine.ExplainSql("SELECT m.id FROM movies m", view);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("planner disabled"), std::string::npos)
+      << text.value();
+}
+
+// ---- Invariance spot check --------------------------------------------
+
+TEST_F(PlanTest, PlannerOnAndOffProduceIdenticalBytes) {
+  const char kSql[] =
+      "SELECT m.title, r.actor FROM movies m, roles r "
+      "WHERE r.movie_id = m.id AND r.actor = 'ann'";
+  storage::DatabaseView view(db_.get());
+  exec::ExecOptions off;
+  off.enable_planner = false;
+  exec::ExecOptions on;
+  on.planner_stats =
+      std::make_shared<const StatsCatalog>(StatsCatalog::Collect(*db_));
+  auto a = exec::QueryEngine(off).ExecuteSql(kSql, view);
+  auto b = exec::QueryEngine(on).ExecuteSql(kSql, view);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a.value().num_rows(), b.value().num_rows());
+  for (size_t r = 0; r < a.value().num_rows(); ++r) {
+    EXPECT_EQ(a.value().RowKey(r), b.value().RowKey(r)) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace asqp

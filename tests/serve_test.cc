@@ -244,6 +244,27 @@ TEST_F(ServeEngineTest, EquivalentSpellingsShareOneEntry) {
   EXPECT_EQ(engine.cache().stats().entries, 1u);
 }
 
+TEST_F(ServeEngineTest, BetweenAndPairedInequalitiesShareOneEntry) {
+  ServeEngine engine(model_.get(), SmallServe());
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult first,
+                       engine.AnswerSql(
+                           "SELECT t.name FROM title t "
+                           "WHERE t.production_year BETWEEN 1990 AND 2005"));
+  EXPECT_FALSE(first.from_cache);
+  // The canonicalizer expands BETWEEN into its conjunct parts, so the
+  // paired-inequality spelling lands on the same fingerprint — and the
+  // differential suite proves the two spellings execute to identical
+  // bytes, so handing one the other's cached answer is sound.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult second,
+                       engine.AnswerSql(
+                           "SELECT t.name FROM title t "
+                           "WHERE t.production_year >= 1990 "
+                           "AND t.production_year <= 2005"));
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(Keys(second.result), Keys(first.result));
+  EXPECT_EQ(engine.cache().stats().entries, 1u);
+}
+
 TEST_F(ServeEngineTest, ZeroCacheBytesAlwaysExecutes) {
   ServeOptions options = SmallServe();
   options.cache_bytes = 0;
