@@ -1,0 +1,283 @@
+// Secondary-index benchmarks (google-benchmark): the same selective
+// point/range queries executed with the ordered-index catalog attached
+// and detached, over an approximation-set view of a single wide events
+// table. The planner's access-path rule converts the selective predicate
+// to an IndexRangeScan (binary search over the sorted column permutation)
+// while the detached engine evaluates every visible row, so the *On
+// families must beat their *Off twins by a wide margin (>= 5x on the
+// <= 1%-selectivity range; see DESIGN.md "Secondary indexes").
+//
+// Both families are recorded in bench/baselines/BENCH_index.json and
+// gated by CI's bench-smoke job with --fail-on-missing: a silently
+// dropped catalog (or a planner that stops converting) would regress
+// every *On entry past the tolerance and fail the gate.
+//
+// Pass `--json out.json` (or set ASQP_BENCH_JSON) to emit the
+// measurements as machine-readable records.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/bench_common.h"
+#include "common/bench_json.h"
+#include "exec/executor.h"
+#include "plan/stats.h"
+#include "sql/binder.h"
+#include "storage/database.h"
+#include "storage/index.h"
+#include "util/random.h"
+
+using namespace asqp;
+
+namespace {
+
+/// Event-table rows per ASQP_BENCH_SCALE (0 = smoke, 1 = default,
+/// 2 = paper-shaped).
+size_t RowsForScale(int scale) {
+  switch (scale) {
+    case 0: return 150'000;
+    case 1: return 600'000;
+    default: return 2'000'000;
+  }
+}
+
+/// events(id, kind, score, note) restricted to an approximation set
+/// keeping ~3 of every 4 rows: the index maps subset ordinals, so the
+/// benchmark exercises the PhysicalRow indirection the real mediator
+/// pays, not the flat full-table special case.
+struct EventsBundle {
+  std::shared_ptr<storage::Database> db;
+  storage::ApproximationSet subset;
+  std::shared_ptr<const plan::StatsCatalog> stats;
+  std::shared_ptr<const storage::IndexCatalog> indexes;
+  int64_t max_id = 0;
+};
+
+void Require(const util::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_index: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+const EventsBundle& Events() {
+  static const EventsBundle* bundle = [] {
+    using storage::Schema;
+    using storage::Table;
+    using storage::Value;
+    using storage::ValueType;
+
+    const size_t rows = RowsForScale(bench::BenchScale());
+    util::Rng rng(23);
+    auto db = std::make_shared<storage::Database>();
+
+    auto events = std::make_shared<Table>(
+        "events", Schema({{"id", ValueType::kInt64},
+                          {"kind", ValueType::kString},
+                          {"score", ValueType::kDouble},
+                          {"note", ValueType::kString}}));
+    const char* kKinds[] = {"view", "click", "buy", "share", "hide"};
+    for (size_t i = 0; i < rows; ++i) {
+      Require(events->AppendRow(
+          {Value(static_cast<int64_t>(i)),
+           Value(std::string(kKinds[rng.NextBounded(5)])),
+           rng.Bernoulli(0.1) ? Value() : Value(rng.UniformDouble(0, 1)),
+           rng.Bernoulli(0.2) ? Value() : Value(std::string("n"))}));
+    }
+    Require(db->AddTable(events));
+
+    // Leaky singleton: shared across benchmarks, freed at process exit.
+    auto* b = new EventsBundle;  // NOLINT(asqp-naked-new)
+    b->db = std::move(db);
+    for (size_t i = 0; i < rows; ++i) {
+      if (i % 4 != 3) b->subset.Add("events", static_cast<uint32_t>(i));
+    }
+    b->subset.Seal();
+    b->stats = std::make_shared<const plan::StatsCatalog>(
+        plan::StatsCatalog::Collect(*b->db));
+    const storage::DatabaseView view(b->db.get(), &b->subset);
+    b->indexes = std::make_shared<const storage::IndexCatalog>(
+        storage::IndexCatalog::Build(view, storage::AllIndexColumns(*b->db),
+                                     /*generation=*/0));
+    b->max_id = static_cast<int64_t>(rows) - 1;
+    return b;
+  }();
+  return *bundle;
+}
+
+storage::DatabaseView SubsetView() {
+  return storage::DatabaseView(Events().db.get(), &Events().subset);
+}
+
+exec::QueryEngine MakeEngine(bool with_indexes) {
+  exec::ExecOptions options;
+  options.planner_stats = Events().stats;
+  if (with_indexes) options.index_catalog = Events().indexes;
+  return exec::QueryEngine(options);
+}
+
+/// <= 1%-selectivity closed range on the indexed key column: the
+/// acceptance predicate for the >= 5x On-vs-Off bar.
+std::string SelectiveRangeSql() {
+  const int64_t width = (Events().max_id + 1) / 100;
+  return "SELECT id, score FROM events WHERE id BETWEEN 100 AND " +
+         std::to_string(100 + width - 1);
+}
+
+/// Point lookup on the key column, aimed at an id the subset keeps
+/// (ordinals with i % 4 == 3 are excluded) so exactly one row matches.
+std::string PointSql() {
+  const int64_t mid = Events().max_id / 2;
+  return "SELECT score FROM events WHERE id = " +
+         std::to_string(mid - mid % 4 + 1);
+}
+
+/// ~75% of the table: the planner must *decline* the index here (estimated
+/// selectivity is far above the conversion threshold), so On and Off both
+/// full-scan and this family tracks the no-regression side of the rule.
+std::string UnselectiveRangeSql() {
+  return "SELECT id FROM events WHERE id >= " +
+         std::to_string((Events().max_id + 1) / 4);
+}
+
+/// Index on and off must agree byte-for-byte before we time anything —
+/// a speedup over different answers would be meaningless.
+void VerifyIdentical(const std::string& sql) {
+  const storage::DatabaseView view = SubsetView();
+  auto off = MakeEngine(false).ExecuteSql(sql, view);
+  auto on = MakeEngine(true).ExecuteSql(sql, view);
+  if (!off.ok() || !on.ok()) {
+    std::fprintf(stderr, "bench_index: %s failed: %s / %s\n", sql.c_str(),
+                 off.status().ToString().c_str(),
+                 on.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (off.value().num_rows() != on.value().num_rows()) {
+    std::fprintf(stderr, "bench_index: row count diverged on %s\n",
+                 sql.c_str());
+    std::exit(1);
+  }
+  for (size_t r = 0; r < off.value().num_rows(); ++r) {
+    if (off.value().RowKey(r) != on.value().RowKey(r)) {
+      std::fprintf(stderr, "bench_index: row %zu diverged on %s\n", r,
+                   sql.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+void RunScan(benchmark::State& state, const std::string& sql,
+             bool with_indexes) {
+  const exec::QueryEngine engine = MakeEngine(with_indexes);
+  const storage::DatabaseView view = SubsetView();
+  auto bound = sql::ParseAndBind(sql, *Events().db);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bench_index: bind failed: %s\n",
+                 bound.status().ToString().c_str());
+    std::exit(1);
+  }
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = engine.Execute(bound.value(), view);
+    if (rs.ok()) rows += static_cast<int64_t>(rs.value().num_rows());
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetItemsProcessed(rows);
+}
+
+void BM_IndexSelectiveRangeOff(benchmark::State& state) {
+  static const bool verified = (VerifyIdentical(SelectiveRangeSql()), true);
+  (void)verified;
+  RunScan(state, SelectiveRangeSql(), /*with_indexes=*/false);
+}
+BENCHMARK(BM_IndexSelectiveRangeOff);
+
+void BM_IndexSelectiveRangeOn(benchmark::State& state) {
+  RunScan(state, SelectiveRangeSql(), /*with_indexes=*/true);
+}
+BENCHMARK(BM_IndexSelectiveRangeOn);
+
+void BM_IndexPointLookupOff(benchmark::State& state) {
+  static const bool verified = (VerifyIdentical(PointSql()), true);
+  (void)verified;
+  RunScan(state, PointSql(), /*with_indexes=*/false);
+}
+BENCHMARK(BM_IndexPointLookupOff);
+
+void BM_IndexPointLookupOn(benchmark::State& state) {
+  RunScan(state, PointSql(), /*with_indexes=*/true);
+}
+BENCHMARK(BM_IndexPointLookupOn);
+
+void BM_IndexUnselectiveRangeOff(benchmark::State& state) {
+  static const bool verified = (VerifyIdentical(UnselectiveRangeSql()), true);
+  (void)verified;
+  RunScan(state, UnselectiveRangeSql(), /*with_indexes=*/false);
+}
+BENCHMARK(BM_IndexUnselectiveRangeOff);
+
+void BM_IndexUnselectiveRangeOn(benchmark::State& state) {
+  RunScan(state, UnselectiveRangeSql(), /*with_indexes=*/true);
+}
+BENCHMARK(BM_IndexUnselectiveRangeOn);
+
+void BM_IndexCatalogBuild(benchmark::State& state) {
+  // Build cost over every column of the approximation-set view: the price
+  // MaterializeSet / FineTune pays per generation. Must stay trivially
+  // cheap relative to one training iteration.
+  const storage::DatabaseView view = SubsetView();
+  const auto specs = storage::AllIndexColumns(*Events().db);
+  int64_t entries = 0;
+  for (auto _ : state) {
+    storage::IndexCatalog catalog =
+        storage::IndexCatalog::Build(view, specs, /*generation=*/0);
+    entries += static_cast<int64_t>(catalog.num_indexes());
+    benchmark::DoNotOptimize(catalog);
+  }
+  state.SetItemsProcessed(entries);
+}
+BENCHMARK(BM_IndexCatalogBuild);
+
+/// Console reporter that additionally captures every per-iteration run as
+/// a BenchRecord (aggregates and errored runs are skipped).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::BenchJsonWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      record.params.emplace_back("bench_scale",
+                                 std::to_string(bench::BenchScale()));
+      const auto iters = run.iterations > 0 ? run.iterations : 1;
+      record.wall_seconds =
+          run.real_accumulated_time / static_cast<double>(iters);
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) record.rows_per_sec = it->second;
+      writer_->Add(std::move(record));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::BenchJsonWriter* writer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchJsonWriter writer = bench::BenchJsonWriter::FromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!writer.Flush()) return 1;
+  return 0;
+}

@@ -173,6 +173,72 @@ BENCHMARK(BM_MorselParallelAggregateWide)
     ->Arg(8)
     ->UseRealTime();
 
+/// Shared runner for the DISTINCT / ORDER BY substrate probes below: same
+/// engine shape as the BM_MorselParallel* families (Arg(0) threads,
+/// 4096-row morsels).
+void RunMicroQuery(benchmark::State& state, const std::string& sql) {
+  const auto& bundle = Imdb();
+  exec::ExecOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.morsel_rows = 4096;
+  exec::QueryEngine engine(options);
+  storage::DatabaseView view(bundle.db.get());
+  auto bound = sql::ParseAndBind(sql, *bundle.db);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto rs = engine.Execute(bound.value(), view);
+    if (rs.ok()) rows += static_cast<int64_t>(rs.value().num_rows());
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetItemsProcessed(rows);
+}
+
+// ---- DISTINCT / large ORDER BY: hash-partial applicability probes. ----
+//
+// The open ROADMAP question after the partial-aggregation win: would the
+// same per-morsel hash-partial treatment pay off for DISTINCT and large
+// ORDER BY? These four families measure both sides without committing to
+// new operator code: the *ViaGroupBy / *GroupedSort legs route the same
+// logical work through the already-hash-partial grouped aggregation
+// substrate, so the gap between each pair IS the available headroom.
+// Verdict from the measurements lives in ROADMAP.md ("Open items").
+
+void BM_DistinctDedup(benchmark::State& state) {
+  // High-cardinality DISTINCT through the current dedup path.
+  RunMicroQuery(state,
+                "SELECT DISTINCT ci.person_id FROM cast_info ci");
+}
+BENCHMARK(BM_DistinctDedup)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_DistinctViaGroupBy(benchmark::State& state) {
+  // The same distinct key set produced by the hash-partial grouped
+  // aggregation substrate (the COUNT(*) rides along; grouping without an
+  // aggregate is not in the dialect).
+  RunMicroQuery(state,
+                "SELECT ci.person_id, COUNT(*) FROM cast_info ci "
+                "GROUP BY ci.person_id");
+}
+BENCHMARK(BM_DistinctViaGroupBy)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_OrderByLargeSort(benchmark::State& state) {
+  // Full-width sort of the largest base table: the current ORDER BY path
+  // materializes every row and sorts once at the end.
+  RunMicroQuery(state,
+                "SELECT ci.person_id, ci.movie_id FROM cast_info ci "
+                "ORDER BY ci.person_id, ci.movie_id");
+}
+BENCHMARK(BM_OrderByLargeSort)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_OrderByGroupedSort(benchmark::State& state) {
+  // Hash-partial-then-sort: grouping first shrinks the sort input from
+  // every row to one row per key — the shape a hash-partial ORDER BY
+  // treatment would produce for duplicate-heavy keys.
+  RunMicroQuery(state,
+                "SELECT ci.person_id, COUNT(*) FROM cast_info ci "
+                "GROUP BY ci.person_id ORDER BY ci.person_id");
+}
+BENCHMARK(BM_OrderByGroupedSort)->Arg(1)->Arg(4)->UseRealTime();
+
 void BM_ScoreEvaluation(benchmark::State& state) {
   const auto& bundle = Imdb();
   util::Rng rng(3);

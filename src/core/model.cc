@@ -10,6 +10,7 @@
 #include "metric/score.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "storage/index.h"
 #include "util/thread_pool.h"
 
 namespace asqp {
@@ -26,6 +27,26 @@ exec::ExecOptions ExecOptionsFor(
   options.enable_planner = config.planner;
   options.planner_stats = std::move(stats);
   return options;
+}
+
+/// Resolve the configured index columns and build the catalog over `view`
+/// (the approximation-set scope). Returns null — full scans everywhere —
+/// when indexing is disabled or the explicit spec does not resolve:
+/// index presence must never gate answering.
+std::shared_ptr<const storage::IndexCatalog> BuildIndexCatalogFor(
+    const AsqpConfig& config, const storage::Database& db,
+    const storage::DatabaseView& view, uint64_t generation) {
+  std::vector<storage::IndexColumnSpec> specs;
+  if (!config.index_columns.empty()) {
+    auto parsed = storage::ParseIndexColumns(config.index_columns, db);
+    if (!parsed.ok()) return nullptr;
+    specs = std::move(parsed).value();
+  } else if (config.index_auto) {
+    specs = storage::AllIndexColumns(db);
+  }
+  if (specs.empty()) return nullptr;
+  return std::make_shared<const storage::IndexCatalog>(
+      storage::IndexCatalog::Build(view, specs, generation));
 }
 
 util::CircuitBreaker::Options BreakerOptionsFor(const AsqpConfig& config) {
@@ -162,6 +183,23 @@ void AsqpModel::MaterializeSet() {
           std::move(fitted).value());
     }
   }
+  // Fresh set, fresh indexes: a stale catalog would binary-search ordinals
+  // of the previous generation's subset. (FineTune re-stamps the catalog
+  // after it publishes the bumped generation.)
+  RebuildIndexes();
+}
+
+void AsqpModel::RebuildIndexes() {
+  index_catalog_ = BuildIndexCatalogFor(
+      config_, *db_, storage::DatabaseView(db_, &set_), generation());
+  RebuildEngine();
+}
+
+void AsqpModel::RebuildEngine() {
+  exec::ExecOptions options = ExecOptionsFor(config_, planner_stats_);
+  options.shared_pool = exec_pool_;
+  options.index_catalog = index_catalog_;
+  engine_ = exec::QueryEngine(options);
 }
 
 void AsqpModel::CalibrateEstimator() {
@@ -394,12 +432,11 @@ util::Result<AnswerResult> AsqpModel::TryLearnedAnswer(
 }
 
 void AsqpModel::SetExecutionPool(std::shared_ptr<util::ThreadPool> pool) {
-  // Rebuilding the engine keeps the planner configuration and statistics:
-  // routing execution through a shared pool must not change plans (or
-  // bytes — the serving layer's cached answers assume both).
-  exec::ExecOptions options = ExecOptionsFor(config_, planner_stats_);
-  options.shared_pool = std::move(pool);
-  engine_ = exec::QueryEngine(options);
+  // Rebuilding the engine keeps the planner configuration, statistics, and
+  // index catalog: routing execution through a shared pool must not change
+  // plans (or bytes — the serving layer's cached answers assume both).
+  exec_pool_ = std::move(pool);
+  RebuildEngine();
 }
 
 util::Result<AnswerResult> AsqpModel::AnswerSql(const std::string& sql) {
@@ -467,6 +504,11 @@ util::Status AsqpModel::FineTune(const metric::Workload& new_queries) {
   // Publish the new approximation-set generation last: a cached answer
   // stamped with the old generation is stale from this point on.
   generation_.fetch_add(1, std::memory_order_release);
+  // Re-stamp the index catalog with the generation it now serves (the
+  // rebuild inside MaterializeSet ran before the bump). FineTune is
+  // serialized against Answer, so nothing executes between the two swaps;
+  // the second build over the <= k-tuple set is cheap.
+  RebuildIndexes();
   return util::Status::OK();
 }
 

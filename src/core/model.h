@@ -26,6 +26,10 @@ namespace aqp {
 class LearnedFallback;
 }  // namespace aqp
 
+namespace storage {
+class IndexCatalog;
+}  // namespace storage
+
 namespace core {
 
 /// Which tier of the degradation ladder produced an answer.
@@ -183,6 +187,15 @@ class AsqpModel {
     return learned_;
   }
 
+  /// Ordered secondary indexes over the current approximation set, stamped
+  /// with the generation they serve (null until MaterializeSet has run or
+  /// when indexing is disabled). FineTune swaps in a freshly built catalog
+  /// stamped with the bumped generation — reader threads holding the old
+  /// shared_ptr keep a consistent (db, set, indexes) snapshot.
+  std::shared_ptr<const storage::IndexCatalog> index_catalog() const {
+    return index_catalog_;
+  }
+
   /// The circuit breaker guarding the full-database tier (tests drive its
   /// clock; see util::CircuitBreaker::SetNowFnForTest).
   util::CircuitBreaker& circuit_breaker() { return breaker_; }
@@ -194,6 +207,13 @@ class AsqpModel {
   std::unique_ptr<rl::Env> MakeEnv() const;
   void MaterializeSet();
   void CalibrateEstimator();
+  /// Rebuild the secondary-index catalog over the current approximation
+  /// set (stamped with the current generation) and swap in an engine that
+  /// carries it. Writer: same serialization contract as FineTune.
+  void RebuildIndexes();
+  /// Rebuild engine_ from config_, preserving the planner statistics, the
+  /// index catalog, and any injected execution pool.
+  void RebuildEngine();
 
   /// Tier 1 of the ladder: answer `bound` from the learned fallback.
   /// `cause` is the failure that forced degradation past the full
@@ -214,6 +234,13 @@ class AsqpModel {
   /// (SetExecutionPool). Declared before engine_: the constructor feeds it
   /// into the engine's ExecOptions.
   std::shared_ptr<const plan::StatsCatalog> planner_stats_;
+  /// Ordered indexes over (db_, set_), rebuilt with the set (see
+  /// index_catalog()). Declared before engine_: engine rebuilds carry it.
+  std::shared_ptr<const storage::IndexCatalog> index_catalog_;
+  /// Externally injected execution pool (SetExecutionPool); preserved
+  /// across engine rebuilds so MaterializeSet cannot silently detach the
+  /// serving layer's shared pool.
+  std::shared_ptr<util::ThreadPool> exec_pool_;
   exec::QueryEngine engine_;
   /// Learned fallback tier, rebuilt by MaterializeSet (FineTune swaps it;
   /// the serving layer's reader lock covers the swap).

@@ -9,6 +9,7 @@
 
 #include "exec/evaluator.h"
 #include "plan/planner.h"
+#include "storage/index.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -68,14 +69,18 @@ struct JoinBuild {
 
 class Execution {
  public:
+  /// `indexes` (may be null) is the catalog the *planner* already saw:
+  /// the caller verifies scope coverage (IndexCatalog::CoversView) before
+  /// passing it, so a non-null catalog here always matches `view`.
   Execution(const BoundQuery& q, const DatabaseView& view,
             const ExecOptions& options, const util::ExecContext& context,
-            util::ThreadPool* pool)
+            util::ThreadPool* pool, const storage::IndexCatalog* indexes)
       : q_(q),
         view_(view),
         options_(options),
         context_(context),
         pool_(pool),
+        indexes_(indexes),
         ticker_(context, /*stride=*/256) {}
 
   Result<ResultSet> Run() {
@@ -104,10 +109,30 @@ class Execution {
   }
 
  private:
+  /// The index this table's chosen access path names, or null (full scan,
+  /// no catalog, or the index is missing at runtime — e.g. its build
+  /// failed — in which case the scan silently degrades to the full pass).
+  const storage::OrderedIndex* IndexFor(size_t t) const {
+    if (indexes_ == nullptr || q_.access_paths.size() != q_.num_tables()) {
+      return nullptr;
+    }
+    const sql::AccessPath& ap = q_.access_paths[t];
+    if (ap.kind != sql::AccessPath::Kind::kIndexRange) return nullptr;
+    return indexes_->Find(q_.tables[t]->name(), ap.column);
+  }
+
   /// Per-table filtered scan: collect visible row ids passing the table's
-  /// single-table conjuncts. With a pool, each table's visible range is
-  /// split into morsels filtered into thread-local buffers and merged in
-  /// morsel order, matching the sequential left-to-right output exactly.
+  /// single-table conjuncts. With a pool, the scanned domain is split into
+  /// morsels filtered into thread-local buffers and merged in morsel
+  /// order, matching the sequential left-to-right output exactly.
+  ///
+  /// When the planner chose an index range scan for a table, the scanned
+  /// domain is the index's candidate ordinal list (sorted ascending — the
+  /// order a full scan visits) instead of every visible row. All filter
+  /// conjuncts are still evaluated per candidate: the converted conjunct's
+  /// bounds make the candidate list a superset of its satisfying rows, so
+  /// the surviving rows — and their order — are byte-identical to the full
+  /// scan's at any thread count.
   Status FilterScans() {
     const size_t n = q_.num_tables();
     candidates_.resize(n);
@@ -116,13 +141,33 @@ class Execution {
       const size_t visible = view_.VisibleRows(table);
       const auto& filters = q_.filters[t];
       auto& out = candidates_[t];
-      const auto scan_range = [&, t](size_t begin, size_t end,
-                                     std::vector<uint32_t>* rows,
-                                     util::DeadlineTicker* ticker) -> Status {
+
+      std::vector<uint32_t> index_ordinals;
+      const storage::OrderedIndex* index = IndexFor(t);
+      if (index != nullptr) {
+        const sql::AccessPath& ap = q_.access_paths[t];
+        storage::IndexBound bound;
+        bound.has_lower = ap.has_lower;
+        bound.has_upper = ap.has_upper;
+        bound.lower_inclusive = ap.lower_inclusive;
+        bound.upper_inclusive = ap.upper_inclusive;
+        bound.lower = ap.lower;
+        bound.upper = ap.upper;
+        index_ordinals = index->LookupRange(bound);
+      }
+      // Domain of the scan: candidate ordinals from the index, or every
+      // visible ordinal (identity mapping) for the full scan.
+      const size_t domain = index != nullptr ? index_ordinals.size() : visible;
+
+      const auto scan_range = [&, t, index](size_t begin, size_t end,
+                                            std::vector<uint32_t>* rows,
+                                            util::DeadlineTicker* ticker)
+          -> Status {
         std::vector<uint32_t> scratch(n, 0);
         JoinedRow jr{&q_.tables, scratch.data()};
-        for (size_t ord = begin; ord < end; ++ord) {
+        for (size_t i = begin; i < end; ++i) {
           ASQP_RETURN_NOT_OK(ticker->Tick("table scan"));
+          const size_t ord = index != nullptr ? index_ordinals[i] : i;
           const uint32_t row = view_.PhysicalRow(table, ord);
           scratch[t] = row;
           bool pass = true;
@@ -137,12 +182,12 @@ class Execution {
         return Status::OK();
       };
 
-      if (pool_ != nullptr && visible > 1) {
+      if (pool_ != nullptr && domain > 1) {
         const size_t morsel = options_.morsel_rows;
-        std::vector<std::vector<uint32_t>> parts((visible + morsel - 1) /
+        std::vector<std::vector<uint32_t>> parts((domain + morsel - 1) /
                                                  morsel);
         ASQP_RETURN_NOT_OK(pool_->ParallelForChunked(
-            visible, morsel,
+            domain, morsel,
             [&](size_t chunk, size_t begin, size_t end) -> Status {
               util::DeadlineTicker ticker(context_, /*stride=*/256);
               std::vector<uint32_t> local;
@@ -156,8 +201,8 @@ class Execution {
         out.reserve(total);
         for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
       } else {
-        out.reserve(visible / 4 + 1);
-        ASQP_RETURN_NOT_OK(scan_range(0, visible, &out, &ticker_));
+        out.reserve(domain / 4 + 1);
+        ASQP_RETURN_NOT_OK(scan_range(0, domain, &out, &ticker_));
       }
     }
     return Status::OK();
@@ -1023,6 +1068,8 @@ class Execution {
   const ExecOptions& options_;
   const util::ExecContext& context_;
   util::ThreadPool* pool_;  // null = sequential
+  /// Ordered indexes covering view_ (null = full scans only).
+  const storage::IndexCatalog* indexes_;
   util::DeadlineTicker ticker_;
 
   std::vector<std::vector<uint32_t>> candidates_;
@@ -1051,13 +1098,21 @@ QueryEngine::QueryEngine(ExecOptions options) : options_(options) {
 Result<ResultSet> QueryEngine::Execute(const BoundQuery& query,
                                        const DatabaseView& view,
                                        const util::ExecContext& context) const {
+  // The index catalog only participates when its scope is exactly the view
+  // being executed: a full-database execution through an engine carrying
+  // approximation-set indexes must not read subset ordinals.
+  const storage::IndexCatalog* indexes =
+      options_.index_catalog != nullptr &&
+              options_.index_catalog->CoversView(view)
+          ? options_.index_catalog.get()
+          : nullptr;
   if (options_.enable_planner) {
-    const BoundQuery planned =
-        plan::PlanQuery(query, options_.planner_stats.get());
-    Execution exec(planned, view, options_, context, pool_.get());
+    const BoundQuery planned = plan::PlanQuery(
+        query, options_.planner_stats.get(), /*summary=*/nullptr, indexes);
+    Execution exec(planned, view, options_, context, pool_.get(), indexes);
     return exec.Run();
   }
-  Execution exec(query, view, options_, context, pool_.get());
+  Execution exec(query, view, options_, context, pool_.get(), indexes);
   return exec.Run();
 }
 
@@ -1066,7 +1121,10 @@ std::string QueryEngine::Explain(const BoundQuery& query) const {
     return "plan: planner disabled (runtime-greedy join order)\n";
   }
   plan::PlanSummary summary;
-  plan::PlanQuery(query, options_.planner_stats.get(), &summary);
+  // No view to check coverage against: EXPLAIN reports the plan as it
+  // would run over the catalog's own scope (see ExecOptions::index_catalog).
+  plan::PlanQuery(query, options_.planner_stats.get(), &summary,
+                  options_.index_catalog.get());
   return summary.ToString();
 }
 
@@ -1088,7 +1146,9 @@ Result<ResultSet> QueryEngine::ExecuteSql(
 Result<ProvenancedJoin> QueryEngine::ExecuteWithProvenance(
     const BoundQuery& query, const DatabaseView& view, size_t max_tuples,
     const util::ExecContext& context) const {
-  Execution exec(query, view, options_, context, pool_.get());
+  // Never planned, so no access paths exist to consult a catalog for.
+  Execution exec(query, view, options_, context, pool_.get(),
+                 /*indexes=*/nullptr);
   return exec.RunWithProvenance(max_tuples);
 }
 

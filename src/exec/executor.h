@@ -43,6 +43,10 @@ namespace plan {
 class StatsCatalog;
 }  // namespace plan
 
+namespace storage {
+class IndexCatalog;
+}  // namespace storage
+
 namespace exec {
 
 struct ExecOptions {
@@ -88,6 +92,16 @@ struct ExecOptions {
   /// once per database (plan::StatsCatalog::Collect) and shared across
   /// engines. Null = estimate from fixed default selectivities.
   std::shared_ptr<const plan::StatsCatalog> planner_stats = nullptr;
+  /// Ordered secondary indexes (storage::IndexCatalog) for the planner's
+  /// access-path rule. Consulted only when the catalog's scope covers the
+  /// view being executed (IndexCatalog::CoversView) — an execution against
+  /// any other view plans and runs as if no catalog were set, so one
+  /// engine can serve both the indexed approximation-set view and
+  /// unindexed full-database fallbacks. Results are byte-identical with
+  /// the catalog set or not (the index yields candidate ordinals in scan
+  /// order and every filter conjunct is re-evaluated over them). Explain()
+  /// has no view to check and reports plans as if the catalog covered it.
+  std::shared_ptr<const storage::IndexCatalog> index_catalog = nullptr;
 };
 
 /// \brief Join result with provenance: for every joined tuple, the physical

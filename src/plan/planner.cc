@@ -8,6 +8,7 @@
 
 #include "plan/card_est.h"
 #include "sql/canonicalize.h"
+#include "storage/index.h"
 #include "util/string_util.h"
 
 namespace asqp {
@@ -197,6 +198,109 @@ bool PropagationSafe(ValueType type) {
   return type == ValueType::kInt64 || type == ValueType::kString;
 }
 
+/// Mirror a comparison for `lit op col` -> `col op' lit` rewriting.
+BinOp MirrorComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Match one filter conjunct of FROM entry `table` against the shapes the
+/// access-path rule converts: `col op literal` / `literal op col` for
+/// op in {=, <, <=, >, >=} and non-negated `col BETWEEN lo AND hi`. On a
+/// match, fill `ap`'s column and bounds (kind stays untouched) and return
+/// true. NULL literals never match — a comparison against NULL is
+/// constant-false, which the full scan evaluates for free.
+bool MatchIndexableConjunct(const Expr& e, int table, sql::AccessPath* ap) {
+  if (e.kind == ExprKind::kBetween && !e.negated && e.left != nullptr &&
+      e.left->kind == ExprKind::kColumnRef && e.left->table_idx == table &&
+      !e.between_lo.is_null() && !e.between_hi.is_null()) {
+    ap->column = e.left->col_idx;
+    ap->has_lower = ap->has_upper = true;
+    ap->lower_inclusive = ap->upper_inclusive = true;
+    ap->lower = e.between_lo;
+    ap->upper = e.between_hi;
+    return true;
+  }
+  if (e.kind != ExprKind::kBinary || !sql::IsComparison(e.op) ||
+      e.op == BinOp::kNe || e.left == nullptr || e.right == nullptr) {
+    return false;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  BinOp op = e.op;
+  if (e.left->kind == ExprKind::kColumnRef &&
+      e.right->kind == ExprKind::kLiteral) {
+    col = e.left.get();
+    lit = e.right.get();
+  } else if (e.left->kind == ExprKind::kLiteral &&
+             e.right->kind == ExprKind::kColumnRef) {
+    col = e.right.get();
+    lit = e.left.get();
+    op = MirrorComparison(op);
+  } else {
+    return false;
+  }
+  if (col->table_idx != table || lit->literal.is_null()) return false;
+  ap->column = col->col_idx;
+  switch (op) {
+    case BinOp::kEq:
+      ap->has_lower = ap->has_upper = true;
+      ap->lower_inclusive = ap->upper_inclusive = true;
+      ap->lower = ap->upper = lit->literal;
+      break;
+    case BinOp::kLt:
+      ap->has_upper = true;
+      ap->upper_inclusive = false;
+      ap->upper = lit->literal;
+      break;
+    case BinOp::kLe:
+      ap->has_upper = true;
+      ap->upper_inclusive = true;
+      ap->upper = lit->literal;
+      break;
+    case BinOp::kGt:
+      ap->has_lower = true;
+      ap->lower_inclusive = false;
+      ap->lower = lit->literal;
+      break;
+    case BinOp::kGe:
+      ap->has_lower = true;
+      ap->lower_inclusive = true;
+      ap->lower = lit->literal;
+      break;
+    default:
+      return false;
+  }
+  return true;
+}
+
+/// EXPLAIN rendering of one chosen access path.
+std::string DescribeAccessPath(const sql::AccessPath& ap,
+                               const BoundQuery& q, int table) {
+  if (ap.kind != sql::AccessPath::Kind::kIndexRange) return "FullScan";
+  const std::string col =
+      ap.column >= 0 &&
+              static_cast<size_t>(ap.column) <
+                  q.tables[table]->schema().num_fields()
+          ? q.tables[table]->schema().field(static_cast<size_t>(ap.column)).name
+          : util::Format("#%d", ap.column);
+  const std::string lo =
+      ap.has_lower ? util::Format("%s%s", ap.lower_inclusive ? "[" : "(",
+                                  ap.lower.ToString().c_str())
+                   : "(-inf";
+  const std::string hi =
+      ap.has_upper ? util::Format("%s%s", ap.upper.ToString().c_str(),
+                                  ap.upper_inclusive ? "]" : ")")
+                   : "+inf)";
+  return util::Format("IndexRangeScan(%s, %s, %s)", col.c_str(), lo.c_str(),
+                      hi.c_str());
+}
+
 struct JoinGraph {
   size_t n = 0;
   /// adjacency[i] bitmask of tables joined to i by an equi-predicate.
@@ -349,7 +453,7 @@ std::string PlanSummary::ToString() const {
     if (info.propagated_filters > 0) {
       out += util::Format(" (%zu propagated)", info.propagated_filters);
     }
-    out += "\n";
+    out += util::Format(" via %s\n", info.access_path.c_str());
   }
   out += "  join order:";
   for (size_t i = 0; i < join_order.size(); ++i) {
@@ -364,7 +468,8 @@ std::string PlanSummary::ToString() const {
 }
 
 sql::BoundQuery PlanQuery(const sql::BoundQuery& query,
-                          const StatsCatalog* stats, PlanSummary* summary) {
+                          const StatsCatalog* stats, PlanSummary* summary,
+                          const storage::IndexCatalog* indexes) {
   BoundQuery out = query;
   PlanSummary local;
   PlanSummary& sum = summary != nullptr ? *summary : local;
@@ -472,8 +577,36 @@ sql::BoundQuery PlanQuery(const sql::BoundQuery& query,
     }
   }
 
-  // ---- Rule 4: cost-ordered join tree.
+  // ---- Rule 3.5: access-path selection. A table whose filters include a
+  // selective single-column comparison/BETWEEN over an indexed column
+  // scans the index's candidate range instead of every visible row. The
+  // executor re-evaluates all conjuncts over the candidates, so the choice
+  // is cost-only — a mis-estimate can never change result bytes. Among
+  // eligible conjuncts the most selective estimate wins.
   CardinalityEstimator est(stats, &out);
+  out.access_paths.assign(n, sql::AccessPath{});
+  if (indexes != nullptr) {
+    for (size_t t = 0; t < n; ++t) {
+      const std::string& table_name = out.tables[t]->name();
+      double best = kIndexScanSelectivity;
+      for (const ExprPtr& f : out.filters[t]) {
+        sql::AccessPath ap;
+        if (!MatchIndexableConjunct(*f, static_cast<int>(t), &ap)) continue;
+        if (indexes->Find(table_name, ap.column) == nullptr) continue;
+        const double s = est.Selectivity(*f, static_cast<int>(t));
+        if (s > best) continue;
+        best = s;
+        ap.kind = sql::AccessPath::Kind::kIndexRange;
+        ap.selectivity = s;
+        out.access_paths[t] = std::move(ap);
+      }
+      if (out.access_paths[t].kind == sql::AccessPath::Kind::kIndexRange) {
+        ++sum.index_scans;
+      }
+    }
+  }
+
+  // ---- Rule 4: cost-ordered join tree.
   std::vector<double> filtered_rows(n, 0.0);
   for (size_t t = 0; t < n; ++t) {
     filtered_rows[t] =
@@ -501,6 +634,8 @@ sql::BoundQuery PlanQuery(const sql::BoundQuery& query,
     info.estimated_rows = filtered_rows[t];
     info.filter_count = out.filters[t].size();
     info.propagated_filters = propagated_per_table[t];
+    info.access_path = DescribeAccessPath(out.access_paths[t], out,
+                                          static_cast<int>(t));
     sum.tables.push_back(std::move(info));
   }
   return out;

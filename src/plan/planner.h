@@ -15,6 +15,14 @@
 //                          because join keys match exactly by type+value;
 //                          restricted to non-DOUBLE columns where key
 //                          equality implies value equality);
+//   * access paths         a single-column comparison or BETWEEN conjunct
+//                          whose column carries an ordered secondary index
+//                          (storage::IndexCatalog) and whose estimated
+//                          selectivity clears the threshold converts the
+//                          table's scan into an index range scan, emitted
+//                          as BoundQuery::access_paths (the executor
+//                          re-evaluates every conjunct over the index's
+//                          candidates, so this is cost-only);
 //   * join ordering        a cost-ordered sequence (exact DP over <= 6
 //                          relations, greedy beyond) minimizing the sum of
 //                          estimated intermediate cardinalities, emitted
@@ -35,7 +43,18 @@
 #include "sql/binder.h"
 
 namespace asqp {
+namespace storage {
+class IndexCatalog;
+}  // namespace storage
+
 namespace plan {
+
+/// Selectivity at or below which an indexable conjunct converts the
+/// table's scan into an index range scan. Above it the full scan's
+/// branch-free sequential pass wins (the index pays a binary search plus
+/// an ordinal sort per query). With default (no-stats) selectivities,
+/// equality (0.1) converts and an open range (1/3) does not.
+inline constexpr double kIndexScanSelectivity = 0.25;
 
 /// \brief One FROM entry's line in an EXPLAIN summary.
 struct PlanTableInfo {
@@ -46,6 +65,10 @@ struct PlanTableInfo {
   size_t filter_count = 0;
   /// How many of those filters were added by transitive propagation.
   size_t propagated_filters = 0;
+  /// Chosen access path, rendered: "FullScan" or
+  /// "IndexRangeScan(col, [lo, hi])" with "(" / ")" for exclusive and
+  /// "-inf" / "+inf" for open bounds.
+  std::string access_path = "FullScan";
 };
 
 /// \brief Observable summary of one planning pass (EXPLAIN output).
@@ -58,6 +81,8 @@ struct PlanSummary {
   size_t folded_constants = 0;
   size_t pruned_duplicates = 0;
   size_t propagated_filters = 0;
+  /// FROM entries converted to index range scans (0 without a catalog).
+  size_t index_scans = 0;
 
   /// Human-readable EXPLAIN rendering.
   std::string ToString() const;
@@ -67,9 +92,13 @@ struct PlanSummary {
 /// expression subtrees are shared, rewritten ones are fresh clones).
 /// `stats` may be null — the estimator then uses fixed default
 /// selectivities. `summary`, when non-null, receives the EXPLAIN data.
+/// `indexes`, when non-null, enables the access-path rule over its ordered
+/// indexes; the caller is responsible for passing only a catalog whose
+/// scope covers the view the plan will execute against.
 sql::BoundQuery PlanQuery(const sql::BoundQuery& query,
                           const StatsCatalog* stats,
-                          PlanSummary* summary = nullptr);
+                          PlanSummary* summary = nullptr,
+                          const storage::IndexCatalog* indexes = nullptr);
 
 }  // namespace plan
 }  // namespace asqp

@@ -25,6 +25,30 @@ struct JoinPredicate {
   int right_col = -1;
 };
 
+/// \brief How the executor should produce one FROM entry's filtered
+/// candidate rows. kFullScan (the binder's output) evaluates every visible
+/// row; kIndexRange — chosen by the planner's access-path rule when an
+/// ordered index exists and the converted conjunct is selective — binary-
+/// searches the index for candidate ordinals first. Either way the
+/// executor re-evaluates *all* filter conjuncts over the candidates, so an
+/// access path can only change cost, never bytes (and the executor falls
+/// back to kFullScan whenever the named index is unavailable at runtime).
+struct AccessPath {
+  enum class Kind : uint8_t { kFullScan, kIndexRange };
+  Kind kind = Kind::kFullScan;
+  /// Indexed column (schema position in the FROM entry's table).
+  int column = -1;
+  /// Value range of the converted conjunct, in Value::Compare order.
+  bool has_lower = false;
+  bool has_upper = false;
+  bool lower_inclusive = true;
+  bool upper_inclusive = true;
+  storage::Value lower;
+  storage::Value upper;
+  /// Estimated selectivity of the converted conjunct (EXPLAIN only).
+  double selectivity = 1.0;
+};
+
 /// \brief A fully resolved query, ready for execution.
 struct BoundQuery {
   SelectStatement stmt;  // deep copy with annotated column refs
@@ -37,6 +61,11 @@ struct BoundQuery {
 
   /// Tables referenced by each residual conjunct (aligned with `residual`).
   std::vector<std::vector<int>> residual_tables;
+
+  /// Access path per FROM entry, chosen by the planner (plan::PlanQuery).
+  /// Empty (the binder's output) = full scans everywhere; the executor
+  /// also treats any size mismatch as all-full-scans.
+  std::vector<AccessPath> access_paths;
 
   /// Join sequence chosen by the planner (plan::PlanQuery): the first
   /// entry seeds the join, the rest attach in order. Empty (the binder's

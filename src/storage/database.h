@@ -85,6 +85,10 @@ class DatabaseView {
 
   const Database& db() const { return *db_; }
   bool restricted() const { return subset_ != nullptr; }
+  /// The restricting subset (null for a full-database view). Exposed for
+  /// scope identity checks (storage::IndexCatalog::CoversView): two views
+  /// over the same db and the same subset see identical visible rows.
+  const ApproximationSet* subset() const { return subset_; }
 
   /// Number of visible rows of `table`.
   size_t VisibleRows(const Table& table) const;

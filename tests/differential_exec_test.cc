@@ -4,9 +4,13 @@
 // IS NULL), GROUP BY / HAVING / ORDER BY / LIMIT, NULL-heavy columns,
 // occasional cross products — and every query runs on a planner-off
 // sequential reference engine and on variant engines crossing
-// {planner off, planner on + column statistics} x {1, 2, 4, 8} threads
+// {planner off, planner on + column statistics, planner on no-stats} x
+// {1, 2, 4, 8} threads x {ordered secondary indexes on, off}
 // over IMDB, flights, and a synthetic Zipf-skewed-key table, asserting
-// byte-identical ResultSets. All engines share one morsel_rows: the
+// byte-identical ResultSets. The index legs are the fuzz-level proof that
+// the access path (IndexRangeScan vs FullScan) is a pure cost decision:
+// candidates come back in scan order and every conjunct is re-evaluated,
+// so not one byte may move when a catalog is attached. All engines share one morsel_rows: the
 // morsel decomposition is part of the deterministic plan spec (see
 // DESIGN.md "Partitioned build & partial aggregation"); neither thread
 // count nor the cost-based planner may change a single byte.
@@ -27,6 +31,7 @@
 #include "sql/ast.h"
 #include "sql/binder.h"
 #include "storage/database.h"
+#include "storage/index.h"
 #include "tests/testing.h"
 #include "util/exec_context.h"
 #include "util/fault_injector.h"
@@ -66,6 +71,8 @@ uint64_t SeedFromEnv() {
 
 QueryEngine MakeEngine(size_t threads, bool planner = true,
                        std::shared_ptr<const plan::StatsCatalog> stats =
+                           nullptr,
+                       std::shared_ptr<const storage::IndexCatalog> indexes =
                            nullptr) {
   ExecOptions options;
   // A tight intermediate cap keeps runaway join blowups cheap; capped
@@ -75,6 +82,7 @@ QueryEngine MakeEngine(size_t threads, bool planner = true,
   options.morsel_rows = kMorselRows;
   options.enable_planner = planner;
   options.planner_stats = std::move(stats);
+  options.index_catalog = std::move(indexes);
   return QueryEngine(options);
 }
 
@@ -462,7 +470,8 @@ void RunDifferential(const FuzzDataset& dataset, const QueryEngine& seq,
         " threads planner-" +
         (par.options().enable_planner
              ? (par.options().planner_stats != nullptr ? "on" : "on-no-stats")
-             : "off");
+             : "off") +
+        (par.options().index_catalog != nullptr ? " index-on" : " index-off");
     auto actual = par.Execute(bound.value(), view);
     ASSERT_EQ(expected.ok(), actual.ok())
         << engine_label << ": sequential=" << expected.status().ToString()
@@ -491,20 +500,37 @@ TEST(DifferentialExecTest, SeqVsParallelOnGeneratedQueries) {
   // its bytes exactly.
   const QueryEngine seq = MakeEngine(1, /*planner=*/false);
   for (const FuzzDataset& dataset : MakeDatasets()) {
-    // Statistics are per-database, so the planner-on engines are built
-    // inside the dataset loop.
+    // Statistics and index catalogs are per-database, so the planner-on
+    // and index-on engines are built inside the dataset loop. The catalog
+    // covers the full database (subset == nullptr) — exactly the scope of
+    // the view every engine executes against — and indexes every column,
+    // so the planner's access-path rule gets a real choice on every
+    // generated conjunct.
     auto stats = std::make_shared<const plan::StatsCatalog>(
         plan::StatsCatalog::Collect(*dataset.db));
+    const storage::DatabaseView full_view(dataset.db.get());
+    auto indexes = std::make_shared<const storage::IndexCatalog>(
+        storage::IndexCatalog::Build(full_view,
+                                     storage::AllIndexColumns(*dataset.db),
+                                     /*generation=*/0));
     std::vector<QueryEngine> variants;
     for (const size_t threads : {2, 4, 8}) {
       variants.push_back(MakeEngine(threads, /*planner=*/false));
     }
     for (const size_t threads : {1, 2, 4, 8}) {
       variants.push_back(MakeEngine(threads, /*planner=*/true, stats));
+      variants.push_back(MakeEngine(threads, /*planner=*/true, stats,
+                                    indexes));
     }
     // Planner with no statistics (fixed default selectivities) is its own
-    // estimation code path; one sequential engine covers it.
+    // estimation code path; one sequential engine covers it, with and
+    // without indexes (default selectivities drive the access-path rule
+    // differently than real statistics do).
     variants.push_back(MakeEngine(1, /*planner=*/true));
+    variants.push_back(MakeEngine(1, /*planner=*/true, nullptr, indexes));
+    // Planner off + catalog attached: access paths are a planner rule, so
+    // the catalog must be inert — full scans, identical bytes.
+    variants.push_back(MakeEngine(2, /*planner=*/false, nullptr, indexes));
     util::Rng rng(seed ^ util::Fnv1a(dataset.name));
     QueryFuzzer fuzzer(dataset, &rng);
     size_t executed_ok = 0;

@@ -21,6 +21,7 @@
 #include "rl/trainer.h"
 #include "serve/serve_engine.h"
 #include "sql/parser.h"
+#include "storage/index.h"
 #include "tests/testing.h"
 #include "util/exec_context.h"
 #include "util/fault_injector.h"
@@ -199,6 +200,80 @@ TEST_F(ExecResilienceTest, ProvenancePathHonorsDeadline) {
       engine_.ExecuteWithProvenance(bound, *view_, /*max_tuples=*/0, context);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ------------------------------------------------------ index build faults
+
+TEST_F(ExecResilienceTest, FailedIndexBuildDegradesToFullScan) {
+  constexpr const char* kSql = "SELECT title FROM movies WHERE year = 2010";
+  ASSERT_OK_AND_ASSIGN(const exec::ResultSet want,
+                       engine_.ExecuteSql(kSql, *view_));
+  ASSERT_EQ(want.num_rows(), 2u);
+
+  // Persistently failing builds: every per-column build is skipped (never
+  // fatal — index presence must not gate answering), counted, and the
+  // catalog comes back empty.
+  const auto specs = storage::AllIndexColumns(*db_);
+  util::FaultInjector::Global().Arm("index.build", /*count=*/-1);
+  auto broken = std::make_shared<storage::IndexCatalog>(
+      storage::IndexCatalog::Build(*view_, specs, /*generation=*/0));
+  util::FaultInjector::Global().Reset();
+  EXPECT_EQ(broken->num_indexes(), 0u);
+  EXPECT_EQ(broken->failed_builds(), specs.size());
+  EXPECT_EQ(broken->Find("movies", 2), nullptr);
+
+  // An engine carrying the broken catalog still answers — the planner finds
+  // no index for the chosen conjunct, degrades to the full scan, and the
+  // result is byte-identical to the index-free engine's.
+  exec::ExecOptions options;
+  options.index_catalog = broken;
+  const exec::QueryEngine degraded(options);
+  ASSERT_OK_AND_ASSIGN(const exec::ResultSet got,
+                       degraded.ExecuteSql(kSql, *view_));
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  for (size_t r = 0; r < want.num_rows(); ++r) {
+    EXPECT_EQ(got.RowKey(r), want.RowKey(r)) << "row " << r;
+  }
+  ASSERT_OK_AND_ASSIGN(const std::string plan,
+                       degraded.ExplainSql(kSql, *view_));
+  EXPECT_EQ(plan.find("IndexRangeScan"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("FullScan"), std::string::npos) << plan;
+}
+
+TEST_F(ExecResilienceTest, PartialIndexBuildFailureKeepsRemainingIndexes) {
+  // One-shot fault: the first column's build fails, every later one
+  // succeeds — a partial catalog, not an all-or-nothing failure.
+  const auto specs = storage::AllIndexColumns(*db_);
+  util::FaultInjector::Global().Arm("index.build");
+  auto partial = std::make_shared<storage::IndexCatalog>(
+      storage::IndexCatalog::Build(*view_, specs, /*generation=*/0));
+  EXPECT_EQ(partial->failed_builds(), 1u);
+  EXPECT_EQ(partial->num_indexes(), specs.size() - 1);
+  EXPECT_EQ(partial->Find(specs[0].table, specs[0].column), nullptr);
+  ASSERT_NE(partial->Find("movies", 2), nullptr);  // "year" survived
+
+  exec::ExecOptions options;
+  options.index_catalog = partial;
+  const exec::QueryEngine degraded(options);
+  // Queries over surviving and missing indexes alike match the baseline.
+  for (const char* sql :
+       {"SELECT title FROM movies WHERE year = 2010",
+        "SELECT title FROM movies WHERE id = 3"}) {
+    ASSERT_OK_AND_ASSIGN(const exec::ResultSet want,
+                         engine_.ExecuteSql(sql, *view_));
+    ASSERT_OK_AND_ASSIGN(const exec::ResultSet got,
+                         degraded.ExecuteSql(sql, *view_));
+    ASSERT_EQ(got.num_rows(), want.num_rows()) << sql;
+    for (size_t r = 0; r < want.num_rows(); ++r) {
+      EXPECT_EQ(got.RowKey(r), want.RowKey(r)) << sql << " row " << r;
+    }
+  }
+  // The surviving index is actually chosen for the selective predicate.
+  ASSERT_OK_AND_ASSIGN(
+      const std::string plan,
+      degraded.ExplainSql("SELECT title FROM movies WHERE year = 2010",
+                          *view_));
+  EXPECT_NE(plan.find("IndexRangeScan(year"), std::string::npos) << plan;
 }
 
 // ----------------------------------------------------- training rollback
