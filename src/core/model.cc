@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <map>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "aqp/learned_fallback.h"
 #include "core/trainer.h"
 #include "metric/score.h"
+#include "plan/plan_reuse.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 #include "storage/index.h"
+#include "util/fault_injector.h"
 #include "util/thread_pool.h"
 
 namespace asqp {
@@ -229,13 +234,19 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt) {
 
 util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt,
                                              const util::ExecContext& context) {
-  AnswerResult result;
-  result.answerability = EstimateAnswerability(stmt);
+  ASQP_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(stmt));
+  return AnswerPrepared(prepared, context);
+}
+
+util::Result<AsqpModel::PreparedQuery> AsqpModel::PrepareQuery(
+    const sql::SelectStatement& stmt) {
+  PreparedQuery prepared;
+  prepared.answerability = EstimateAnswerability(stmt);
 
   // Drift bookkeeping (Section 4.4): confidently out-of-distribution
   // queries accumulate until fine-tuning is triggered. Concurrent
-  // sessions record through one mutex; everything else in this function
-  // reads immutable inference state.
+  // sessions record through one mutex; everything else on the answer
+  // path reads immutable inference state.
   const sql::SelectStatement spj = stmt.HasAggregates()
                                        ? metric::StripAggregates(stmt)
                                        : stmt.Clone();
@@ -244,19 +255,33 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt,
     drifted_queries_.push_back(spj.Clone());
   }
 
-  ASQP_ASSIGN_OR_RETURN(sql::BoundQuery bound, sql::Bind(stmt, *db_));
-  util::Status degrade_cause = util::Status::OK();
+  ASQP_ASSIGN_OR_RETURN(prepared.bound, sql::Bind(stmt, *db_));
+  return prepared;
+}
+
+util::ExecContext AsqpModel::ApproxContextFor(
+    const util::ExecContext& context) const {
+  // The caller's context bounds the approximation attempt when it
+  // carries a deadline/cancellation; otherwise the configured per-query
+  // deadline applies.
+  util::ExecContext approx_context = context;
+  if (context.deadline().IsUnlimited() &&
+      config_.answer_deadline_seconds > 0.0) {
+    approx_context.set_deadline(
+        util::Deadline::AfterSeconds(config_.answer_deadline_seconds));
+  }
+  return approx_context;
+}
+
+util::Result<AnswerResult> AsqpModel::AnswerPrepared(
+    const PreparedQuery& prepared, const util::ExecContext& context) {
+  AnswerResult result;
+  result.answerability = prepared.answerability;
+  const sql::BoundQuery& bound = prepared.bound;
+
   if (result.answerability >= config_.answerable_threshold) {
     storage::DatabaseView view(db_, &set_);
-    // The caller's context bounds the approximation attempt when it
-    // carries a deadline/cancellation; otherwise the configured per-query
-    // deadline applies.
-    util::ExecContext approx_context = context;
-    if (context.deadline().IsUnlimited() &&
-        config_.answer_deadline_seconds > 0.0) {
-      approx_context.set_deadline(
-          util::Deadline::AfterSeconds(config_.answer_deadline_seconds));
-    }
+    util::ExecContext approx_context = ApproxContextFor(context);
     // Tier 0 with bounded retries: transient failures (allocation
     // pressure, injected faults) get a jittered backoff and another
     // attempt, as long as the remaining deadline affords the sleep.
@@ -294,25 +319,29 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt,
     // failing the user's query. Genuine query errors (bad SQL semantics,
     // internal faults) still propagate.
     if (!IsDegradationClass(failure)) return failure;
-    result.fell_back = true;
-    result.fallback_reason = FallbackReasonFromStatus(failure);
-    degrade_cause = failure;
+    return DegradeFrom(bound, context, failure, std::move(result));
   }
 
-  if (!result.fell_back) {
-    // Estimator-routed full-database path (answerability below the
-    // threshold): not a degradation — deadline-free but still
-    // cooperatively cancellable, errors propagate, breaker uninvolved.
-    util::ExecContext full_context = context;
-    full_context.set_deadline(util::Deadline::Unlimited());
-    storage::DatabaseView view(db_);
-    ASQP_ASSIGN_OR_RETURN(result.result,
-                          engine_.Execute(bound, view, full_context));
-    result.used_approximation = false;
-    result.tier = AnswerTier::kFullDatabase;
-    answered_.fetch_add(1, std::memory_order_relaxed);
-    return result;
-  }
+  // Estimator-routed full-database path (answerability below the
+  // threshold): not a degradation — deadline-free but still
+  // cooperatively cancellable, errors propagate, breaker uninvolved.
+  util::ExecContext full_context = context;
+  full_context.set_deadline(util::Deadline::Unlimited());
+  storage::DatabaseView view(db_);
+  ASQP_ASSIGN_OR_RETURN(result.result,
+                        engine_.Execute(bound, view, full_context));
+  result.used_approximation = false;
+  result.tier = AnswerTier::kFullDatabase;
+  answered_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+util::Result<AnswerResult> AsqpModel::DegradeFrom(
+    const sql::BoundQuery& bound, const util::ExecContext& context,
+    const util::Status& failure, AnswerResult result) {
+  result.fell_back = true;
+  result.fallback_reason = FallbackReasonFromStatus(failure);
+  util::Status degrade_cause = failure;
 
   // Tier 2, the full database, is attempted only when (a) the cost gate
   // says the remaining deadline budget affords a full scan and (b) the
@@ -379,6 +408,169 @@ util::Result<AnswerResult> AsqpModel::Answer(const sql::SelectStatement& stmt,
     fallbacks_.fetch_add(1, std::memory_order_relaxed);
   }
   return learned;
+}
+
+std::vector<util::Result<AnswerResult>> AsqpModel::AnswerBatch(
+    const std::vector<BatchQuery>& queries, plan::PlanReuseCache* plan_cache,
+    BatchStats* stats_out) {
+  const size_t n = queries.size();
+  BatchStats stats;
+  stats.members = n;
+  std::vector<std::optional<util::Result<AnswerResult>>> results(n);
+  std::vector<std::optional<PreparedQuery>> prepared(n);
+  for (size_t i = 0; i < n; ++i) {
+    util::Result<PreparedQuery> p = PrepareQuery(*queries[i].stmt);
+    if (!p.ok()) {
+      results[i] = p.status();
+      continue;
+    }
+    prepared[i] = std::move(p).value();
+  }
+
+  storage::DatabaseView view(db_, &set_);
+  const uint64_t gen = generation();
+
+  // Plan every answerable member once — through the fingerprint-keyed
+  // reuse cache when the caller provides one (same canonical text =>
+  // same bound structure => same deterministic plan) — and mark it for
+  // the shared scan. Below-threshold members are estimator-routed to the
+  // full database and execute individually: the shared scan is an
+  // approximation-set pass.
+  std::vector<std::shared_ptr<const sql::BoundQuery>> planned(n);
+  std::vector<util::ExecContext> approx(n);
+  std::vector<size_t> batched;
+  for (size_t i = 0; i < n; ++i) {
+    if (results[i].has_value() || !prepared[i].has_value()) continue;
+    if (prepared[i]->answerability < config_.answerable_threshold) {
+      results[i] = AnswerPrepared(*prepared[i], queries[i].context);
+      ++stats.solo;
+      continue;
+    }
+    std::shared_ptr<const sql::BoundQuery> plan;
+    const bool cacheable =
+        plan_cache != nullptr && queries[i].plan_key != nullptr;
+    if (cacheable) plan = plan_cache->Lookup(*queries[i].plan_key, gen);
+    if (plan == nullptr) {
+      plan = std::make_shared<const sql::BoundQuery>(
+          engine_.PlanForView(prepared[i]->bound, view));
+      if (cacheable) plan_cache->Insert(*queries[i].plan_key, gen, plan);
+    }
+    planned[i] = std::move(plan);
+    approx[i] = ApproxContextFor(queries[i].context);
+    batched.push_back(i);
+  }
+
+  // Group (member, FROM index) pairs by table and scan each table once.
+  // std::map: deterministic scan order regardless of pointer layout.
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>> groups;
+  for (size_t i : batched) {
+    for (size_t t = 0; t < planned[i]->num_tables(); ++t) {
+      groups[planned[i]->tables[t]->name()].push_back({i, t});
+    }
+  }
+
+  // The scan runs under the batch's most generous member deadline: a
+  // tighter member's own context still bounds its ExecutePlanned below,
+  // so per-member deadlines hold; a generous member is never truncated
+  // by a tight peer.
+  util::ExecContext scan_context;
+  double max_remaining = 0.0;
+  bool any_unlimited = batched.empty();
+  for (size_t i : batched) {
+    if (approx[i].deadline().IsUnlimited()) {
+      any_unlimited = true;
+      break;
+    }
+    max_remaining =
+        std::max(max_remaining, approx[i].deadline().RemainingSeconds());
+  }
+  if (!any_unlimited) {
+    scan_context.set_deadline(util::Deadline::AfterSeconds(max_remaining));
+  }
+
+  std::vector<std::vector<exec::ScanSelection>> selections(n);
+  for (size_t i : batched) selections[i].resize(planned[i]->num_tables());
+  util::Status scan_status = util::Status::OK();
+  for (auto& group : groups) {
+    std::vector<std::pair<size_t, size_t>>& entries = group.second;
+    const storage::Table& table =
+        *planned[entries[0].first]->tables[entries[0].second];
+    std::vector<exec::SharedScanMember> members;
+    members.reserve(entries.size());
+    for (const auto& entry : entries) {
+      members.push_back(
+          exec::SharedScanMember{planned[entry.first].get(), entry.second});
+    }
+    std::vector<std::vector<uint32_t>> rows;
+    scan_status =
+        engine_.SharedFilterScan(view, table, members, scan_context, &rows);
+    if (!scan_status.ok()) break;
+    for (size_t e = 0; e < entries.size(); ++e) {
+      selections[entries[e].first][entries[e].second] =
+          std::make_shared<const std::vector<uint32_t>>(std::move(rows[e]));
+    }
+    if (entries.size() >= 2) {
+      ++stats.shared_tables;
+      stats.scans_saved += entries.size() - 1;
+    }
+  }
+
+  for (size_t i : batched) {
+    if (!scan_status.ok()) {
+      // The shared pass itself failed (batch-wide deadline, injected scan
+      // fault): every member falls back to its individual path, which
+      // re-runs the full ladder under its own budget.
+      results[i] = AnswerPrepared(*prepared[i], queries[i].context);
+      ++stats.solo;
+      continue;
+    }
+    if (ASQP_FAULT_POINT("serve.batch")) {
+      // A faulted member degrades alone — straight down the ladder with a
+      // machine-readable reason — while its peers keep their shared-scan
+      // answers untouched.
+      AnswerResult result;
+      result.answerability = prepared[i]->answerability;
+      results[i] = DegradeFrom(
+          prepared[i]->bound, queries[i].context,
+          util::Status::ExecutionError(
+              "injected fault(serve.batch): batched member execution failed"),
+          std::move(result));
+      continue;
+    }
+    util::Result<exec::ResultSet> r =
+        engine_.ExecutePlanned(*planned[i], view, selections[i], approx[i]);
+    if (r.ok()) {
+      AnswerResult result;
+      result.answerability = prepared[i]->answerability;
+      result.result = std::move(r).value();
+      result.used_approximation = true;
+      result.tier = AnswerTier::kApproximation;
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      approx_served_.fetch_add(1, std::memory_order_relaxed);
+      results[i] = std::move(result);
+      ++stats.batched_tier0;
+      continue;
+    }
+    if (!IsDegradationClass(r.status())) {
+      results[i] = r.status();
+      continue;
+    }
+    // A degradation-class member failure (deadline, transient resource
+    // pressure) retries individually: AnswerPrepared re-runs tier 0 with
+    // the solo path's retry policy, then walks the ladder — identical
+    // semantics to never having been batched.
+    results[i] = AnswerPrepared(*prepared[i], queries[i].context);
+    ++stats.solo;
+  }
+
+  std::vector<util::Result<AnswerResult>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(results[i]).value_or(
+        util::Status::Internal("batch member never resolved")));
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
 }
 
 util::Result<AnswerResult> AsqpModel::AnswerLearnedTier(

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/estimator.h"
@@ -29,6 +30,10 @@ class LearnedFallback;
 namespace storage {
 class IndexCatalog;
 }  // namespace storage
+
+namespace plan {
+class PlanReuseCache;
+}  // namespace plan
 
 namespace core {
 
@@ -118,6 +123,45 @@ class AsqpModel {
   [[nodiscard]] util::Result<AnswerResult> Answer(const sql::SelectStatement& stmt,
                                                   const util::ExecContext& context);
   [[nodiscard]] util::Result<AnswerResult> AnswerSql(const std::string& sql);
+
+  /// One member of a batched Answer (see AnswerBatch).
+  struct BatchQuery {
+    /// The statement to answer; must outlive the AnswerBatch call.
+    const sql::SelectStatement* stmt = nullptr;
+    /// Per-member deadline/cancellation, honored exactly as Answer()'s.
+    util::ExecContext context;
+    /// Canonical fingerprint text used as the plan-reuse key; null (or a
+    /// null cache) plans the member without consulting the cache.
+    const std::string* plan_key = nullptr;
+  };
+
+  /// Bookkeeping for one AnswerBatch call.
+  struct BatchStats {
+    size_t members = 0;        ///< queries handed to the batch
+    size_t shared_tables = 0;  ///< tables scanned once for >= 2 members
+    size_t scans_saved = 0;    ///< per-table scan passes avoided (sum k-1)
+    size_t batched_tier0 = 0;  ///< members answered off the shared scan
+    size_t solo = 0;           ///< members answered individually instead
+  };
+
+  /// Answer a batch of queries with multi-query optimization: every
+  /// answerable member's approximation-set execution shares one filter
+  /// scan pass per table (exec::QueryEngine::SharedFilterScan) instead of
+  /// scanning per member, and plans are reused across equal fingerprints
+  /// via `plan_cache` (nullable). Results are byte-identical to calling
+  /// Answer() per member: the shared scan reproduces each member's own
+  /// filtered-scan output exactly, and members the batch cannot serve
+  /// (answerability below threshold, a failed shared scan, a per-member
+  /// execution failure) fall back to the individual path — a faulted
+  /// member (serve.batch fault point, or any degradation-class failure)
+  /// degrades alone, never its batch peers. Returns one Result per input,
+  /// index-aligned.
+  ///
+  /// Thread safety: a *reader*, same contract as Answer().
+  [[nodiscard]] std::vector<util::Result<AnswerResult>> AnswerBatch(
+      const std::vector<BatchQuery>& queries,
+      plan::PlanReuseCache* plan_cache = nullptr,
+      BatchStats* stats = nullptr);
 
   /// Answer `stmt` from the learned fallback tier alone (no execution, no
   /// admission): used by the serving layer to shed load when a query
@@ -214,6 +258,36 @@ class AsqpModel {
   /// Rebuild engine_ from config_, preserving the planner statistics, the
   /// index catalog, and any injected execution pool.
   void RebuildEngine();
+
+  /// Answer()'s pre-execution half: answerability estimate, drift
+  /// bookkeeping, and binding — everything that happens once per
+  /// statement regardless of how (solo or batched) it then executes.
+  struct PreparedQuery {
+    sql::BoundQuery bound;
+    double answerability = 0.0;
+  };
+  [[nodiscard]] util::Result<PreparedQuery> PrepareQuery(
+      const sql::SelectStatement& stmt);
+
+  /// Answer()'s execution half: the full degradation ladder over an
+  /// already-prepared query. Answer(stmt, ctx) ==
+  /// AnswerPrepared(PrepareQuery(stmt), ctx).
+  [[nodiscard]] util::Result<AnswerResult> AnswerPrepared(
+      const PreparedQuery& prepared, const util::ExecContext& context);
+
+  /// The ladder below tier 0: cost-gated, breaker-guarded full database,
+  /// then the learned answerer, then typed kDegraded. `failure` is the
+  /// tier-0 failure that forced degradation; `result` carries the
+  /// answerability already computed. Increments the answered/fallback
+  /// counters for whichever tier serves.
+  [[nodiscard]] util::Result<AnswerResult> DegradeFrom(
+      const sql::BoundQuery& bound, const util::ExecContext& context,
+      const util::Status& failure, AnswerResult result);
+
+  /// The context bounding a tier-0 (approximation set) attempt: the
+  /// caller's when it carries a deadline, else the configured
+  /// answer_deadline_seconds.
+  util::ExecContext ApproxContextFor(const util::ExecContext& context) const;
 
   /// Tier 1 of the ladder: answer `bound` from the learned fallback.
   /// `cause` is the failure that forced degradation past the full

@@ -72,15 +72,19 @@ class Execution {
   /// `indexes` (may be null) is the catalog the *planner* already saw:
   /// the caller verifies scope coverage (IndexCatalog::CoversView) before
   /// passing it, so a non-null catalog here always matches `view`.
+  /// `selections` (may be null) preloads some tables' filtered-scan output
+  /// (see QueryEngine::ExecutePlanned); it must outlive the execution.
   Execution(const BoundQuery& q, const DatabaseView& view,
             const ExecOptions& options, const util::ExecContext& context,
-            util::ThreadPool* pool, const storage::IndexCatalog* indexes)
+            util::ThreadPool* pool, const storage::IndexCatalog* indexes,
+            const std::vector<ScanSelection>* selections = nullptr)
       : q_(q),
         view_(view),
         options_(options),
         context_(context),
         pool_(pool),
         indexes_(indexes),
+        selections_(selections),
         ticker_(context, /*stride=*/256) {}
 
   Result<ResultSet> Run() {
@@ -137,6 +141,13 @@ class Execution {
     const size_t n = q_.num_tables();
     candidates_.resize(n);
     for (size_t t = 0; t < n; ++t) {
+      // A preselected table (shared-scan output fed through
+      // ExecutePlanned) already holds exactly this scan's result rows.
+      if (selections_ != nullptr && t < selections_->size() &&
+          (*selections_)[t] != nullptr) {
+        candidates_[t] = *(*selections_)[t];
+        continue;
+      }
       const Table& table = *q_.tables[t];
       const size_t visible = view_.VisibleRows(table);
       const auto& filters = q_.filters[t];
@@ -1070,6 +1081,8 @@ class Execution {
   util::ThreadPool* pool_;  // null = sequential
   /// Ordered indexes covering view_ (null = full scans only).
   const storage::IndexCatalog* indexes_;
+  /// Preselected filtered-scan outputs (null = scan every table).
+  const std::vector<ScanSelection>* selections_;
   util::DeadlineTicker ticker_;
 
   std::vector<std::vector<uint32_t>> candidates_;
@@ -1114,6 +1127,104 @@ Result<ResultSet> QueryEngine::Execute(const BoundQuery& query,
   }
   Execution exec(query, view, options_, context, pool_.get(), indexes);
   return exec.Run();
+}
+
+sql::BoundQuery QueryEngine::PlanForView(const BoundQuery& query,
+                                         const DatabaseView& view) const {
+  if (!options_.enable_planner) return query;
+  // Same coverage rule as Execute(): the catalog participates only when
+  // its scope is exactly the view the plan will run against.
+  const storage::IndexCatalog* indexes =
+      options_.index_catalog != nullptr &&
+              options_.index_catalog->CoversView(view)
+          ? options_.index_catalog.get()
+          : nullptr;
+  return plan::PlanQuery(query, options_.planner_stats.get(),
+                         /*summary=*/nullptr, indexes);
+}
+
+Result<ResultSet> QueryEngine::ExecutePlanned(
+    const BoundQuery& planned, const DatabaseView& view,
+    const std::vector<ScanSelection>& selections,
+    const util::ExecContext& context) const {
+  const storage::IndexCatalog* indexes =
+      options_.index_catalog != nullptr &&
+              options_.index_catalog->CoversView(view)
+          ? options_.index_catalog.get()
+          : nullptr;
+  Execution exec(planned, view, options_, context, pool_.get(), indexes,
+                 &selections);
+  return exec.Run();
+}
+
+util::Status QueryEngine::SharedFilterScan(
+    const DatabaseView& view, const Table& table,
+    const std::vector<SharedScanMember>& members,
+    const util::ExecContext& context,
+    std::vector<std::vector<uint32_t>>* out) const {
+  const size_t m = members.size();
+  out->assign(m, {});
+  if (m == 0) return Status::OK();
+  const size_t domain = view.VisibleRows(table);
+
+  // One pass over the table's visible ordinals; per row, each member's
+  // conjuncts are evaluated in declaration order with short-circuit —
+  // exactly the per-member FilterScans inner loop, so each member's output
+  // rows (and their order) match its solo scan byte for byte.
+  const auto scan_range = [&](size_t begin, size_t end,
+                              std::vector<std::vector<uint32_t>>* rows,
+                              util::DeadlineTicker* ticker) -> Status {
+    // Per-member scratch tuples (members may have different FROM arity).
+    std::vector<std::vector<uint32_t>> scratch(m);
+    std::vector<JoinedRow> jr(m);
+    for (size_t i = 0; i < m; ++i) {
+      scratch[i].assign(members[i].query->num_tables(), 0);
+      jr[i] = JoinedRow{&members[i].query->tables, scratch[i].data()};
+    }
+    for (size_t ord = begin; ord < end; ++ord) {
+      ASQP_RETURN_NOT_OK(ticker->Tick("shared table scan"));
+      const uint32_t row = view.PhysicalRow(table, ord);
+      for (size_t i = 0; i < m; ++i) {
+        const SharedScanMember& member = members[i];
+        scratch[i][member.table_index] = row;
+        bool pass = true;
+        for (const ExprPtr& f : member.query->filters[member.table_index]) {
+          if (!EvaluatePredicate(*f, jr[i])) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) (*rows)[i].push_back(row);
+      }
+    }
+    return Status::OK();
+  };
+
+  if (pool_ != nullptr && domain > 1) {
+    const size_t morsel = options_.morsel_rows;
+    const size_t chunks = (domain + morsel - 1) / morsel;
+    std::vector<std::vector<std::vector<uint32_t>>> parts(chunks);
+    ASQP_RETURN_NOT_OK(pool_->ParallelForChunked(
+        domain, morsel, [&](size_t chunk, size_t begin, size_t end) -> Status {
+          util::DeadlineTicker ticker(context, /*stride=*/256);
+          std::vector<std::vector<uint32_t>> local(m);
+          ASQP_RETURN_NOT_OK(scan_range(begin, end, &local, &ticker));
+          parts[chunk] = std::move(local);
+          return Status::OK();
+        }));
+    for (size_t i = 0; i < m; ++i) {
+      size_t total = 0;
+      for (const auto& p : parts) total += p[i].size();
+      (*out)[i].reserve(total);
+      for (const auto& p : parts) {
+        (*out)[i].insert((*out)[i].end(), p[i].begin(), p[i].end());
+      }
+    }
+  } else {
+    util::DeadlineTicker ticker(context, /*stride=*/256);
+    ASQP_RETURN_NOT_OK(scan_range(0, domain, out, &ticker));
+  }
+  return Status::OK();
 }
 
 std::string QueryEngine::Explain(const BoundQuery& query) const {

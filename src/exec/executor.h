@@ -104,6 +104,23 @@ struct ExecOptions {
   std::shared_ptr<const storage::IndexCatalog> index_catalog = nullptr;
 };
 
+/// \brief One member of a shared filter scan (QueryEngine::SharedFilterScan):
+/// a planned/bound query plus the FROM index the scanned table occupies in
+/// it. The scan evaluates `query->filters[table_index]` — so for planned
+/// queries the member sees exactly the conjuncts (including pushed-down
+/// ones) that FilterScans would evaluate.
+struct SharedScanMember {
+  const sql::BoundQuery* query = nullptr;
+  size_t table_index = 0;
+};
+
+/// Preselected per-table candidate rows for QueryEngine::ExecutePlanned:
+/// entry t replaces FROM table t's filtered scan with the given physical
+/// row ids, which must be exactly what the table's filtered scan would
+/// have produced (SharedFilterScan guarantees this). A null entry — or a
+/// vector shorter than the FROM list — scans that table normally.
+using ScanSelection = std::shared_ptr<const std::vector<uint32_t>>;
+
 /// \brief Join result with provenance: for every joined tuple, the physical
 /// row id contributed by each FROM entry. Used by the ASQP pre-processing
 /// pipeline to build its action-space pool out of executed query
@@ -134,6 +151,49 @@ class QueryEngine {
   [[nodiscard]] util::Result<ResultSet> ExecuteSql(
       const std::string& sql, const storage::DatabaseView& view,
       const util::ExecContext& context = util::ExecContext()) const;
+
+  /// Run the cost-based planner on `query` exactly as Execute() would when
+  /// targeting `view` (same statistics, same index-catalog coverage rule)
+  /// and return the planned query without executing it. Planning is
+  /// deterministic over (query, statistics, catalog), so feeding the
+  /// result to ExecutePlanned() — today or for a later identical query —
+  /// is byte-identical to Execute(query, view, ...). With the planner
+  /// disabled this returns `query` unchanged, which ExecutePlanned() runs
+  /// exactly as Execute() would. The batching serving tier uses this to
+  /// plan one fingerprint once and reuse the plan across a batch.
+  [[nodiscard]] sql::BoundQuery PlanForView(
+      const sql::BoundQuery& query, const storage::DatabaseView& view) const;
+
+  /// Execute an already-planned query (PlanForView output) without
+  /// re-planning, optionally substituting preselected candidate rows for
+  /// some tables' filtered scans (see ScanSelection). With `selections`
+  /// produced by SharedFilterScan over the same planned query, the result
+  /// is byte-identical to Execute() of the original query at any thread
+  /// count: the selection replaces the scan with its own exact output, and
+  /// every later stage is unchanged.
+  [[nodiscard]] util::Result<ResultSet> ExecutePlanned(
+      const sql::BoundQuery& planned, const storage::DatabaseView& view,
+      const std::vector<ScanSelection>& selections,
+      const util::ExecContext& context = util::ExecContext()) const;
+
+  /// Multi-query shared scan: one pass over `table`'s visible rows
+  /// evaluating every member query's single-table conjuncts against each
+  /// row, instead of one pass per member. out->at(m) receives exactly the
+  /// candidate rows member m's own filtered scan would produce — same
+  /// domain order (ascending visible ordinals), same conjunct
+  /// short-circuit order, morsel-parallel with per-morsel buffers merged
+  /// in morsel order — so feeding it to ExecutePlanned() keeps results
+  /// byte-identical to unbatched execution. Members whose planner chose an
+  /// index access path are scanned here as full passes, which the index
+  /// contract already proves byte-identical (the index yields a candidate
+  /// superset in scan order and all conjuncts are re-evaluated). All
+  /// members must reference the same underlying table through
+  /// query->tables[table_index].
+  [[nodiscard]] util::Status SharedFilterScan(
+      const storage::DatabaseView& view, const storage::Table& table,
+      const std::vector<SharedScanMember>& members,
+      const util::ExecContext& context,
+      std::vector<std::vector<uint32_t>>* out) const;
 
   /// Run only the filter+join pipeline of a (non-aggregate) query and
   /// return the joined base tuples, capped at `max_tuples` (0 = no cap).

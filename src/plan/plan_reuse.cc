@@ -1,0 +1,65 @@
+#include "plan/plan_reuse.h"
+
+namespace asqp {
+namespace plan {
+
+std::shared_ptr<const sql::BoundQuery> PlanReuseCache::Lookup(
+    const std::string& canonical, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) {
+    // A generation bump means new statistics/indexes: every cached plan
+    // may now differ from what the planner would produce. Flush and
+    // restamp. (Older-generation lookups — a reader that snapshotted the
+    // model before a racing FineTune — miss rather than repopulate.)
+    if (generation > generation_) {
+      if (!plans_.empty()) ++invalidations_;
+      plans_.clear();
+      generation_ = generation;
+    }
+    ++misses_;
+    return nullptr;
+  }
+  auto it = plans_.find(canonical);
+  if (it == plans_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanReuseCache::Insert(const std::string& canonical, uint64_t generation,
+                            std::shared_ptr<const sql::BoundQuery> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation < generation_) return;
+  if (generation > generation_) {
+    if (!plans_.empty()) ++invalidations_;
+    plans_.clear();
+    generation_ = generation;
+  }
+  if (plans_.size() >= max_entries_ && plans_.count(canonical) == 0) {
+    // Full: keep the newest window rather than pinning the oldest plans.
+    ++invalidations_;
+    plans_.clear();
+  }
+  plans_[canonical] = std::move(plan);
+}
+
+void PlanReuseCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!plans_.empty()) ++invalidations_;
+  plans_.clear();
+}
+
+PlanReuseCache::Stats PlanReuseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.invalidations = invalidations_;
+  s.entries = plans_.size();
+  return s;
+}
+
+}  // namespace plan
+}  // namespace asqp

@@ -1,0 +1,73 @@
+// Batch-aware plan reuse for the serving layer's multi-query tier.
+//
+// Planning is deterministic over (bound query, statistics, index catalog),
+// and two statements with the same canonical fingerprint text bind to the
+// same query structure — the same soundness argument that lets the answer
+// cache return cached result bytes lets this cache return a cached *plan*.
+// Entries are stamped with the model's approximation-set generation:
+// FineTune rebuilds statistics and indexes, so a generation mismatch
+// flushes the cache (lazily on the next lookup, eagerly via Clear()).
+//
+// The cache stores shared_ptr<const BoundQuery> so a batch executing a
+// reused plan keeps it alive even if a concurrent lookup flushes the map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sql/binder.h"
+#include "util/annotations.h"
+
+namespace asqp {
+namespace plan {
+
+class PlanReuseCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Whole-cache flushes from a generation bump (FineTune) or from the
+    /// entry cap (the map never grows past max_entries).
+    uint64_t invalidations = 0;
+    size_t entries = 0;
+  };
+
+  /// `max_entries` bounds the map; inserting into a full cache flushes it
+  /// (exploratory sessions churn fingerprints, so keeping the newest
+  /// window beats pinning the oldest).
+  explicit PlanReuseCache(size_t max_entries = 256)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  PlanReuseCache(const PlanReuseCache&) = delete;
+  PlanReuseCache& operator=(const PlanReuseCache&) = delete;
+
+  /// The cached plan for `canonical` at `generation`, or null. A lookup at
+  /// a newer generation than the cache's flushes every stale entry first.
+  std::shared_ptr<const sql::BoundQuery> Lookup(const std::string& canonical,
+                                                uint64_t generation);
+
+  /// Cache `plan` for `canonical` at `generation`. Ignored when the
+  /// cache has moved past `generation` (a racing FineTune's plans win).
+  void Insert(const std::string& canonical, uint64_t generation,
+              std::shared_ptr<const sql::BoundQuery> plan);
+
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  uint64_t generation_ ASQP_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, std::shared_ptr<const sql::BoundQuery>>
+      plans_ ASQP_GUARDED_BY(mu_);
+  uint64_t hits_ ASQP_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ ASQP_GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ ASQP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace plan
+}  // namespace asqp

@@ -1,7 +1,11 @@
 #include "serve/serve_engine.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -21,6 +25,9 @@ ServeOptions ServeOptions::FromConfig(const core::AsqpConfig& config) {
                                     : 1);
   options.cache_bytes = config.cache_bytes;
   options.shed_to_learned = config.serve_shed_to_learned;
+  options.batch_window_ms = config.serve_batch_window_ms;
+  options.batch_max_queries = config.serve_batch_max_queries;
+  options.async = config.serve_async;
   return options;
 }
 
@@ -34,16 +41,39 @@ ServeEngine::ServeEngine(core::AsqpModel* model, ServeOptions options)
       cache_(options.cache_bytes,
              std::max<size_t>(1, options.cache_shards)) {
   model_->SetExecutionPool(pool_);
+  if (options_.batch_window_ms > 0.0 || options_.async) {
+    BatchScheduler::Options sched;
+    sched.window_seconds = std::max(0.0, options_.batch_window_ms) / 1000.0;
+    sched.max_batch = std::max<size_t>(1, options_.batch_max_queries);
+    sched.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+    // Executor threads are the batched path's in-flight bound, matching
+    // the synchronous path's semaphore permit count.
+    sched.executors = std::max<size_t>(1, options_.max_inflight);
+    scheduler_ = std::make_unique<BatchScheduler>(
+        sched, [this](std::vector<BatchScheduler::Ticket>&& batch) {
+          ExecuteBatch(std::move(batch));
+        });
+  }
 }
 
 ServeEngine::~ServeEngine() {
-  // Detach the model from the pool we are about to destroy: the model
+  // Stop intake and flush every pending batch while the model and pool
+  // are still alive (the scheduler's destructor executes them), then
+  // detach the model from the pool we are about to destroy: the model
   // outlives the engine and must not execute on a dead pool.
+  scheduler_.reset();
   model_->SetExecutionPool(nullptr);
 }
 
 util::Result<core::AnswerResult> ServeEngine::Answer(
     const sql::SelectStatement& stmt, const util::ExecContext& context) {
+  // With the scheduler on there is exactly one serving path: synchronous
+  // callers ride the batched/async machinery and block on the future, so
+  // their queries gather into the same shared-scan batches. Take(), not
+  // Get(): this future has exactly one consumer, so the resolved answer
+  // moves out without a row-set copy.
+  if (scheduler_ != nullptr) return AnswerAsync(stmt, context).Take();
+
   // Load-shedding fast path: a request that is already dead on arrival
   // never costs the admission queue or an execution slot. Raw deadline /
   // cancellation reads here, never ExecContext::Check() — the latter
@@ -178,12 +208,238 @@ util::Result<core::AnswerResult> ServeEngine::AnswerSql(
   return Answer(stmt, context);
 }
 
+AnswerFuture ServeEngine::AnswerAsync(const sql::SelectStatement& stmt,
+                                      const util::ExecContext& context) {
+  AnswerPromise promise;
+  AnswerFuture future = promise.future();
+  if (scheduler_ == nullptr) {
+    // No scheduler: degrade gracefully to the synchronous path, resolved
+    // before the future is returned.
+    promise.Resolve(Answer(stmt, context));
+    return future;
+  }
+
+  // Same fast-path raw checks as the synchronous path: a dead-on-arrival
+  // request never costs a ticket slot. Raw reads, never Check() — chaos
+  // testing arms the exec.deadline fault point.
+  if (context.IsCancelled()) {
+    expired_fast_path_.fetch_add(1, std::memory_order_relaxed);
+    promise.Resolve(util::Status::Cancelled(
+        "serve: request already cancelled on arrival"));
+    return future;
+  }
+  if (context.deadline().Expired()) {
+    expired_fast_path_.fetch_add(1, std::memory_order_relaxed);
+    promise.Resolve(util::Status::DeadlineExceeded(
+        "serve: deadline already expired on arrival"));
+    return future;
+  }
+
+  BatchScheduler::Ticket ticket;
+  {
+    // Reader scope mirrors the synchronous pre-admission scope: bind,
+    // fingerprint, cache probe. Released before Submit — tickets queue in
+    // the scheduler, not under the model lock.
+    std::shared_lock<std::shared_mutex> reader(model_mu_);
+    util::Result<sql::BoundQuery> bound = sql::Bind(stmt, *model_->database());
+    if (!bound.ok()) {
+      promise.Resolve(bound.status());
+      return future;
+    }
+    ticket.fingerprint = sql::FingerprintQuery(bound.value().stmt);
+    if (auto hit = cache_.Lookup(ticket.fingerprint, model_->generation())) {
+      core::AnswerResult result = *hit;
+      result.from_cache = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      promise.Resolve(std::move(result));
+      return future;
+    }
+    // Group key: sorted, deduplicated bound table names — queries over the
+    // same table set gather into one shared-scan batch regardless of the
+    // order tables appear in the FROM list.
+    std::vector<std::string> names;
+    names.reserve(bound.value().tables.size());
+    for (const auto& table : bound.value().tables) {
+      names.push_back(table->name());
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    for (const std::string& name : names) {
+      if (!ticket.group_key.empty()) ticket.group_key += ',';
+      ticket.group_key += name;
+    }
+  }
+  ticket.stmt = stmt.Clone();
+  ticket.context = context;
+  ticket.promise = promise;
+
+  if (!scheduler_->Submit(std::move(ticket))) {
+    // Ticket queue full: same shed / typed back-pressure contract as a
+    // full admission queue on the synchronous path.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.shed_to_learned) {
+      std::shared_lock<std::shared_mutex> reader(model_mu_);
+      util::Result<core::AnswerResult> shed = model_->TryLearnedAnswer(stmt);
+      if (shed.ok()) {
+        shed.value().fallback_reason = "shed:queue_full";
+        shed_learned_.fetch_add(1, std::memory_order_relaxed);
+        served_.fetch_add(1, std::memory_order_relaxed);
+        promise.Resolve(std::move(shed));
+        return future;
+      }
+    }
+    promise.Resolve(util::Status::ResourceExhausted(
+        "serve: batch ticket queue is full"));
+  }
+  return future;
+}
+
+AnswerFuture ServeEngine::AnswerSqlAsync(const std::string& sql,
+                                         const util::ExecContext& context) {
+  util::Result<sql::SelectStatement> stmt = sql::Parse(sql);
+  if (!stmt.ok()) {
+    AnswerPromise promise;
+    promise.Resolve(stmt.status());
+    return promise.future();
+  }
+  return AnswerAsync(stmt.value(), context);
+}
+
+void ServeEngine::ExecuteBatch(std::vector<BatchScheduler::Ticket>&& tickets) {
+  // Reader lock for the whole batch: FineTune's writer waits for at most
+  // one in-flight batch per executor thread.
+  std::shared_lock<std::shared_mutex> reader(model_mu_);
+  const uint64_t generation = model_->generation();
+
+  // Triage each ticket: expired/cancelled while queued (shed, as the
+  // synchronous admission path does), answered by the cache since it was
+  // submitted, or deduplicated onto a canonically-equivalent peer in the
+  // same batch. Survivors become batch representatives.
+  struct Representative {
+    size_t ticket = 0;
+    std::vector<size_t> duplicates;
+  };
+  std::vector<Representative> reps;
+  std::map<std::string, size_t> by_canonical;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    BatchScheduler::Ticket& ticket = tickets[i];
+    const bool cancelled = ticket.context.IsCancelled();
+    if (cancelled || ticket.context.deadline().Expired()) {
+      admission_expired_.fetch_add(1, std::memory_order_relaxed);
+      const char* shed_reason =
+          cancelled ? "shed:cancelled" : "shed:admission_deadline";
+      if (options_.shed_to_learned) {
+        util::Result<core::AnswerResult> shed =
+            model_->TryLearnedAnswer(ticket.stmt);
+        if (shed.ok()) {
+          shed.value().fallback_reason = shed_reason;
+          shed_learned_.fetch_add(1, std::memory_order_relaxed);
+          served_.fetch_add(1, std::memory_order_relaxed);
+          ticket.promise.Resolve(std::move(shed));
+          continue;
+        }
+      }
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      ticket.promise.Resolve(util::Status::Degraded(
+          "admission budget exhausted while queued and the learned tier "
+          "cannot answer"));
+      continue;
+    }
+    if (auto hit = cache_.Lookup(ticket.fingerprint, generation)) {
+      core::AnswerResult result = *hit;
+      result.from_cache = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      ticket.promise.Resolve(std::move(result));
+      continue;
+    }
+    const auto ins =
+        by_canonical.emplace(ticket.fingerprint.canonical, reps.size());
+    if (ins.second) {
+      reps.push_back(Representative{i, {}});
+    } else {
+      // Canonically equivalent to an earlier member: same canonical text
+      // implies byte-identical results, so one execution serves both.
+      reps[ins.first->second].duplicates.push_back(i);
+      shared_scan_saved_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (reps.empty()) return;
+  admitted_.fetch_add(reps.size(), std::memory_order_relaxed);
+
+  std::vector<core::AsqpModel::BatchQuery> queries;
+  queries.reserve(reps.size());
+  for (const Representative& rep : reps) {
+    const BatchScheduler::Ticket& t = tickets[rep.ticket];
+    queries.push_back(core::AsqpModel::BatchQuery{&t.stmt, t.context,
+                                                  &t.fingerprint.canonical});
+  }
+  core::AsqpModel::BatchStats bstats;
+  std::vector<util::Result<core::AnswerResult>> answers =
+      model_->AnswerBatch(queries, &plan_cache_, &bstats);
+  shared_scan_saved_.fetch_add(bstats.scans_saved, std::memory_order_relaxed);
+  batch_solo_.fetch_add(bstats.solo, std::memory_order_relaxed);
+
+  // Per-representative tail — the same shed/degrade conversion the
+  // synchronous path applies after model_->Answer. A member that failed
+  // degrades alone; its peers' results are already computed and resolve
+  // normally.
+  for (size_t r = 0; r < reps.size(); ++r) {
+    const Representative& rep = reps[r];
+    BatchScheduler::Ticket& ticket = tickets[rep.ticket];
+    util::Result<core::AnswerResult> outcome = std::move(answers[r]);
+    if (!outcome.ok()) {
+      const util::Status failure = outcome.status();
+      if (failure.code() == util::StatusCode::kDeadlineExceeded ||
+          failure.code() == util::StatusCode::kCancelled) {
+        bool converted = false;
+        if (options_.shed_to_learned) {
+          util::Result<core::AnswerResult> shed =
+              model_->TryLearnedAnswer(ticket.stmt);
+          if (shed.ok()) {
+            shed.value().fallback_reason =
+                "shed:" + core::FallbackReasonFromStatus(failure);
+            shed_learned_.fetch_add(1, std::memory_order_relaxed);
+            outcome = std::move(shed);
+            converted = true;
+          }
+        }
+        if (!converted) {
+          degraded_.fetch_add(1, std::memory_order_relaxed);
+          outcome = util::Status::Degraded(
+              "no tier could answer within the budget: " +
+              failure.ToString());
+        }
+      } else if (failure.code() == util::StatusCode::kDegraded) {
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // Degraded (fell-back) answers are not cached, as on the
+      // synchronous path.
+      if (!outcome.value().fell_back) {
+        cache_.Insert(ticket.fingerprint, generation, outcome.value());
+      }
+    }
+    if (outcome.ok()) {
+      served_.fetch_add(1 + rep.duplicates.size(),
+                        std::memory_order_relaxed);
+    }
+    for (size_t dup : rep.duplicates) {
+      tickets[dup].promise.Resolve(outcome);
+    }
+    ticket.promise.Resolve(std::move(outcome));
+  }
+}
+
 util::Status ServeEngine::FineTune(const metric::Workload& new_queries) {
   std::unique_lock<std::shared_mutex> writer(model_mu_);
   ASQP_RETURN_NOT_OK(model_->FineTune(new_queries));
   // Lazy per-lookup invalidation already guarantees correctness; the
-  // eager sweep frees the stale entries' bytes immediately.
+  // eager sweep frees the stale entries' bytes immediately. Cached plans
+  // bind against the old approximation set, so drop them all.
   cache_.InvalidateOlderThan(model_->generation());
+  plan_cache_.Clear();
   return util::Status::OK();
 }
 

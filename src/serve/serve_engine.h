@@ -25,6 +25,17 @@
 //      learned answer or a typed kDegraded — under overload a client gets
 //      an answer (possibly approximate, with an error estimate) or a
 //      typed degradation, never a raw timeout.
+//   5. Batched multi-query execution + async sessions (opt-in via
+//      batch_window_ms > 0 or async): queries become scheduler tickets
+//      grouped by table set within a gather window; each batch plans its
+//      members once (fingerprint-keyed plan reuse) and executes one
+//      shared scan pass per table (AsqpModel::AnswerBatch), with results
+//      byte-identical to the unbatched path. AnswerAsync returns an
+//      AnswerFuture resolved by the scheduler's fixed executor threads,
+//      so hundreds of sessions wait without hundreds of threads; the
+//      FifoSemaphore admission of the synchronous path becomes the
+//      scheduler's bounded ticket queue (queue-full keeps the same shed /
+//      back-pressure semantics).
 //
 // Answer() calls may run from any number of threads. FineTune() takes the
 // engine's writer lock, so in-flight queries drain before the model is
@@ -39,7 +50,10 @@
 
 #include "core/config.h"
 #include "core/model.h"
+#include "plan/plan_reuse.h"
 #include "serve/answer_cache.h"
+#include "serve/answer_future.h"
+#include "serve/batch_scheduler.h"
 #include "util/annotations.h"
 #include "util/exec_context.h"
 #include "util/status.h"
@@ -67,10 +81,24 @@ struct ServeOptions {
   /// fallback instead of erroring. Unsupported queries keep the typed
   /// admission error (queue full) or degrade to kDegraded.
   bool shed_to_learned = true;
+  /// Gather window for shared-scan batching, in milliseconds. > 0 routes
+  /// queries through the BatchScheduler: same-table-set queries arriving
+  /// within the window execute as one batch sharing a single scan pass per
+  /// table. 0 (the default) keeps batching off unless `async` turns the
+  /// scheduler on with an empty window (immediate per-query batches).
+  double batch_window_ms = 0.0;
+  /// Queries a gathering group may accumulate before it executes without
+  /// waiting out the window.
+  size_t batch_max_queries = 8;
+  /// Route queries through the scheduler even with a zero window, so
+  /// AnswerAsync never blocks the caller (futures resolve on the
+  /// scheduler's executor threads).
+  bool async = false;
 
   /// Derive the serving knobs from a model's AsqpConfig
   /// (serve_max_inflight, serve_queue_capacity, serve_pool_threads /
-  /// exec_threads, cache_bytes, serve_shed_to_learned).
+  /// exec_threads, cache_bytes, serve_shed_to_learned,
+  /// serve_batch_window_ms, serve_batch_max_queries, serve_async).
   static ServeOptions FromConfig(const core::AsqpConfig& config);
 };
 
@@ -97,6 +125,21 @@ class ServeEngine {
       const std::string& sql,
       const util::ExecContext& context = util::ExecContext());
 
+  /// Serve one query without blocking the caller: returns an AnswerFuture
+  /// that resolves when the query's batch executes (or immediately on a
+  /// cache hit / fast-path rejection). Requires the scheduler (`async` or
+  /// `batch_window_ms > 0`); with the scheduler off this degenerates to a
+  /// pre-resolved future holding Answer()'s result. Results are
+  /// byte-identical to the synchronous path.
+  [[nodiscard]] AnswerFuture AnswerAsync(
+      const sql::SelectStatement& stmt,
+      const util::ExecContext& context = util::ExecContext());
+
+  /// Parse `sql`, then AnswerAsync() it (parse errors resolve the future).
+  [[nodiscard]] AnswerFuture AnswerSqlAsync(
+      const std::string& sql,
+      const util::ExecContext& context = util::ExecContext());
+
   /// Retrain on drifted/new queries (AsqpModel::FineTune) under the
   /// writer lock: waits for in-flight queries to drain, swaps the model
   /// state, and invalidates every cached answer from older generations.
@@ -111,16 +154,34 @@ class ServeEngine {
     uint64_t shed_learned = 0;    ///< load-shed to the learned fallback
     uint64_t degraded = 0;        ///< every tier exhausted (kDegraded)
     uint64_t expired_fast_path = 0;  ///< dead on arrival, never admitted
+    /// Batching/queue observability (all zero with the scheduler off).
+    uint64_t queue_depth = 0;     ///< tickets queued right now (gauge)
+    uint64_t batches_formed = 0;  ///< ticket groups promoted to execution
+    uint64_t batch_members = 0;   ///< tickets across all formed batches
+    uint64_t shared_scan_saved = 0;  ///< table scans avoided by sharing
+    uint64_t batch_solo = 0;      ///< members that fell back to solo exec
   };
   Stats stats() const {
-    return Stats{served_.load(std::memory_order_relaxed),
-                 cache_hits_.load(std::memory_order_relaxed),
-                 admitted_.load(std::memory_order_relaxed),
-                 rejected_.load(std::memory_order_relaxed),
-                 admission_expired_.load(std::memory_order_relaxed),
-                 shed_learned_.load(std::memory_order_relaxed),
-                 degraded_.load(std::memory_order_relaxed),
-                 expired_fast_path_.load(std::memory_order_relaxed)};
+    Stats s{served_.load(std::memory_order_relaxed),
+            cache_hits_.load(std::memory_order_relaxed),
+            admitted_.load(std::memory_order_relaxed),
+            rejected_.load(std::memory_order_relaxed),
+            admission_expired_.load(std::memory_order_relaxed),
+            shed_learned_.load(std::memory_order_relaxed),
+            degraded_.load(std::memory_order_relaxed),
+            expired_fast_path_.load(std::memory_order_relaxed),
+            0,
+            0,
+            0,
+            shared_scan_saved_.load(std::memory_order_relaxed),
+            batch_solo_.load(std::memory_order_relaxed)};
+    if (scheduler_ != nullptr) {
+      const BatchScheduler::Stats b = scheduler_->stats();
+      s.queue_depth = scheduler_->QueueDepth();
+      s.batches_formed = b.batches_formed;
+      s.batch_members = b.batch_members;
+    }
+    return s;
   }
 
   const AnswerCache& cache() const { return cache_; }
@@ -133,6 +194,12 @@ class ServeEngine {
   util::ThreadPool* pool() { return pool_.get(); }
 
  private:
+  /// Drain one scheduler batch on an executor thread: per-ticket expiry /
+  /// cache re-probe / canonical dedup, then AsqpModel::AnswerBatch for the
+  /// representatives, then resolve every ticket's promise with the same
+  /// shed/degrade tail as the synchronous path.
+  void ExecuteBatch(std::vector<BatchScheduler::Ticket>&& tickets);
+
   /// Readers (shared_lock): Answer() binds, fingerprints, and executes
   /// against a stable model. Writer (unique_lock): FineTune().
   core::AsqpModel* model_ ASQP_GUARDED_BY(model_mu_);
@@ -140,6 +207,9 @@ class ServeEngine {
   std::shared_ptr<util::ThreadPool> pool_;
   util::FifoSemaphore admission_;
   AnswerCache cache_;
+  /// Fingerprint-keyed planned-query reuse for batch members (internally
+  /// synchronized; generation-stamped like the answer cache).
+  plan::PlanReuseCache plan_cache_;
   std::shared_mutex model_mu_;
 
   std::atomic<uint64_t> served_{0};
@@ -150,6 +220,12 @@ class ServeEngine {
   std::atomic<uint64_t> shed_learned_{0};
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> expired_fast_path_{0};
+  std::atomic<uint64_t> shared_scan_saved_{0};
+  std::atomic<uint64_t> batch_solo_{0};
+
+  /// Non-null iff batching/async is on. Declared last so its destructor
+  /// runs first: pending batches flush against a still-live engine.
+  std::unique_ptr<BatchScheduler> scheduler_;
 };
 
 }  // namespace serve

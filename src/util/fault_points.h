@@ -26,6 +26,8 @@ inline constexpr const char* kFaultPoints[] = {
     "exec.join.alloc",      // exec/executor.cc: hash-join build allocation
     "exec.join.partition",  // exec/executor.cc: parallel radix partitioning
     "exec.agg.partial",     // exec/executor.cc: per-morsel partial aggregation
+    // Serving path.
+    "serve.batch",          // core/model.cc: batched member execution
     // Storage path.
     "index.build",          // storage/index.cc: ordered secondary index build
     // Training path.

@@ -687,5 +687,75 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.name);
     });
 
+// A fault inside a shared-scan batch must degrade only the member it hit:
+// its peers' answers are byte-identical to what an unbatched engine
+// serves, and the faulted member still gets a well-formed degraded answer
+// (never a raw error, never a poisoned batch).
+TEST_F(ServeFaultPointTest, BatchedMemberFaultDegradesAloneInItsBatch) {
+  const std::vector<std::string> sqls = {
+      "SELECT t.name FROM title t WHERE t.production_year >= 2000",
+      "SELECT t.name FROM title t WHERE t.production_year < 1970",
+      "SELECT t.name FROM title t WHERE t.rating > 8",
+  };
+
+  // Unbatched reference answers (engines one at a time: each re-routes
+  // the model's execution pool through itself).
+  std::vector<std::vector<std::string>> want;
+  {
+    serve::ServeEngine plain(model_.get(), Options());
+    for (const std::string& sql : sqls) {
+      ASSERT_OK_AND_ASSIGN(core::AnswerResult r, plain.AnswerSql(sql));
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < r.result.num_rows(); ++i) {
+        keys.push_back(r.result.RowKey(i));
+      }
+      want.push_back(std::move(keys));
+    }
+  }
+
+  serve::ServeOptions options = Options();
+  options.batch_window_ms = 200.0;
+  options.batch_max_queries = sqls.size();  // closes when the last arrives
+  serve::ServeEngine engine(model_.get(), options);
+
+  // One shot: exactly one batched member crosses the armed point (they
+  // execute in deterministic submission order, so it is the first).
+  util::FaultInjector::Global().Arm("serve.batch", /*count=*/1);
+  std::vector<serve::AnswerFuture> futures;
+  for (const std::string& sql : sqls) {
+    futures.push_back(engine.AnswerSqlAsync(sql));
+  }
+  std::vector<core::AnswerResult> got;
+  for (serve::AnswerFuture& f : futures) {
+    util::Result<core::AnswerResult> r = f.Get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    got.push_back(std::move(r).value());
+  }
+  EXPECT_EQ(util::FaultInjector::Global().fire_count("serve.batch"), 1);
+
+  size_t faulted = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].fell_back) {
+      ++faulted;
+      EXPECT_EQ(got[i].fallback_reason, "fault:serve.batch");
+      EXPECT_FALSE(got[i].used_approximation);
+    } else {
+      // Peers are untouched: approximation-tier answers, byte-identical
+      // to the unbatched engine's.
+      std::vector<std::string> keys;
+      for (size_t r = 0; r < got[i].result.num_rows(); ++r) {
+        keys.push_back(got[i].result.RowKey(r));
+      }
+      EXPECT_EQ(keys, want[i]) << sqls[i];
+      EXPECT_EQ(got[i].tier, core::AnswerTier::kApproximation);
+    }
+  }
+  EXPECT_EQ(faulted, 1u);
+  // The three same-table members shared one batch and one scan pass.
+  serve::ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.batches_formed, 1u);
+  EXPECT_EQ(stats.batch_members, sqls.size());
+}
+
 }  // namespace
 }  // namespace asqp

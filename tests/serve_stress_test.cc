@@ -406,6 +406,191 @@ TEST_F(ServeStressTest, ChaosOverloadNeverLeaksRawTimeoutsToClients) {
   EXPECT_FALSE(after.from_cache);
 }
 
+TEST_F(ServeStressTest, BatchedSessionsAgreeWithUnbatchedAnswers) {
+  // Reference answers from an unbatched engine (single-threaded, one
+  // engine at a time: each engine re-routes the model's pool).
+  std::map<size_t, std::vector<std::string>> expected;
+  {
+    ServeOptions plain;
+    plain.max_inflight = 2;
+    plain.queue_capacity = kSessions;
+    plain.pool_threads = 2;
+    plain.cache_bytes = 0;
+    ServeEngine reference(model_.get(), plain);
+    const auto& mix = QueryMix();
+    for (size_t q = 0; q < mix.size(); ++q) {
+      auto result = reference.AnswerSql(mix[q][0]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      std::vector<std::string> keys;
+      for (size_t r = 0; r < result.value().result.num_rows(); ++r) {
+        keys.push_back(result.value().result.RowKey(r));
+      }
+      expected.emplace(q, std::move(keys));
+    }
+  }
+
+  // Batched + async engine under 8 concurrent sessions: every answer —
+  // shared-scan batched, deduplicated, or cached — must be byte-identical
+  // to the unbatched reference.
+  ServeOptions options;
+  options.max_inflight = 3;
+  // Every session pipelines its whole script as outstanding futures, so
+  // the ticket queue must hold the full burst — back-pressure behavior is
+  // OverloadedQueueRejectsInsteadOfCrashing's job, not this test's.
+  options.queue_capacity = kSessions * kPerSessionQueries;
+  options.pool_threads = 2;
+  options.cache_bytes = 8 << 20;
+  options.cache_shards = 4;
+  options.batch_window_ms = 1.0;
+  options.batch_max_queries = 4;
+  ServeEngine engine(model_.get(), options);
+
+  std::atomic<uint64_t> successes{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> sessions;
+  sessions.reserve(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([s, &engine, &expected, &successes, &mismatches] {
+      const auto& mix = QueryMix();
+      CompletionQueue queue;
+      for (int iter = 0; iter < kPerSessionQueries; ++iter) {
+        const size_t q = (s + static_cast<size_t>(iter)) % mix.size();
+        const std::vector<std::string>& spellings = mix[q];
+        const std::string& sql =
+            spellings[static_cast<size_t>(iter) % spellings.size()];
+        queue.Track(engine.AnswerSqlAsync(sql), q);
+      }
+      while (auto done = queue.Next()) {
+        if (!done->result.ok()) {
+          ADD_FAILURE() << "session " << s << ": "
+                        << done->result.status().ToString();
+          continue;
+        }
+        successes.fetch_add(1, std::memory_order_relaxed);
+        const exec::ResultSet& rs = done->result.value().result;
+        std::vector<std::string> keys;
+        keys.reserve(rs.num_rows());
+        for (size_t r = 0; r < rs.num_rows(); ++r) {
+          keys.push_back(rs.RowKey(r));
+        }
+        if (keys != expected.at(done->tag)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "query " << done->tag
+                        << " diverged from the unbatched reference";
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(successes.load(), kSessions * kPerSessionQueries);
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.served, successes.load());
+  EXPECT_GE(stats.batches_formed, 1u);
+  // Dedup + shared scans did real work under this mix (equivalent
+  // spellings and same-table predicates collide constantly).
+  EXPECT_GT(stats.shared_scan_saved + stats.cache_hits, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(ServeStressTest, BatchedChaosKeepsTheDegradationContract) {
+  // The ChaosOverloadNeverLeaksRawTimeoutsToClients contract, re-run
+  // through the batched/async path with the serve.batch fault armed on
+  // every poll: every batched member is forced off the shared-scan tier
+  // and down the ladder, yet every client still gets an answer or a typed
+  // degradation — never a raw timeout, and never an unresolved future.
+  util::FaultInjector::Global().Reset();
+  util::FaultInjector::Global().Arm("exec.deadline", /*count=*/-1);
+  util::FaultInjector::Global().Arm("exec.join.alloc", /*count=*/-1);
+  util::FaultInjector::Global().Arm("exec.agg.partial", /*count=*/-1);
+  util::FaultInjector::Global().Arm("serve.batch", /*count=*/-1);
+
+#ifdef ASQP_SANITIZE_THREAD
+  const double kDeadlineSeconds = 0.25;
+#else
+  const double kDeadlineSeconds = 0.05;
+#endif
+
+  ServeOptions options;
+  options.max_inflight = 2;
+  options.queue_capacity = 4;
+  options.pool_threads = 2;
+  options.cache_bytes = 0;
+  options.batch_window_ms = 1.0;
+  options.batch_max_queries = 4;
+  ServeEngine engine(model_.get(), options);
+
+  const std::vector<std::string> chaos_mix = {
+      "SELECT t.name FROM title t WHERE t.production_year >= 2005",
+      "SELECT t.name, ci.role FROM title t, cast_info ci "
+      "WHERE ci.movie_id = t.id AND t.rating > 7",
+      "SELECT COUNT(*) FROM title t WHERE t.production_year >= 2000",
+  };
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> typed_failures{0};
+  std::atomic<uint64_t> contract_violations{0};
+  std::mutex violations_mu;
+  std::vector<std::string> violations;
+
+  std::vector<std::thread> sessions;
+  sessions.reserve(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([s, &engine, &chaos_mix, &ok_count,
+                           &typed_failures, &contract_violations,
+                           &violations_mu, &violations, kDeadlineSeconds] {
+      for (int iter = 0; iter < kPerSessionQueries; ++iter) {
+        const std::string& sql =
+            chaos_mix[(s + static_cast<size_t>(iter)) % chaos_mix.size()];
+        util::ExecContext context;
+        context.set_deadline(util::Deadline::AfterSeconds(kDeadlineSeconds));
+        util::Result<core::AnswerResult> result =
+            engine.AnswerSqlAsync(sql, context).Get();
+        if (result.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const util::Status& failure = result.status();
+        const bool typed =
+            failure.code() == util::StatusCode::kDegraded ||
+            failure.code() == util::StatusCode::kResourceExhausted ||
+            (failure.code() == util::StatusCode::kDeadlineExceeded &&
+             failure.message().find("on arrival") != std::string::npos);
+        if (typed) {
+          typed_failures.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          contract_violations.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(violations_mu);
+          violations.push_back(failure.ToString());
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  util::FaultInjector::Global().Reset();
+  model_->circuit_breaker().RecordSuccess();
+
+  std::string violation_digest;
+  for (const std::string& v : violations) {
+    violation_digest += "\n  " + v;
+  }
+  EXPECT_EQ(contract_violations.load(), 0u) << violation_digest;
+  EXPECT_EQ(ok_count.load() + typed_failures.load() +
+                contract_violations.load(),
+            kSessions * kPerSessionQueries);
+  EXPECT_GT(ok_count.load(), 0u);
+  // Chaos really flowed through the batched tier.
+  EXPECT_GE(engine.stats().batches_formed, 1u);
+
+  // Healthy again once the faults are gone.
+  util::ExecContext healthy;
+  healthy.set_deadline(util::Deadline::AfterSeconds(30.0));
+  util::Result<core::AnswerResult> after =
+      engine.AnswerSqlAsync(chaos_mix[0], healthy).Get();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace asqp

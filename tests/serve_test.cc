@@ -389,6 +389,189 @@ TEST_F(ServeEngineTest, FromConfigDerivesKnobs) {
   EXPECT_TRUE(options.shed_to_learned);  // default on
   config.serve_shed_to_learned = false;
   EXPECT_FALSE(ServeOptions::FromConfig(config).shed_to_learned);
+  // Batching/async knobs: off by default, carried through when set.
+  EXPECT_EQ(options.batch_window_ms, 0.0);
+  EXPECT_EQ(options.batch_max_queries, 8u);
+  EXPECT_FALSE(options.async);
+  config.serve_batch_window_ms = 2.5;
+  config.serve_batch_max_queries = 3;
+  config.serve_async = true;
+  ServeOptions batched = ServeOptions::FromConfig(config);
+  EXPECT_EQ(batched.batch_window_ms, 2.5);
+  EXPECT_EQ(batched.batch_max_queries, 3u);
+  EXPECT_TRUE(batched.async);
+}
+
+// ---- Batched / async serving ------------------------------------------
+
+// Queries over one table with distinct predicates: the batch shares a
+// single scan pass while each member keeps its own filter results.
+const char kTitleRecent[] =
+    "SELECT t.name FROM title t WHERE t.production_year >= 2000";
+const char kTitleOld[] =
+    "SELECT t.name FROM title t WHERE t.production_year < 1960";
+const char kPersonQuery[] =
+    "SELECT p.name FROM person p WHERE p.birth_year > 1970";
+
+TEST_F(ServeEngineTest, BatchedAnswersAreByteIdenticalToUnbatched) {
+  const std::vector<std::string> sqls = {kQuery, kTitleRecent, kTitleOld,
+                                         kPersonQuery};
+  // Unbatched reference answers first (one engine at a time: each engine
+  // re-routes the model's execution pool through itself).
+  std::vector<std::vector<std::string>> want;
+  std::vector<std::vector<std::string>> want_columns;
+  {
+    ServeEngine plain(model_.get(), SmallServe());
+    for (const std::string& sql : sqls) {
+      ASSERT_OK_AND_ASSIGN(core::AnswerResult r, plain.AnswerSql(sql));
+      want.push_back(Keys(r.result));
+      want_columns.push_back(r.result.column_names());
+    }
+  }
+  ServeOptions options = SmallServe();
+  options.batch_window_ms = 5.0;
+  options.batch_max_queries = 4;
+  ServeEngine batched(model_.get(), options);
+  std::vector<AnswerFuture> futures;
+  futures.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    futures.push_back(batched.AnswerSqlAsync(sql));
+  }
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    util::Result<core::AnswerResult> got = futures[i].Get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(Keys(got.value().result), want[i]) << sqls[i];
+    EXPECT_EQ(got.value().result.column_names(), want_columns[i]);
+  }
+  ServeEngine::Stats stats = batched.stats();
+  EXPECT_EQ(stats.served, sqls.size());
+  EXPECT_GE(stats.batches_formed, 1u);
+  EXPECT_EQ(stats.batch_members, sqls.size());
+}
+
+TEST_F(ServeEngineTest, SameTablePredicatesShareOneBatchAndOneScan) {
+  ServeOptions options = SmallServe();
+  // max_batch = 2 closes the group the instant the second same-table
+  // query arrives — the test never depends on window timing.
+  options.batch_window_ms = 200.0;
+  options.batch_max_queries = 2;
+  ServeEngine engine(model_.get(), options);
+  AnswerFuture a = engine.AnswerSqlAsync(kTitleRecent);
+  AnswerFuture b = engine.AnswerSqlAsync(kTitleOld);
+  util::Result<core::AnswerResult> ra = a.Get();
+  util::Result<core::AnswerResult> rb = b.Get();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.batches_formed, 1u);
+  EXPECT_EQ(stats.batch_members, 2u);
+  // Two members over one table: the shared pass saved one scan.
+  EXPECT_GE(stats.shared_scan_saved, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(ServeEngineTest, EquivalentSpellingsDeduplicateWithinABatch) {
+  ServeOptions options = SmallServe();
+  options.batch_window_ms = 200.0;
+  options.batch_max_queries = 2;
+  ServeEngine engine(model_.get(), options);
+  // Same query in two spellings (flipped inequality): one execution
+  // serves both members.
+  AnswerFuture a = engine.AnswerSqlAsync(
+      "SELECT t.name FROM title t WHERE t.production_year >= 2000");
+  AnswerFuture b = engine.AnswerSqlAsync(
+      "SELECT t.name FROM title t WHERE 2000 <= t.production_year");
+  util::Result<core::AnswerResult> ra = a.Get();
+  util::Result<core::AnswerResult> rb = b.Get();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_EQ(Keys(ra.value().result), Keys(rb.value().result));
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.batch_members, 2u);
+  EXPECT_EQ(stats.admitted, 1u);  // one representative executed
+  EXPECT_GE(stats.shared_scan_saved, 1u);
+  EXPECT_EQ(engine.cache().stats().entries, 1u);
+}
+
+TEST_F(ServeEngineTest, DisjointTableQueriesNeverShareABatch) {
+  ServeOptions options = SmallServe();
+  // Window far longer than the test: if disjoint-table queries gathered
+  // into one group, the title pair below could not close its batch at
+  // max_batch=2 and the waits would stall for the full window.
+  options.batch_window_ms = 10000.0;
+  options.batch_max_queries = 2;
+  ServeEngine engine(model_.get(), options);
+  AnswerFuture t1 = engine.AnswerSqlAsync(kTitleRecent);
+  AnswerFuture p1 = engine.AnswerSqlAsync(kPersonQuery);
+  AnswerFuture t2 = engine.AnswerSqlAsync(kTitleOld);
+  AnswerFuture p2 = engine.AnswerSqlAsync(
+      "SELECT p.name FROM person p WHERE p.birth_year < 1940");
+  for (AnswerFuture* f : {&t1, &p1, &t2, &p2}) {
+    util::Result<core::AnswerResult> r = f->Get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  ServeEngine::Stats stats = engine.stats();
+  // Two groups (title, person), each closed by its own second member.
+  EXPECT_EQ(stats.batches_formed, 2u);
+  EXPECT_EQ(stats.batch_members, 4u);
+}
+
+TEST_F(ServeEngineTest, CompletionQueueMultiplexesManySessions) {
+  ServeOptions options = SmallServe();
+  options.async = true;  // zero window: immediate per-query batches
+  ServeEngine engine(model_.get(), options);
+  const std::vector<std::string> sqls = {kTitleRecent, kTitleOld,
+                                         kPersonQuery, kQuery};
+  CompletionQueue queue;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    queue.Track(engine.AnswerSqlAsync(sqls[i]), i);
+  }
+  std::vector<bool> seen(sqls.size(), false);
+  size_t delivered = 0;
+  while (auto done = queue.Next()) {
+    ASSERT_LT(done->tag, seen.size());
+    EXPECT_FALSE(seen[done->tag]) << "duplicate delivery";
+    seen[done->tag] = true;
+    ASSERT_TRUE(done->result.ok()) << done->result.status().ToString();
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, sqls.size());
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST_F(ServeEngineTest, SyncAnswerRidesTheBatchedPathWhenSchedulerIsOn) {
+  std::vector<std::string> want;
+  {
+    ServeEngine plain(model_.get(), SmallServe());
+    ASSERT_OK_AND_ASSIGN(core::AnswerResult r, plain.AnswerSql(kTitleRecent));
+    want = Keys(r.result);
+  }
+  ServeOptions options = SmallServe();
+  options.async = true;
+  ServeEngine engine(model_.get(), options);
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult got, engine.AnswerSql(kTitleRecent));
+  EXPECT_EQ(Keys(got.result), want);
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.batch_members, 1u);  // the sync call became a ticket
+  // And the batched execution filled the answer cache as usual.
+  ASSERT_OK_AND_ASSIGN(core::AnswerResult warm, engine.AnswerSql(kTitleRecent));
+  EXPECT_TRUE(warm.from_cache);
+}
+
+TEST_F(ServeEngineTest, AsyncFastPathRejectsDeadRequestsWithoutATicket) {
+  ServeOptions options = SmallServe();
+  options.async = true;
+  ServeEngine engine(model_.get(), options);
+  util::ExecContext expired;
+  expired.set_deadline(util::Deadline::AfterSeconds(0.0));
+  AnswerFuture late = engine.AnswerSqlAsync(kTitleRecent, expired);
+  ASSERT_TRUE(late.Ready());  // resolved before return, no ticket queued
+  util::Result<core::AnswerResult> r = late.Get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded);
+  ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.expired_fast_path, 1u);
+  EXPECT_EQ(stats.batch_members, 0u);
 }
 
 }  // namespace
